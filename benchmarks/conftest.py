@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates (a scaled rendition of) one of the paper's
+tables or figures; the module docstrings say which. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ScenarioSpec, scenario_config
+
+
+@pytest.fixture
+def quick_scenario():
+    """Factory for scaled scenario configs ("quick" scale: 48x48, 250 steps)."""
+
+    def make(index: int, model: str = "aco", seed: int = 0, scale: str = "quick"):
+        return scenario_config(
+            ScenarioSpec(index, 2560 * index), model=model, scale=scale, seed=seed
+        )
+
+    return make

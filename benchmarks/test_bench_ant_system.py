@@ -1,0 +1,29 @@
+"""Section II baseline — classic Ant System on the TSP.
+
+Benchmarks the AS core on a known-optimum instance (the TSPLIB-style
+validation the paper cites from [14]) and asserts solution quality.
+"""
+
+from repro.baselines import AntSystem, circle_instance
+
+
+def test_bench_ant_system_circle(benchmark):
+    inst = circle_instance(12)
+
+    def solve():
+        return AntSystem(inst, seed=1).run(30)
+
+    result = benchmark.pedantic(solve, rounds=3, iterations=1)
+    assert result.gap_to(inst.optimum) < 0.05
+
+
+def test_bench_ant_system_iteration(benchmark):
+    """Single AS iteration cost (tour construction + pheromone update)."""
+    inst = circle_instance(20)
+    solver = AntSystem(inst, seed=2)
+
+    def one_iteration():
+        return solver.run(1).best_length
+
+    best = benchmark(one_iteration)
+    assert best > 0

@@ -1,0 +1,46 @@
+"""Figure 5a — execution time of ACO vs LEM on the data-parallel engine.
+
+The paper measures the two models "almost the same" with ACO carrying a
+marginal ~11% overhead from the pheromone kernels. We benchmark both
+models' step loops on the GPU stand-in at quick scale, and additionally
+assert the modelled paper-scale ratio.
+"""
+
+import pytest
+
+from repro import build_engine
+from repro.cuda import GpuCostModel, PAPER_ACO_OVER_LEM
+
+STEPS = 40
+SCENARIO = 10  # 25,600 paper agents — the Fig 6a crossover point
+
+
+def _run(cfg):
+    eng = build_engine(cfg, "vectorized")
+    for _ in range(STEPS):
+        eng.step()
+    return eng
+
+
+def test_bench_fig5a_lem_vectorized(benchmark, quick_scenario):
+    cfg = quick_scenario(SCENARIO, model="lem")
+    eng = benchmark.pedantic(_run, args=(cfg,), rounds=3, iterations=1)
+    eng.validate_state()
+
+
+def test_bench_fig5a_aco_vectorized(benchmark, quick_scenario):
+    cfg = quick_scenario(SCENARIO, model="aco")
+    eng = benchmark.pedantic(_run, args=(cfg,), rounds=3, iterations=1)
+    eng.validate_state()
+
+
+def test_bench_fig5a_modelled_ratio(benchmark):
+    """ACO/LEM execution-time ratio at paper scale: ~1.11 (Section V)."""
+
+    def ratio():
+        aco = GpuCostModel.calibrated("aco")
+        lem = GpuCostModel.calibrated("lem")
+        return aco.simulation_time(25600) / lem.simulation_time(25600, "lem")
+
+    value = benchmark(ratio)
+    assert value == pytest.approx(PAPER_ACO_OVER_LEM, rel=0.02)

@@ -1,0 +1,50 @@
+"""Figure 5b — ACO execution time on the CPU vs GPU platforms.
+
+Benchmarks the sequential (scalar CPU stand-in) and vectorized
+(data-parallel GPU stand-in) engines on the same scaled ACO scenario, and
+asserts the modelled paper-scale seconds at both published endpoints.
+"""
+
+import pytest
+
+from repro import build_engine
+from repro.cuda import CpuCostModel, GpuCostModel, PAPER_ENDPOINTS
+
+STEPS = 25
+SCENARIO = 5
+
+
+def _run(cfg, engine):
+    eng = build_engine(cfg, engine)
+    for _ in range(STEPS):
+        eng.step()
+    return eng
+
+
+def test_bench_fig5b_cpu_sequential(benchmark, quick_scenario):
+    cfg = quick_scenario(SCENARIO, model="aco")
+    eng = benchmark.pedantic(_run, args=(cfg, "sequential"), rounds=3, iterations=1)
+    eng.validate_state()
+
+
+def test_bench_fig5b_gpu_vectorized(benchmark, quick_scenario):
+    cfg = quick_scenario(SCENARIO, model="aco")
+    eng = benchmark.pedantic(_run, args=(cfg, "vectorized"), rounds=3, iterations=1)
+    eng.validate_state()
+
+
+def test_bench_fig5b_modelled_seconds(benchmark):
+    """Paper endpoints: 46.66 s / 126.7 s GPU, 837.5 s / 1449 s CPU."""
+
+    def endpoints():
+        gpu = GpuCostModel.calibrated("aco")
+        cpu = CpuCostModel.calibrated("aco")
+        return {
+            "gpu": {n: gpu.simulation_time(n) for n in (2560, 102400)},
+            "cpu": {n: cpu.simulation_time(n) for n in (2560, 102400)},
+        }
+
+    out = benchmark(endpoints)
+    for platform in ("gpu", "cpu"):
+        for n, target in PAPER_ENDPOINTS[platform].items():
+            assert out[platform][n] == pytest.approx(target, rel=1e-6)

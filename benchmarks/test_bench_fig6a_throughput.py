@@ -1,0 +1,46 @@
+"""Figure 6a — throughput of LEM vs ACO across the density sweep.
+
+The paper's headline behavioural result: both models push everyone across
+at low density; from scenario ~10 the LEM collapses into counter-flow jams
+while the ACO keeps near-full throughput, for a +39.6% overall ACO gain
+across 20 scenarios. The benchmark runs the scaled sweep's key scenarios
+and asserts the ordering (equal at low density, ACO ahead at the knee).
+"""
+
+from repro import run_simulation
+
+
+def _throughput(cfg):
+    return run_simulation(cfg, record_timeline=False).result.throughput_total
+
+
+def test_bench_fig6a_low_density_equal(benchmark, quick_scenario):
+    """Scenario 4: both models cross everyone (paper scenarios 1-9)."""
+    lem_cfg = quick_scenario(4, model="lem")
+    aco_cfg = quick_scenario(4, model="aco")
+
+    def run_pair():
+        return _throughput(lem_cfg), _throughput(aco_cfg)
+
+    lem, aco = benchmark.pedantic(run_pair, rounds=2, iterations=1)
+    assert lem == lem_cfg.total_agents
+    assert aco == aco_cfg.total_agents
+
+
+def test_bench_fig6a_knee_aco_wins(benchmark, quick_scenario):
+    """Scenario 14 (scaled knee): ACO throughput far above LEM.
+
+    The paper's knee sits at scenarios 10-11 at full scale (LEM 17,417 vs
+    ACO 25,600 at scenario 10); on the quick grid the same collapse
+    appears within a couple of scenario indices of that point.
+    """
+    lem_cfg = quick_scenario(14, model="lem")
+    aco_cfg = quick_scenario(14, model="aco")
+
+    def run_pair():
+        return _throughput(lem_cfg), _throughput(aco_cfg)
+
+    lem, aco = benchmark.pedantic(run_pair, rounds=2, iterations=1)
+    assert aco > lem
+    assert aco >= 0.9 * aco_cfg.total_agents
+    assert lem <= 0.75 * lem_cfg.total_agents

@@ -1,0 +1,50 @@
+"""Figure 6b — CPU-vs-GPU throughput validation with the binomial GLM.
+
+The paper fits a binomial GLM of crossing probability against agent count
+and a platform indicator, finding no significant platform effect
+(p = 0.6145). We rerun the analysis with the sequential and vectorized
+engines as the two platforms (distinct seeds per platform, since equal
+seeds are bit-identical by construction) and assert the same conclusion.
+"""
+
+from repro.experiments import run_fig6b
+
+
+def test_bench_fig6b_glm(benchmark):
+    out = benchmark.pedantic(
+        run_fig6b,
+        kwargs=dict(
+            scale="tiny",
+            scenario_indices=(14, 16, 18, 20, 22),
+            seeds_cpu=(100, 101, 102),
+            seeds_gpu=(200, 201, 202),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.glm.converged
+    # The paper's conclusion: no significant platform effect.
+    assert out.platform_p >= 0.05
+    assert out.welch_p >= 0.05
+    # Per-scenario means stay close between platforms.
+    for row in out.rows:
+        assert abs(row.cpu_throughput - row.gpu_throughput) <= 0.25 * row.total_agents
+
+
+def test_bench_fig6b_exact_equivalence(benchmark):
+    """Our stronger-than-paper check: equal seeds => identical throughput."""
+    from repro import build_engine
+    from repro.experiments import ScenarioSpec, scenario_config
+
+    cfg = scenario_config(ScenarioSpec(10, 25600), model="aco", scale="tiny", seed=42)
+
+    def run_both():
+        seq = build_engine(cfg, "sequential")
+        vec = build_engine(cfg, "vectorized")
+        rs = seq.run(record_timeline=False)
+        rv = vec.run(record_timeline=False)
+        return rs.throughput_total, rv.throughput_total, seq.state_equals(vec)
+
+    seq_t, vec_t, equal = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert seq_t == vec_t
+    assert equal

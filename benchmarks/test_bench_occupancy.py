@@ -1,0 +1,22 @@
+"""Section IV occupancy claims — the CUDA occupancy calculator.
+
+The paper keeps every kernel at 100% theoretical occupancy with 256-thread
+blocks on CC 2.0; this benchmark regenerates the occupancy table and
+asserts the claim for all four kernels.
+"""
+
+from repro.cuda import occupancy
+from repro.experiments import occupancy_table
+
+
+def test_bench_occupancy_calculator(benchmark):
+    result = benchmark(
+        occupancy, 256, registers_per_thread=20, shared_per_block=4096
+    )
+    assert result.is_full
+    assert result.active_blocks_per_sm == 6
+
+
+def test_bench_occupancy_table(benchmark):
+    table = benchmark(occupancy_table)
+    assert table.count("100%") == 4

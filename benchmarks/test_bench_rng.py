@@ -1,0 +1,24 @@
+"""Substrate benchmark — Philox4x32-10 throughput.
+
+The keyed RNG is on every decision path (it replaces CURAND); this tracks
+its vectorized generation rate and the per-step cost of the LEM's
+12-uniform normal.
+"""
+
+import numpy as np
+
+from repro.rng import PhiloxKeyedRNG, Stream
+
+
+def test_bench_philox_uniform_1m(benchmark):
+    rng = PhiloxKeyedRNG(0)
+    lanes = np.arange(1_000_000, dtype=np.uint64)
+    u = benchmark(rng.uniform, Stream.EXPERIMENT, 0, lanes)
+    assert u.shape == (1_000_000,)
+
+
+def test_bench_normal12_100k(benchmark):
+    rng = PhiloxKeyedRNG(0)
+    lanes = np.arange(100_000, dtype=np.uint64)
+    z = benchmark(rng.normal12, Stream.LEM_SELECT, 0, lanes)
+    assert abs(float(z.mean())) < 0.02

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Speedup study: the data-parallel engine versus the scalar reference.
+
+Reproduces the paper's Figure 5 story twice over:
+
+1. **measured** — wall-clock timing of this library's sequential (CPU
+   stand-in) and vectorized (GPU stand-in) engines on scaled scenarios,
+   printing per-step times and the speedup;
+2. **modelled** — the calibrated Fermi/i7 cost models pricing the paper's
+   exact 480x480 / 25,000-step configurations, regenerating the published
+   absolute seconds (46.66s GPU vs 837.5s CPU at 2,560 agents) and the
+   declining 18x -> 11x speedup curve.
+
+Run:  python examples/speedup_study.py
+"""
+
+from repro.cuda import CpuCostModel, GpuCostModel
+from repro.experiments import measured_fig5, measured_speedups, paper_scenarios
+from repro.io import line_plot
+
+
+def measured_section() -> None:
+    print("=" * 70)
+    print("MEASURED on this machine (scaled scenarios, quick scale)")
+    print("=" * 70)
+    records = measured_fig5(scenario_indices=(1, 5, 10), scale="quick", steps=60)
+    print(f"{'scenario':>8} {'agents':>7} {'model':>6} {'engine':>11} "
+          f"{'ms/step':>9}")
+    for r in records:
+        print(f"{r.scenario_index:>8} {r.total_agents:>7} {r.model:>6} "
+              f"{r.engine:>11} {r.wall_seconds / r.steps * 1e3:>9.2f}")
+    print()
+    for agents, speedup in measured_speedups(records):
+        print(f"  measured speedup at {agents} paper-agents: {speedup:.1f}x "
+              "(vectorized over sequential, ACO)")
+    print()
+
+
+def modelled_section() -> None:
+    print("=" * 70)
+    print("MODELLED at paper scale (480x480, 25,000 steps, GTX 560 Ti vs i7-930)")
+    print("=" * 70)
+    gpu = GpuCostModel.calibrated("aco")
+    gpu_lem = GpuCostModel.calibrated("lem")
+    cpu = CpuCostModel.calibrated("aco")
+    agents = [s.total_agents for s in paper_scenarios()][::4]
+    rows = []
+    print(f"{'agents':>8} {'LEM gpu s':>10} {'ACO gpu s':>10} {'ACO cpu s':>10} "
+          f"{'speedup':>8}")
+    for n in agents:
+        t_lem = gpu_lem.simulation_time(n, "lem")
+        t_aco = gpu.simulation_time(n)
+        t_cpu = cpu.simulation_time(n)
+        rows.append((n, t_cpu / t_aco))
+        print(f"{n:>8} {t_lem:>10.1f} {t_aco:>10.1f} {t_cpu:>10.1f} "
+              f"{t_cpu / t_aco:>7.2f}x")
+    print()
+    print(line_plot(
+        {"speedup": [s for _, s in rows]},
+        x=[n for n, _ in rows],
+        title="Modelled Fig 5c: CPU/GPU speedup vs agents",
+        xlabel="total agents",
+        height=14,
+    ))
+    print()
+    print("paper anchors: 18x at 2,560 agents; slightly above 11x at 102,400.")
+    print("kernel-level view at 102,400 agents:")
+    for kt in gpu.kernel_times(102400):
+        print(f"  {kt.name:<22} {kt.seconds * 1e3:>8.3f} ms/step "
+              f"({kt.threads:>7} threads, {kt.bound}-bound)")
+
+
+def main() -> None:
+    measured_section()
+    modelled_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (configured
+globally in pip.conf) take the classic ``setup.py develop`` path with only
+``setuptools`` present. Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

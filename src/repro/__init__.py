@@ -1,0 +1,101 @@
+"""repro — GPU-accelerated nature-inspired bi-directional pedestrian movement.
+
+Full reproduction of Dutta, McLeod & Friesen, "GPU Accelerated Nature
+Inspired Methods for Modelling Large Scale Bi-Directional Pedestrian
+Movement" (IPPS 2014 workshops): the Least Effort Model and the modified
+Ant Colony Optimization pedestrian models, the four-stage data-driven
+kernel pipeline (sequential, vectorized and tiled engines), a Fermi
+execution-model cost simulator, and the full Figure 5 / Figure 6
+experiment harness.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+    cfg = SimulationConfig(height=64, width=64, n_per_side=256,
+                           steps=500).with_model("aco")
+    out = run_simulation(cfg, engine="vectorized")
+    print(out.result.throughput_total, "agents crossed")
+"""
+
+from ._version import __version__
+from .config import SimulationConfig, paper_config
+from .engine import (
+    BaseEngine,
+    RunResult,
+    SequentialEngine,
+    StepReport,
+    TimedRunResult,
+    VectorizedEngine,
+    available_engines,
+    build_engine,
+    run_simulation,
+)
+from .errors import (
+    ConfigurationError,
+    EngineError,
+    ExperimentError,
+    LaunchConfigError,
+    OccupancyError,
+    PlacementError,
+    ReproError,
+    StatsError,
+)
+from .models import (
+    ACOModel,
+    ACOParams,
+    GreedyParams,
+    LEMModel,
+    LEMParams,
+    ModelParams,
+    PheromoneField,
+    RandomParams,
+    build_model,
+    params_from_name,
+)
+from .grid import ObstacleSpec
+from .types import BOTTOM, EMPTY, TOP, CellState, Group, NeighborSlot
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimulationConfig",
+    "paper_config",
+    # engines
+    "BaseEngine",
+    "SequentialEngine",
+    "VectorizedEngine",
+    "build_engine",
+    "available_engines",
+    "run_simulation",
+    "RunResult",
+    "StepReport",
+    "TimedRunResult",
+    # models
+    "ModelParams",
+    "LEMParams",
+    "ACOParams",
+    "RandomParams",
+    "GreedyParams",
+    "LEMModel",
+    "ACOModel",
+    "PheromoneField",
+    "build_model",
+    "params_from_name",
+    # types
+    "ObstacleSpec",
+    "Group",
+    "CellState",
+    "NeighborSlot",
+    "TOP",
+    "BOTTOM",
+    "EMPTY",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "PlacementError",
+    "EngineError",
+    "LaunchConfigError",
+    "OccupancyError",
+    "StatsError",
+    "ExperimentError",
+]

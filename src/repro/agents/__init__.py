@@ -1,0 +1,5 @@
+"""Agent state: the property matrix as a structure of arrays."""
+
+from .population import NO_FUTURE, Population
+
+__all__ = ["Population", "NO_FUTURE"]

@@ -1,0 +1,15 @@
+"""Analysis tools: crossing times, fundamental diagrams, space-time records."""
+
+from .crossing import CrossingTimes, crossing_times
+from .fundamental import FundamentalPoint, capacity_density, fundamental_diagram
+from .spacetime import SpaceTimeRecorder, render_spacetime
+
+__all__ = [
+    "CrossingTimes",
+    "crossing_times",
+    "FundamentalPoint",
+    "fundamental_diagram",
+    "capacity_density",
+    "SpaceTimeRecorder",
+    "render_spacetime",
+]

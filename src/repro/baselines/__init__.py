@@ -1,0 +1,25 @@
+"""Baselines: classic Ant System on TSP instances."""
+
+from .ant_system import AntSystem, AntSystemParams, AntSystemResult
+from .tsp import (
+    TSPInstance,
+    circle_instance,
+    grid_instance,
+    is_valid_tour,
+    nearest_neighbor_tour,
+    random_instance,
+    tour_length,
+)
+
+__all__ = [
+    "AntSystem",
+    "AntSystemParams",
+    "AntSystemResult",
+    "TSPInstance",
+    "circle_instance",
+    "grid_instance",
+    "random_instance",
+    "tour_length",
+    "nearest_neighbor_tour",
+    "is_valid_tour",
+]

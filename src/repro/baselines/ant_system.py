@@ -1,0 +1,151 @@
+"""Classic Ant System for the TSP (Dorigo et al.; paper Section II.B).
+
+This is the unmodified algorithm the paper starts from — tour construction
+with the random proportional rule (eq. 2 over unvisited cities) and the
+evaporate/deposit pheromone update (eq. 3-5 with ``Δτ = Q / L_k``) — kept
+in the repository both as a validation of the ACO core on its original
+problem and as a benchmark baseline (TSPLIB-style evaluation, which the
+paper notes it cannot apply to pedestrians).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..models.mathops import fast_pow
+from ..rng import PhiloxKeyedRNG, Stream, categorical_from_cumsum
+from .tsp import TSPInstance, is_valid_tour, tour_length
+
+__all__ = ["AntSystemParams", "AntSystemResult", "AntSystem"]
+
+
+@dataclass(frozen=True)
+class AntSystemParams:
+    """Ant System hyperparameters (Dorigo's classic defaults)."""
+
+    alpha: float = 1.0
+    beta: float = 2.0
+    rho: float = 0.5
+    q: float = 1.0
+    tau0: float = 1.0
+    n_ants: Optional[int] = None  # default: one ant per city
+
+    def validate(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ConfigurationError("alpha and beta must be >= 0")
+        if not (0.0 < self.rho <= 1.0):
+            raise ConfigurationError(f"rho must be in (0, 1], got {self.rho}")
+        if self.q <= 0 or self.tau0 <= 0:
+            raise ConfigurationError("q and tau0 must be positive")
+        if self.n_ants is not None and self.n_ants < 1:
+            raise ConfigurationError(f"n_ants must be >= 1, got {self.n_ants}")
+
+
+@dataclass
+class AntSystemResult:
+    """Outcome of an Ant System run."""
+
+    best_tour: List[int]
+    best_length: float
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed iterations."""
+        return len(self.history)
+
+    def gap_to(self, optimum: float) -> float:
+        """Relative excess over a known optimum."""
+        return self.best_length / optimum - 1.0
+
+
+class AntSystem:
+    """Ant System solver over a :class:`TSPInstance`."""
+
+    def __init__(
+        self,
+        instance: TSPInstance,
+        params: AntSystemParams = AntSystemParams(),
+        seed: int = 0,
+    ) -> None:
+        params.validate()
+        self.instance = instance
+        self.params = params
+        self.rng = PhiloxKeyedRNG(seed)
+        self.dist = instance.distance_matrix()
+        n = instance.n_cities
+        with np.errstate(divide="ignore"):
+            eta = 1.0 / self.dist
+        eta[np.arange(n), np.arange(n)] = 0.0
+        #: Heuristic attractiveness matrix (eta ** beta precomputed).
+        self.eta_beta = fast_pow(eta, params.beta)
+        self.tau = np.full((n, n), params.tau0, dtype=np.float64)
+        self.n_ants = params.n_ants or n
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    def _construct_tour(self, ant: int) -> List[int]:
+        """One ant's tour via the random proportional rule."""
+        n = self.instance.n_cities
+        start = ant % n
+        visited = np.zeros(n, dtype=bool)
+        visited[start] = True
+        tour = [start]
+        tau_alpha = fast_pow(self.tau, self.params.alpha)
+        weights_all = tau_alpha * self.eta_beta
+        current = start
+        for step in range(1, n):
+            weights = np.where(visited, 0.0, weights_all[current])
+            u = self.rng.uniform(
+                Stream.ANT_SYSTEM,
+                step=self._iteration,
+                lane=np.uint64(ant),
+                slot=step,
+            )
+            choice = int(categorical_from_cumsum(np.cumsum(weights)[None, :], u)[0])
+            if choice < 0:
+                # All remaining weights zero (isolated numerically); fall
+                # back to the nearest unvisited city.
+                remaining = np.nonzero(~visited)[0]
+                choice = int(remaining[np.argmin(self.dist[current, remaining])])
+            visited[choice] = True
+            tour.append(choice)
+            current = choice
+        return tour
+
+    def _update_pheromone(self, tours: List[List[int]], lengths: List[float]) -> None:
+        """Eq. 3 evaporation then eq. 4/5 deposits on the tour edges."""
+        self.tau *= 1.0 - self.params.rho
+        for tour, length in zip(tours, lengths):
+            deposit = self.params.q / length
+            a = np.asarray(tour, dtype=np.int64)
+            b = np.roll(a, -1)
+            self.tau[a, b] += deposit
+            self.tau[b, a] += deposit  # symmetric TSP
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int = 50) -> AntSystemResult:
+        """Run the solver; returns the best tour found."""
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        best_tour: List[int] = []
+        best_length = float("inf")
+        history: List[float] = []
+        for _ in range(iterations):
+            tours = [self._construct_tour(k) for k in range(self.n_ants)]
+            lengths = [tour_length(self.dist, t) for t in tours]
+            for t, length in zip(tours, lengths):
+                if length < best_length:
+                    best_length = length
+                    best_tour = list(t)
+            self._update_pheromone(tours, lengths)
+            history.append(best_length)
+            self._iteration += 1
+        assert is_valid_tour(best_tour, self.instance.n_cities)
+        return AntSystemResult(
+            best_tour=best_tour, best_length=best_length, history=history
+        )

@@ -1,0 +1,111 @@
+"""TSP instances for the Ant System baseline (paper Section II.B).
+
+The paper introduces Ant System through the travelling salesman problem
+before modifying it for pedestrians. We validate our ACO core on its
+original problem: small Euclidean instances with known optima (points on a
+circle, rectangular grids) plus random instances, a nearest-neighbour
+construction heuristic, and exact tour-length evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TSPInstance",
+    "circle_instance",
+    "grid_instance",
+    "random_instance",
+    "tour_length",
+    "nearest_neighbor_tour",
+    "is_valid_tour",
+]
+
+
+@dataclass(frozen=True)
+class TSPInstance:
+    """A symmetric Euclidean TSP instance."""
+
+    name: str
+    coords: np.ndarray  # (n, 2)
+    #: Known optimal tour length, when available (None otherwise).
+    optimum: Optional[float] = None
+
+    @property
+    def n_cities(self) -> int:
+        """Number of cities."""
+        return self.coords.shape[0]
+
+    def distance_matrix(self) -> np.ndarray:
+        """Dense pairwise Euclidean distances, zeros on the diagonal."""
+        diff = self.coords[:, None, :] - self.coords[None, :, :]
+        return np.sqrt((diff * diff).sum(axis=2))
+
+
+def circle_instance(n: int, radius: float = 1.0) -> TSPInstance:
+    """``n`` cities equally spaced on a circle; the optimum is the polygon.
+
+    Optimal length = ``2 n r sin(pi / n)``.
+    """
+    if n < 3:
+        raise ValueError(f"need at least 3 cities, got {n}")
+    angles = 2.0 * np.pi * np.arange(n) / n
+    coords = radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    optimum = 2.0 * n * radius * math.sin(math.pi / n)
+    return TSPInstance(name=f"circle{n}", coords=coords, optimum=optimum)
+
+
+def grid_instance(rows: int, cols: int, spacing: float = 1.0) -> TSPInstance:
+    """Cities on a ``rows x cols`` unit grid.
+
+    For an even number of cities a boustrophedon Hamiltonian cycle of
+    length ``rows * cols * spacing`` exists and is optimal (every edge of
+    any tour is at least ``spacing``).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid instances need rows, cols >= 2")
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    coords = spacing * np.stack([rr.ravel(), cc.ravel()], axis=1).astype(np.float64)
+    n = rows * cols
+    optimum = float(n * spacing) if n % 2 == 0 else None
+    return TSPInstance(name=f"grid{rows}x{cols}", coords=coords, optimum=optimum)
+
+
+def random_instance(n: int, seed: int = 0, box: float = 100.0) -> TSPInstance:
+    """``n`` uniform random cities in a square box (no known optimum)."""
+    if n < 3:
+        raise ValueError(f"need at least 3 cities, got {n}")
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0.0, box, size=(n, 2))
+    return TSPInstance(name=f"random{n}-{seed}", coords=coords)
+
+
+def tour_length(dist: np.ndarray, tour: Sequence[int]) -> float:
+    """Closed-tour length under a distance matrix."""
+    tour = np.asarray(tour, dtype=np.int64)
+    return float(dist[tour, np.roll(tour, -1)].sum())
+
+
+def is_valid_tour(tour: Sequence[int], n_cities: int) -> bool:
+    """True when ``tour`` visits every city exactly once."""
+    tour = np.asarray(tour, dtype=np.int64)
+    return tour.shape == (n_cities,) and len(np.unique(tour)) == n_cities
+
+
+def nearest_neighbor_tour(dist: np.ndarray, start: int = 0) -> List[int]:
+    """Greedy nearest-neighbour construction (the classic TSP heuristic)."""
+    n = dist.shape[0]
+    unvisited = set(range(n))
+    unvisited.remove(start)
+    tour = [start]
+    current = start
+    while unvisited:
+        nxt = min(unvisited, key=lambda j: dist[current, j])
+        unvisited.remove(nxt)
+        tour.append(nxt)
+        current = nxt
+    return tour

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — package, device and scenario summary;
+* ``run`` — one simulation with a rendered snapshot and metrics;
+* ``figures`` — regenerate the paper's tables/figures into a directory;
+* ``occupancy`` — the CC 2.0 occupancy calculator;
+* ``speedup`` — the modelled Fig 5c curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .config import SimulationConfig
+from .engine import run_simulation
+from .experiments import SCALES, occupancy_table, run_all, table1_hardware
+from .io import render_engine
+from .metrics import efficiency_report, lane_order_parameter
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GPU-accelerated nature-inspired bi-directional pedestrian "
+            "movement (Dutta, McLeod & Friesen, IPPS 2014 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package, device and scenario summary")
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--model", default="lem", choices=["lem", "aco", "random", "greedy"])
+    run_p.add_argument("--engine", default="vectorized",
+                       choices=["sequential", "vectorized", "tiled"])
+    run_p.add_argument("--height", type=int, default=64)
+    run_p.add_argument("--width", type=int, default=64)
+    run_p.add_argument("--agents", type=int, default=256, help="agents per side")
+    run_p.add_argument("--steps", type=int, default=500)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--render", action="store_true", help="print the final grid")
+
+    fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
+    fig_p.add_argument("--outdir", default="results")
+    fig_p.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    fig_p.add_argument("--seeds", type=int, default=2, help="repetitions per point")
+
+    occ_p = sub.add_parser("occupancy", help="CC 2.0 occupancy calculator")
+    occ_p.add_argument("--threads", type=int, default=256)
+    occ_p.add_argument("--registers", type=int, default=20)
+    occ_p.add_argument("--shared", type=int, default=0)
+
+    spd_p = sub.add_parser("speedup", help="modelled Fig 5c speedup curve")
+    spd_p.add_argument("--points", type=int, default=8)
+
+    notes_p = sub.add_parser(
+        "notes", help="Section IV implementation-notes table per kernel"
+    )
+    notes_p.add_argument("--agents", type=int, default=25600, help="total agents")
+    notes_p.add_argument("--model", default="aco", choices=["lem", "aco"])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "info":
+        from .cuda import GTX_560_TI_448, I7_930
+
+        print(f"repro {__version__} — bi-directional pedestrian movement")
+        print()
+        print(table1_hardware())
+        print()
+        print("scales:")
+        for name, scale in SCALES.items():
+            print(f"  {name:>9s}: {scale.description}")
+        return 0
+
+    if args.command == "run":
+        cfg = SimulationConfig(
+            height=args.height,
+            width=args.width,
+            n_per_side=args.agents,
+            steps=args.steps,
+            seed=args.seed,
+        ).with_model(args.model)
+        print(cfg.describe())
+        out = run_simulation(cfg, engine=args.engine)
+        res = out.result
+        eng = out  # TimedRunResult
+        print(
+            f"{res.platform}: {res.throughput_total}/{cfg.total_agents} crossed "
+            f"in {res.steps_run} steps ({out.wall_seconds:.2f}s wall, "
+            f"{out.seconds_per_step * 1e3:.2f} ms/step)"
+        )
+        return 0
+
+    if args.command == "figures":
+        seeds = tuple(range(args.seeds))
+        report = run_all(
+            args.outdir,
+            scale=args.scale,
+            fig6a_seeds=seeds,
+            fig6b_seeds_cpu=tuple(100 + s for s in seeds),
+            fig6b_seeds_gpu=tuple(200 + s for s in seeds),
+        )
+        print(f"figures written to {args.outdir}/")
+        print(f"Fig 6a overall ACO gain: {report.fig6a_overall_gain:+.1%} (paper +39.6%)")
+        print(f"Fig 6b platform p-value: {report.fig6b_pvalue:.4f} (paper 0.6145)")
+        return 0
+
+    if args.command == "occupancy":
+        from .cuda import occupancy
+
+        occ = occupancy(args.threads, args.registers, args.shared)
+        print(
+            f"{args.threads} threads/block, {args.registers} regs/thread, "
+            f"{args.shared} B shared/block:"
+        )
+        print(
+            f"  {occ.active_blocks_per_sm} blocks/SM, "
+            f"{occ.active_warps_per_sm} warps/SM, occupancy {occ.occupancy:.0%} "
+            f"(limited by {occ.limiter})"
+        )
+        print()
+        print(occupancy_table())
+        return 0
+
+    if args.command == "notes":
+        from .cuda import implementation_report
+
+        print(implementation_report(total_agents=args.agents, model=args.model))
+        return 0
+
+    if args.command == "speedup":
+        from .cuda import paper_speedup_curve
+        from .experiments import paper_scenarios
+
+        scenarios = paper_scenarios()
+        stride = max(1, len(scenarios) // args.points)
+        counts = [s.total_agents for s in scenarios[::stride]]
+        for n, s in paper_speedup_curve(counts):
+            print(f"  {n:>7d} agents: {s:5.2f}x")
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

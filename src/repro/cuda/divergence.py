@@ -1,0 +1,48 @@
+"""Warp divergence accounting.
+
+The paper repeatedly stresses that its kernels avoid warp divergence by
+replacing data-dependent branches with index mapping and logical operators.
+These helpers quantify what that buys: the expected serialisation factor of
+a divergent branch and the fraction of warps that actually diverge for a
+given predicate density.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "prob_warp_diverges",
+    "expected_serialization_factor",
+    "branchless_factor",
+]
+
+
+def prob_warp_diverges(predicate_density: float, warp_size: int = 32) -> float:
+    """Probability that a warp takes *both* sides of a branch.
+
+    Threads take the "true" side independently with probability
+    ``predicate_density``; the warp diverges unless all 32 agree.
+    """
+    if not (0.0 <= predicate_density <= 1.0):
+        raise ValueError(f"predicate_density must be in [0, 1], got {predicate_density}")
+    p = predicate_density
+    return 1.0 - p**warp_size - (1.0 - p) ** warp_size
+
+
+def expected_serialization_factor(
+    predicate_density: float, warp_size: int = 32, paths: int = 2
+) -> float:
+    """Expected execution-time multiplier of a data-dependent branch.
+
+    A non-divergent warp executes one path (factor 1); a divergent warp
+    executes both (factor ``paths``). This is the cost the paper's
+    logical-operator rewrites eliminate.
+    """
+    if paths < 1:
+        raise ValueError(f"paths must be >= 1, got {paths}")
+    p_div = prob_warp_diverges(predicate_density, warp_size)
+    return 1.0 + (paths - 1) * p_div
+
+
+def branchless_factor() -> float:
+    """Serialisation factor of the paper's branch-free kernels (exactly 1)."""
+    return 1.0

@@ -1,0 +1,174 @@
+"""Per-kernel workload descriptors for the paper's simulation pipeline.
+
+One descriptor per kernel per step, parameterised by grid size, agent count
+and movement model. The instruction and byte counts are engineering
+estimates of the paper's kernels (reasoned in the comments); they fix the
+*relative* weights of the kernels and the *scaling* with N and grid area,
+while two global efficiency scalars are later calibrated against the
+paper's published endpoint timings (see :mod:`repro.cuda.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["KernelWorkload", "gpu_kernel_workloads", "cpu_stage_workloads", "HALO_FACTOR"]
+
+#: Shared-tile load amplification: an 18x18 shared array serves a 16x16
+#: tile, so each per-cell kernel loads 324/256 of a cell's bytes.
+HALO_FACTOR = 324.0 / 256.0
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """Resource footprint of one kernel launch (one simulation step).
+
+    ``category`` groups kernels by their thread-count scaling — "cell"
+    kernels launch one thread per environment cell, "agent" kernels launch
+    8 threads per agent — which is also the granularity at which the cost
+    model calibrates efficiency.
+    """
+
+    name: str
+    category: str  # "cell" | "agent"
+    threads: int
+    #: Dynamic instructions per thread (arithmetic + logic + address math).
+    instructions_per_thread: float
+    #: Global memory bytes touched per thread (loads + stores).
+    bytes_per_thread: float
+    #: Registers per thread (occupancy input).
+    registers_per_thread: int
+    #: Shared memory per block in bytes (occupancy input).
+    shared_per_block: int
+    threads_per_block: int = 256
+
+
+def gpu_kernel_workloads(
+    height: int, width: int, total_agents: int, model_name: str
+) -> List[KernelWorkload]:
+    """The four per-step kernels of Section IV for the given scenario.
+
+    LEM vs ACO differences: the ACO scan kernel additionally loads both
+    pheromone tiles into shared memory and evaluates the eq. 2 numerator
+    (powers) instead of a distance copy; the ACO movement kernel
+    additionally evaporates and re-deposits the pheromone tiles.
+    """
+    cells = height * width
+    density = total_agents / float(cells) if cells else 0.0
+    aco = model_name == "aco"
+
+    # --- initial calculation (scan) kernel: one thread per cell ----------
+    # Loads mat+index through the 18x18 shared tile (1 + 4 bytes per cell),
+    # reads the constant-memory distance row (cached, ~free), and occupied
+    # threads write their 8-double scan row. ACO adds two pheromone tiles
+    # (8 bytes each through the halo) and the numerator arithmetic.
+    scan_bytes = (1 + 4) * HALO_FACTOR + 64.0 * density
+    scan_instr = 120.0
+    if aco:
+        scan_bytes += 2 * 8.0 * HALO_FACTOR
+        scan_instr += 40.0
+
+    # --- tour construction kernel: 8 threads per agent -------------------
+    # Loads the agent's scan row into shared memory (8 bytes/thread), warp
+    # reduction for the rank/denominator, one CURAND draw per agent, writes
+    # FUTURE ROW/COLUMN (16 bytes across the row's threads).
+    tour_bytes = 8.0 + 2.0
+    tour_instr = 80.0 if not aco else 90.0
+
+    # --- movement kernel: one thread per cell -----------------------------
+    # Loads mat+index through the halo, gathers up to 8 neighbours' FUTURE
+    # fields (property-matrix reads scale with local density), one CURAND
+    # draw per contested cell, exchange writes. ACO adds the evaporation
+    # and deposit traffic on both pheromone tiles (load+store).
+    move_bytes = (1 + 4) * HALO_FACTOR + 16.0 * density + 8.0 * density
+    move_instr = 140.0
+    if aco:
+        move_bytes += 2 * 2 * 8.0 * HALO_FACTOR
+        move_instr += 40.0
+
+    # --- support kernel: resets scan rows and FUTURE fields ---------------
+    support_bytes = 8.0 + 2.0
+    support_instr = 10.0
+
+    agent_threads = 8 * max(1, total_agents)
+    return [
+        KernelWorkload(
+            name="initial_calculation",
+            category="cell",
+            threads=cells,
+            instructions_per_thread=scan_instr,
+            bytes_per_thread=scan_bytes,
+            registers_per_thread=20,
+            shared_per_block=(18 * 18) * (5 + (16 if aco else 0)),
+        ),
+        KernelWorkload(
+            name="tour_construction",
+            category="agent",
+            threads=agent_threads,
+            instructions_per_thread=tour_instr,
+            bytes_per_thread=tour_bytes,
+            registers_per_thread=18,
+            shared_per_block=32 * 8 * 8,
+        ),
+        KernelWorkload(
+            name="agent_movement",
+            category="cell",
+            threads=cells,
+            instructions_per_thread=move_instr,
+            bytes_per_thread=move_bytes,
+            # 20 registers is the most the compiler may use here without
+            # dropping below 6 blocks/SM — the "care taken towards the
+            # number of registers without endangering the 100% occupancy".
+            registers_per_thread=20,
+            shared_per_block=(18 * 18) * 5 + (32 * 16 * 8 if aco else 0),
+        ),
+        KernelWorkload(
+            name="support_reset",
+            category="agent",
+            threads=agent_threads,
+            instructions_per_thread=support_instr,
+            bytes_per_thread=support_bytes,
+            registers_per_thread=10,
+            shared_per_block=0,
+        ),
+    ]
+
+
+def cpu_stage_workloads(
+    height: int, width: int, total_agents: int, model_name: str
+) -> List[KernelWorkload]:
+    """Single-threaded CPU stage costs for the same pipeline.
+
+    The CPU implementation sweeps the environment per step (scan data
+    structures, conflict resolution bookkeeping) and processes each agent's
+    decision; instruction estimates reflect scalar code with branches.
+    ``threads`` counts loop iterations; categories mirror the GPU split so
+    the same two-point calibration applies.
+    """
+    cells = height * width
+    aco = model_name == "aco"
+    cell_instr = 100.0 + (15.0 if aco else 0.0)
+    agent_instr = 250.0 + (60.0 if aco else 0.0)
+    return [
+        KernelWorkload(
+            name="cpu_cell_sweep",
+            category="cell",
+            threads=cells,
+            instructions_per_thread=cell_instr,
+            bytes_per_thread=0.0,
+            registers_per_thread=0,
+            shared_per_block=0,
+            threads_per_block=1,
+        ),
+        KernelWorkload(
+            name="cpu_agent_loop",
+            category="agent",
+            threads=max(1, total_agents),
+            instructions_per_thread=agent_instr,
+            bytes_per_thread=0.0,
+            registers_per_thread=0,
+            shared_per_block=0,
+            threads_per_block=1,
+        ),
+    ]

@@ -1,0 +1,130 @@
+"""Kernel launch configurations: grids, blocks and warps.
+
+Mirrors the paper's launch geometry: 16x16-thread blocks for the per-cell
+kernels (one thread per environment cell, 256 threads = 100% occupancy on
+CC 2.0) and 32x8-row blocks for the per-agent tour-construction kernel
+(8 slot-threads per agent, 32 agent rows per block = 256 threads).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import LaunchConfigError
+from .device import ComputeCapabilityLimits, DeviceSpec
+
+__all__ = ["Dim3", "KernelLaunchConfig", "cell_kernel_launch", "agent_kernel_launch"]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA dim3: x/y/z extents, all >= 1."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise LaunchConfigError(f"dim3 extents must be >= 1, got {self}")
+
+    @property
+    def count(self) -> int:
+        """Total element count."""
+        return self.x * self.y * self.z
+
+
+@dataclass(frozen=True)
+class KernelLaunchConfig:
+    """A validated (grid, block) launch configuration."""
+
+    grid: Dim3
+    block: Dim3
+    limits: ComputeCapabilityLimits
+
+    def __post_init__(self) -> None:
+        if self.block.count > self.limits.max_threads_per_block:
+            raise LaunchConfigError(
+                f"block of {self.block.count} threads exceeds the "
+                f"{self.limits.max_threads_per_block}-thread limit of "
+                f"CC {self.limits.compute_capability}"
+            )
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads in one block."""
+        return self.block.count
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks in the grid."""
+        return self.grid.count
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across the whole launch."""
+        return self.total_blocks * self.threads_per_block
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per block (rounded up to whole warps)."""
+        return math.ceil(self.threads_per_block / self.limits.warp_size)
+
+    @property
+    def total_warps(self) -> int:
+        """Warps across the whole launch."""
+        return self.total_blocks * self.warps_per_block
+
+    def waves(self, device: DeviceSpec, active_blocks_per_sm: int) -> int:
+        """Number of full SM 'waves' needed to drain the grid."""
+        if active_blocks_per_sm < 1:
+            raise LaunchConfigError("active_blocks_per_sm must be >= 1")
+        concurrent = device.sm_count * active_blocks_per_sm
+        return math.ceil(self.total_blocks / concurrent)
+
+
+def cell_kernel_launch(
+    height: int, width: int, tile: int = 16, limits: ComputeCapabilityLimits = None
+) -> KernelLaunchConfig:
+    """Launch config for the per-cell kernels: one thread per cell, 16x16 tiles.
+
+    The paper requires the environment edge to be a multiple of the tile
+    edge ("an environment size is chosen to be a multiple of size 16").
+    """
+    from .device import CC_20_LIMITS
+
+    limits = limits or CC_20_LIMITS
+    if height % tile or width % tile:
+        raise LaunchConfigError(
+            f"grid {height}x{width} is not a multiple of the {tile}-cell tile"
+        )
+    return KernelLaunchConfig(
+        grid=Dim3(width // tile, height // tile),
+        block=Dim3(tile, tile),
+        limits=limits,
+    )
+
+
+def agent_kernel_launch(
+    n_agents: int,
+    slots: int = 8,
+    rows_per_block: int = 32,
+    limits: ComputeCapabilityLimits = None,
+) -> KernelLaunchConfig:
+    """Launch config for the tour-construction kernel: 8 threads per agent.
+
+    The paper groups 32 agent rows of 8 slot-threads into 256-thread blocks.
+    """
+    from .device import CC_20_LIMITS
+
+    limits = limits or CC_20_LIMITS
+    if n_agents < 1:
+        raise LaunchConfigError(f"n_agents must be >= 1, got {n_agents}")
+    blocks = math.ceil(n_agents / rows_per_block)
+    return KernelLaunchConfig(
+        grid=Dim3(blocks),
+        block=Dim3(slots, rows_per_block),
+        limits=limits,
+    )

@@ -1,0 +1,84 @@
+"""Memory hierarchy traffic model.
+
+Utility estimators used by the cost model and by the implementation-notes
+reporting: global-memory transaction counts under Fermi's 128-byte
+coalescing rules, shared-memory bank-conflict multipliers, and effective
+bandwidth under a given coalescing efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = [
+    "global_transactions_per_warp",
+    "bank_conflict_degree",
+    "MemoryTraffic",
+    "effective_bandwidth_bytes",
+]
+
+#: Fermi L1 cache-line / global transaction size in bytes.
+TRANSACTION_BYTES = 128
+
+#: Number of shared memory banks on Fermi.
+SHARED_BANKS = 32
+
+
+def global_transactions_per_warp(
+    bytes_per_thread: int,
+    coalesced: bool = True,
+    warp_size: int = 32,
+    transaction_bytes: int = TRANSACTION_BYTES,
+) -> int:
+    """128-byte transactions issued by one warp's access.
+
+    A coalesced access packs the warp's ``32 * bytes_per_thread`` bytes into
+    contiguous cache lines; a fully scattered access costs one transaction
+    per thread.
+    """
+    if bytes_per_thread <= 0:
+        return 0
+    if coalesced:
+        return math.ceil(warp_size * bytes_per_thread / transaction_bytes)
+    return warp_size
+
+
+def bank_conflict_degree(stride_words: int, banks: int = SHARED_BANKS) -> int:
+    """Serialisation degree of a strided shared-memory access.
+
+    With a stride of ``s`` 32-bit words, a warp touches ``banks / gcd(s,
+    banks)`` distinct banks, so the access replays ``gcd(s, banks)`` times
+    (degree 1 = conflict-free). Stride 0 (broadcast) is also conflict-free.
+    """
+    if stride_words == 0:
+        return 1
+    return math.gcd(abs(stride_words), banks)
+
+
+def effective_bandwidth_bytes(device: DeviceSpec, coalescing_efficiency: float) -> float:
+    """Sustained bandwidth under a coalescing efficiency in (0, 1]."""
+    if not (0.0 < coalescing_efficiency <= 1.0):
+        raise ValueError(
+            f"coalescing_efficiency must be in (0, 1], got {coalescing_efficiency}"
+        )
+    return device.peak_bandwidth_bytes * coalescing_efficiency
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Aggregate global traffic of one kernel launch, in bytes."""
+
+    loads: float
+    stores: float
+
+    @property
+    def total(self) -> float:
+        """Loads plus stores."""
+        return self.loads + self.stores
+
+    def time_seconds(self, device: DeviceSpec, coalescing_efficiency: float = 1.0) -> float:
+        """Transfer time at the device's effective bandwidth."""
+        return self.total / effective_bandwidth_bytes(device, coalescing_efficiency)

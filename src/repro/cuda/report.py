@@ -1,0 +1,128 @@
+"""Implementation-notes report (paper Section IV as a generated artifact).
+
+The paper spends Section IV on how each kernel avoids warp divergence,
+keeps occupancy at 100%, replaces atomics with scatter-to-gather, and
+loads halos with a single warp. This module regenerates those claims as a
+per-kernel engineering table from the models in :mod:`repro.cuda`:
+launch geometry, occupancy, memory traffic per warp, halo-load passes and
+the divergence factor of the branch-free formulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .device import DeviceSpec, GTX_560_TI_448
+from .divergence import branchless_factor, expected_serialization_factor
+from .halo import halo_pass_count
+from .kernels import KernelWorkload, gpu_kernel_workloads
+from .launch import agent_kernel_launch, cell_kernel_launch
+from .memory import global_transactions_per_warp
+from .occupancy import occupancy
+
+__all__ = ["KernelNote", "implementation_notes", "implementation_report"]
+
+
+@dataclass(frozen=True)
+class KernelNote:
+    """Engineering summary of one kernel."""
+
+    name: str
+    category: str
+    total_threads: int
+    blocks: int
+    threads_per_block: int
+    occupancy: float
+    occupancy_limiter: str
+    waves: int
+    bytes_per_thread: float
+    transactions_per_warp: int
+    halo_passes: int
+    divergence_factor: float
+    naive_divergence_factor: float
+
+    @property
+    def divergence_saving(self) -> float:
+        """Serialization factor avoided by the branch-free formulation."""
+        return self.naive_divergence_factor / self.divergence_factor
+
+
+def implementation_notes(
+    height: int = 480,
+    width: int = 480,
+    total_agents: int = 25600,
+    model: str = "aco",
+    device: DeviceSpec = GTX_560_TI_448,
+) -> List[KernelNote]:
+    """Per-kernel notes for the given scenario."""
+    notes = []
+    density = total_agents / float(height * width)
+    for wl in gpu_kernel_workloads(height, width, total_agents, model):
+        if wl.category == "cell":
+            launch = cell_kernel_launch(height, width)
+            halo = halo_pass_count()
+        else:
+            launch = agent_kernel_launch(total_agents)
+            halo = 0
+        occ = occupancy(
+            wl.threads_per_block,
+            registers_per_thread=wl.registers_per_thread,
+            shared_per_block=wl.shared_per_block,
+        )
+        # The naive kernel branches per cell on occupancy (cell kernels) or
+        # per agent on front-cell state (agent kernels); the paper's index
+        # mapping + logical operators make both branch-free.
+        predicate = density if wl.category == "cell" else 0.5
+        notes.append(
+            KernelNote(
+                name=wl.name,
+                category=wl.category,
+                total_threads=launch.total_threads,
+                blocks=launch.total_blocks,
+                threads_per_block=launch.threads_per_block,
+                occupancy=occ.occupancy,
+                occupancy_limiter=occ.limiter,
+                waves=launch.waves(device, occ.active_blocks_per_sm),
+                bytes_per_thread=wl.bytes_per_thread,
+                transactions_per_warp=global_transactions_per_warp(
+                    max(1, round(wl.bytes_per_thread))
+                ),
+                halo_passes=halo,
+                divergence_factor=branchless_factor(),
+                naive_divergence_factor=expected_serialization_factor(predicate),
+            )
+        )
+    return notes
+
+
+def implementation_report(
+    height: int = 480,
+    width: int = 480,
+    total_agents: int = 25600,
+    model: str = "aco",
+) -> str:
+    """Formatted Section IV engineering table."""
+    notes = implementation_notes(height, width, total_agents, model)
+    header = (
+        f"{'kernel':<22} {'threads':>8} {'blk':>5} {'occ':>5} {'waves':>6} "
+        f"{'B/thr':>6} {'txn/warp':>8} {'halo':>5} {'div saved':>9}"
+    )
+    lines = [
+        f"Implementation notes: {model.upper()} on {height}x{width}, "
+        f"{total_agents} agents",
+        header,
+        "-" * len(header),
+    ]
+    for n in notes:
+        lines.append(
+            f"{n.name:<22} {n.total_threads:>8} {n.blocks:>5} "
+            f"{n.occupancy:>5.0%} {n.waves:>6} {n.bytes_per_thread:>6.1f} "
+            f"{n.transactions_per_warp:>8} {n.halo_passes:>5} "
+            f"{n.divergence_saving:>8.2f}x"
+        )
+    lines.append(
+        "halo = warp passes to load the 18x18 shared tile ring (Figure 3); "
+        "div saved = serialization factor avoided by the branch-free kernels"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Timing utilities styled after CUDA events.
+
+The paper measures GPU time with ``cudaEvent`` pairs and CPU time with the
+C ``time`` function; these helpers play both roles for the measured-mode
+experiments (Fig 5 benchmarks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["CudaEvent", "event_elapsed_ms", "Stopwatch"]
+
+
+@dataclass
+class CudaEvent:
+    """A recordable timestamp, mirroring ``cudaEventRecord`` semantics."""
+
+    _timestamp: Optional[float] = None
+
+    def record(self) -> "CudaEvent":
+        """Capture the current time; returns self for chaining."""
+        self._timestamp = time.perf_counter()
+        return self
+
+    @property
+    def recorded(self) -> bool:
+        """True once :meth:`record` has been called."""
+        return self._timestamp is not None
+
+    @property
+    def timestamp(self) -> float:
+        """The recorded time in seconds; raises if never recorded."""
+        if self._timestamp is None:
+            raise RuntimeError("event has not been recorded")
+        return self._timestamp
+
+
+def event_elapsed_ms(start: CudaEvent, stop: CudaEvent) -> float:
+    """Milliseconds between two recorded events (``cudaEventElapsedTime``)."""
+    return (stop.timestamp - start.timestamp) * 1e3
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with lap recording (for per-stage timing)."""
+
+    laps: List[float] = field(default_factory=list)
+    _started: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Begin a lap."""
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the lap; returns and records its duration in seconds."""
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._started
+        self._started = None
+        self.laps.append(lap)
+        return lap
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps in seconds."""
+        return sum(self.laps)
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (0.0 when no laps)."""
+        return self.total / len(self.laps) if self.laps else 0.0

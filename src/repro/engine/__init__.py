@@ -1,0 +1,28 @@
+"""Simulation engines: sequential (CPU), vectorized (GPU) and the driver."""
+
+from .base import ABS_STEP_COSTS, BaseEngine, RunResult, StepReport
+from .conflict import DIRECTION_INDEX, shift, winner_rank
+from .sequential import SequentialEngine
+from .simulation import (
+    TimedRunResult,
+    available_engines,
+    build_engine,
+    run_simulation,
+)
+from .vectorized import VectorizedEngine
+
+__all__ = [
+    "BaseEngine",
+    "SequentialEngine",
+    "VectorizedEngine",
+    "StepReport",
+    "RunResult",
+    "TimedRunResult",
+    "ABS_STEP_COSTS",
+    "DIRECTION_INDEX",
+    "shift",
+    "winner_rank",
+    "available_engines",
+    "build_engine",
+    "run_simulation",
+]

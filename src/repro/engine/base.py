@@ -1,0 +1,284 @@
+"""Engine base class: the four-stage synchronous step pipeline.
+
+Every engine executes the paper's kernel sequence each step:
+
+1. **initial calculation** (scan): per agent, find the empty neighbour
+   cells and fill the agent's scan-matrix row (eq. 1 inputs / eq. 2
+   numerators);
+2. **tour construction** (select): per agent, decide the future cell —
+   forward if the front cell is empty, else the model's probabilistic rule;
+3. **agent movement**: per *empty cell*, gather the agents that target it,
+   pick one winner uniformly (the scatter-to-gather transform), execute the
+   moves, update tours, pheromones and crossing bookkeeping;
+4. **support**: reset the scan matrix and the future coordinates.
+
+Engines differ only in *how* the stages execute (Python loops, whole-array
+NumPy, or per-tile NumPy with halos); the keyed RNG makes their outputs
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..agents import Population
+from ..config import SimulationConfig
+from ..grid import build_distance_tables, offsets_array, place_groups
+from ..models import PheromoneField, build_model
+from ..rng import PhiloxKeyedRNG, Stream
+from ..types import Group
+
+__all__ = ["BaseEngine", "StepReport", "RunResult"]
+
+#: Euclidean cost of a move in each absolute gather direction
+#: (NW, N, NE, W, E, SW, S, SE) — the constant-memory tour-increment table.
+ABS_STEP_COSTS = (
+    1.4142135623730951,
+    1.0,
+    1.4142135623730951,
+    1.0,
+    1.0,
+    1.4142135623730951,
+    1.0,
+    1.4142135623730951,
+)
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Per-step outcome summary returned by :meth:`BaseEngine.step`."""
+
+    step: int
+    #: Agents that decided on a future cell in tour construction.
+    decided: int
+    #: Agents that actually moved (gather winners).
+    moved: int
+    #: Agents newly entering the opposite band this step.
+    new_crossings: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`BaseEngine.run`."""
+
+    platform: str
+    seed: int
+    steps_run: int
+    throughput_total: int
+    throughput_top: int
+    throughput_bottom: int
+    moved_per_step: Optional[np.ndarray]
+    crossings_per_step: Optional[np.ndarray]
+
+    @property
+    def total_agents(self) -> int:
+        """Total moved+unmoved population implied by the run (for ratios)."""
+        return self.throughput_total  # pragma: no cover - legacy alias
+
+
+class BaseEngine(abc.ABC):
+    """Common state construction and the step/run template."""
+
+    #: Platform tag, mirrors the paper's CPU/GPU split.
+    platform: str = "base"
+
+    def __init__(self, config: SimulationConfig, seed: Optional[int] = None) -> None:
+        self.config = config
+        self.seed = int(config.seed if seed is None else seed)
+        self.rng = PhiloxKeyedRNG(self.seed)
+        self.model = build_model(config.params)
+
+        # Data preparation stage (paper IV.a): environment + index matrix,
+        # property matrix, distance tables (constant memory), pheromone and
+        # scan matrices. Obstacles (extension) are carved out before agents
+        # are placed.
+        obstacle_mask = (
+            config.obstacles.build(config.height, config.width)
+            if config.obstacles is not None
+            else None
+        )
+        self.env = place_groups(
+            config.height,
+            config.width,
+            config.n_per_side,
+            config.band_rows,
+            self.rng,
+            obstacles=obstacle_mask,
+        )
+        self.pop = Population.from_environment(self.env)
+        self.dist = build_distance_tables(
+            config.height, getattr(config.params, "scan_range", 1)
+        )
+        self.pher: Optional[PheromoneField] = (
+            PheromoneField(config.height, config.width, config.params)
+            if self.model.uses_pheromone
+            else None
+        )
+        #: Scan matrix: one row per agent plus the sentinel 0th row.
+        self.scan = np.zeros((self.pop.n_agents + 1, 8), dtype=np.float64)
+        self.t = 0
+
+        # Group membership is static; cache the per-group index vectors and
+        # slot-offset arrays once.
+        self._members: Dict[Group, np.ndarray] = {
+            g: self.pop.members(g) for g in (Group.TOP, Group.BOTTOM)
+        }
+        self._offsets: Dict[Group, np.ndarray] = {
+            g: offsets_array(g) for g in (Group.TOP, Group.BOTTOM)
+        }
+
+        # Heterogeneous-velocity extension (paper Section VII future work):
+        # a keyed draw per agent marks the slow class; slow agents are
+        # movement-eligible only every ``slow_period``-th step (staggered by
+        # agent index so the crowd does not pulse in lockstep).
+        self._slow_mask = np.zeros(self.pop.n_agents + 1, dtype=bool)
+        if config.slow_fraction > 0.0:
+            lanes = np.arange(self.pop.n_agents + 1, dtype=np.uint64)
+            u = self.rng.uniform(Stream.SPEED_CLASS, 0, lanes)
+            self._slow_mask = u < config.slow_fraction
+            self._slow_mask[0] = False
+
+    # ------------------------------------------------------------------
+    # Extensions
+    # ------------------------------------------------------------------
+    def eligible_mask(self, t: int) -> np.ndarray:
+        """Movement eligibility per agent at step ``t`` (velocity classes).
+
+        Fast agents are always eligible; slow agents only when
+        ``(t + index) % slow_period == 0``. With ``slow_fraction = 0``
+        (default) everyone is always eligible.
+        """
+        if not self._slow_mask.any():
+            return np.ones(self.pop.n_agents + 1, dtype=bool)
+        idx = np.arange(self.pop.n_agents + 1, dtype=np.int64)
+        on_beat = (t + idx) % self.config.slow_period == 0
+        return ~self._slow_mask | on_beat
+
+    def swap_model(self, params) -> None:
+        """Swap the movement model mid-run (panic-alarm extension).
+
+        The environment, populations and — when both models use it — the
+        pheromone field carry over; switching to a pheromone-free model
+        discards the field (a subsequent switch back starts from tau0).
+        """
+        from ..models import PheromoneField, build_model
+
+        params.validate()
+        model = build_model(params)
+        if model.uses_pheromone:
+            if self.pher is None:
+                self.pher = PheromoneField(
+                    self.config.height, self.config.width, params
+                )
+            else:
+                self.pher.params = params
+        else:
+            self.pher = None
+        self.model = model
+        new_range = getattr(params, "scan_range", 1)
+        if new_range != self.dist[Group.TOP].scan_range:
+            self.dist = build_distance_tables(self.config.height, new_range)
+        self._on_model_swapped()
+
+    def _on_model_swapped(self) -> None:
+        """Hook for engines that cache model-derived lookups."""
+
+    # ------------------------------------------------------------------
+    # Template step
+    # ------------------------------------------------------------------
+    def step(self) -> StepReport:
+        """Run one synchronous simulation step (all four stages)."""
+        t = self.t
+        self._stage_scan(t)
+        decided = self._stage_select(t)
+        moved = self._stage_move(t)
+        new_crossings = self.pop.record_crossings(
+            self.config.height, self.config.cross_rows, t
+        )
+        self._stage_support(t)
+        self.t += 1
+        return StepReport(step=t, decided=decided, moved=moved, new_crossings=new_crossings)
+
+    def run(
+        self,
+        steps: Optional[int] = None,
+        callback: Optional[Callable[["BaseEngine", StepReport], None]] = None,
+        record_timeline: bool = True,
+    ) -> RunResult:
+        """Run ``steps`` steps (default: the configured budget).
+
+        ``callback(engine, report)`` is invoked after every step; use it for
+        metrics hooks and recorders.
+        """
+        n = self.config.steps if steps is None else int(steps)
+        moved_tl: List[int] = [] if record_timeline else None
+        cross_tl: List[int] = [] if record_timeline else None
+        for _ in range(n):
+            report = self.step()
+            if record_timeline:
+                moved_tl.append(report.moved)
+                cross_tl.append(report.new_crossings)
+            if callback is not None:
+                callback(self, report)
+        return RunResult(
+            platform=self.platform,
+            seed=self.seed,
+            steps_run=n,
+            throughput_total=self.pop.crossed_count(),
+            throughput_top=self.pop.crossed_count(Group.TOP),
+            throughput_bottom=self.pop.crossed_count(Group.BOTTOM),
+            moved_per_step=np.asarray(moved_tl, dtype=np.int64)
+            if record_timeline
+            else None,
+            crossings_per_step=np.asarray(cross_tl, dtype=np.int64)
+            if record_timeline
+            else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage implementations supplied by subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _stage_scan(self, t: int) -> None:
+        """Initial calculation phase: fill the scan matrix and FRONT CELL."""
+
+    @abc.abstractmethod
+    def _stage_select(self, t: int) -> int:
+        """Tour construction: set FUTURE ROW/COLUMN; return #agents deciding."""
+
+    @abc.abstractmethod
+    def _stage_move(self, t: int) -> int:
+        """Agent movement via scatter-to-gather; return #agents moved."""
+
+    def _stage_support(self, t: int) -> None:
+        """Support kernel: reset the scan matrix and future coordinates."""
+        self.pop.reset_futures()
+        self.scan.fill(0.0)
+
+    # ------------------------------------------------------------------
+    # Introspection / verification
+    # ------------------------------------------------------------------
+    def throughput(self) -> int:
+        """Number of agents that have crossed so far."""
+        return self.pop.crossed_count()
+
+    def validate_state(self) -> None:
+        """Cross-check env/pop invariants (used liberally in tests)."""
+        self.env.validate()
+        self.pop.validate_against(self.env)
+
+    def state_equals(self, other: "BaseEngine") -> bool:
+        """Exact state equality with another engine (any platform)."""
+        if not self.env.equals(other.env):
+            return False
+        if not self.pop.equals(other.pop):
+            return False
+        if (self.pher is None) != (other.pher is None):
+            return False
+        if self.pher is not None and not self.pher.equals(other.pher):
+            return False
+        return True

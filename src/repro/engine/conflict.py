@@ -1,0 +1,53 @@
+"""Scatter-to-gather conflict resolution helpers (paper IV.d, Figure 4).
+
+Several agents may target the same empty cell in the same step. Instead of
+serialising the writes with atomics, the paper inverts the problem: each
+*empty cell* gathers the set of neighbouring agents whose FUTURE
+coordinates point at it and picks one winner uniformly at random. These
+helpers implement the pieces shared by the vectorized and tiled engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..grid.neighborhood import ABSOLUTE_OFFSETS
+
+__all__ = ["shift", "winner_rank", "DIRECTION_INDEX"]
+
+#: Map from (src - dst) offset to the absolute gather-direction index, i.e.
+#: the position of the *source* cell relative to the destination.
+DIRECTION_INDEX: Dict[Tuple[int, int], int] = {
+    off: d for d, off in enumerate(ABSOLUTE_OFFSETS)
+}
+
+
+def shift(arr: np.ndarray, dr: int, dc: int, fill=0) -> np.ndarray:
+    """Return ``out`` with ``out[i, j] = arr[i + dr, j + dc]``.
+
+    Cells whose source falls outside the array get ``fill``. This is the
+    whole-array analogue of reading a neighbour through the shared-memory
+    halo: direction ``d`` of the gather reads the agent standing at
+    ``cell + offset[d]``.
+    """
+    h, w = arr.shape
+    out = np.full_like(arr, fill)
+    r0, r1 = max(0, -dr), min(h, h - dr)
+    c0, c1 = max(0, -dc), min(w, w - dc)
+    if r0 < r1 and c0 < c1:
+        out[r0:r1, c0:c1] = arr[r0 + dr : r1 + dr, c0 + dc : c1 + dc]
+    return out
+
+
+def winner_rank(u: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Uniform winner index in ``[0, counts)`` from uniforms in ``(0, 1)``.
+
+    ``floor(u * k)`` clamped to ``k - 1`` (the clamp only matters in the
+    measure-zero limit ``u -> 1``); identical arithmetic on scalar and
+    vector paths.
+    """
+    k = np.asarray(counts, dtype=np.int64)
+    pick = (np.asarray(u, dtype=np.float64) * k).astype(np.int64)
+    return np.minimum(pick, np.maximum(k - 1, 0))

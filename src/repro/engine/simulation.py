@@ -1,0 +1,108 @@
+"""Simulation driver: engine registry, timed runs, and step hooks.
+
+This is the highest-level entry point most users need::
+
+    from repro import SimulationConfig, run_simulation
+    result = run_simulation(SimulationConfig(height=64, width=64,
+                                             n_per_side=200, steps=500))
+    print(result.throughput_total)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Type
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import EngineError
+from .base import BaseEngine, RunResult, StepReport
+from .sequential import SequentialEngine
+from .vectorized import VectorizedEngine
+
+__all__ = [
+    "ENGINE_REGISTRY",
+    "available_engines",
+    "build_engine",
+    "run_simulation",
+    "TimedRunResult",
+]
+
+
+def _registry() -> Dict[str, Type[BaseEngine]]:
+    reg: Dict[str, Type[BaseEngine]] = {
+        "sequential": SequentialEngine,
+        "vectorized": VectorizedEngine,
+    }
+    # The tiled engine lives in repro.cuda (it needs the tiling substrate);
+    # import lazily so repro.engine has no dependency on repro.cuda.
+    try:
+        from ..cuda.tiled_engine import TiledEngine
+
+        reg["tiled"] = TiledEngine
+    except ImportError:  # pragma: no cover - only during partial installs
+        pass
+    return reg
+
+
+#: Engine name -> class. "sequential" is the CPU stand-in, "vectorized" the
+#: GPU stand-in, "tiled" the shared-memory-faithful GPU emulation.
+ENGINE_REGISTRY: Dict[str, Type[BaseEngine]] = {}
+
+
+def available_engines() -> Dict[str, Type[BaseEngine]]:
+    """Return the engine registry, populating it on first use."""
+    if not ENGINE_REGISTRY:
+        ENGINE_REGISTRY.update(_registry())
+    return ENGINE_REGISTRY
+
+
+def build_engine(
+    config: SimulationConfig, engine: str = "vectorized", seed: Optional[int] = None
+) -> BaseEngine:
+    """Instantiate an engine by name for ``config``."""
+    registry = available_engines()
+    try:
+        cls = registry[engine]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {engine!r}; available: {sorted(registry)}"
+        ) from None
+    return cls(config, seed=seed)
+
+
+@dataclass
+class TimedRunResult:
+    """A :class:`RunResult` plus wall-clock timing (paper Fig. 5 inputs)."""
+
+    result: RunResult
+    wall_seconds: float
+    config: SimulationConfig = field(repr=False, default=None)
+
+    @property
+    def seconds_per_step(self) -> float:
+        """Mean wall time per simulation step."""
+        return self.wall_seconds / max(1, self.result.steps_run)
+
+    @property
+    def throughput_total(self) -> int:
+        """Convenience passthrough."""
+        return self.result.throughput_total
+
+
+def run_simulation(
+    config: SimulationConfig,
+    engine: str = "vectorized",
+    seed: Optional[int] = None,
+    steps: Optional[int] = None,
+    callback: Optional[Callable[[BaseEngine, StepReport], None]] = None,
+    record_timeline: bool = True,
+) -> TimedRunResult:
+    """Build an engine, run it, and return the result with wall timing."""
+    eng = build_engine(config, engine=engine, seed=seed)
+    start = time.perf_counter()
+    result = eng.run(steps=steps, callback=callback, record_timeline=record_timeline)
+    elapsed = time.perf_counter() - start
+    return TimedRunResult(result=result, wall_seconds=elapsed, config=config)

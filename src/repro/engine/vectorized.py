@@ -1,0 +1,175 @@
+"""Whole-array data-parallel engine — the GPU stand-in.
+
+Each NumPy array lane plays the role of one CUDA thread: the scan and tour
+construction stages vectorize over agents (the paper launches 8x agents
+threads for tour construction; we fuse the 8 slot lanes into the trailing
+axis), and the movement stage vectorizes over grid cells exactly like the
+paper's per-cell movement kernel. All stages read only the synchronous
+state from the start of the step, so the semantics match a kernel launch
+boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..agents.population import NO_FUTURE
+from ..rng import Stream
+from ..types import Group
+from .base import ABS_STEP_COSTS, BaseEngine
+from ..grid.neighborhood import ABSOLUTE_OFFSETS
+from .conflict import shift, winner_rank
+
+__all__ = ["VectorizedEngine"]
+
+
+class VectorizedEngine(BaseEngine):
+    """Data-parallel engine over whole-grid / whole-population arrays."""
+
+    platform = "vectorized"
+
+    def __init__(self, config, seed: Optional[int] = None) -> None:
+        super().__init__(config, seed)
+        h, w = self.env.shape
+        rows, cols = np.indices((h, w))
+        self._rowgrid = rows.astype(np.int64)
+        self._colgrid = cols.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Stage 1: initial calculation (per-agent scan)
+    # ------------------------------------------------------------------
+    def _stage_scan(self, t: int) -> None:
+        env, pop = self.env, self.pop
+        h, w = env.shape
+        mat = env.mat
+        for group in (Group.TOP, Group.BOTTOM):
+            idx = self._members[group]
+            if idx.size == 0:
+                continue
+            rows = pop.rows[idx]
+            cols = pop.cols[idx]
+            off = self._offsets[group]
+            nr = rows[:, None] + off[:, 0][None, :]
+            nc = cols[:, None] + off[:, 1][None, :]
+            inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
+            nrc = np.clip(nr, 0, h - 1)
+            ncc = np.clip(nc, 0, w - 1)
+            candidates = inb & (mat[nrc, ncc] == 0)
+            dist = self.dist[group].distances(rows)
+            tau = None
+            if self.pher is not None:
+                tau = self.pher.field(group)[nrc, ncc]
+            self.scan[idx] = self.model.scan_values(dist, candidates, tau)
+            pop.front_empty[idx] = candidates[:, 0]
+
+    # ------------------------------------------------------------------
+    # Stage 2: tour construction (per-agent decision)
+    # ------------------------------------------------------------------
+    def _stage_select(self, t: int) -> int:
+        pop = self.pop
+        decided = 0
+        eligible = self.eligible_mask(t)
+        for group in (Group.TOP, Group.BOTTOM):
+            idx = self._members[group]
+            if idx.size == 0:
+                continue
+            slots = self.model.select(self.scan[idx], self.rng, t, idx)
+            if self.config.forward_priority:
+                # Paper modification: the forward cell, when empty, wins
+                # outright (slot 0 in 0-based numbering).
+                slots = np.where(pop.front_empty[idx], 0, slots)
+            valid = (slots >= 0) & eligible[idx]
+            safe = np.where(valid, slots, 0)
+            off = self._offsets[group]
+            fr = pop.rows[idx] + off[safe, 0]
+            fc = pop.cols[idx] + off[safe, 1]
+            pop.future_rows[idx] = np.where(valid, fr, NO_FUTURE)
+            pop.future_cols[idx] = np.where(valid, fc, NO_FUTURE)
+            decided += int(np.count_nonzero(valid))
+        return decided
+
+    # ------------------------------------------------------------------
+    # Stage 3: movement (per-cell scatter-to-gather)
+    # ------------------------------------------------------------------
+    def _stage_move(self, t: int) -> int:
+        env, pop = self.env, self.pop
+        h, w = env.shape
+        mat, index = env.mat, env.index
+
+        if self.pher is not None:
+            self.pher.evaporate()
+
+        empty = mat == 0
+        counts = np.zeros((h, w), dtype=np.int16)
+        matches: List[np.ndarray] = []
+        for dr, dc in ABSOLUTE_OFFSETS:
+            nidx = shift(index, dr, dc, fill=0)
+            fr = pop.future_rows[nidx]  # sentinel row 0 carries NO_FUTURE
+            fc = pop.future_cols[nidx]
+            match = empty & (nidx > 0) & (fr == self._rowgrid) & (fc == self._colgrid)
+            matches.append(match)
+            counts += match
+        contested_r, contested_c = np.nonzero(counts > 0)
+        if contested_r.size == 0:
+            return 0
+
+        lanes = env.cell_lane(contested_r, contested_c)
+        u = self.rng.uniform(Stream.MOVE_WINNER, t, lanes)
+        pick = winner_rank(u, counts[contested_r, contested_c])
+        pickmap = np.full((h, w), -1, dtype=np.int64)
+        pickmap[contested_r, contested_c] = pick
+
+        # Second pass over the gather directions: the candidate whose
+        # cumulative rank equals the cell's pick wins.
+        cum = np.zeros((h, w), dtype=np.int16)
+        dst_rows = []
+        dst_cols = []
+        agents = []
+        costs = []
+        for d, (dr, dc) in enumerate(ABSOLUTE_OFFSETS):
+            match = matches[d]
+            sel = match & (cum == pickmap)
+            cum += match
+            rr, cc = np.nonzero(sel)
+            if rr.size:
+                dst_rows.append(rr)
+                dst_cols.append(cc)
+                agents.append(index[rr + dr, cc + dc].astype(np.int64))
+                costs.append(np.full(rr.size, ABS_STEP_COSTS[d]))
+        dst_r = np.concatenate(dst_rows)
+        dst_c = np.concatenate(dst_cols)
+        winners = np.concatenate(agents)
+        move_cost = np.concatenate(costs)
+        src_r = pop.rows[winners]
+        src_c = pop.cols[winners]
+
+        # Execute the exchanges: destinations were empty, sources occupied,
+        # and the two sets are disjoint, so plain fancy indexing is safe.
+        mat[dst_r, dst_c] = pop.ids[winners]
+        index[dst_r, dst_c] = winners
+        mat[src_r, src_c] = 0
+        index[src_r, src_c] = 0
+        pop.rows[winners] = dst_r
+        pop.cols[winners] = dst_c
+        pop.tour[winners] += move_cost
+
+        if self.pher is not None:
+            amounts = self.params_deposit(winners)
+            for group in (Group.TOP, Group.BOTTOM):
+                gmask = pop.ids[winners] == int(group)
+                if np.any(gmask):
+                    self.pher.deposit(
+                        group, dst_r[gmask], dst_c[gmask], amounts[gmask]
+                    )
+        return int(winners.size)
+
+    def params_deposit(self, winners: np.ndarray) -> np.ndarray:
+        """Eq. 5 deposit amounts ``q / L_k`` for the winning agents.
+
+        Reads the *live* pheromone parameters so mid-run model swaps
+        (panic alarm) take effect immediately.
+        """
+        q = self.pher.params.deposit_q
+        return q / self.pop.tour[winners]

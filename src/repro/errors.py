@@ -1,0 +1,50 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Validation helpers raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PlacementError",
+    "EngineError",
+    "LaunchConfigError",
+    "OccupancyError",
+    "StatsError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A simulation/model configuration value is invalid or inconsistent."""
+
+
+class PlacementError(ReproError, ValueError):
+    """Agents cannot be placed as requested (band too small, overlap...)."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """An engine was driven through an invalid state transition."""
+
+
+class LaunchConfigError(ReproError, ValueError):
+    """A CUDA kernel launch configuration violates device limits."""
+
+
+class OccupancyError(ReproError, ValueError):
+    """Occupancy calculation received resources beyond device capability."""
+
+
+class StatsError(ReproError, ValueError):
+    """Statistical routine received degenerate or ill-shaped input."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment driver failed or was mis-parameterised."""

@@ -1,0 +1,71 @@
+"""Experiment harness: scenarios, figure drivers, tables, ablations, runner."""
+
+from .ablations import (
+    AblationPoint,
+    sweep_alpha_beta,
+    sweep_bottleneck_gap,
+    sweep_forward_priority,
+    sweep_lem_rule,
+    sweep_rho,
+    sweep_scan_range,
+    sweep_sigma,
+)
+
+from .figure5 import measured_fig5, measured_speedups, modelled_fig5
+from .figure6 import (
+    Fig6aOutcome,
+    Fig6bOutcome,
+    run_fig6a,
+    run_fig6b,
+    run_scenario_batch,
+)
+from .records import ExperimentReport, Fig5Row, Fig6aRow, Fig6bRow, RunRecord
+from .runner import run_all
+from .scenarios import (
+    AGENT_INCREMENT,
+    FIG6A_SCENARIOS,
+    FIG6B_SCENARIOS,
+    N_PAPER_SCENARIOS,
+    SCALES,
+    ScaleSpec,
+    ScenarioSpec,
+    paper_scenarios,
+    scenario_config,
+)
+from .tables import occupancy_table, table1_hardware
+
+__all__ = [
+    "modelled_fig5",
+    "measured_fig5",
+    "measured_speedups",
+    "run_fig6a",
+    "run_fig6b",
+    "run_scenario_batch",
+    "Fig6aOutcome",
+    "Fig6bOutcome",
+    "RunRecord",
+    "Fig5Row",
+    "Fig6aRow",
+    "Fig6bRow",
+    "ExperimentReport",
+    "run_all",
+    "ScenarioSpec",
+    "ScaleSpec",
+    "SCALES",
+    "paper_scenarios",
+    "scenario_config",
+    "AGENT_INCREMENT",
+    "N_PAPER_SCENARIOS",
+    "FIG6A_SCENARIOS",
+    "FIG6B_SCENARIOS",
+    "table1_hardware",
+    "occupancy_table",
+    "AblationPoint",
+    "sweep_forward_priority",
+    "sweep_lem_rule",
+    "sweep_rho",
+    "sweep_sigma",
+    "sweep_alpha_beta",
+    "sweep_bottleneck_gap",
+    "sweep_scan_range",
+]

@@ -1,0 +1,140 @@
+"""Programmatic ablation drivers.
+
+DESIGN.md calls out the design choices that deserve sensitivity analysis;
+these drivers sweep them and return tidy records (consumed by the ablation
+benchmarks, the CLI and EXPERIMENTS.md):
+
+* the forward-priority modification on/off,
+* the LEM selection-rule reading (floor vs ceil),
+* the ACO hyperparameters (rho, alpha, beta),
+* the LEM draw spread (sigma),
+* the obstacle bottleneck gap,
+* the extended scanning range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..config import SimulationConfig
+from ..engine import run_simulation
+from ..grid import ObstacleSpec
+from ..models import ACOParams, LEMParams
+
+__all__ = [
+    "AblationPoint",
+    "sweep_forward_priority",
+    "sweep_lem_rule",
+    "sweep_rho",
+    "sweep_sigma",
+    "sweep_alpha_beta",
+    "sweep_bottleneck_gap",
+    "sweep_scan_range",
+]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One ablation sample."""
+
+    knob: str
+    value: str
+    throughput: int
+    total_agents: int
+
+    @property
+    def fraction(self) -> float:
+        """Crossed fraction."""
+        return self.throughput / self.total_agents if self.total_agents else 0.0
+
+
+def _run(cfg: SimulationConfig, knob: str, value, seed: int) -> AblationPoint:
+    out = run_simulation(cfg, seed=seed, record_timeline=False)
+    return AblationPoint(
+        knob=knob,
+        value=str(value),
+        throughput=out.result.throughput_total,
+        total_agents=cfg.total_agents,
+    )
+
+
+def sweep_forward_priority(base: SimulationConfig, seed: int = 0) -> List[AblationPoint]:
+    """The paper's stated modification of [18], on versus off."""
+    return [
+        _run(base.replace(forward_priority=flag), "forward_priority", flag, seed)
+        for flag in (True, False)
+    ]
+
+
+def sweep_lem_rule(base: SimulationConfig, seed: int = 0) -> List[AblationPoint]:
+    """The two readings of the eq. 1 rank-selection draw."""
+    points = []
+    for rule in ("floor", "ceil"):
+        params = LEMParams(rule=rule)
+        points.append(_run(base.replace(params=params), "lem_rule", rule, seed))
+    return points
+
+
+def sweep_rho(
+    base: SimulationConfig, rhos: Sequence[float] = (0.005, 0.02, 0.1, 0.5), seed: int = 0
+) -> List[AblationPoint]:
+    """Eq. 3 evaporation-rate sensitivity for the ACO."""
+    return [
+        _run(base.replace(params=ACOParams(rho=rho)), "rho", rho, seed)
+        for rho in rhos
+    ]
+
+
+def sweep_sigma(
+    base: SimulationConfig, sigmas: Sequence[float] = (0.5, 1.0, 2.0), seed: int = 0
+) -> List[AblationPoint]:
+    """LEM draw-spread sensitivity (how often blocked agents detour)."""
+    return [
+        _run(base.replace(params=LEMParams(sigma=s)), "sigma", s, seed)
+        for s in sigmas
+    ]
+
+
+def sweep_alpha_beta(
+    base: SimulationConfig,
+    pairs: Sequence = ((0.0, 2.0), (1.0, 2.0), (2.0, 1.0), (1.0, 0.0)),
+    seed: int = 0,
+) -> List[AblationPoint]:
+    """Eq. 2 trail-vs-heuristic weighting sweep for the ACO."""
+    points = []
+    for alpha, beta in pairs:
+        params = ACOParams(alpha=alpha, beta=beta)
+        points.append(
+            _run(base.replace(params=params), "alpha_beta", f"{alpha}/{beta}", seed)
+        )
+    return points
+
+
+def sweep_bottleneck_gap(
+    base: SimulationConfig, gaps: Sequence[int] = (2, 4, 8, 16), seed: int = 0
+) -> List[AblationPoint]:
+    """Obstacle extension: throughput versus bottleneck gap width."""
+    return [
+        _run(
+            base.replace(obstacles=ObstacleSpec("bottleneck", gap=gap)),
+            "gap",
+            gap,
+            seed,
+        )
+        for gap in gaps
+    ]
+
+
+def sweep_scan_range(
+    base: SimulationConfig, ranges: Sequence[int] = (1, 2, 4, 8), seed: int = 0
+) -> List[AblationPoint]:
+    """Section VII extension: heuristic look-ahead distance."""
+    points = []
+    for r in ranges:
+        if isinstance(base.params, ACOParams):
+            params = base.params.replace(scan_range=r)
+        else:
+            params = LEMParams(scan_range=r)
+        points.append(_run(base.replace(params=params), "scan_range", r, seed))
+    return points

@@ -1,0 +1,98 @@
+"""Figure 5 drivers: execution time and speedup.
+
+Two modes:
+
+* :func:`modelled_fig5` — the paper's exact configurations (480x480,
+  25,000 steps, 2,560..102,400 agents) priced through the calibrated Fermi
+  and i7 cost models. This regenerates the absolute seconds of Figures
+  5a/5b and the 18x -> 11x declining speedup of Figure 5c.
+* :func:`measured_fig5` — real wall-clock timing of the sequential (CPU
+  stand-in) and vectorized (GPU stand-in) engines on scaled scenarios;
+  regenerates the *shape* (near-flat data-parallel curve, growing scalar
+  curve, declining speedup) on this machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..config import paper_config
+from ..cuda.costmodel import CpuCostModel, GpuCostModel
+from ..engine import run_simulation
+from .records import Fig5Row, RunRecord
+from .scenarios import SCALES, ScenarioSpec, paper_scenarios, scenario_config
+
+__all__ = ["modelled_fig5", "measured_fig5", "measured_speedups"]
+
+
+def modelled_fig5(agent_counts: Optional[Iterable[int]] = None) -> List[Fig5Row]:
+    """Price the paper's sweep through the calibrated cost models."""
+    if agent_counts is None:
+        agent_counts = [s.total_agents for s in paper_scenarios()]
+    gpu_aco = GpuCostModel.calibrated("aco")
+    gpu_lem = GpuCostModel.calibrated("lem")
+    cpu_aco = CpuCostModel.calibrated("aco")
+    rows = []
+    for n in agent_counts:
+        rows.append(
+            Fig5Row(
+                total_agents=int(n),
+                lem_gpu_seconds=gpu_lem.simulation_time(int(n), "lem"),
+                aco_gpu_seconds=gpu_aco.simulation_time(int(n), "aco"),
+                aco_cpu_seconds=cpu_aco.simulation_time(int(n), "aco"),
+            )
+        )
+    return rows
+
+
+def measured_fig5(
+    scenario_indices: Sequence[int] = (1, 5, 10, 15, 20),
+    scale: str = "quick",
+    seed: int = 0,
+    steps: Optional[int] = None,
+) -> List[RunRecord]:
+    """Time the engines on scaled scenarios.
+
+    Runs, per scenario: LEM and ACO on the vectorized engine (Fig 5a) and
+    ACO on the sequential engine (Fig 5b/5c numerator). ``steps`` overrides
+    the scaled step budget (timing does not need full-length runs).
+    """
+    records: List[RunRecord] = []
+    for k in scenario_indices:
+        scenario = ScenarioSpec(k, 2560 * k)
+        for model, engine in (
+            ("lem", "vectorized"),
+            ("aco", "vectorized"),
+            ("aco", "sequential"),
+        ):
+            cfg = scenario_config(scenario, model=model, scale=scale, seed=seed)
+            out = run_simulation(
+                cfg, engine=engine, steps=steps, record_timeline=False
+            )
+            records.append(
+                RunRecord(
+                    scenario_index=k,
+                    total_agents=scenario.total_agents,
+                    model=model,
+                    engine=engine,
+                    seed=seed,
+                    steps=out.result.steps_run,
+                    throughput=out.result.throughput_total,
+                    wall_seconds=out.wall_seconds,
+                )
+            )
+    return records
+
+
+def measured_speedups(records: List[RunRecord]) -> List[tuple]:
+    """Fig 5c from measured records: (total_agents, sequential/vectorized)."""
+    by_key = {}
+    for r in records:
+        by_key[(r.scenario_index, r.model, r.engine)] = r
+    out = []
+    for k in sorted({r.scenario_index for r in records}):
+        seq = by_key.get((k, "aco", "sequential"))
+        vec = by_key.get((k, "aco", "vectorized"))
+        if seq is not None and vec is not None and vec.wall_seconds > 0:
+            out.append((seq.total_agents, seq.wall_seconds / vec.wall_seconds))
+    return out

@@ -1,0 +1,201 @@
+"""Figure 6 drivers: throughput comparisons.
+
+* :func:`run_fig6a` — LEM vs ACO throughput over the first 20 scenarios
+  (both on the data-parallel engine, as in the paper's GPU runs), averaged
+  over repetitions; reports the per-scenario series and the overall ACO
+  gain (paper: +39.6%).
+* :func:`run_fig6b` — ACO throughput on the sequential ("CPU") versus
+  vectorized ("GPU") engine with *different seeds per platform* (our
+  engines are bit-identical under equal seeds, so distinct seeds restore
+  the paper's statistical setting), followed by the binomial GLM of
+  crossing probability against agent count and platform, and the t-test on
+  the platform coefficient (paper: p = 0.6145, not significant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine import run_simulation
+from ..stats import BinomialGLM, GLMResult, welch_ttest
+from .records import Fig6aRow, Fig6bRow, RunRecord
+from .scenarios import (
+    FIG6A_SCENARIOS,
+    FIG6B_SCENARIOS,
+    ScenarioSpec,
+    scenario_config,
+)
+
+__all__ = [
+    "run_scenario_batch",
+    "run_fig6a",
+    "Fig6aOutcome",
+    "run_fig6b",
+    "Fig6bOutcome",
+]
+
+
+def run_scenario_batch(
+    scenario_indices: Sequence[int],
+    model: str,
+    engine: str,
+    scale: str,
+    seeds: Sequence[int],
+) -> List[RunRecord]:
+    """Run a model/engine over scenarios x seeds; returns flat records."""
+    records: List[RunRecord] = []
+    for k in scenario_indices:
+        scenario = ScenarioSpec(k, 2560 * k)
+        for seed in seeds:
+            cfg = scenario_config(scenario, model=model, scale=scale, seed=seed)
+            out = run_simulation(cfg, engine=engine, record_timeline=False)
+            records.append(
+                RunRecord(
+                    scenario_index=k,
+                    total_agents=cfg.total_agents,
+                    model=model,
+                    engine=engine,
+                    seed=seed,
+                    steps=out.result.steps_run,
+                    throughput=out.result.throughput_total,
+                    wall_seconds=out.wall_seconds,
+                )
+            )
+    return records
+
+
+def _mean_by_scenario(records: List[RunRecord]) -> Dict[int, Tuple[float, int]]:
+    """scenario -> (mean throughput, scaled total agents)."""
+    acc: Dict[int, List[RunRecord]] = {}
+    for r in records:
+        acc.setdefault(r.scenario_index, []).append(r)
+    return {
+        k: (float(np.mean([r.throughput for r in v])), v[0].total_agents)
+        for k, v in acc.items()
+    }
+
+
+@dataclass
+class Fig6aOutcome:
+    """Figure 6a result set."""
+
+    rows: List[Fig6aRow]
+    overall_gain: float  # (sum ACO - sum LEM) / sum LEM
+    lem_records: List[RunRecord]
+    aco_records: List[RunRecord]
+
+    @property
+    def crossover_scenario(self) -> Optional[int]:
+        """First scenario where ACO beats LEM by >5% of the population."""
+        for row in self.rows:
+            if row.aco_gain > 0.05 * row.total_agents:
+                return row.scenario_index
+        return None
+
+
+def run_fig6a(
+    scale: str = "standard",
+    scenario_indices: Sequence[int] = FIG6A_SCENARIOS,
+    seeds: Sequence[int] = (0, 1, 2),
+    engine: str = "vectorized",
+) -> Fig6aOutcome:
+    """LEM vs ACO throughput sweep (paper Figure 6a)."""
+    lem = run_scenario_batch(scenario_indices, "lem", engine, scale, seeds)
+    aco = run_scenario_batch(scenario_indices, "aco", engine, scale, seeds)
+    lem_mean = _mean_by_scenario(lem)
+    aco_mean = _mean_by_scenario(aco)
+    rows = [
+        Fig6aRow(
+            scenario_index=k,
+            total_agents=lem_mean[k][1],
+            lem_throughput=lem_mean[k][0],
+            aco_throughput=aco_mean[k][0],
+        )
+        for k in sorted(lem_mean)
+    ]
+    lem_total = sum(r.lem_throughput for r in rows)
+    aco_total = sum(r.aco_throughput for r in rows)
+    gain = (aco_total - lem_total) / lem_total if lem_total > 0 else float("inf")
+    return Fig6aOutcome(rows=rows, overall_gain=gain, lem_records=lem, aco_records=aco)
+
+
+@dataclass
+class Fig6bOutcome:
+    """Figure 6b result set plus the GLM platform analysis."""
+
+    rows: List[Fig6bRow]
+    glm: GLMResult
+    platform_t: float
+    platform_p: float
+    welch_p: float
+    cpu_records: List[RunRecord]
+    gpu_records: List[RunRecord]
+
+    @property
+    def platforms_equivalent(self) -> bool:
+        """True when the platform effect is not significant at 5%."""
+        return self.platform_p >= 0.05
+
+
+def run_fig6b(
+    scale: str = "quick",
+    scenario_indices: Sequence[int] = FIG6B_SCENARIOS,
+    seeds_cpu: Sequence[int] = (100, 101, 102),
+    seeds_gpu: Sequence[int] = (200, 201, 202),
+) -> Fig6bOutcome:
+    """ACO on CPU (sequential) vs GPU (vectorized) + the GLM validation."""
+    cpu = run_scenario_batch(scenario_indices, "aco", "sequential", scale, seeds_cpu)
+    gpu = run_scenario_batch(scenario_indices, "aco", "vectorized", scale, seeds_gpu)
+    cpu_mean = _mean_by_scenario(cpu)
+    gpu_mean = _mean_by_scenario(gpu)
+    rows = [
+        Fig6bRow(
+            scenario_index=k,
+            total_agents=cpu_mean[k][1],
+            cpu_throughput=cpu_mean[k][0],
+            gpu_throughput=gpu_mean[k][0],
+        )
+        for k in sorted(cpu_mean)
+    ]
+
+    # Quasi-binomial GLM: crossing probability ~ intercept + agents +
+    # platform. Crossings within a run are collectively correlated, so the
+    # Pearson-dispersion covariance keeps the platform test honest.
+    design, successes, trials, names = _glm_dataset(cpu, gpu)
+    glm = BinomialGLM(dispersion="pearson").fit(
+        design, successes, trials, names=names
+    )
+    t, p = glm.test_coefficient("platform_gpu")
+
+    cpu_frac = [r.fraction for r in cpu]
+    gpu_frac = [r.fraction for r in gpu]
+    welch = welch_ttest(cpu_frac, gpu_frac)
+    return Fig6bOutcome(
+        rows=rows,
+        glm=glm,
+        platform_t=t,
+        platform_p=p,
+        welch_p=welch.pvalue,
+        cpu_records=cpu,
+        gpu_records=gpu,
+    )
+
+
+def _glm_dataset(
+    cpu: List[RunRecord], gpu: List[RunRecord]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[str]]:
+    """Design matrix / responses for the Fig 6b binomial GLM."""
+    records = list(cpu) + list(gpu)
+    agents = np.array([r.total_agents for r in records], dtype=np.float64)
+    platform = np.array(
+        [1.0 if r.engine == "vectorized" else 0.0 for r in records]
+    )
+    successes = np.array([r.throughput for r in records], dtype=np.float64)
+    trials = np.array([r.total_agents for r in records], dtype=np.float64)
+    # Standardise the agent regressor for IRLS conditioning.
+    a_std = (agents - agents.mean()) / (agents.std() or 1.0)
+    design = np.column_stack([np.ones(len(records)), a_std, platform])
+    return design, successes, trials, ["intercept", "agents", "platform_gpu"]

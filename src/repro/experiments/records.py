@@ -1,0 +1,86 @@
+"""Result record types shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RunRecord", "Fig5Row", "Fig6aRow", "Fig6bRow", "ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One simulation run's outcome (measured mode)."""
+
+    scenario_index: int
+    total_agents: int
+    model: str
+    engine: str
+    seed: int
+    steps: int
+    throughput: int
+    wall_seconds: float
+
+    @property
+    def fraction(self) -> float:
+        """Crossed fraction."""
+        return self.throughput / self.total_agents if self.total_agents else 0.0
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One abscissa of Figures 5a-5c."""
+
+    total_agents: int
+    lem_gpu_seconds: float
+    aco_gpu_seconds: float
+    aco_cpu_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Fig 5c ordinate: CPU over GPU for the ACO simulation."""
+        return self.aco_cpu_seconds / self.aco_gpu_seconds
+
+    @property
+    def aco_over_lem(self) -> float:
+        """Fig 5a ratio: ACO execution time over LEM on the GPU."""
+        return self.aco_gpu_seconds / self.lem_gpu_seconds
+
+
+@dataclass(frozen=True)
+class Fig6aRow:
+    """One abscissa of Figure 6a (throughput LEM vs ACO)."""
+
+    scenario_index: int
+    total_agents: int
+    lem_throughput: float
+    aco_throughput: float
+
+    @property
+    def aco_gain(self) -> float:
+        """ACO minus LEM crossings."""
+        return self.aco_throughput - self.lem_throughput
+
+
+@dataclass(frozen=True)
+class Fig6bRow:
+    """One abscissa of Figure 6b (ACO throughput per platform)."""
+
+    scenario_index: int
+    total_agents: int
+    cpu_throughput: float
+    gpu_throughput: float
+
+
+@dataclass
+class ExperimentReport:
+    """Container for a full harness run (serialised to JSON)."""
+
+    scale: str
+    fig5_modelled: List[Fig5Row] = field(default_factory=list)
+    fig5_measured: List[RunRecord] = field(default_factory=list)
+    fig6a: List[Fig6aRow] = field(default_factory=list)
+    fig6b: List[Fig6bRow] = field(default_factory=list)
+    fig6b_pvalue: Optional[float] = None
+    fig6a_overall_gain: Optional[float] = None
+    notes: Dict[str, str] = field(default_factory=dict)

@@ -1,0 +1,157 @@
+"""End-to-end experiment runner.
+
+``run_all`` regenerates every table and figure of the paper's evaluation
+and writes the raw series (paper-style text tables), a JSON report and
+ASCII plots into an output directory. EXPERIMENTS.md records one such run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Sequence
+
+from ..io import line_plot, write_json_record, write_text_table
+from .figure5 import measured_fig5, measured_speedups, modelled_fig5
+from .figure6 import run_fig6a, run_fig6b
+from .records import ExperimentReport
+from .scenarios import FIG6A_SCENARIOS, FIG6B_SCENARIOS
+from .tables import occupancy_table, table1_hardware
+
+__all__ = ["run_all"]
+
+
+def run_all(
+    outdir: str,
+    scale: str = "standard",
+    fig6a_seeds: Sequence[int] = (0, 1, 2),
+    fig6b_scale: Optional[str] = None,
+    fig6b_seeds_cpu: Sequence[int] = (100, 101),
+    fig6b_seeds_gpu: Sequence[int] = (200, 201),
+    fig5_scenarios: Sequence[int] = (1, 5, 10, 15, 20),
+    fig5_steps: Optional[int] = None,
+    fig5_scale: Optional[str] = None,
+    fig6a_scenarios: Sequence[int] = FIG6A_SCENARIOS,
+    fig6b_scenarios: Sequence[int] = FIG6B_SCENARIOS,
+    verbose: bool = True,
+) -> ExperimentReport:
+    """Run the full harness; returns the report (also serialised to disk)."""
+    os.makedirs(outdir, exist_ok=True)
+    report = ExperimentReport(scale=scale)
+    t0 = time.perf_counter()
+
+    def log(msg: str) -> None:
+        if verbose:
+            print(f"[{time.perf_counter() - t0:7.1f}s] {msg}", flush=True)
+
+    # ------------------------------------------------------------------
+    log("Table I: hardware registry")
+    with open(os.path.join(outdir, "table1_hardware.txt"), "w") as fh:
+        fh.write(table1_hardware() + "\n\n")
+        fh.write(occupancy_table() + "\n")
+
+    # ------------------------------------------------------------------
+    log("Fig 5a-c (modelled): pricing the paper sweep through the cost models")
+    report.fig5_modelled = modelled_fig5()
+    write_text_table(
+        os.path.join(outdir, "fig5_modelled.txt"),
+        {
+            "total_agents": [r.total_agents for r in report.fig5_modelled],
+            "lem_gpu_s": [r.lem_gpu_seconds for r in report.fig5_modelled],
+            "aco_gpu_s": [r.aco_gpu_seconds for r in report.fig5_modelled],
+            "aco_cpu_s": [r.aco_cpu_seconds for r in report.fig5_modelled],
+            "speedup": [r.speedup for r in report.fig5_modelled],
+        },
+        header_comment="Fig 5a-c, modelled at paper scale (480x480, 25k steps)",
+    )
+
+    log("Fig 5a-c (measured): timing the engines on scaled scenarios")
+    fig5_scale = fig5_scale or ("quick" if scale in ("paper", "standard") else scale)
+    report.fig5_measured = measured_fig5(
+        scenario_indices=fig5_scenarios, scale=fig5_scale, steps=fig5_steps
+    )
+    write_text_table(
+        os.path.join(outdir, "fig5_measured.txt"),
+        {
+            "scenario": [r.scenario_index for r in report.fig5_measured],
+            "total_agents": [r.total_agents for r in report.fig5_measured],
+            "model_is_aco": [1 if r.model == "aco" else 0 for r in report.fig5_measured],
+            "engine_is_vec": [
+                1 if r.engine == "vectorized" else 0 for r in report.fig5_measured
+            ],
+            "wall_s": [r.wall_seconds for r in report.fig5_measured],
+        },
+        header_comment=f"Fig 5 measured wall times (scale={fig5_scale})",
+    )
+
+    # ------------------------------------------------------------------
+    log(f"Fig 6a: LEM vs ACO throughput sweep at scale={scale!r}")
+    fig6a = run_fig6a(scale=scale, scenario_indices=fig6a_scenarios, seeds=fig6a_seeds)
+    report.fig6a = fig6a.rows
+    report.fig6a_overall_gain = fig6a.overall_gain
+    write_text_table(
+        os.path.join(outdir, "fig6a_throughput.txt"),
+        {
+            "scenario": [r.scenario_index for r in fig6a.rows],
+            "total_agents": [r.total_agents for r in fig6a.rows],
+            "lem": [r.lem_throughput for r in fig6a.rows],
+            "aco": [r.aco_throughput for r in fig6a.rows],
+        },
+        header_comment=(
+            f"Fig 6a at scale={scale}; overall ACO gain "
+            f"{fig6a.overall_gain:+.1%} (paper: +39.6%)"
+        ),
+    )
+    chart = line_plot(
+        {
+            "LEM": [r.lem_throughput for r in fig6a.rows],
+            "ACO": [r.aco_throughput for r in fig6a.rows],
+        },
+        x=[r.scenario_index for r in fig6a.rows],
+        title=f"Fig 6a (scale={scale}): throughput vs scenario",
+        xlabel="scenario index (population = 2560k / divisor^2)",
+    )
+    with open(os.path.join(outdir, "fig6a_plot.txt"), "w") as fh:
+        fh.write(chart + "\n")
+    log(f"Fig 6a done: overall ACO gain {fig6a.overall_gain:+.1%}")
+
+    # ------------------------------------------------------------------
+    fig6b_scale = fig6b_scale or ("quick" if scale == "standard" else scale)
+    log(f"Fig 6b: CPU vs GPU platform validation at scale={fig6b_scale!r}")
+    fig6b = run_fig6b(
+        scale=fig6b_scale,
+        scenario_indices=fig6b_scenarios,
+        seeds_cpu=fig6b_seeds_cpu,
+        seeds_gpu=fig6b_seeds_gpu,
+    )
+    report.fig6b = fig6b.rows
+    report.fig6b_pvalue = fig6b.platform_p
+    write_text_table(
+        os.path.join(outdir, "fig6b_platforms.txt"),
+        {
+            "scenario": [r.scenario_index for r in fig6b.rows],
+            "total_agents": [r.total_agents for r in fig6b.rows],
+            "cpu": [r.cpu_throughput for r in fig6b.rows],
+            "gpu": [r.gpu_throughput for r in fig6b.rows],
+        },
+        header_comment=(
+            f"Fig 6b at scale={fig6b_scale}; GLM platform p-value "
+            f"{fig6b.platform_p:.4f} (paper: 0.6145)"
+        ),
+    )
+    with open(os.path.join(outdir, "fig6b_glm.txt"), "w") as fh:
+        fh.write(fig6b.glm.coef_table() + "\n")
+        fh.write(
+            f"\nplatform t = {fig6b.platform_t:.4f}, p = {fig6b.platform_p:.4f} "
+            f"(paper: p = 0.6145)\nWelch t-test p = {fig6b.welch_p:.4f}\n"
+        )
+    log(f"Fig 6b done: platform p = {fig6b.platform_p:.4f}")
+
+    # ------------------------------------------------------------------
+    speedups = measured_speedups(report.fig5_measured)
+    report.notes["measured_speedups"] = ", ".join(
+        f"{n}: {s:.1f}x" for n, s in speedups
+    )
+    write_json_record(os.path.join(outdir, "report.json"), report)
+    log("report written")
+    return report

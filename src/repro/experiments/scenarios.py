@@ -1,0 +1,113 @@
+"""The paper's scenario grid and its scaled-down realisations.
+
+Section VI: "The total number of pedestrians in the environment starts with
+2560 (1280 in each side), and is increased by 2560 pedestrians for each
+simulation instance up to 102,400 pedestrian in total" — 40 scenarios on
+the fixed 480x480 grid with 25,000 steps. Figure 6a uses the first 20
+(beyond 51,200 agents the throughput is insignificant); Figure 6b's GLM
+uses scenarios 11..30 of the full 40 ("we suppress the first 10 and the
+last 10").
+
+Paper-scale runs are priced through the cost models; *measured* runs use
+the scaled grids below (constant density, diffusive time scaling — see
+:meth:`repro.config.SimulationConfig.scaled`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import SimulationConfig, paper_config
+from ..errors import ExperimentError
+
+__all__ = [
+    "AGENT_INCREMENT",
+    "N_PAPER_SCENARIOS",
+    "FIG6A_SCENARIOS",
+    "FIG6B_SCENARIOS",
+    "ScenarioSpec",
+    "ScaleSpec",
+    "SCALES",
+    "paper_scenarios",
+    "scenario_config",
+]
+
+#: Agents added per scenario (Section VI).
+AGENT_INCREMENT = 2560
+#: Total scenarios in the paper's sweep (2,560 .. 102,400).
+N_PAPER_SCENARIOS = 40
+#: Scenario indices shown in Figure 6a.
+FIG6A_SCENARIOS = tuple(range(1, 21))
+#: Scenario indices entering the Figure 6b GLM (middle 20 of 40).
+FIG6B_SCENARIOS = tuple(range(11, 31))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One point of the paper's population sweep."""
+
+    index: int  # 1-based scenario number
+    total_agents: int
+
+    @property
+    def per_side(self) -> int:
+        """Agents per group."""
+        return self.total_agents // 2
+
+    @property
+    def density(self) -> float:
+        """Initial occupancy on the paper's 480x480 grid."""
+        return self.total_agents / (480.0 * 480.0)
+
+
+def paper_scenarios(count: int = N_PAPER_SCENARIOS) -> List[ScenarioSpec]:
+    """The first ``count`` scenarios of the paper sweep."""
+    if not (1 <= count <= N_PAPER_SCENARIOS):
+        raise ExperimentError(
+            f"count must be in [1, {N_PAPER_SCENARIOS}], got {count}"
+        )
+    return [ScenarioSpec(k, AGENT_INCREMENT * k) for k in range(1, count + 1)]
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """A named grid scale for measured experiments."""
+
+    name: str
+    divisor: int
+    description: str
+
+    def apply(self, config: SimulationConfig) -> SimulationConfig:
+        """Scale a paper-sized configuration down to this grid."""
+        if self.divisor == 1:
+            return config
+        return config.scaled(self.divisor, time_scaling="diffusive")
+
+
+#: Registry of measurement scales. "standard" is what EXPERIMENTS.md
+#: records (80x80, 694 steps); "quick" keeps pytest benchmarks fast;
+#: "tiny" is for smoke tests.
+SCALES: Dict[str, ScaleSpec] = {
+    "paper": ScaleSpec("paper", 1, "480x480, 25,000 steps (cost-model pricing only)"),
+    "standard": ScaleSpec("standard", 6, "80x80, 694 steps (EXPERIMENTS.md runs)"),
+    "quick": ScaleSpec("quick", 10, "48x48, 250 steps (benchmarks)"),
+    "tiny": ScaleSpec("tiny", 20, "24x24, 62 steps (smoke tests)"),
+}
+
+
+def scenario_config(
+    scenario: ScenarioSpec,
+    model: str = "lem",
+    scale: str = "standard",
+    seed: int = 0,
+) -> SimulationConfig:
+    """Build the scaled :class:`SimulationConfig` for one scenario."""
+    try:
+        spec = SCALES[scale]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+        ) from None
+    cfg = paper_config(scenario.total_agents, model, seed=seed)
+    return spec.apply(cfg)

@@ -1,0 +1,11 @@
+"""Extensions implementing the paper's Section VII future-work items.
+
+* :class:`PanicAlarm` — crisis-mode model swap at a trigger step;
+* heterogeneous velocities live in the core config
+  (``SimulationConfig.slow_fraction`` / ``slow_period``) because they gate
+  the engines' tour-construction stage directly.
+"""
+
+from .panic import PanicAlarm, panic_variant
+
+__all__ = ["PanicAlarm", "panic_variant"]

@@ -1,0 +1,35 @@
+"""Grid substrate: environment matrices, neighbourhoods, distances, placement."""
+
+from .distance import MIN_DISTANCE, DistanceTable, build_distance_tables
+from .environment import Environment
+from .neighborhood import (
+    ABSOLUTE_OFFSETS,
+    SLOT_OFFSETS,
+    STEP_COSTS,
+    absolute_offsets_array,
+    offsets_array,
+    slot_offsets,
+    step_cost,
+)
+from .obstacles import ObstacleSpec, bottleneck_mask, pillars_mask, rects_mask
+from .placement import band_cells, place_groups
+
+__all__ = [
+    "Environment",
+    "DistanceTable",
+    "build_distance_tables",
+    "MIN_DISTANCE",
+    "SLOT_OFFSETS",
+    "ABSOLUTE_OFFSETS",
+    "STEP_COSTS",
+    "slot_offsets",
+    "offsets_array",
+    "absolute_offsets_array",
+    "step_cost",
+    "place_groups",
+    "band_cells",
+    "ObstacleSpec",
+    "bottleneck_mask",
+    "pillars_mask",
+    "rects_mask",
+]

@@ -1,0 +1,94 @@
+"""Direction-relative neighbourhood geometry (paper Figure 1).
+
+The paper numbers the eight Moore neighbours 1..8 relative to the agent's
+direction of travel: slot 1 is the forward cell, 2/3 the forward diagonals,
+4/5 the laterals, 6 the backward cell, 7/8 the backward diagonals. A TOP
+agent moves toward increasing rows; a BOTTOM agent's frame is the TOP frame
+rotated 180 degrees, so the two groups are exactly symmetric.
+
+This module also fixes the *absolute* neighbour ordering used by the
+movement stage's scatter-to-gather (which is a property of the cell, not of
+any agent's heading).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from ..types import Group, N_NEIGHBOR_SLOTS
+
+__all__ = [
+    "SLOT_OFFSETS",
+    "ABSOLUTE_OFFSETS",
+    "STEP_COSTS",
+    "slot_offsets",
+    "step_cost",
+    "offsets_array",
+    "absolute_offsets_array",
+]
+
+# Relative (drow, dcol) for slots 1..8, TOP frame (forward = +row).
+_TOP_OFFSETS = (
+    (1, 0),    # 1 forward
+    (1, -1),   # 2 forward-left
+    (1, 1),    # 3 forward-right
+    (0, -1),   # 4 left
+    (0, 1),    # 5 right
+    (-1, 0),   # 6 backward
+    (-1, -1),  # 7 backward-left
+    (-1, 1),   # 8 backward-right
+)
+
+# BOTTOM frame: 180-degree rotation of the TOP frame.
+_BOTTOM_OFFSETS = tuple((-dr, -dc) for (dr, dc) in _TOP_OFFSETS)
+
+#: Slot offsets per group: ``SLOT_OFFSETS[group][slot - 1] -> (drow, dcol)``.
+SLOT_OFFSETS: Dict[Group, tuple] = {
+    Group.TOP: _TOP_OFFSETS,
+    Group.BOTTOM: _BOTTOM_OFFSETS,
+}
+
+#: Absolute (heading-independent) Moore offsets in the fixed gather order
+#: used by the movement stage: NW, N, NE, W, E, SW, S, SE.
+ABSOLUTE_OFFSETS = (
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+)
+
+#: Euclidean length of a move into each slot (same for both frames):
+#: 1 for orthogonal slots, sqrt(2) for diagonal slots. This is the paper's
+#: constant-memory table of tour-length increments.
+STEP_COSTS = tuple(
+    math.sqrt(dr * dr + dc * dc) for (dr, dc) in _TOP_OFFSETS
+)
+
+
+def slot_offsets(group: Group) -> tuple:
+    """Return the 8 ``(drow, dcol)`` offsets for ``group``, slot order 1..8."""
+    return SLOT_OFFSETS[Group(group)]
+
+
+def step_cost(slot: int) -> float:
+    """Tour-length increment for a move into 1-based ``slot``."""
+    if not (1 <= slot <= N_NEIGHBOR_SLOTS):
+        raise ValueError(f"slot must be in 1..{N_NEIGHBOR_SLOTS}, got {slot}")
+    return STEP_COSTS[slot - 1]
+
+
+def offsets_array(group: Group) -> np.ndarray:
+    """Slot offsets as an ``(8, 2)`` int64 array (rows: slots 1..8)."""
+    return np.array(slot_offsets(group), dtype=np.int64)
+
+
+def absolute_offsets_array() -> np.ndarray:
+    """Absolute gather offsets as an ``(8, 2)`` int64 array."""
+    return np.array(ABSOLUTE_OFFSETS, dtype=np.int64)

@@ -1,0 +1,111 @@
+"""Static obstacle layouts.
+
+The paper's motivation includes cross-walks and mass-gathering venues,
+which are never empty rectangles; this module provides the standard
+pedestrian-dynamics fixtures — a mid-corridor **bottleneck** wall with a
+gap, a field of **pillars**, and arbitrary rectangular walls — as frozen,
+hashable specs that :class:`repro.config.SimulationConfig` can carry.
+
+Obstacle cells read as occupied to every kernel (scan candidates, movement
+destinations, halo loads), so no engine needs obstacle-specific logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ObstacleSpec", "bottleneck_mask", "pillars_mask", "rects_mask"]
+
+
+def bottleneck_mask(
+    height: int, width: int, gap: int, thickness: int = 1, wall_row: int = None
+) -> np.ndarray:
+    """A wall across the corridor with a centred gap of ``gap`` cells."""
+    if not (1 <= gap <= width):
+        raise ConfigurationError(f"gap must be in [1, {width}], got {gap}")
+    if thickness < 1:
+        raise ConfigurationError(f"thickness must be >= 1, got {thickness}")
+    row = height // 2 if wall_row is None else int(wall_row)
+    if not (0 <= row and row + thickness <= height):
+        raise ConfigurationError(
+            f"wall rows [{row}, {row + thickness}) outside grid of height {height}"
+        )
+    mask = np.zeros((height, width), dtype=bool)
+    gap_lo = (width - gap) // 2
+    mask[row : row + thickness, :gap_lo] = True
+    mask[row : row + thickness, gap_lo + gap :] = True
+    return mask
+
+
+def pillars_mask(
+    height: int, width: int, spacing: int = 8, size: int = 2, band: float = 0.5
+) -> np.ndarray:
+    """A regular field of square pillars in the central ``band`` of rows."""
+    if spacing < size + 1:
+        raise ConfigurationError(
+            f"spacing ({spacing}) must exceed pillar size ({size})"
+        )
+    if not (0.0 < band <= 1.0):
+        raise ConfigurationError(f"band must be in (0, 1], got {band}")
+    mask = np.zeros((height, width), dtype=bool)
+    r_lo = int(height * (0.5 - band / 2))
+    r_hi = int(height * (0.5 + band / 2))
+    for r0 in range(r_lo, max(r_lo + 1, r_hi - size + 1), spacing):
+        for c0 in range(spacing // 2, width - size + 1, spacing):
+            mask[r0 : r0 + size, c0 : c0 + size] = True
+    return mask
+
+
+def rects_mask(height: int, width: int, rects: Tuple[Tuple[int, int, int, int], ...]) -> np.ndarray:
+    """Walls from half-open rectangles ``(row0, col0, row1, col1)``."""
+    mask = np.zeros((height, width), dtype=bool)
+    for r0, c0, r1, c1 in rects:
+        if not (0 <= r0 < r1 <= height and 0 <= c0 < c1 <= width):
+            raise ConfigurationError(
+                f"rect {(r0, c0, r1, c1)} outside {height}x{width} grid"
+            )
+        mask[r0:r1, c0:c1] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class ObstacleSpec:
+    """Hashable obstacle description carried by a simulation config.
+
+    ``kind`` selects the layout: ``"bottleneck"`` (uses gap/thickness/
+    wall_row), ``"pillars"`` (spacing/size/band) or ``"rects"`` (rects).
+    """
+
+    kind: str
+    gap: int = 8
+    thickness: int = 1
+    wall_row: int = None
+    spacing: int = 8
+    size: int = 2
+    band: float = 0.5
+    rects: Tuple[Tuple[int, int, int, int], ...] = field(default_factory=tuple)
+
+    def validate(self) -> None:
+        """Check the kind; geometric limits are checked against the grid."""
+        if self.kind not in ("bottleneck", "pillars", "rects"):
+            raise ConfigurationError(
+                f"obstacle kind must be bottleneck/pillars/rects, got {self.kind!r}"
+            )
+        if self.kind == "rects" and not self.rects:
+            raise ConfigurationError("rects obstacle spec needs at least one rect")
+
+    def build(self, height: int, width: int) -> np.ndarray:
+        """Materialise the boolean mask for a grid."""
+        self.validate()
+        if self.kind == "bottleneck":
+            return bottleneck_mask(
+                height, width, self.gap, self.thickness, self.wall_row
+            )
+        if self.kind == "pillars":
+            return pillars_mask(height, width, self.spacing, self.size, self.band)
+        return rects_mask(height, width, tuple(self.rects))

@@ -1,0 +1,22 @@
+"""I/O: text-table recording (paper data flow), ASCII plots, grid rendering."""
+
+from .asciiplot import bar_chart, line_plot
+from .recorder import (
+    read_json_record,
+    read_text_table,
+    write_json_record,
+    write_text_table,
+)
+from .render import render_density, render_engine, render_grid
+
+__all__ = [
+    "write_text_table",
+    "read_text_table",
+    "write_json_record",
+    "read_json_record",
+    "line_plot",
+    "bar_chart",
+    "render_grid",
+    "render_density",
+    "render_engine",
+]

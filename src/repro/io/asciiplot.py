@@ -1,0 +1,100 @@
+"""Terminal line plots.
+
+Offline stand-in for the paper's MATLAB figures: multi-series scatter/line
+charts rendered with unicode block characters, used by the experiment
+drivers and examples so every figure is viewable in a terminal and
+reproducible in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    x: Optional[Sequence[float]] = None,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named y-series against a shared x-axis as ASCII art.
+
+    Returns the chart as a string (print it). Each series gets a marker
+    from ``oxX+*...``; the legend maps markers to names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    ys = {k: np.asarray(v, dtype=np.float64).ravel() for k, v in series.items()}
+    n = max(v.size for v in ys.values())
+    if n == 0:
+        raise ValueError("series are empty")
+    xs = (
+        np.asarray(x, dtype=np.float64).ravel()
+        if x is not None
+        else np.arange(n, dtype=np.float64)
+    )
+    finite_vals = np.concatenate([v[np.isfinite(v)] for v in ys.values()])
+    if finite_vals.size == 0:
+        raise ValueError("no finite values to plot")
+    y_lo, y_hi = float(finite_vals.min()), float(finite_vals.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (name, yv) in enumerate(ys.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for i in range(min(yv.size, xs.size)):
+            if not np.isfinite(yv[i]):
+                continue
+            cx = int(round((xs[i] - x_lo) / (x_hi - x_lo) * (width - 1)))
+            cy = int(round((yv[i] - y_lo) / (y_hi - y_lo) * (height - 1)))
+            canvas[height - 1 - cy][cx] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 12))
+    for r, row in enumerate(canvas):
+        y_val = y_hi - (y_hi - y_lo) * r / (height - 1)
+        lines.append(f"{y_val:>10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11s} {x_lo:<.4g}{'':^{max(1, width - 16)}}{x_hi:>.4g}")
+    if xlabel:
+        lines.append(xlabel.center(width + 12))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(ys)
+    )
+    lines.append(legend.center(width + 12))
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bar chart."""
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0 or len(labels) != vals.size:
+        raise ValueError("labels and values must be equal-length and non-empty")
+    peak = float(np.max(np.abs(vals))) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, vals):
+        bar = "#" * int(round(abs(v) / peak * width))
+        lines.append(f"{str(label):>{label_w}s} | {bar} {v:.4g}")
+    return "\n".join(lines)

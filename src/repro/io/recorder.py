@@ -1,0 +1,107 @@
+"""Result recording.
+
+The paper records simulation data "into text files and MATLAB is used for
+plotting"; this module reproduces that data flow with whitespace-delimited
+text tables (MATLAB ``load``-compatible), JSON for structured records, and
+round-trip readers used by the experiment harness and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "write_text_table",
+    "read_text_table",
+    "write_json_record",
+    "read_json_record",
+]
+
+
+def write_text_table(
+    path: str,
+    columns: Dict[str, Sequence],
+    header_comment: str = "",
+) -> None:
+    """Write named columns as a whitespace-delimited text table.
+
+    The header line is a ``#`` comment listing the column names (MATLAB's
+    ``load`` skips it with ``importdata``; NumPy's ``loadtxt`` skips ``#``
+    natively).
+    """
+    names = list(columns)
+    if not names:
+        raise ValueError("need at least one column")
+    arrays = [np.asarray(columns[n]).ravel() for n in names]
+    length = arrays[0].size
+    for name, arr in zip(names, arrays):
+        if arr.size != length:
+            raise ValueError(
+                f"column {name!r} has {arr.size} rows, expected {length}"
+            )
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        if header_comment:
+            for line in header_comment.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write("# " + " ".join(names) + "\n")
+        for i in range(length):
+            fh.write(" ".join(_fmt(arr[i]) for arr in arrays) + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, (np.floating, float)):
+        return f"{float(value):.10g}"
+    return str(value)
+
+
+def read_text_table(path: str) -> Dict[str, np.ndarray]:
+    """Read a table written by :func:`write_text_table`."""
+    names: List[str] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        comment_lines = []
+        for line in fh:
+            if line.startswith("#"):
+                comment_lines.append(line[1:].strip())
+            else:
+                break
+    if not comment_lines:
+        raise ValueError(f"{path} has no header comment with column names")
+    names = comment_lines[-1].split()
+    data = np.loadtxt(path, ndmin=2)
+    if data.shape[1] != len(names):
+        raise ValueError(
+            f"{path}: {data.shape[1]} data columns but {len(names)} names"
+        )
+    return {name: data[:, i] for i, name in enumerate(names)}
+
+
+def write_json_record(path: str, record) -> None:
+    """Write a dataclass or dict as pretty JSON (numpy-safe)."""
+    if is_dataclass(record) and not isinstance(record, type):
+        record = asdict(record)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, default=_json_default)
+        fh.write("\n")
+
+
+def _json_default(obj):
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"cannot serialise {type(obj)!r}")
+
+
+def read_json_record(path: str) -> dict:
+    """Read a JSON record written by :func:`write_json_record`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

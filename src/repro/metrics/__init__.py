@@ -1,0 +1,23 @@
+"""Crowd metrics: throughput, flow, lanes, gridlock and efficiency."""
+
+from .efficiency import EfficiencyReport, detour_factor, efficiency_report
+from .flow import FlowRecorder, midline_flux, row_density_profile
+from .gridlock import GridlockDetector, is_gridlocked
+from .lanes import band_segregation, column_occupancies, lane_order_parameter
+from .throughput import ThroughputSummary, ThroughputTracker
+
+__all__ = [
+    "ThroughputTracker",
+    "ThroughputSummary",
+    "FlowRecorder",
+    "row_density_profile",
+    "midline_flux",
+    "lane_order_parameter",
+    "column_occupancies",
+    "band_segregation",
+    "GridlockDetector",
+    "is_gridlocked",
+    "detour_factor",
+    "EfficiencyReport",
+    "efficiency_report",
+]

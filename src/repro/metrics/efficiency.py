@@ -1,0 +1,65 @@
+"""Movement efficiency metrics.
+
+"Least effort" is the paper's organising idea; these metrics quantify it:
+the detour factor compares each crossed agent's accumulated tour length
+with the straight-line distance it had to cover, and the mean tour length
+feeds the eq. 5 deposits' sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..engine.base import BaseEngine
+from ..types import Group
+
+__all__ = ["detour_factor", "EfficiencyReport", "efficiency_report"]
+
+
+def detour_factor(engine: BaseEngine, group: Optional[Group] = None) -> float:
+    """Mean ratio of tour length *at crossing* to the expected straight path.
+
+    The tour length is captured when each agent first enters the opposite
+    band (wall jiggling after arrival does not count as detour). The
+    straight-path reference is the crossing distance of the band's mean
+    starting row: ``height - cross_rows - (band_rows - 1) / 2``. A factor
+    of ~1.0 means straight least-effort crossings. Returns ``nan`` when
+    nothing crossed.
+    """
+    pop = engine.pop
+    cfg = engine.config
+    mask = pop.crossed.copy()
+    if group is not None:
+        mask &= pop.group_mask(group)
+    mask[0] = False
+    if not np.any(mask):
+        return float("nan")
+    min_distance = max(1.0, cfg.height - cfg.cross_rows - (cfg.band_rows - 1) / 2.0)
+    return float(np.mean(pop.crossed_tour[mask] / min_distance))
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Aggregate efficiency figures for one finished run."""
+
+    mean_tour_crossed: float
+    mean_tour_all: float
+    detour_factor: float
+    crossed_fraction: float
+
+
+def efficiency_report(engine: BaseEngine) -> EfficiencyReport:
+    """Build an :class:`EfficiencyReport` from a finished engine."""
+    pop = engine.pop
+    crossed = pop.crossed.copy()
+    crossed[0] = False
+    tours = pop.tour[1:]
+    return EfficiencyReport(
+        mean_tour_crossed=float(pop.crossed_tour[crossed].mean()) if crossed.any() else float("nan"),
+        mean_tour_all=float(tours.mean()) if tours.size else float("nan"),
+        detour_factor=detour_factor(engine),
+        crossed_fraction=pop.crossed_count() / pop.n_agents,
+    )

@@ -1,0 +1,111 @@
+"""Modified Ant Colony Optimization / Ant System (paper eq. 2-5).
+
+Tour construction uses the random proportional rule restricted to the empty
+neighbour cells:
+
+    P_ij = tau_ij^alpha * eta_ij^beta / sum_l tau_il^alpha * eta_il^beta
+
+with the TSP distance heuristic replaced by the distance of the neighbour
+cell from the target end row: ``eta = 1 / D_i``. The scan matrix stores the
+numerator per slot; the tour-construction kernel performs the row reduction
+(the denominator) and samples the slot. Pheromone evaporation/deposition
+live in :class:`repro.models.pheromone.PheromoneField` and are driven by the
+engines' movement stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..rng import PhiloxKeyedRNG, Stream, categorical_from_cumsum
+from .base import MovementModel
+from .mathops import fast_pow, fast_pow_scalar
+from .params import ACOParams
+
+__all__ = ["ACOModel", "aco_numerators"]
+
+
+def aco_numerators(
+    dist: np.ndarray,
+    candidates: np.ndarray,
+    tau: np.ndarray,
+    alpha: float,
+    beta: float,
+) -> np.ndarray:
+    """Eq. 2 numerators ``tau^alpha * (1/D)^beta`` for a batch: ``(n, 8)``.
+
+    Non-candidate slots are exactly 0. Out-of-bounds slots carry
+    ``D = inf`` so their heuristic vanishes even before masking.
+    """
+    with np.errstate(divide="ignore"):
+        eta = 1.0 / np.asarray(dist, dtype=np.float64)
+    value = fast_pow(np.asarray(tau, dtype=np.float64), alpha) * fast_pow(eta, beta)
+    return np.where(candidates, value, 0.0)
+
+
+class ACOModel(MovementModel):
+    """Modified Ant System decision kernel for pedestrian movement."""
+
+    name = "aco"
+    uses_pheromone = True
+
+    def __init__(self, params: ACOParams) -> None:
+        super().__init__(params)
+        self.alpha = float(params.alpha)
+        self.beta = float(params.beta)
+
+    def scan_values(
+        self,
+        dist: np.ndarray,
+        candidates: np.ndarray,
+        tau: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The ACO scan matrix stores the eq. 2 numerator per slot."""
+        if tau is None:
+            raise ValueError("ACO scan requires the pheromone gather (tau)")
+        return aco_numerators(dist, candidates, tau, self.alpha, self.beta)
+
+    def select(
+        self,
+        scan: np.ndarray,
+        rng: PhiloxKeyedRNG,
+        step: int,
+        lanes: np.ndarray,
+    ) -> np.ndarray:
+        """Random-proportional-rule sampling over the scanned numerators.
+
+        The cumulative sum along the slot axis is the kernel's reduction
+        (the eq. 2 denominator is its last element); the keyed uniform picks
+        the slot by inverse CDF.
+        """
+        cumsum = np.cumsum(scan, axis=1)
+        u = rng.uniform(Stream.ACO_SELECT, step, lanes)
+        return categorical_from_cumsum(cumsum, u)
+
+    # ------------------------------------------------------------------
+    # Scalar path (sequential engine)
+    # ------------------------------------------------------------------
+    def scalar_prepare(self, rng: PhiloxKeyedRNG, step: int, n_agents: int) -> dict:
+        lanes = np.arange(n_agents + 1, dtype=np.uint64)
+        return {"u": rng.uniform(Stream.ACO_SELECT, step, lanes).tolist()}
+
+    def scan_value_scalar(self, dist: float, tau: float) -> float:
+        eta = 1.0 / dist
+        return fast_pow_scalar(tau, self.alpha) * fast_pow_scalar(eta, self.beta)
+
+    def select_scalar(self, scan_row, agent: int, variates: dict) -> int:
+        # Same left-to-right accumulation as np.cumsum along the slot axis.
+        total = 0.0
+        for s in range(8):
+            total = total + scan_row[s]
+        if total <= 0.0:
+            return -1
+        threshold = variates["u"][agent] * total
+        acc = 0.0
+        for s in range(8):
+            acc = acc + scan_row[s]
+            if acc >= threshold:
+                return s
+        return 7  # unreachable: the final acc equals total >= threshold

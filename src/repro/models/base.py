@@ -1,0 +1,145 @@
+"""Movement-model interface shared by all engines.
+
+A movement model answers two questions, mirroring the paper's kernel split:
+
+* :meth:`MovementModel.scan_values` — the *initial calculation phase*: what
+  goes into each agent's row of the scan matrix (eq. 1 inputs for the LEM,
+  the eq. 2 numerator for the ACO);
+* :meth:`MovementModel.select` — the *tour construction phase*: given the
+  scan row and keyed randomness, which neighbour slot the agent targets.
+
+Both methods are vectorized over agents of a single group. The sequential
+engine calls them with single-lane arrays; because the keyed RNG and every
+numeric operation are order-independent, the results are bit-identical to
+the vectorized engine's batched calls (see ``tests/test_engine_equivalence``).
+
+Slot indices here are 0-based (0 = forward); ``-1`` means "no move".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..rng import PhiloxKeyedRNG, Stream
+from .params import ACOParams, GreedyParams, LEMParams, ModelParams, RandomParams
+
+__all__ = ["MovementModel", "build_model", "tiebreak_slot_keys"]
+
+
+class MovementModel(abc.ABC):
+    """Abstract movement decision model for one agent group."""
+
+    #: Registry name, matches ``ModelParams.model_name``.
+    name: str = "base"
+    #: Whether the engine must maintain pheromone fields for this model.
+    uses_pheromone: bool = False
+
+    def __init__(self, params: ModelParams) -> None:
+        params.validate()
+        self.params = params
+
+    @abc.abstractmethod
+    def scan_values(
+        self,
+        dist: np.ndarray,
+        candidates: np.ndarray,
+        tau: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Scan-matrix content for a batch of agents.
+
+        Parameters
+        ----------
+        dist:
+            ``(n, 8)`` distances of each slot from the target
+            (:class:`repro.grid.DistanceTable` rows).
+        candidates:
+            ``(n, 8)`` bool — slot is in bounds *and* empty.
+        tau:
+            ``(n, 8)`` pheromone at the slot cells (ACO only).
+
+        Returns
+        -------
+        ``(n, 8)`` float64, zero at non-candidate slots.
+        """
+
+    @abc.abstractmethod
+    def select(
+        self,
+        scan: np.ndarray,
+        rng: PhiloxKeyedRNG,
+        step: int,
+        lanes: np.ndarray,
+    ) -> np.ndarray:
+        """Choose a 0-based slot per agent; ``-1`` where no candidate exists.
+
+        ``lanes`` are the agents' 1-based property-matrix indices, used as
+        RNG lanes so draws are independent of batch composition.
+        """
+
+    # ------------------------------------------------------------------
+    # Scalar API for the sequential engine
+    # ------------------------------------------------------------------
+    # The sequential engine replays the identical decision arithmetic with
+    # plain Python floats (IEEE-754 double, bit-compatible with NumPy's
+    # float64 element-wise operations). Random variates are pre-drawn once
+    # per step with the same keys the vectorized engine uses, so the two
+    # platforms consume identical randomness.
+
+    @abc.abstractmethod
+    def scalar_prepare(self, rng: PhiloxKeyedRNG, step: int, n_agents: int) -> dict:
+        """Pre-draw this step's per-agent variates for the scalar engine.
+
+        Returns a dict of Python lists indexed by the 1-based agent index
+        (entry 0 is the sentinel lane and unused).
+        """
+
+    @abc.abstractmethod
+    def scan_value_scalar(self, dist: float, tau: float) -> float:
+        """Scan-matrix entry for one *candidate* slot (scalar path)."""
+
+    @abc.abstractmethod
+    def select_scalar(self, scan_row, agent: int, variates: dict) -> int:
+        """Scalar counterpart of :meth:`select` for one agent.
+
+        ``scan_row`` is the agent's 8-entry scan row as a Python list;
+        returns the 0-based slot or -1.
+        """
+
+
+def tiebreak_slot_keys(
+    rng: PhiloxKeyedRNG, step: int, lanes: np.ndarray, n_slots: int = 8
+) -> np.ndarray:
+    """Per-agent slot ordering keys that break score ties without bias.
+
+    Slots tied on score are ordered by ``slot_number XOR b`` (1-based slot
+    numbers) with a random bit ``b`` per agent and step. The only slot sets
+    that can tie on distance are the left/right mirror pairs — 1-based
+    (2, 3), (4, 5) and (7, 8) — each of which differs exactly in the lowest
+    bit of the slot *number*, so flipping ``b`` uniformly de-biases the
+    left/right preference while staying deterministic for a given seed.
+    """
+    bits = rng.words(Stream.TIEBREAK, step, lanes)[0] & np.uint32(1)
+    slots = np.arange(1, n_slots + 1, dtype=np.int64)
+    return slots[None, :] ^ bits.astype(np.int64)[:, None]
+
+
+def build_model(params: ModelParams) -> MovementModel:
+    """Instantiate the movement model matching a parameter bundle."""
+    # Imported here to avoid import cycles (the implementations use the
+    # helpers defined above).
+    from .aco import ACOModel
+    from .lem import LEMModel
+    from .policies import GreedyModel, RandomModel
+
+    if isinstance(params, LEMParams):
+        return LEMModel(params)
+    if isinstance(params, ACOParams):
+        return ACOModel(params)
+    if isinstance(params, RandomParams):
+        return RandomModel(params)
+    if isinstance(params, GreedyParams):
+        return GreedyModel(params)
+    raise TypeError(f"no movement model registered for {type(params)!r}")

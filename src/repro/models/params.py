@@ -1,0 +1,198 @@
+"""Parameter bundles for the movement models.
+
+Kept dependency-free so that :mod:`repro.config` can import them without
+pulling in the model implementations (which need the grid substrate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ModelParams",
+    "LEMParams",
+    "ACOParams",
+    "RandomParams",
+    "GreedyParams",
+    "params_from_name",
+    "MODEL_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Base class for model parameter bundles.
+
+    Subclasses set :attr:`model_name`, the registry key used by engines and
+    the CLI to look up the model implementation.
+    """
+
+    model_name = "base"
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on invalid values."""
+
+    def replace(self, **changes) -> "ModelParams":
+        """Return a copy with ``changes`` applied (dataclass replace)."""
+        new = dataclasses.replace(self, **changes)
+        new.validate()
+        return new
+
+
+@dataclass(frozen=True)
+class LEMParams(ModelParams):
+    """Least Effort Model parameters (paper eq. 1 plus the selection draw).
+
+    The paper selects a cell using "a random number from a normal
+    distribution with negative numbers converted to zeroes and the numbers
+    more than the highest C_i rounded off to the highest C_i". ``mu`` and
+    ``sigma`` parameterise that normal; the unqualified "normal
+    distribution" reads as the standard normal, so the defaults are
+    ``mu = 0`` and ``sigma = 1``.
+
+    ``rule`` resolves the remaining ambiguity of how the clipped draw ``x``
+    indexes the ascending-ranked scores:
+
+    * ``"floor"`` (default) — take the cell with the *largest* ``C_i <= x``;
+      if every score exceeds ``x`` (in particular whenever the draw clips
+      to zero) the agent stays put. Waiting when blocked is the
+      least-effort behaviour, and it is what makes medium-density LEM
+      crowds jam the way the paper's Figure 6a shows.
+    * ``"ceil"`` — take the cell with the *smallest* ``C_i >= x``; the
+      agent always moves when an empty neighbour exists. Kept as an
+      ablation (see ``benchmarks/test_bench_ablations.py``).
+
+    Under both rules, draws at or above the top score select the cell
+    nearest the target, so "the agent probabilistically chooses the cell
+    nearest the target most of the time" among the cells it does choose.
+    """
+
+    model_name = "lem"
+
+    #: Mean of the selection normal (paper: standard normal).
+    mu: float = 0.0
+    #: Standard deviation of the selection normal.
+    sigma: float = 1.0
+    #: Rank-selection rule: "floor" (may stay put) or "ceil" (always moves).
+    rule: str = "floor"
+    #: Heuristic look-ahead in cells (Section VII extension; 1 = paper model).
+    scan_range: int = 1
+
+    def validate(self) -> None:
+        if not math.isfinite(self.mu):
+            raise ConfigurationError(f"LEM mu must be finite, got {self.mu}")
+        if not (self.sigma > 0 and math.isfinite(self.sigma)):
+            raise ConfigurationError(
+                f"LEM sigma must be positive and finite, got {self.sigma}"
+            )
+        if self.rule not in ("floor", "ceil"):
+            raise ConfigurationError(
+                f"LEM rule must be 'floor' or 'ceil', got {self.rule!r}"
+            )
+        if not (1 <= int(self.scan_range) <= 32):
+            raise ConfigurationError(
+                f"LEM scan_range must be in [1, 32], got {self.scan_range}"
+            )
+
+
+@dataclass(frozen=True)
+class ACOParams(ModelParams):
+    """Modified Ant System parameters (paper eq. 2-5).
+
+    ``alpha`` and ``beta`` weight the pheromone trail versus the distance
+    heuristic in the random proportional rule; ``rho`` is the evaporation
+    rate of eq. 3; ``deposit_q`` scales the ``Δτ = q / L_k`` deposit of
+    eq. 5 (the paper uses q = 1). ``tau0`` seeds the pheromone matrices and
+    ``tau_min``/``tau_max`` clamp the field for numerical hygiene (standard
+    MMAS-style guard; the paper relies on evaporation alone).
+    """
+
+    model_name = "aco"
+
+    #: Relative weight of the pheromone trail (paper α).
+    alpha: float = 1.0
+    #: Relative weight of the distance heuristic (paper β).
+    beta: float = 2.0
+    #: Pheromone evaporation rate ρ of eq. 3, in (0, 1].
+    rho: float = 0.02
+    #: Deposit scale q of eq. 5 (Δτ = q / L_k).
+    deposit_q: float = 1.0
+    #: Initial pheromone on every cell.
+    tau0: float = 0.1
+    #: Lower clamp of the pheromone field (keeps eq. 2 well defined).
+    tau_min: float = 1e-4
+    #: Upper clamp of the pheromone field.
+    tau_max: float = 1e3
+    #: Heuristic look-ahead in cells (Section VII extension; 1 = paper model).
+    scan_range: int = 1
+
+    def validate(self) -> None:
+        if not math.isfinite(self.alpha) or self.alpha < 0:
+            raise ConfigurationError(f"ACO alpha must be >= 0, got {self.alpha}")
+        if not math.isfinite(self.beta) or self.beta < 0:
+            raise ConfigurationError(f"ACO beta must be >= 0, got {self.beta}")
+        if not (0.0 < self.rho <= 1.0):
+            raise ConfigurationError(f"ACO rho must be in (0, 1], got {self.rho}")
+        if not (self.deposit_q > 0 and math.isfinite(self.deposit_q)):
+            raise ConfigurationError(
+                f"ACO deposit_q must be positive, got {self.deposit_q}"
+            )
+        if not (self.tau0 > 0 and math.isfinite(self.tau0)):
+            raise ConfigurationError(f"ACO tau0 must be positive, got {self.tau0}")
+        if not (0 < self.tau_min <= self.tau0 <= self.tau_max):
+            raise ConfigurationError(
+                "ACO pheromone clamps must satisfy 0 < tau_min <= tau0 <= tau_max, "
+                f"got tau_min={self.tau_min}, tau0={self.tau0}, tau_max={self.tau_max}"
+            )
+        if not (1 <= int(self.scan_range) <= 32):
+            raise ConfigurationError(
+                f"ACO scan_range must be in [1, 32], got {self.scan_range}"
+            )
+
+
+@dataclass(frozen=True)
+class RandomParams(ModelParams):
+    """Null baseline: uniform choice among empty neighbour cells."""
+
+    model_name = "random"
+
+
+@dataclass(frozen=True)
+class GreedyParams(ModelParams):
+    """Deterministic ablation of the LEM: always the nearest empty cell.
+
+    Ties between equally near cells are broken by the same random bit as the
+    LEM so the baseline stays direction-unbiased.
+    """
+
+    model_name = "greedy"
+
+
+#: Registry of known model names to their default parameter bundles.
+MODEL_NAMES = {
+    "lem": LEMParams,
+    "aco": ACOParams,
+    "random": RandomParams,
+    "greedy": GreedyParams,
+}
+
+
+def params_from_name(name: str) -> ModelParams:
+    """Return default parameters for a model name.
+
+    >>> params_from_name("lem").model_name
+    'lem'
+    """
+    try:
+        cls = MODEL_NAMES[name.strip().lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; expected one of {sorted(MODEL_NAMES)}"
+        ) from None
+    params = cls()
+    params.validate()
+    return params

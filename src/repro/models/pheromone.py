@@ -1,0 +1,89 @@
+"""Pheromone fields for the modified ACO (paper eq. 3-5).
+
+The paper keeps *two* pheromone matrices, one per group, each the size of
+``mat`` — an agent reads and reinforces only its own group's field, which is
+what lets same-direction flows organise into lanes. Evaporation (eq. 3) is
+applied uniformly every step; deposition (eq. 5) adds ``q / L_k`` on the
+cell an agent moves into, where ``L_k`` is that agent's tour length so far.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..types import Group
+from .params import ACOParams
+
+__all__ = ["PheromoneField"]
+
+
+class PheromoneField:
+    """Two per-group pheromone matrices with evaporation and deposit."""
+
+    def __init__(self, height: int, width: int, params: ACOParams) -> None:
+        self.height = int(height)
+        self.width = int(width)
+        self.params = params
+        self._fields: Dict[Group, np.ndarray] = {
+            g: np.full((height, width), params.tau0, dtype=np.float64)
+            for g in (Group.TOP, Group.BOTTOM)
+        }
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def field(self, group: Group) -> np.ndarray:
+        """The ``(H, W)`` pheromone matrix of ``group`` (live view)."""
+        return self._fields[Group(group)]
+
+    def value(self, group: Group, row: int, col: int) -> float:
+        """Scalar lookup used by the sequential engine."""
+        return float(self._fields[Group(group)][row, col])
+
+    # ------------------------------------------------------------------
+    # Updates (eq. 3 / eq. 5)
+    # ------------------------------------------------------------------
+    def evaporate(self) -> None:
+        """Apply ``tau <- (1 - rho) * tau`` to both fields, then clamp below."""
+        decay = 1.0 - self.params.rho
+        for field in self._fields.values():
+            field *= decay
+            np.maximum(field, self.params.tau_min, out=field)
+
+    def deposit(self, group: Group, rows, cols, amounts) -> None:
+        """Add ``amounts`` on cells ``(rows, cols)`` of ``group``'s field.
+
+        Destination cells of a movement stage are unique by construction
+        (one winner per cell) but ``np.add.at`` keeps this correct for any
+        caller that passes duplicates.
+        """
+        field = self._fields[Group(group)]
+        np.add.at(field, (np.asarray(rows), np.asarray(cols)), amounts)
+        np.minimum(field, self.params.tau_max, out=field)
+
+    def deposit_scalar(self, group: Group, row: int, col: int, amount: float) -> None:
+        """Single-cell deposit used by the sequential engine."""
+        field = self._fields[Group(group)]
+        field[row, col] = min(field[row, col] + amount, self.params.tau_max)
+
+    # ------------------------------------------------------------------
+    # Copies / comparison
+    # ------------------------------------------------------------------
+    def copy(self) -> "PheromoneField":
+        """Deep copy of both fields."""
+        other = PheromoneField(self.height, self.width, self.params)
+        for g in self._fields:
+            other._fields[g][...] = self._fields[g]
+        return other
+
+    def equals(self, other: "PheromoneField") -> bool:
+        """Exact equality of both fields."""
+        return all(
+            np.array_equal(self._fields[g], other._fields[g]) for g in self._fields
+        )
+
+    def totals(self) -> Dict[Group, float]:
+        """Total pheromone mass per group (diagnostics/tests)."""
+        return {g: float(f.sum()) for g, f in self._fields.items()}

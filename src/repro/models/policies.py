@@ -1,0 +1,137 @@
+"""Baseline movement policies.
+
+These are not in the paper's evaluation but serve as ablation anchors:
+
+* :class:`RandomModel` — uniform choice among empty neighbours; the
+  zero-intelligence floor any directed model must beat;
+* :class:`GreedyModel` — always the nearest empty cell; the LEM with its
+  randomness removed (sigma -> 0 limit), exposing how much the paper's
+  probabilistic selection matters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..rng import PhiloxKeyedRNG, Stream, categorical
+from .base import MovementModel, tiebreak_slot_keys
+from .lem import lem_scores, _EXCLUDED_KEY
+from .params import GreedyParams, RandomParams
+
+__all__ = ["RandomModel", "GreedyModel"]
+
+
+class RandomModel(MovementModel):
+    """Uniform random choice among the empty neighbour cells."""
+
+    name = "random"
+    uses_pheromone = False
+
+    def __init__(self, params: RandomParams) -> None:
+        super().__init__(params)
+
+    def scan_values(
+        self,
+        dist: np.ndarray,
+        candidates: np.ndarray,
+        tau: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Indicator weights: 1 for each empty neighbour."""
+        return candidates.astype(np.float64)
+
+    def select(
+        self,
+        scan: np.ndarray,
+        rng: PhiloxKeyedRNG,
+        step: int,
+        lanes: np.ndarray,
+    ) -> np.ndarray:
+        u = rng.uniform(Stream.RANDOM_POLICY, step, lanes)
+        return categorical(scan, u)
+
+    # Scalar path -------------------------------------------------------
+    def scalar_prepare(self, rng: PhiloxKeyedRNG, step: int, n_agents: int) -> dict:
+        lanes = np.arange(n_agents + 1, dtype=np.uint64)
+        return {"u": rng.uniform(Stream.RANDOM_POLICY, step, lanes).tolist()}
+
+    def scan_value_scalar(self, dist: float, tau: float) -> float:
+        return 1.0
+
+    def select_scalar(self, scan_row, agent: int, variates: dict) -> int:
+        total = 0.0
+        for s in range(8):
+            total = total + scan_row[s]
+        if total <= 0.0:
+            return -1
+        threshold = variates["u"][agent] * total
+        acc = 0.0
+        for s in range(8):
+            acc = acc + scan_row[s]
+            if acc >= threshold:
+                return s
+        return 7  # unreachable: final acc equals total >= threshold
+
+
+class GreedyModel(MovementModel):
+    """Deterministic nearest-cell choice (LEM with the randomness removed)."""
+
+    name = "greedy"
+    uses_pheromone = False
+
+    def __init__(self, params: GreedyParams) -> None:
+        super().__init__(params)
+
+    def scan_values(
+        self,
+        dist: np.ndarray,
+        candidates: np.ndarray,
+        tau: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Same scan content as the LEM: candidate distances."""
+        return np.where(candidates, dist, 0.0)
+
+    def select(
+        self,
+        scan: np.ndarray,
+        rng: PhiloxKeyedRNG,
+        step: int,
+        lanes: np.ndarray,
+    ) -> np.ndarray:
+        candidates = scan > 0.0
+        scores = lem_scores(scan, candidates)
+        c_max = scores.max(axis=1)
+        best = candidates & (scores == c_max[:, None])
+        keys = np.where(best, tiebreak_slot_keys(rng, step, lanes), _EXCLUDED_KEY)
+        slot = keys.argmin(axis=1).astype(np.int64)
+        has_candidate = candidates.any(axis=1)
+        return np.where(has_candidate, slot, -1)
+
+    # Scalar path -------------------------------------------------------
+    def scalar_prepare(self, rng: PhiloxKeyedRNG, step: int, n_agents: int) -> dict:
+        lanes = np.arange(n_agents + 1, dtype=np.uint64)
+        bits = rng.words(Stream.TIEBREAK, step, lanes)[0] & np.uint32(1)
+        return {"tie": bits.astype(np.int64).tolist()}
+
+    def scan_value_scalar(self, dist: float, tau: float) -> float:
+        return dist
+
+    def select_scalar(self, scan_row, agent: int, variates: dict) -> int:
+        dmin = float("inf")
+        for s in range(8):
+            v = scan_row[s]
+            if 0.0 < v < dmin:
+                dmin = v
+        if dmin == float("inf"):
+            return -1
+        b = variates["tie"][agent]
+        best = -1
+        best_key = _EXCLUDED_KEY
+        for s in range(8):
+            if scan_row[s] == dmin:
+                key = (s + 1) ^ b
+                if key < best_key:
+                    best = s
+                    best_key = key
+        return best

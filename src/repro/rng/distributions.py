@@ -1,0 +1,84 @@
+"""Distribution transforms built on raw uniform words.
+
+These helpers are deliberately small and allocation-light; the simulation's
+hot paths call them every step. All of them are pure functions of their
+inputs so they behave identically in the scalar and vectorized engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "box_muller",
+    "clip_lem_draw",
+    "categorical_from_cumsum",
+    "categorical",
+]
+
+
+def box_muller(u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
+    """Standard normal via the Box-Muller transform.
+
+    Used for statistics and workload generation. The simulation's LEM
+    selection uses :meth:`repro.rng.philox.PhiloxKeyedRNG.normal12` instead,
+    because Box-Muller's ``log``/``cos`` are not guaranteed bit-identical
+    between scalar and SIMD code paths.
+    """
+    u1 = np.asarray(u1, dtype=np.float64)
+    u2 = np.asarray(u2, dtype=np.float64)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def clip_lem_draw(z, mu: float, sigma: float, c_max) -> np.ndarray:
+    """The paper's LEM draw post-processing.
+
+    ``x = mu + sigma * z`` with "negative numbers converted to zeroes and
+    the numbers more than the highest C_i rounded off to the highest C_i".
+    ``c_max`` may be a scalar or per-lane array.
+    """
+    x = mu + sigma * np.asarray(z, dtype=np.float64)
+    return np.clip(x, 0.0, c_max)
+
+
+def categorical_from_cumsum(cumsum: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Sample indices from per-lane cumulative weights.
+
+    Parameters
+    ----------
+    cumsum:
+        ``(n, k)`` cumulative weights along axis 1 (strictly the output of
+        a left-to-right ``cumsum`` so the FP evaluation order matches the
+        scalar engine's accumulation loop).
+    u:
+        ``(n,)`` uniforms in (0, 1).
+
+    Returns
+    -------
+    ``(n,)`` int64 chosen column indices. Lanes whose total weight is zero
+    return -1 (no candidate).
+
+    The chosen index is the first ``j`` with ``cumsum[:, j] >= u * total``,
+    which for positive weights reproduces the usual inverse-CDF rule. The
+    comparison is ``>=`` (not ``>``) so that a hit is guaranteed even when
+    ``u * total`` rounds up to ``total`` exactly; zero-weight slots can
+    never be selected because the threshold is strictly positive whenever
+    the total is.
+    """
+    cumsum = np.asarray(cumsum, dtype=np.float64)
+    if cumsum.ndim != 2:
+        raise ValueError(f"cumsum must be 2-D, got shape {cumsum.shape}")
+    total = cumsum[:, -1]
+    thresholds = np.asarray(u, dtype=np.float64) * total
+    hit = cumsum >= thresholds[:, None]
+    idx = hit.argmax(axis=1).astype(np.int64)
+    idx[total <= 0.0] = -1
+    return idx
+
+
+def categorical(weights: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Sample indices from per-lane non-negative weights (rows of ``weights``)."""
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {w.shape}")
+    return categorical_from_cumsum(np.cumsum(w, axis=1), u)

@@ -1,0 +1,40 @@
+"""Named random streams.
+
+Each logically independent source of randomness in the system gets its own
+stream id, mixed into the Philox key. This mirrors CURAND's per-purpose
+generator states in the paper's kernels while guaranteeing that, e.g., the
+movement-winner draws never alias the tour-construction draws.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Stream"]
+
+
+class Stream(enum.IntEnum):
+    """Registry of random-stream purposes.
+
+    Values are stable identifiers — changing them changes every simulation
+    trajectory, so they are append-only.
+    """
+
+    #: Initial placement shuffle (data preparation stage).
+    PLACEMENT = 1
+    #: LEM tour construction: the clipped-normal selection draw (eq. 1).
+    LEM_SELECT = 2
+    #: ACO tour construction: the random-proportional-rule draw (eq. 2).
+    ACO_SELECT = 3
+    #: Movement stage: uniform winner choice in the scatter-to-gather.
+    MOVE_WINNER = 4
+    #: Direction-unbiasing tie-break bit for equal-score cells.
+    TIEBREAK = 5
+    #: Random baseline policy cell choice.
+    RANDOM_POLICY = 6
+    #: Ant System TSP baseline: city selection during tour construction.
+    ANT_SYSTEM = 7
+    #: General-purpose draws in examples and experiments.
+    EXPERIMENT = 8
+    #: Velocity-class assignment (heterogeneous-speed extension).
+    SPEED_CLASS = 9

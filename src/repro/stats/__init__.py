@@ -1,0 +1,28 @@
+"""Statistics substrate: binomial GLM (IRLS), t-tests, summaries.
+
+Implements the paper's Fig 6b validation analysis (binomial GLM of crossing
+probability against agent count and a CPU/GPU platform indicator, with a
+t-test on the platform coefficient) from first principles.
+"""
+
+from .glm import BinomialGLM, GLMResult, add_intercept
+from .links import Link, LogitLink, ProbitLink, get_link
+from .summary import Summary, mean_ci, summarize
+from .tests_ import TTestResult, paired_ttest, wald_test, welch_ttest
+
+__all__ = [
+    "BinomialGLM",
+    "GLMResult",
+    "add_intercept",
+    "Link",
+    "LogitLink",
+    "ProbitLink",
+    "get_link",
+    "TTestResult",
+    "welch_ttest",
+    "paired_ttest",
+    "wald_test",
+    "Summary",
+    "summarize",
+    "mean_ci",
+]

@@ -1,0 +1,61 @@
+"""Descriptive statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import StatsError
+
+__all__ = ["Summary", "summarize", "mean_ci"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values) -> Summary:
+    """Build a :class:`Summary`; raises on empty input."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise StatsError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def mean_ci(values, confidence: float = 0.95) -> tuple:
+    """``(mean, halfwidth)`` normal-approximation confidence interval."""
+    from scipy import stats as _sps
+
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise StatsError("cannot compute a CI on an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise StatsError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, float("inf")
+    se = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    t = float(_sps.t.ppf(0.5 + confidence / 2.0, arr.size - 1))
+    return mean, t * se

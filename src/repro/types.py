@@ -1,0 +1,123 @@
+"""Core enumerations and small value types shared across the library.
+
+The vocabulary follows the paper:
+
+* cells of the environment matrix ``mat`` hold ``0`` (empty), ``1`` (agent of
+  the top group) or ``2`` (agent of the bottom group);
+* the eight neighbours of a cell are numbered 1..8 as in the paper's
+  Figure 1, *relative to the agent's direction of travel* (slot 1 is always
+  the forward cell, slots 2/3 the forward diagonals, 4/5 the laterals,
+  6 the backward cell and 7/8 the backward diagonals).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+__all__ = [
+    "CellState",
+    "Group",
+    "NeighborSlot",
+    "EMPTY",
+    "TOP",
+    "BOTTOM",
+    "N_NEIGHBOR_SLOTS",
+    "GroupLike",
+    "coerce_group",
+]
+
+#: Number of neighbour slots in the Moore neighbourhood (paper Figure 1).
+N_NEIGHBOR_SLOTS: int = 8
+
+
+class CellState(enum.IntEnum):
+    """Contents of a cell of the environment matrix ``mat``.
+
+    ``OBSTACLE`` extends the paper's {0, 1, 2} alphabet with static walls:
+    any non-zero value reads as "unavailable" to every kernel, so obstacles
+    need no special-casing on the decision or movement paths.
+    """
+
+    EMPTY = 0
+    TOP = 1
+    BOTTOM = 2
+    OBSTACLE = 3
+
+
+class Group(enum.IntEnum):
+    """A pedestrian group, identified by its label in ``mat``.
+
+    ``TOP`` agents start in the first rows and target the last row;
+    ``BOTTOM`` agents start in the last rows and target the first row.
+    """
+
+    TOP = 1
+    BOTTOM = 2
+
+    @property
+    def forward_row_step(self) -> int:
+        """Row increment of one forward step (+1 for TOP, -1 for BOTTOM)."""
+        return 1 if self is Group.TOP else -1
+
+    @property
+    def opponent(self) -> "Group":
+        """The other group."""
+        return Group.BOTTOM if self is Group.TOP else Group.TOP
+
+    def target_row(self, height: int) -> int:
+        """End row this group tries to reach in a grid of ``height`` rows."""
+        return height - 1 if self is Group.TOP else 0
+
+    def start_row_range(self, height: int, band: int) -> Tuple[int, int]:
+        """Half-open row range ``[lo, hi)`` of the initial placement band."""
+        if band <= 0 or band > height:
+            raise ValueError(f"band must be in [1, {height}], got {band}")
+        if self is Group.TOP:
+            return (0, band)
+        return (height - band, height)
+
+
+class NeighborSlot(enum.IntEnum):
+    """Direction-relative neighbour numbering of the paper's Figure 1.
+
+    Slot values are 1-based as in the paper; slot 0 is the centre cell and is
+    never a movement candidate.
+    """
+
+    FORWARD = 1
+    FORWARD_LEFT = 2
+    FORWARD_RIGHT = 3
+    LEFT = 4
+    RIGHT = 5
+    BACKWARD = 6
+    BACKWARD_LEFT = 7
+    BACKWARD_RIGHT = 8
+
+
+EMPTY = CellState.EMPTY
+TOP = Group.TOP
+BOTTOM = Group.BOTTOM
+
+GroupLike = "Group | int | str"
+
+
+def coerce_group(value) -> Group:
+    """Coerce an int label, name string or :class:`Group` into a ``Group``.
+
+    >>> coerce_group(1) is Group.TOP
+    True
+    >>> coerce_group("bottom") is Group.BOTTOM
+    True
+    """
+    if isinstance(value, Group):
+        return value
+    if isinstance(value, str):
+        try:
+            return Group[value.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown group name {value!r}") from None
+    try:
+        return Group(int(value))
+    except ValueError:
+        raise ValueError(f"unknown group label {value!r}") from None

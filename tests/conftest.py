@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationConfig
+from repro.rng import PhiloxKeyedRNG
+
+
+@pytest.fixture
+def rng() -> PhiloxKeyedRNG:
+    """A keyed RNG with a fixed seed."""
+    return PhiloxKeyedRNG(42)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A small LEM configuration usable by every engine (multiple of 16)."""
+    return SimulationConfig(height=32, width=32, n_per_side=60, steps=50, seed=7)
+
+
+@pytest.fixture
+def small_aco_config(small_config) -> SimulationConfig:
+    """The small configuration running the ACO model."""
+    return small_config.with_model("aco")
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A minimal configuration for per-step inspection tests."""
+    return SimulationConfig(height=16, width=16, n_per_side=12, steps=20, seed=3)

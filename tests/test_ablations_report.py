@@ -1,0 +1,107 @@
+"""Tests for the ablation drivers and the implementation-notes report."""
+
+import pytest
+
+from repro import SimulationConfig
+from repro.cuda.report import implementation_notes, implementation_report
+from repro.experiments.ablations import (
+    sweep_alpha_beta,
+    sweep_bottleneck_gap,
+    sweep_forward_priority,
+    sweep_lem_rule,
+    sweep_rho,
+    sweep_scan_range,
+    sweep_sigma,
+)
+from repro.models import ACOParams
+
+
+@pytest.fixture
+def base():
+    """A small knee-density configuration for fast sweeps."""
+    return SimulationConfig(height=24, width=24, n_per_side=40, steps=80, seed=1)
+
+
+class TestAblationSweeps:
+    def test_forward_priority_points(self, base):
+        pts = sweep_forward_priority(base)
+        assert [p.value for p in pts] == ["True", "False"]
+        assert all(0 <= p.fraction <= 1 for p in pts)
+        assert pts[0].throughput >= pts[1].throughput
+
+    def test_lem_rule_points(self, base):
+        pts = sweep_lem_rule(base.replace(n_per_side=60))
+        by_rule = {p.value: p for p in pts}
+        assert by_rule["ceil"].throughput >= by_rule["floor"].throughput
+
+    def test_rho_sweep(self, base):
+        pts = sweep_rho(base.with_model("aco"), rhos=(0.02, 0.5))
+        assert [p.knob for p in pts] == ["rho", "rho"]
+        assert all(p.throughput > 0 for p in pts)
+
+    def test_sigma_sweep(self, base):
+        pts = sweep_sigma(base, sigmas=(0.5, 2.0))
+        assert len(pts) == 2
+
+    def test_alpha_beta_sweep(self, base):
+        pts = sweep_alpha_beta(base.with_model("aco"), pairs=((1.0, 2.0), (0.0, 2.0)))
+        assert [p.value for p in pts] == ["1.0/2.0", "0.0/2.0"]
+
+    def test_gap_sweep_monotone(self, base):
+        pts = sweep_bottleneck_gap(base.with_model("aco"), gaps=(2, 12))
+        assert pts[0].throughput <= pts[1].throughput
+
+    def test_scan_range_sweep_respects_model(self, base):
+        pts = sweep_scan_range(base.with_model("aco"), ranges=(1, 4))
+        assert all(p.knob == "scan_range" for p in pts)
+        pts_lem = sweep_scan_range(base, ranges=(1, 2))
+        assert len(pts_lem) == 2
+
+    def test_scan_range_keeps_aco_params(self, base):
+        cfg = base.replace(params=ACOParams(rho=0.1))
+        pts = sweep_scan_range(cfg, ranges=(2,))
+        assert pts[0].throughput >= 0
+
+
+class TestImplementationReport:
+    def test_notes_cover_four_kernels(self):
+        notes = implementation_notes()
+        assert [n.name for n in notes] == [
+            "initial_calculation",
+            "tour_construction",
+            "agent_movement",
+            "support_reset",
+        ]
+
+    def test_paper_launch_geometry(self):
+        notes = {n.name: n for n in implementation_notes(480, 480, 2560)}
+        scan = notes["initial_calculation"]
+        assert scan.total_threads == 480 * 480
+        assert scan.threads_per_block == 256
+        assert scan.blocks == 900
+        tour = notes["tour_construction"]
+        assert tour.total_threads >= 8 * 2560
+
+    def test_full_occupancy_everywhere(self):
+        for n in implementation_notes():
+            assert n.occupancy == 1.0
+
+    def test_halo_only_on_cell_kernels(self):
+        for n in implementation_notes():
+            if n.category == "cell":
+                assert n.halo_passes == 3
+            else:
+                assert n.halo_passes == 0
+
+    def test_divergence_savings_positive(self):
+        for n in implementation_notes():
+            assert n.divergence_saving >= 1.0
+        # The branch-free movement kernel saves ~2x at mixed densities.
+        move = [n for n in implementation_notes() if n.name == "agent_movement"][0]
+        assert move.divergence_saving > 1.5
+
+    def test_report_renders(self):
+        text = implementation_report()
+        assert "Implementation notes" in text
+        assert text.count("100%") == 4
+        assert "halo" in text

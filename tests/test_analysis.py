@@ -1,0 +1,149 @@
+"""Analysis package tests."""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, build_engine
+from repro.analysis import (
+    SpaceTimeRecorder,
+    capacity_density,
+    crossing_times,
+    fundamental_diagram,
+    render_spacetime,
+)
+from repro.errors import ExperimentError, StatsError
+from repro.types import Group
+
+
+@pytest.fixture
+def finished():
+    cfg = SimulationConfig(height=32, width=32, n_per_side=60, steps=120, seed=4)
+    eng = build_engine(cfg, "vectorized")
+    eng.run(record_timeline=False)
+    return eng
+
+
+class TestCrossingTimes:
+    def test_counts_match_engine(self, finished):
+        ct = crossing_times(finished)
+        assert ct.n_crossed == finished.throughput()
+        assert ct.fraction == pytest.approx(finished.throughput() / 120)
+
+    def test_steps_sorted_and_bounded(self, finished):
+        ct = crossing_times(finished)
+        assert np.all(np.diff(ct.steps) >= 0)
+        assert ct.steps.min() >= 0
+        assert ct.steps.max() < finished.config.steps
+
+    def test_group_split(self, finished):
+        top = crossing_times(finished, Group.TOP)
+        bottom = crossing_times(finished, Group.BOTTOM)
+        both = crossing_times(finished)
+        assert top.n_crossed + bottom.n_crossed == both.n_crossed
+        assert top.n_agents == 60
+
+    def test_percentiles_monotone(self, finished):
+        ct = crossing_times(finished)
+        assert ct.percentile(25) <= ct.median <= ct.percentile(75)
+        with pytest.raises(StatsError):
+            ct.percentile(150)
+
+    def test_count_by(self, finished):
+        ct = crossing_times(finished)
+        assert ct.count_by(finished.config.steps) == ct.n_crossed
+        assert ct.count_by(-1) == 0
+
+    def test_rate_between(self, finished):
+        ct = crossing_times(finished)
+        total = ct.rate_between(0, finished.config.steps) * finished.config.steps
+        assert total == pytest.approx(ct.n_crossed)
+        with pytest.raises(StatsError):
+            ct.rate_between(5, 5)
+
+    def test_empty_run(self):
+        cfg = SimulationConfig(height=32, width=32, n_per_side=10, steps=0, seed=1)
+        eng = build_engine(cfg, "vectorized")
+        ct = crossing_times(eng)
+        assert ct.n_crossed == 0
+        assert np.isnan(ct.mean)
+
+
+class TestFundamentalDiagram:
+    def test_shape_free_flow_then_jam(self):
+        base = SimulationConfig(
+            height=32, width=32, n_per_side=10, steps=150, seed=2
+        ).with_model("lem")
+        pts = fundamental_diagram(base, densities=(0.03, 0.10, 0.35))
+        assert len(pts) == 3
+        # Free flow at 3%; jammed branch by 35%.
+        assert pts[0].crossed_fraction == 1.0
+        assert pts[2].flow < pts[1].flow or pts[2].crossed_fraction < 0.5
+
+    def test_capacity_density(self):
+        base = SimulationConfig(height=24, width=24, n_per_side=10, steps=80, seed=3)
+        pts = fundamental_diagram(base, densities=(0.05, 0.15))
+        cap = capacity_density(pts)
+        assert any(abs(p.density - cap) < 1e-9 for p in pts)
+
+    def test_validation(self):
+        base = SimulationConfig(height=24, width=24, n_per_side=10, steps=10)
+        with pytest.raises(ExperimentError):
+            fundamental_diagram(base, densities=())
+        with pytest.raises(ExperimentError):
+            fundamental_diagram(base, densities=(1.5,))
+        with pytest.raises(ExperimentError):
+            capacity_density([])
+
+
+class TestSpaceTime:
+    def test_sampling_cadence(self):
+        cfg = SimulationConfig(height=24, width=24, n_per_side=30, steps=40, seed=5)
+        eng = build_engine(cfg, "vectorized")
+        rec = SpaceTimeRecorder(every=10)
+        eng.run(callback=rec, record_timeline=False)
+        assert rec.sample_steps == [0, 10, 20, 30]
+        assert rec.matrix.shape == (4, 24)
+
+    def test_occupancy_conservation(self):
+        cfg = SimulationConfig(height=24, width=24, n_per_side=30, steps=20, seed=5)
+        eng = build_engine(cfg, "vectorized")
+        rec = SpaceTimeRecorder(every=1)
+        eng.run(callback=rec, record_timeline=False)
+        totals = rec.matrix.sum(axis=1) * 24  # agents per sample
+        assert np.allclose(totals, 60)
+
+    def test_group_filter(self):
+        cfg = SimulationConfig(height=24, width=24, n_per_side=30, steps=10, seed=5)
+        eng = build_engine(cfg, "vectorized")
+        rec = SpaceTimeRecorder(every=1, group=Group.TOP)
+        eng.run(callback=rec, record_timeline=False)
+        assert np.allclose(rec.matrix.sum(axis=1) * 24, 30)
+
+    def test_render(self):
+        cfg = SimulationConfig(height=24, width=24, n_per_side=60, steps=30, seed=5)
+        eng = build_engine(cfg, "vectorized")
+        rec = SpaceTimeRecorder(every=2)
+        eng.run(callback=rec, record_timeline=False)
+        art = render_spacetime(rec)
+        assert "space-time" in art
+        assert len(art.splitlines()) == 25
+
+    def test_jam_front(self):
+        cfg = SimulationConfig(
+            height=24, width=24, n_per_side=120, steps=60, seed=6
+        )
+        eng = build_engine(cfg, "vectorized")
+        rec = SpaceTimeRecorder(every=5)
+        eng.run(callback=rec, record_timeline=False)
+        fronts = rec.jam_front_rows(threshold=0.5)
+        assert fronts.shape == (len(rec.sample_steps),)
+
+    def test_empty_recorder(self):
+        rec = SpaceTimeRecorder()
+        assert rec.matrix.size == 0
+        assert render_spacetime(rec) == "(no samples)"
+        assert rec.jam_front_rows().size == 0
+
+    def test_every_validation(self):
+        with pytest.raises(ValueError):
+            SpaceTimeRecorder(every=0)

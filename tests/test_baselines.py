@@ -1,0 +1,121 @@
+"""Ant System / TSP baseline tests (paper Section II validation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AntSystem,
+    AntSystemParams,
+    circle_instance,
+    grid_instance,
+    is_valid_tour,
+    nearest_neighbor_tour,
+    random_instance,
+    tour_length,
+)
+from repro.errors import ConfigurationError
+
+
+class TestInstances:
+    def test_circle_optimum_formula(self):
+        inst = circle_instance(6, radius=2.0)
+        assert inst.optimum == pytest.approx(2 * 6 * 2.0 * np.sin(np.pi / 6))
+
+    def test_circle_distance_matrix_symmetric(self):
+        inst = circle_instance(8)
+        d = inst.distance_matrix()
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_grid_even_optimum(self):
+        inst = grid_instance(4, 4)
+        assert inst.optimum == 16.0
+
+    def test_grid_odd_no_optimum(self):
+        assert grid_instance(3, 3).optimum is None
+
+    def test_random_instance_reproducible(self):
+        a = random_instance(10, seed=5)
+        b = random_instance(10, seed=5)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            circle_instance(2)
+        with pytest.raises(ValueError):
+            grid_instance(1, 5)
+
+
+class TestTourUtilities:
+    def test_tour_length_closed(self):
+        inst = circle_instance(4, radius=1.0)
+        d = inst.distance_matrix()
+        assert tour_length(d, [0, 1, 2, 3]) == pytest.approx(inst.optimum)
+
+    def test_is_valid_tour(self):
+        assert is_valid_tour([2, 0, 1], 3)
+        assert not is_valid_tour([0, 0, 1], 3)
+        assert not is_valid_tour([0, 1], 3)
+
+    def test_nearest_neighbor_valid(self):
+        inst = random_instance(12, seed=2)
+        tour = nearest_neighbor_tour(inst.distance_matrix())
+        assert is_valid_tour(tour, 12)
+
+
+class TestAntSystem:
+    def test_finds_circle_optimum(self):
+        inst = circle_instance(10)
+        result = AntSystem(inst, seed=1).run(40)
+        assert result.gap_to(inst.optimum) < 0.01
+
+    def test_finds_grid_optimum_or_close(self):
+        inst = grid_instance(4, 4)
+        result = AntSystem(inst, seed=2).run(60)
+        assert result.gap_to(inst.optimum) < 0.10
+
+    def test_beats_or_matches_nearest_neighbor(self):
+        inst = random_instance(15, seed=3)
+        d = inst.distance_matrix()
+        nn = tour_length(d, nearest_neighbor_tour(d))
+        result = AntSystem(inst, seed=3).run(60)
+        assert result.best_length <= nn * 1.02
+
+    def test_history_monotone_nonincreasing(self):
+        inst = random_instance(12, seed=4)
+        result = AntSystem(inst, seed=4).run(25)
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+        assert result.iterations == 25
+
+    def test_valid_tour_returned(self):
+        inst = random_instance(9, seed=5)
+        result = AntSystem(inst, seed=5).run(10)
+        assert is_valid_tour(result.best_tour, 9)
+
+    def test_reproducible(self):
+        inst = random_instance(10, seed=6)
+        a = AntSystem(inst, seed=9).run(15)
+        b = AntSystem(inst, seed=9).run(15)
+        assert a.best_length == b.best_length
+        assert a.best_tour == b.best_tour
+
+    def test_pheromone_concentrates_on_good_edges(self):
+        """After convergence on a circle, adjacent-city edges carry more
+        pheromone than chords."""
+        inst = circle_instance(8)
+        solver = AntSystem(inst, seed=7)
+        solver.run(50)
+        tau = solver.tau
+        ring = np.mean([tau[i, (i + 1) % 8] for i in range(8)])
+        chords = np.mean([tau[i, (i + 4) % 8] for i in range(8)])
+        assert ring > 2 * chords
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            AntSystemParams(rho=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            AntSystem(circle_instance(5), AntSystemParams(n_ants=0))
+
+    def test_iteration_validation(self):
+        with pytest.raises(ConfigurationError):
+            AntSystem(circle_instance(5)).run(0)

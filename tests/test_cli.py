@@ -1,0 +1,68 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("info", "run", "occupancy", "speedup"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--model", "aco", "--engine", "tiled", "--steps", "5"]
+        )
+        assert args.model == "aco" and args.engine == "tiled" and args.steps == 5
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "boids"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 560 Ti" in out and "scales:" in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "--height", "16", "--width", "16", "--agents", "10",
+             "--steps", "20", "--model", "aco"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossed" in out
+
+    def test_occupancy(self, capsys):
+        assert main(["occupancy", "--threads", "256", "--registers", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "100%" in out
+
+    def test_speedup(self, capsys):
+        assert main(["speedup", "--points", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "17.95x" in out or "agents:" in out
+
+    def test_notes(self, capsys):
+        assert main(["notes", "--agents", "2560"]) == 0
+        out = capsys.readouterr().out
+        assert "Implementation notes" in out
+        assert "initial_calculation" in out
+
+    def test_figures_tiny(self, tmp_path, capsys):
+        code = main(
+            ["figures", "--outdir", str(tmp_path / "res"), "--scale", "tiny",
+             "--seeds", "1"]
+        )
+        assert code == 0
+        assert (tmp_path / "res" / "report.json").exists()
+        assert (tmp_path / "res" / "fig6a_throughput.txt").exists()
+        assert (tmp_path / "res" / "table1_hardware.txt").exists()

@@ -1,0 +1,127 @@
+"""SimulationConfig tests: validation, derived geometry, scaling."""
+
+import pytest
+
+from repro import ConfigurationError, SimulationConfig, paper_config
+from repro.models import ACOParams, LEMParams
+
+
+class TestValidation:
+    def test_defaults_are_paper_values(self):
+        cfg = SimulationConfig()
+        assert (cfg.height, cfg.width, cfg.steps) == (480, 480, 25000)
+        assert cfg.model_name == "lem"
+
+    def test_grid_too_small(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(height=2, width=10)
+
+    def test_bad_population(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_per_side=0)
+
+    def test_bad_fill(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(fill_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(fill_fraction=1.5)
+
+    def test_band_must_fit(self):
+        # 30 per side on a 10x10 grid with fill 0.8 -> band of 4 rows; but
+        # 60 agents exceed half the grid capacity when fill is tiny.
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(height=10, width=10, n_per_side=30, fill_fraction=0.1)
+
+    def test_explicit_band_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(height=20, width=10, n_per_side=25, init_rows=2)
+
+    def test_params_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(params="lem")
+
+    def test_negative_steps(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(steps=-1)
+
+
+class TestDerived:
+    def test_band_rows_formula(self):
+        cfg = SimulationConfig(height=100, width=100, n_per_side=400, fill_fraction=0.8)
+        assert cfg.band_rows == 5  # ceil(400 / 80)
+
+    def test_band_rows_override(self):
+        cfg = SimulationConfig(height=100, width=100, n_per_side=400, init_rows=10)
+        assert cfg.band_rows == 10
+
+    def test_cross_band_defaults_to_band(self):
+        cfg = SimulationConfig(height=100, width=100, n_per_side=400)
+        assert cfg.cross_rows == cfg.band_rows
+
+    def test_cross_band_override(self):
+        cfg = SimulationConfig(height=100, width=100, n_per_side=400, cross_band=2)
+        assert cfg.cross_rows == 2
+
+    def test_density(self):
+        cfg = SimulationConfig(height=100, width=100, n_per_side=500)
+        assert cfg.density == pytest.approx(0.1)
+
+    def test_describe_mentions_model(self):
+        assert "ACO" in SimulationConfig(n_per_side=100).with_model("aco").describe()
+
+
+class TestBuilders:
+    def test_with_model_by_name(self):
+        cfg = SimulationConfig().with_model("aco")
+        assert isinstance(cfg.params, ACOParams)
+
+    def test_with_model_by_params(self):
+        cfg = SimulationConfig().with_model(LEMParams(sigma=0.5))
+        assert cfg.params.sigma == 0.5
+
+    def test_with_model_unknown(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig().with_model("boids")
+
+    def test_replace_revalidates(self):
+        cfg = SimulationConfig()
+        with pytest.raises(ConfigurationError):
+            cfg.replace(steps=-5)
+
+
+class TestScaling:
+    def test_diffusive_scaling(self):
+        cfg = paper_config(2560).scaled(6)
+        assert (cfg.height, cfg.width) == (80, 80)
+        assert cfg.n_per_side == 1280 // 36
+        assert cfg.steps == round(25000 * (80 / 480) ** 2)  # 694
+
+    def test_ballistic_scaling(self):
+        cfg = paper_config(2560).scaled(6, time_scaling="ballistic")
+        assert cfg.steps == round(25000 * 80 / 480)
+
+    def test_steps_override(self):
+        cfg = paper_config(2560).scaled(6, steps_override=123)
+        assert cfg.steps == 123
+
+    def test_density_preserved(self):
+        base = paper_config(25600)
+        scaled = base.scaled(6)
+        assert scaled.density == pytest.approx(base.density, rel=0.05)
+
+    def test_invalid_scaling(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(2560).scaled(0)
+        with pytest.raises(ConfigurationError):
+            paper_config(2560).scaled(6, time_scaling="warp")
+
+
+class TestPaperConfig:
+    def test_splits_evenly(self):
+        cfg = paper_config(102400, "aco")
+        assert cfg.n_per_side == 51200
+        assert cfg.model_name == "aco"
+
+    def test_rejects_odd_total(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(2561)

@@ -1,0 +1,130 @@
+"""Cost model tests: calibration, Fig 5 shapes, kernel pricing."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    CpuCostModel,
+    GpuCostModel,
+    PAPER_ACO_OVER_LEM,
+    PAPER_ENDPOINTS,
+    cpu_stage_workloads,
+    gpu_kernel_workloads,
+    paper_speedup_curve,
+)
+
+
+class TestCalibration:
+    def test_gpu_endpoints_exact(self):
+        model = GpuCostModel.calibrated("aco")
+        for n, target in PAPER_ENDPOINTS["gpu"].items():
+            assert model.simulation_time(n) == pytest.approx(target, rel=1e-6)
+
+    def test_cpu_endpoints_exact(self):
+        model = CpuCostModel.calibrated("aco")
+        for n, target in PAPER_ENDPOINTS["cpu"].items():
+            assert model.simulation_time(n) == pytest.approx(target, rel=1e-6)
+
+    def test_efficiencies_physical(self):
+        """Calibrated efficiencies must be positive fractions of peak."""
+        for model in (GpuCostModel.calibrated("aco"), CpuCostModel.calibrated("aco")):
+            for eff in model.efficiency.values():
+                assert 0.0 < eff <= 1.0
+
+
+class TestFig5Shapes:
+    def test_speedup_declines_18x_to_11x(self):
+        """Fig 5c: 18x at 2,560 agents falling to ~11x at 102,400."""
+        curve = paper_speedup_curve([2560, 102400])
+        assert curve[0][1] == pytest.approx(17.95, abs=0.3)
+        assert curve[1][1] == pytest.approx(11.44, abs=0.3)
+
+    def test_speedup_monotone_decreasing(self):
+        counts = list(range(2560, 102401, 2560))
+        speedups = [s for _, s in paper_speedup_curve(counts)]
+        assert all(a >= b for a, b in zip(speedups, speedups[1:]))
+
+    def test_aco_over_lem_ratio(self):
+        """Fig 5a: ACO carries ~11% more time than LEM at every size."""
+        aco = GpuCostModel.calibrated("aco")
+        lem = GpuCostModel.calibrated("lem")
+        for n in (2560, 51200, 102400):
+            ratio = aco.simulation_time(n) / lem.simulation_time(n, "lem")
+            assert ratio == pytest.approx(PAPER_ACO_OVER_LEM, rel=0.01)
+
+    def test_gpu_time_grows_slowly(self):
+        """GPU time grows ~2.7x over a 40x agent increase (per-cell work
+        dominates)."""
+        model = GpuCostModel.calibrated("aco")
+        growth = model.simulation_time(102400) / model.simulation_time(2560)
+        assert 2.0 < growth < 3.5
+
+    def test_cpu_time_growth(self):
+        model = CpuCostModel.calibrated("aco")
+        growth = model.simulation_time(102400) / model.simulation_time(2560)
+        assert 1.5 < growth < 2.0  # 1449 / 837.5
+
+    def test_times_monotone_in_agents(self):
+        gpu = GpuCostModel.calibrated("aco")
+        times = [gpu.simulation_time(n) for n in (2560, 25600, 51200, 102400)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestKernelPricing:
+    def test_kernel_times_positive(self):
+        model = GpuCostModel.calibrated("aco")
+        for kt in model.kernel_times(25600):
+            assert kt.seconds > 0
+            assert kt.bound in ("compute", "memory")
+
+    def test_step_time_is_kernel_sum(self):
+        model = GpuCostModel.calibrated("aco")
+        kts = model.kernel_times(25600)
+        assert model.step_time(25600) == pytest.approx(sum(k.seconds for k in kts))
+
+    def test_four_gpu_kernels(self):
+        names = [k.name for k in GpuCostModel.calibrated("aco").kernel_times(2560)]
+        assert names == [
+            "initial_calculation",
+            "tour_construction",
+            "agent_movement",
+            "support_reset",
+        ]
+
+    def test_tour_kernel_threads_8n(self):
+        wls = gpu_kernel_workloads(480, 480, 2560, "aco")
+        tour = next(w for w in wls if w.name == "tour_construction")
+        assert tour.threads == 8 * 2560
+
+    def test_cell_kernel_threads_grid(self):
+        wls = gpu_kernel_workloads(480, 480, 2560, "lem")
+        scan = next(w for w in wls if w.name == "initial_calculation")
+        assert scan.threads == 480 * 480
+
+    def test_aco_kernels_cost_more(self):
+        lem = gpu_kernel_workloads(480, 480, 2560, "lem")
+        aco = gpu_kernel_workloads(480, 480, 2560, "aco")
+        for wl, wa in zip(lem, aco):
+            assert wa.bytes_per_thread >= wl.bytes_per_thread
+            assert wa.instructions_per_thread >= wl.instructions_per_thread
+
+    def test_cpu_workloads_scale(self):
+        small = cpu_stage_workloads(480, 480, 2560, "aco")
+        large = cpu_stage_workloads(480, 480, 102400, "aco")
+        agent_small = next(w for w in small if w.category == "agent")
+        agent_large = next(w for w in large if w.category == "agent")
+        assert agent_large.threads == 40 * agent_small.threads
+
+
+class TestScalingExtrapolation:
+    def test_steps_linear(self):
+        model = GpuCostModel.calibrated("aco")
+        t1 = model.simulation_time(2560, steps=1000)
+        t2 = model.simulation_time(2560, steps=2000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_grid_dependence(self):
+        model = GpuCostModel.calibrated("aco")
+        big = model.step_time(2560, grid=(480, 480))
+        small = model.step_time(2560, grid=(160, 160))
+        assert small < big

@@ -1,0 +1,66 @@
+"""Kernel launch configuration tests."""
+
+import pytest
+
+from repro.cuda import (
+    Dim3,
+    GTX_560_TI_448,
+    agent_kernel_launch,
+    cell_kernel_launch,
+)
+from repro.errors import LaunchConfigError
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(16, 16).count == 256
+        assert Dim3(5).count == 5
+
+    def test_validation(self):
+        with pytest.raises(LaunchConfigError):
+            Dim3(0)
+
+
+class TestCellKernelLaunch:
+    def test_paper_grid(self):
+        """480x480 with 16x16 tiles: 30x30 blocks of 256 threads."""
+        cfg = cell_kernel_launch(480, 480)
+        assert cfg.grid.count == 900
+        assert cfg.threads_per_block == 256
+        assert cfg.total_threads == 480 * 480
+        assert cfg.warps_per_block == 8
+
+    def test_requires_multiple_of_tile(self):
+        with pytest.raises(LaunchConfigError, match="multiple"):
+            cell_kernel_launch(100, 480)
+
+    def test_waves(self):
+        cfg = cell_kernel_launch(480, 480)
+        # 900 blocks / (14 SMs x 6 blocks) = 11 waves.
+        assert cfg.waves(GTX_560_TI_448, active_blocks_per_sm=6) == 11
+
+    def test_waves_validation(self):
+        cfg = cell_kernel_launch(32, 32)
+        with pytest.raises(LaunchConfigError):
+            cfg.waves(GTX_560_TI_448, active_blocks_per_sm=0)
+
+
+class TestAgentKernelLaunch:
+    def test_paper_shape(self):
+        """8 slot-threads x 32 agent rows = 256-thread blocks."""
+        cfg = agent_kernel_launch(2560)
+        assert cfg.threads_per_block == 256
+        assert cfg.grid.count == 80
+        assert cfg.total_threads == 8 * 32 * 80
+
+    def test_rounds_up_partial_block(self):
+        cfg = agent_kernel_launch(33)
+        assert cfg.grid.count == 2
+
+    def test_validation(self):
+        with pytest.raises(LaunchConfigError):
+            agent_kernel_launch(0)
+
+    def test_block_thread_limit_enforced(self):
+        with pytest.raises(LaunchConfigError, match="exceeds"):
+            agent_kernel_launch(100, slots=64, rows_per_block=32)

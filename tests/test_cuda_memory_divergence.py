@@ -1,0 +1,89 @@
+"""Memory traffic and warp divergence model tests."""
+
+import pytest
+
+from repro.cuda import (
+    GTX_560_TI_448,
+    MemoryTraffic,
+    bank_conflict_degree,
+    branchless_factor,
+    effective_bandwidth_bytes,
+    expected_serialization_factor,
+    global_transactions_per_warp,
+    prob_warp_diverges,
+)
+
+
+class TestGlobalTransactions:
+    def test_coalesced_4byte(self):
+        """32 threads x 4B = 128B = exactly one transaction."""
+        assert global_transactions_per_warp(4, coalesced=True) == 1
+
+    def test_coalesced_8byte(self):
+        assert global_transactions_per_warp(8, coalesced=True) == 2
+
+    def test_scattered_costs_one_per_thread(self):
+        assert global_transactions_per_warp(4, coalesced=False) == 32
+
+    def test_zero_bytes(self):
+        assert global_transactions_per_warp(0) == 0
+
+
+class TestBankConflicts:
+    def test_stride_one_conflict_free(self):
+        assert bank_conflict_degree(1) == 1
+
+    def test_stride_two_degree_two(self):
+        assert bank_conflict_degree(2) == 2
+
+    def test_stride_32_fully_serialised(self):
+        assert bank_conflict_degree(32) == 32
+
+    def test_odd_strides_conflict_free(self):
+        for s in (1, 3, 5, 7, 17, 31):
+            assert bank_conflict_degree(s) == 1
+
+    def test_broadcast(self):
+        assert bank_conflict_degree(0) == 1
+
+
+class TestBandwidth:
+    def test_full_efficiency_is_peak(self):
+        assert effective_bandwidth_bytes(GTX_560_TI_448, 1.0) == 152e9
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            effective_bandwidth_bytes(GTX_560_TI_448, 0.0)
+        with pytest.raises(ValueError):
+            effective_bandwidth_bytes(GTX_560_TI_448, 1.5)
+
+    def test_traffic_total_and_time(self):
+        t = MemoryTraffic(loads=100e9, stores=52e9)
+        assert t.total == 152e9
+        assert t.time_seconds(GTX_560_TI_448) == pytest.approx(1.0)
+
+
+class TestDivergence:
+    def test_uniform_predicates_never_diverge(self):
+        assert prob_warp_diverges(0.0) == 0.0
+        assert prob_warp_diverges(1.0) == 0.0
+
+    def test_mixed_predicates_almost_surely_diverge(self):
+        assert prob_warp_diverges(0.5) == pytest.approx(1.0, abs=1e-6)
+
+    def test_serialization_factor_bounds(self):
+        assert expected_serialization_factor(0.0) == 1.0
+        assert expected_serialization_factor(0.5) == pytest.approx(2.0, abs=1e-6)
+
+    def test_three_path_branch(self):
+        assert expected_serialization_factor(0.5, paths=3) == pytest.approx(3.0, abs=1e-5)
+
+    def test_branchless_is_one(self):
+        """The paper's index-mapping kernels pay no divergence penalty."""
+        assert branchless_factor() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prob_warp_diverges(1.5)
+        with pytest.raises(ValueError):
+            expected_serialization_factor(0.5, paths=0)

@@ -1,0 +1,102 @@
+"""Tile decomposition and halo-load mapping tests (Figures 2/3)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    OUT_OF_GRID,
+    Tile,
+    TileDecomposition,
+    halo_pass_count,
+    halo_perimeter,
+    halo_warp_schedule,
+)
+from repro.errors import LaunchConfigError
+
+
+class TestDecomposition:
+    def test_paper_grid(self):
+        dec = TileDecomposition(480, 480)
+        assert dec.n_tiles == 900
+        assert dec.blocks_x == dec.blocks_y == 30
+
+    def test_requires_multiples(self):
+        with pytest.raises(LaunchConfigError):
+            TileDecomposition(100, 480)
+
+    def test_iteration_covers_grid(self):
+        dec = TileDecomposition(32, 48)
+        covered = np.zeros((32, 48), dtype=int)
+        for tile in dec:
+            covered[tile.interior] += 1
+        assert np.all(covered == 1)
+
+    def test_tile_lookup_bounds(self):
+        dec = TileDecomposition(32, 32)
+        with pytest.raises(IndexError):
+            dec.tile(2, 0)
+
+
+class TestSharedLoad:
+    def test_interior_tile_has_full_halo(self):
+        dec = TileDecomposition(48, 48)
+        arr = np.arange(48 * 48, dtype=np.int32).reshape(48, 48)
+        tile = dec.tile(1, 1)
+        shared = tile.load_shared(arr, fill=OUT_OF_GRID)
+        assert shared.shape == (18, 18)
+        assert np.array_equal(shared[1:-1, 1:-1], arr[tile.interior])
+        # Halo ring equals the surrounding global cells.
+        assert np.array_equal(shared[0, 1:-1], arr[15, 16:32])
+        assert np.array_equal(shared[1:-1, 0], arr[16:32, 15])
+
+    def test_corner_tile_gets_fill(self):
+        dec = TileDecomposition(32, 32)
+        arr = np.ones((32, 32), dtype=np.int8)
+        shared = dec.tile(0, 0).load_shared(arr, fill=OUT_OF_GRID)
+        assert np.all(shared[0, :] == OUT_OF_GRID)
+        assert np.all(shared[:, 0] == OUT_OF_GRID)
+        assert np.all(shared[1:-1, 1:-1] == 1)
+
+    def test_fill_preserves_dtype(self):
+        dec = TileDecomposition(16, 16)
+        arr = np.zeros((16, 16), dtype=np.float64)
+        shared = dec.tile(0, 0).load_shared(arr, fill=0.5)
+        assert shared.dtype == np.float64
+        assert shared[0, 0] == 0.5
+
+
+class TestHaloMapping:
+    def test_perimeter_size(self):
+        """2*18 + 2*16 = 68 halo cells for the paper's 16-cell tiles."""
+        assert len(halo_perimeter(16)) == 68
+
+    def test_perimeter_unique_and_on_border(self):
+        cells = halo_perimeter(16)
+        assert len(set(cells)) == 68
+        for r, c in cells:
+            assert r in (0, 17) or c in (0, 17)
+
+    def test_three_passes(self):
+        """ceil(68 / 32) = 3 warp passes (Figure 3's index mapping)."""
+        assert halo_pass_count(16) == 3
+
+    def test_schedule_covers_everything_once(self):
+        schedule = halo_warp_schedule(16)
+        assert len(schedule) == 68
+        assert len({a.shared_pos for a in schedule}) == 68
+
+    def test_lane_mapping(self):
+        """Element h is loaded by lane h % 32 in pass h // 32."""
+        schedule = halo_warp_schedule(16)
+        for h, a in enumerate(schedule):
+            assert a.lane == h % 32
+            assert a.pass_index == h // 32
+
+    def test_only_final_pass_has_idle_lanes(self):
+        schedule = halo_warp_schedule(16)
+        by_pass = {}
+        for a in schedule:
+            by_pass.setdefault(a.pass_index, set()).add(a.lane)
+        assert by_pass[0] == set(range(32))
+        assert by_pass[1] == set(range(32))
+        assert len(by_pass[2]) == 68 - 64

@@ -1,0 +1,50 @@
+"""Timer tests."""
+
+import time
+
+import pytest
+
+from repro.cuda import CudaEvent, Stopwatch, event_elapsed_ms
+
+
+class TestCudaEvent:
+    def test_record_and_elapsed(self):
+        a = CudaEvent().record()
+        time.sleep(0.01)
+        b = CudaEvent().record()
+        ms = event_elapsed_ms(a, b)
+        assert ms >= 5.0
+
+    def test_unrecorded_raises(self):
+        with pytest.raises(RuntimeError):
+            CudaEvent().timestamp
+
+    def test_recorded_flag(self):
+        e = CudaEvent()
+        assert not e.recorded
+        e.record()
+        assert e.recorded
+
+
+class TestStopwatch:
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                time.sleep(0.002)
+        assert len(sw.laps) == 3
+        assert sw.total >= 0.006
+        assert sw.mean == pytest.approx(sw.total / 3)
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_mean_empty(self):
+        assert Stopwatch().mean == 0.0

@@ -1,0 +1,69 @@
+"""Scatter-to-gather helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine import DIRECTION_INDEX, shift, winner_rank
+from repro.grid import ABSOLUTE_OFFSETS
+
+
+class TestShift:
+    def test_identity(self):
+        arr = np.arange(12).reshape(3, 4)
+        assert np.array_equal(shift(arr, 0, 0), arr)
+
+    def test_reads_neighbor(self):
+        arr = np.arange(12).reshape(3, 4)
+        out = shift(arr, 1, 0)
+        # out[i,j] = arr[i+1,j]
+        assert np.array_equal(out[0], arr[1])
+        assert np.array_equal(out[1], arr[2])
+
+    def test_fill_outside(self):
+        arr = np.ones((3, 3), dtype=np.int32)
+        out = shift(arr, -1, 0, fill=9)
+        assert np.all(out[0] == 9)
+        assert np.all(out[1:] == 1)
+
+    def test_diagonal(self):
+        arr = np.arange(9).reshape(3, 3)
+        out = shift(arr, 1, 1)
+        assert out[0, 0] == arr[1, 1]
+        assert out[2, 2] == 0  # filled
+
+    def test_large_shift_all_fill(self):
+        arr = np.ones((2, 2), dtype=np.int64)
+        out = shift(arr, 5, 0, fill=-3)
+        assert np.all(out == -3)
+
+
+class TestWinnerRank:
+    def test_range(self):
+        u = np.linspace(0.001, 0.999, 100)
+        k = np.full(100, 5)
+        picks = winner_rank(u, k)
+        assert picks.min() >= 0 and picks.max() <= 4
+
+    def test_uniformity(self, rng):
+        from repro.rng import Stream
+
+        u = rng.uniform(Stream.EXPERIMENT, 0, np.arange(100000))
+        picks = winner_rank(u, np.full(100000, 4))
+        for v in range(4):
+            assert abs(np.mean(picks == v) - 0.25) < 0.01
+
+    def test_single_candidate(self):
+        assert winner_rank(np.array([0.7]), np.array([1]))[0] == 0
+
+    def test_clamp_at_boundary(self):
+        almost_one = np.nextafter(1.0, 0.0)
+        assert winner_rank(np.array([almost_one]), np.array([3]))[0] == 2
+
+
+class TestDirectionIndex:
+    def test_covers_all_offsets(self):
+        assert set(DIRECTION_INDEX.keys()) == set(ABSOLUTE_OFFSETS)
+
+    def test_indices_match_sweep_order(self):
+        for d, off in enumerate(ABSOLUTE_OFFSETS):
+            assert DIRECTION_INDEX[off] == d

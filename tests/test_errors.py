@@ -1,0 +1,45 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    EngineError,
+    ExperimentError,
+    LaunchConfigError,
+    OccupancyError,
+    PlacementError,
+    ReproError,
+    StatsError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            PlacementError,
+            EngineError,
+            LaunchConfigError,
+            OccupancyError,
+            StatsError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_are_catchable_as_valueerror(self):
+        """Validation errors double as ValueError for ergonomic catching."""
+        for exc in (ConfigurationError, PlacementError, LaunchConfigError,
+                    OccupancyError, StatsError):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_errors(self):
+        for exc in (EngineError, ExperimentError):
+            assert issubclass(exc, RuntimeError)
+
+    def test_one_base_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise StatsError("x")

@@ -1,0 +1,138 @@
+"""Experiment harness tests (scenarios, figure drivers, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    AGENT_INCREMENT,
+    FIG6A_SCENARIOS,
+    FIG6B_SCENARIOS,
+    SCALES,
+    ScenarioSpec,
+    measured_fig5,
+    measured_speedups,
+    modelled_fig5,
+    occupancy_table,
+    paper_scenarios,
+    run_fig6a,
+    run_fig6b,
+    scenario_config,
+    table1_hardware,
+)
+
+
+class TestScenarios:
+    def test_paper_sweep(self):
+        scenarios = paper_scenarios()
+        assert len(scenarios) == 40
+        assert scenarios[0].total_agents == 2560
+        assert scenarios[-1].total_agents == 102400
+        assert all(
+            s.total_agents == AGENT_INCREMENT * s.index for s in scenarios
+        )
+
+    def test_fig6_windows(self):
+        assert FIG6A_SCENARIOS == tuple(range(1, 21))
+        assert FIG6B_SCENARIOS == tuple(range(11, 31))
+
+    def test_density_formula(self):
+        assert ScenarioSpec(20, 51200).density == pytest.approx(51200 / 230400)
+
+    def test_count_validation(self):
+        with pytest.raises(ExperimentError):
+            paper_scenarios(0)
+        with pytest.raises(ExperimentError):
+            paper_scenarios(41)
+
+    def test_scenario_config_scales_density(self):
+        spec = ScenarioSpec(10, 25600)
+        cfg = scenario_config(spec, model="aco", scale="quick", seed=3)
+        assert cfg.model_name == "aco"
+        assert cfg.seed == 3
+        assert cfg.density == pytest.approx(spec.density, rel=0.05)
+
+    def test_paper_scale_identity(self):
+        spec = ScenarioSpec(1, 2560)
+        cfg = scenario_config(spec, scale="paper")
+        assert (cfg.height, cfg.steps) == (480, 25000)
+
+    def test_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            scenario_config(ScenarioSpec(1, 2560), scale="huge")
+
+    def test_scales_registry(self):
+        assert {"paper", "standard", "quick", "tiny"} <= set(SCALES)
+
+
+class TestModelledFig5:
+    def test_full_sweep_rows(self):
+        rows = modelled_fig5()
+        assert len(rows) == 40
+        assert rows[0].speedup == pytest.approx(17.95, abs=0.3)
+        assert rows[-1].speedup == pytest.approx(11.44, abs=0.3)
+
+    def test_aco_over_lem(self):
+        rows = modelled_fig5([2560])
+        assert rows[0].aco_over_lem == pytest.approx(1.11, rel=0.01)
+
+    def test_endpoint_seconds(self):
+        rows = modelled_fig5([2560, 102400])
+        assert rows[0].aco_gpu_seconds == pytest.approx(46.66, rel=1e-6)
+        assert rows[0].aco_cpu_seconds == pytest.approx(837.5, rel=1e-6)
+        assert rows[1].aco_gpu_seconds == pytest.approx(126.7, rel=1e-6)
+        assert rows[1].aco_cpu_seconds == pytest.approx(1449.0, rel=1e-6)
+
+
+class TestMeasuredFig5:
+    def test_records_and_speedups(self):
+        records = measured_fig5(scenario_indices=(1, 3), scale="tiny", steps=30)
+        # 3 records per scenario: lem/vec, aco/vec, aco/seq.
+        assert len(records) == 6
+        assert all(r.wall_seconds > 0 for r in records)
+        speedups = measured_speedups(records)
+        assert len(speedups) == 2
+        assert all(s > 0 for _, s in speedups)
+
+
+class TestFig6aQuick:
+    def test_structure_and_shape(self):
+        out = run_fig6a(scale="tiny", scenario_indices=(1, 10, 16), seeds=(0,))
+        assert [r.scenario_index for r in out.rows] == [1, 10, 16]
+        # Low density: both models cross everyone.
+        first = out.rows[0]
+        assert first.lem_throughput == first.total_agents
+        assert first.aco_throughput == first.total_agents
+        # Tiny grids are too small for the jamming contrast; just require
+        # the totals to be sane (the standard-scale shape test lives in the
+        # benchmarks and EXPERIMENTS.md run).
+        assert out.overall_gain >= -0.05
+
+
+class TestFig6bQuick:
+    def test_platform_statistics(self):
+        # Transitional-density scenarios so the quasi-binomial dispersion is
+        # identifiable (all-crossed scenarios carry no variance information).
+        out = run_fig6b(
+            scale="tiny",
+            scenario_indices=(14, 16, 18, 20, 22),
+            seeds_cpu=(100, 101, 102),
+            seeds_gpu=(200, 201, 202),
+        )
+        assert len(out.rows) == 5
+        assert out.glm.converged
+        assert 0.0 <= out.platform_p <= 1.0
+        # The reproduction claim: platforms statistically indistinguishable.
+        assert out.platforms_equivalent
+        assert out.welch_p > 0.05
+
+
+class TestTables:
+    def test_table1_contains_paper_values(self):
+        table = table1_hardware()
+        for fragment in ("448", "GTX 560 Ti", "i7-930", "2.8", "1.464", "6 GB DDR3"):
+            assert fragment in table
+
+    def test_occupancy_table_all_full(self):
+        table = occupancy_table()
+        assert table.count("100%") == 4

@@ -1,0 +1,102 @@
+"""Distance table tests: the paper's slot ranking must hold."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid import MIN_DISTANCE, DistanceTable, build_distance_tables
+from repro.types import Group, NeighborSlot
+
+
+class TestRanking:
+    """Paper Section IV.b: slot 1 nearest, then 2/3, then 4/5, 6, 7/8."""
+
+    @pytest.mark.parametrize("group", [Group.TOP, Group.BOTTOM])
+    def test_paper_ordering_midgrid(self, group):
+        table = DistanceTable(100, group)
+        row = 50
+        d = table.table[row]
+        assert d[0] < d[1] == d[2] < d[3] == d[4] < d[5] < d[6] == d[7]
+
+    def test_forward_decrements_row_distance(self):
+        table = DistanceTable(100, Group.TOP)
+        for row in range(1, 98):
+            d_here = abs(table.target_row - row)
+            assert table.distance(row, NeighborSlot.FORWARD) == pytest.approx(
+                max(d_here - 1, MIN_DISTANCE)
+            )
+
+    def test_diagonal_formula(self):
+        table = DistanceTable(100, Group.TOP)
+        row = 30
+        d = abs(table.target_row - (row + 1))
+        expected = math.sqrt(d * d + 1.0)
+        assert table.distance(row, NeighborSlot.FORWARD_LEFT) == pytest.approx(expected)
+        assert table.distance(row, NeighborSlot.FORWARD_RIGHT) == pytest.approx(expected)
+
+
+class TestBounds:
+    def test_out_of_grid_is_inf(self):
+        table = DistanceTable(50, Group.TOP)
+        # Backward from row 0 leaves the grid.
+        assert math.isinf(table.distance(0, NeighborSlot.BACKWARD))
+        # Forward from the last row leaves the grid.
+        assert math.isinf(table.distance(49, NeighborSlot.FORWARD))
+
+    def test_bottom_symmetry(self):
+        top = DistanceTable(64, Group.TOP)
+        bottom = DistanceTable(64, Group.BOTTOM)
+        # Row r for TOP mirrors row H-1-r for BOTTOM, slot for slot.
+        for row in (0, 1, 31, 62, 63):
+            assert np.allclose(
+                top.table[row], bottom.table[63 - row], equal_nan=True
+            )
+
+    def test_target_row_floor(self):
+        """Distances are floored at MIN_DISTANCE (eq. 1 requires D != 0)."""
+        table = DistanceTable(50, Group.TOP)
+        # An agent one row before the target: its forward cell IS the target.
+        d = table.distance(48, NeighborSlot.FORWARD)
+        assert d == MIN_DISTANCE
+
+    def test_positive_everywhere(self):
+        for group in (Group.TOP, Group.BOTTOM):
+            table = DistanceTable(37, group)
+            assert np.all(table.table > 0)
+
+    def test_read_only(self):
+        table = DistanceTable(20, Group.TOP)
+        with pytest.raises(ValueError):
+            table.table[0, 0] = 5.0
+
+
+class TestAccessors:
+    def test_distances_batch(self):
+        table = DistanceTable(40, Group.TOP)
+        rows = np.array([3, 17, 30])
+        batch = table.distances(rows)
+        assert batch.shape == (3, 8)
+        assert np.array_equal(batch, table.table[rows])
+
+    def test_vertical_distance(self):
+        table = DistanceTable(40, Group.BOTTOM)
+        assert table.vertical_distance(0) == 0
+        assert table.vertical_distance(39) == 39
+
+    def test_slot_validation(self):
+        table = DistanceTable(40, Group.TOP)
+        with pytest.raises(ValueError):
+            table.distance(0, 0)
+        with pytest.raises(ValueError):
+            table.distance(0, 9)
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError):
+            DistanceTable(1, Group.TOP)
+
+    def test_build_both_groups(self):
+        tables = build_distance_tables(33)
+        assert set(tables) == {Group.TOP, Group.BOTTOM}
+        assert tables[Group.TOP].target_row == 32
+        assert tables[Group.BOTTOM].target_row == 0

@@ -1,0 +1,123 @@
+"""Environment / index matrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Environment
+from repro.types import CellState, Group
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        env = Environment(10, 12)
+        assert env.shape == (10, 12)
+        assert env.n_cells == 120
+        assert np.all(env.mat == 0)
+        assert np.all(env.index == 0)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            Environment(0, 5)
+
+
+class TestPlacement:
+    def test_place_and_query(self):
+        env = Environment(8, 8)
+        env.place(2, 3, int(Group.TOP), 1)
+        assert not env.is_empty(2, 3)
+        assert env.count(Group.TOP) == 1
+        assert env.index[2, 3] == 1
+
+    def test_place_occupied_raises(self):
+        env = Environment(8, 8)
+        env.place(2, 3, int(Group.TOP), 1)
+        with pytest.raises(ValueError, match="occupied"):
+            env.place(2, 3, int(Group.BOTTOM), 2)
+
+    def test_place_out_of_bounds_raises(self):
+        env = Environment(8, 8)
+        with pytest.raises(ValueError, match="bounds"):
+            env.place(8, 0, int(Group.TOP), 1)
+
+    def test_place_bad_index_raises(self):
+        env = Environment(8, 8)
+        with pytest.raises(ValueError, match="agent_index"):
+            env.place(0, 0, int(Group.TOP), 0)
+
+
+class TestMove:
+    def test_move_exchanges_contents(self):
+        env = Environment(8, 8)
+        env.place(1, 1, int(Group.BOTTOM), 5)
+        env.move(1, 1, 0, 1)
+        assert env.is_empty(1, 1)
+        assert env.mat[0, 1] == int(Group.BOTTOM)
+        assert env.index[0, 1] == 5
+
+    def test_move_from_empty_raises(self):
+        env = Environment(8, 8)
+        with pytest.raises(ValueError, match="empty"):
+            env.move(0, 0, 1, 1)
+
+    def test_move_to_occupied_raises(self):
+        env = Environment(8, 8)
+        env.place(0, 0, 1, 1)
+        env.place(1, 1, 2, 2)
+        with pytest.raises(ValueError, match="occupied"):
+            env.move(0, 0, 1, 1)
+
+
+class TestInvariants:
+    def test_validate_accepts_consistent(self):
+        env = Environment(6, 6)
+        env.place(0, 0, 1, 1)
+        env.place(5, 5, 2, 2)
+        env.validate()
+
+    def test_validate_rejects_index_on_empty(self):
+        env = Environment(6, 6)
+        env.index[3, 3] = 7
+        with pytest.raises(AssertionError):
+            env.validate()
+
+    def test_validate_rejects_duplicate_indices(self):
+        env = Environment(6, 6)
+        env.place(0, 0, 1, 4)
+        env.mat[1, 1] = 1
+        env.index[1, 1] = 4
+        with pytest.raises(AssertionError):
+            env.validate()
+
+    def test_copy_is_deep(self):
+        env = Environment(6, 6)
+        env.place(0, 0, 1, 1)
+        dup = env.copy()
+        dup.mat[0, 0] = 0
+        assert env.mat[0, 0] == 1
+
+    def test_equals(self):
+        a = Environment(6, 6)
+        b = Environment(6, 6)
+        assert a.equals(b)
+        a.place(0, 0, 1, 1)
+        assert not a.equals(b)
+
+
+class TestLanes:
+    def test_cell_lane_row_major(self):
+        env = Environment(5, 7)
+        assert int(env.cell_lane(0, 0)) == 0
+        assert int(env.cell_lane(1, 0)) == 7
+        assert int(env.cell_lane(4, 6)) == 34
+
+    def test_cell_lane_vectorized(self):
+        env = Environment(5, 7)
+        lanes = env.cell_lane(np.array([0, 1]), np.array([3, 4]))
+        assert np.array_equal(lanes, [3, 11])
+
+    def test_occupied_cells_row_major(self):
+        env = Environment(4, 4)
+        env.place(2, 1, 1, 1)
+        env.place(0, 3, 2, 2)
+        cells = env.occupied_cells()
+        assert np.array_equal(cells, [[0, 3], [2, 1]])

@@ -1,0 +1,92 @@
+"""Neighbourhood geometry tests (paper Figure 1 numbering)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    ABSOLUTE_OFFSETS,
+    STEP_COSTS,
+    absolute_offsets_array,
+    offsets_array,
+    slot_offsets,
+    step_cost,
+)
+from repro.types import Group, NeighborSlot
+
+
+class TestSlotOffsets:
+    def test_top_forward_is_down(self):
+        assert slot_offsets(Group.TOP)[0] == (1, 0)
+
+    def test_bottom_forward_is_up(self):
+        assert slot_offsets(Group.BOTTOM)[0] == (-1, 0)
+
+    def test_groups_are_180_rotations(self):
+        top = slot_offsets(Group.TOP)
+        bottom = slot_offsets(Group.BOTTOM)
+        for (tr, tc), (br, bc) in zip(top, bottom):
+            assert (br, bc) == (-tr, -tc)
+
+    def test_eight_unique_offsets_cover_moore(self):
+        for group in (Group.TOP, Group.BOTTOM):
+            offs = set(slot_offsets(group))
+            assert len(offs) == 8
+            assert offs == {
+                (dr, dc)
+                for dr in (-1, 0, 1)
+                for dc in (-1, 0, 1)
+                if (dr, dc) != (0, 0)
+            }
+
+    def test_backward_is_opposite_forward(self):
+        for group in (Group.TOP, Group.BOTTOM):
+            offs = slot_offsets(group)
+            fwd = offs[NeighborSlot.FORWARD - 1]
+            back = offs[NeighborSlot.BACKWARD - 1]
+            assert back == (-fwd[0], -fwd[1])
+
+    def test_offsets_array_dtype_shape(self):
+        arr = offsets_array(Group.TOP)
+        assert arr.shape == (8, 2)
+        assert arr.dtype == np.int64
+
+
+class TestStepCosts:
+    def test_orthogonal_cost_one(self):
+        for slot in (1, 4, 5, 6):
+            assert step_cost(slot) == 1.0
+
+    def test_diagonal_cost_sqrt2(self):
+        for slot in (2, 3, 7, 8):
+            assert step_cost(slot) == math.sqrt(2.0)
+
+    def test_costs_match_offsets(self):
+        for s, (dr, dc) in enumerate(slot_offsets(Group.TOP), start=1):
+            assert step_cost(s) == math.sqrt(dr * dr + dc * dc)
+
+    def test_slot_bounds(self):
+        with pytest.raises(ValueError):
+            step_cost(0)
+        with pytest.raises(ValueError):
+            step_cost(9)
+
+    def test_costs_tuple_matches(self):
+        assert len(STEP_COSTS) == 8
+
+
+class TestAbsoluteOffsets:
+    def test_count_and_uniqueness(self):
+        assert len(set(ABSOLUTE_OFFSETS)) == 8
+
+    def test_row_major_order(self):
+        """The gather order must be the fixed NW..SE sweep."""
+        assert ABSOLUTE_OFFSETS[0] == (-1, -1)
+        assert ABSOLUTE_OFFSETS[-1] == (1, 1)
+        assert list(ABSOLUTE_OFFSETS) == sorted(ABSOLUTE_OFFSETS)
+
+    def test_array_form(self):
+        arr = absolute_offsets_array()
+        assert arr.shape == (8, 2)
+        assert np.array_equal(arr[1], [-1, 0])

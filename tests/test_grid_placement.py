@@ -1,0 +1,86 @@
+"""Placement tests: random but confined, deterministic, paper-indexed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.grid import band_cells, place_groups
+from repro.rng import PhiloxKeyedRNG
+from repro.types import Group
+
+
+class TestBandCells:
+    def test_top_band(self):
+        cells = band_cells(20, 10, Group.TOP, 3)
+        assert cells.shape == (30, 2)
+        assert cells[:, 0].min() == 0 and cells[:, 0].max() == 2
+
+    def test_bottom_band(self):
+        cells = band_cells(20, 10, Group.BOTTOM, 3)
+        assert cells[:, 0].min() == 17 and cells[:, 0].max() == 19
+
+    def test_row_major_order(self):
+        cells = band_cells(20, 4, Group.TOP, 2)
+        lanes = cells[:, 0] * 4 + cells[:, 1]
+        assert np.all(np.diff(lanes) > 0)
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            band_cells(20, 10, Group.TOP, 0)
+        with pytest.raises(ValueError):
+            band_cells(20, 10, Group.TOP, 21)
+
+
+class TestPlaceGroups:
+    def test_counts_and_confinement(self, rng):
+        env = place_groups(40, 20, 50, 5, rng)
+        assert env.count(Group.TOP) == 50
+        assert env.count(Group.BOTTOM) == 50
+        top_rows = np.nonzero(env.mat == int(Group.TOP))[0]
+        bottom_rows = np.nonzero(env.mat == int(Group.BOTTOM))[0]
+        assert top_rows.max() < 5
+        assert bottom_rows.min() >= 35
+
+    def test_index_numbering_matches_paper(self, rng):
+        """Top agents 1..n in reading order, bottom agents follow."""
+        env = place_groups(20, 10, 15, 3, rng)
+        top_idx = env.index[env.mat == int(Group.TOP)]
+        bottom_idx = env.index[env.mat == int(Group.BOTTOM)]
+        assert set(top_idx) == set(range(1, 16))
+        assert set(bottom_idx) == set(range(16, 31))
+        # Reading order: index increases along row-major occupied cells.
+        rows, cols = np.nonzero(env.mat == int(Group.TOP))
+        assert np.all(np.diff(env.index[rows, cols]) > 0)
+
+    def test_deterministic_per_seed(self):
+        a = place_groups(20, 10, 15, 3, PhiloxKeyedRNG(5))
+        b = place_groups(20, 10, 15, 3, PhiloxKeyedRNG(5))
+        assert a.equals(b)
+
+    def test_seed_changes_layout(self):
+        a = place_groups(20, 16, 30, 4, PhiloxKeyedRNG(5))
+        b = place_groups(20, 16, 30, 4, PhiloxKeyedRNG(6))
+        assert not a.equals(b)
+
+    def test_full_band(self, rng):
+        """Exactly filling the band must work."""
+        env = place_groups(10, 6, 12, 2, rng)
+        assert env.count(Group.TOP) == 12
+
+    def test_overfull_band_raises(self, rng):
+        with pytest.raises(PlacementError):
+            place_groups(10, 6, 13, 2, rng)
+
+    def test_validated_environment(self, rng):
+        env = place_groups(20, 20, 40, 4, rng)
+        env.validate()
+
+    def test_placement_is_uniformish(self):
+        """Each band cell should win roughly equally often across seeds."""
+        hits = np.zeros((2, 8))
+        for seed in range(300):
+            env = place_groups(10, 8, 8, 2, PhiloxKeyedRNG(seed))
+            hits += env.mat[:2] == int(Group.TOP)
+        freq = hits / 300.0
+        assert abs(freq.mean() - 0.5) < 0.05
+        assert freq.std() < 0.12

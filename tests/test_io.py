@@ -1,0 +1,126 @@
+"""I/O tests: text tables, JSON records, plots, rendering."""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, build_engine
+from repro.io import (
+    bar_chart,
+    line_plot,
+    read_json_record,
+    read_text_table,
+    render_density,
+    render_engine,
+    render_grid,
+    write_json_record,
+    write_text_table,
+)
+
+
+class TestTextTables:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "out" / "data.txt")
+        cols = {
+            "step": np.arange(5),
+            "value": np.linspace(0.0, 1.0, 5),
+        }
+        write_text_table(path, cols, header_comment="demo table")
+        back = read_text_table(path)
+        assert set(back) == {"step", "value"}
+        assert np.allclose(back["value"], cols["value"])
+
+    def test_numpy_loadtxt_compatible(self, tmp_path):
+        """The paper's MATLAB-style flow: plain numeric text files."""
+        path = str(tmp_path / "data.txt")
+        write_text_table(path, {"a": [1.5, 2.5], "b": [3, 4]})
+        data = np.loadtxt(path)
+        assert data.shape == (2, 2)
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="rows"):
+            write_text_table(str(tmp_path / "x.txt"), {"a": [1], "b": [1, 2]})
+
+    def test_empty_columns(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_text_table(str(tmp_path / "x.txt"), {})
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("1 2\n3 4\n")
+        with pytest.raises(ValueError, match="header"):
+            read_text_table(str(path))
+
+
+class TestJsonRecords:
+    def test_round_trip_with_numpy(self, tmp_path):
+        path = str(tmp_path / "rec.json")
+        write_json_record(
+            path,
+            {"a": np.int64(3), "b": np.float64(1.5), "c": np.arange(3)},
+        )
+        back = read_json_record(path)
+        assert back == {"a": 3, "b": 1.5, "c": [0, 1, 2]}
+
+    def test_dataclass_record(self, tmp_path):
+        from repro.experiments import RunRecord
+
+        rec = RunRecord(1, 100, "lem", "vectorized", 0, 50, 42, 0.5)
+        path = str(tmp_path / "rec.json")
+        write_json_record(path, rec)
+        assert read_json_record(path)["throughput"] == 42
+
+
+class TestPlots:
+    def test_line_plot_renders(self):
+        chart = line_plot(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, title="demo", xlabel="x"
+        )
+        assert "demo" in chart
+        assert "a" in chart and "b" in chart
+        assert len(chart.splitlines()) > 10
+
+    def test_line_plot_constant_series(self):
+        chart = line_plot({"flat": [5, 5, 5]})
+        assert "flat" in chart
+
+    def test_line_plot_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_bar_chart(self):
+        chart = bar_chart(["x", "y"], [1.0, 2.0], title="bars")
+        assert "bars" in chart
+        assert chart.count("#") > 0
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["x"], [1.0, 2.0])
+
+
+class TestRendering:
+    def test_render_grid_glyphs(self):
+        mat = np.zeros((3, 3), dtype=np.int8)
+        mat[0, 0] = 1
+        mat[2, 2] = 2
+        out = render_grid(mat)
+        lines = out.splitlines()
+        assert lines[0][0] == "v"
+        assert lines[2][2] == "^"
+        assert lines[1][1] == "."
+
+    def test_render_engine_small_uses_full_grid(self, tiny_config):
+        eng = build_engine(tiny_config, "vectorized")
+        out = render_engine(eng)
+        assert len(out.splitlines()) == tiny_config.height
+
+    def test_render_engine_large_uses_density(self):
+        cfg = SimulationConfig(height=96, width=96, n_per_side=500, steps=1, seed=0)
+        eng = build_engine(cfg, "vectorized")
+        out = render_engine(eng)
+        assert len(out.splitlines()) <= 24
+
+    def test_density_view_marks_crowds(self):
+        mat = np.zeros((40, 40), dtype=np.int8)
+        mat[:10] = 1  # dense top block
+        out = render_density(mat, out_rows=4, out_cols=4)
+        assert "v" in out.splitlines()[0]

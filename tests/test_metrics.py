@@ -1,0 +1,154 @@
+"""Metrics package tests."""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, build_engine
+from repro.metrics import (
+    FlowRecorder,
+    GridlockDetector,
+    ThroughputTracker,
+    band_segregation,
+    detour_factor,
+    efficiency_report,
+    is_gridlocked,
+    lane_order_parameter,
+    midline_flux,
+    row_density_profile,
+)
+from repro.types import Group
+
+
+@pytest.fixture
+def finished_engine(small_config):
+    eng = build_engine(small_config, "vectorized")
+    tracker = ThroughputTracker()
+    eng.run(steps=60, callback=tracker)
+    return eng, tracker
+
+
+class TestThroughputTracker:
+    def test_cumulative_matches_engine(self, finished_engine):
+        eng, tracker = finished_engine
+        assert int(tracker.cumulative[-1]) == eng.throughput()
+
+    def test_summary_fields(self, finished_engine):
+        eng, tracker = finished_engine
+        s = tracker.summary()
+        assert s.crossed_total == eng.throughput()
+        assert s.crossed_total == s.crossed_top + s.crossed_bottom
+        assert s.steps == 60
+        assert 0.0 <= s.fraction <= 1.0
+
+    def test_half_crossing_step(self, finished_engine):
+        _, tracker = finished_engine
+        s = tracker.summary()
+        if s.crossed_total > 0:
+            assert 0 <= s.half_crossing_step <= s.steps
+
+    def test_unused_tracker_raises(self):
+        with pytest.raises(RuntimeError):
+            ThroughputTracker().summary()
+
+
+class TestLanes:
+    def test_fully_segregated_is_one(self):
+        mat = np.zeros((10, 10), dtype=np.int8)
+        mat[:, :5] = int(Group.TOP)
+        mat[:, 5:] = int(Group.BOTTOM)
+        assert lane_order_parameter(mat) == 1.0
+
+    def test_fully_mixed_is_low(self):
+        mat = np.zeros((10, 10), dtype=np.int8)
+        mat[::2] = int(Group.TOP)
+        mat[1::2] = int(Group.BOTTOM)
+        assert lane_order_parameter(mat) == 0.0
+
+    def test_empty_grid_is_zero(self):
+        assert lane_order_parameter(np.zeros((5, 5))) == 0.0
+
+    def test_band_segregation_shape(self, finished_engine):
+        eng, _ = finished_engine
+        bands = band_segregation(eng, n_bands=4)
+        assert bands.shape == (4,)
+        assert np.all((bands >= 0) & (bands <= 1))
+
+    def test_band_validation(self, finished_engine):
+        eng, _ = finished_engine
+        with pytest.raises(ValueError):
+            band_segregation(eng, n_bands=0)
+
+
+class TestFlow:
+    def test_density_profile_sums_to_population(self, finished_engine):
+        eng, _ = finished_engine
+        profile = row_density_profile(eng)
+        total = sum(p.sum() * eng.env.width for p in profile.values())
+        assert total == pytest.approx(eng.pop.n_agents)
+
+    def test_midline_flux_counts_productive_crossings(self):
+        ids = np.array([0, 1, 2], dtype=np.int8)  # sentinel + one per group
+        before = np.array([0, 4, 5])
+        after = np.array([0, 5, 4])  # top crosses down, bottom crosses up
+        assert midline_flux(before, after, ids, midline=5) == 2
+
+    def test_midline_flux_counter_crossings_negative(self):
+        ids = np.array([0, 1], dtype=np.int8)
+        before = np.array([0, 5])
+        after = np.array([0, 4])  # top agent moves backwards over midline
+        assert midline_flux(before, after, ids, midline=5) == -1
+
+    def test_flow_recorder(self, small_config):
+        eng = build_engine(small_config, "vectorized")
+        rec = FlowRecorder()
+        eng.run(steps=30, callback=rec)
+        assert len(rec.move_rate) == 30
+        assert 0.0 <= rec.mean_move_rate <= 1.0
+        assert len(rec.flux) == 29
+
+
+class TestGridlock:
+    def test_free_flow_not_gridlocked(self, finished_engine):
+        eng, tracker = finished_engine
+        moved = np.array([50] * 100)
+        assert not is_gridlocked(moved, n_agents=100)
+
+    def test_frozen_detected(self):
+        moved = np.array([0] * 100)
+        assert is_gridlocked(moved, n_agents=100, window=50)
+
+    def test_short_history_not_gridlocked(self):
+        assert not is_gridlocked(np.zeros(10), n_agents=100, window=50)
+
+    def test_detector_latches_onset(self, small_config):
+        eng = build_engine(small_config, "vectorized")
+        det = GridlockDetector(rate_threshold=2.0, window=5)  # everything is "quiet"
+        eng.run(steps=10, callback=det)
+        assert det.gridlocked
+        assert det.onset_step == 0
+
+    def test_detector_no_false_positive(self, small_config):
+        eng = build_engine(small_config, "vectorized")
+        det = GridlockDetector(rate_threshold=0.0, window=5)
+        eng.run(steps=10, callback=det)
+        assert not det.gridlocked
+
+
+class TestEfficiency:
+    def test_detour_factor_lone_agent_is_unity(self):
+        cfg = SimulationConfig(height=24, width=24, n_per_side=1, steps=30, seed=0)
+        eng = build_engine(cfg, "vectorized")
+        eng.run()
+        assert eng.throughput() == 2
+        assert detour_factor(eng) == pytest.approx(1.0, rel=0.05)
+
+    def test_report_fields(self, finished_engine):
+        eng, _ = finished_engine
+        rep = efficiency_report(eng)
+        assert 0.0 <= rep.crossed_fraction <= 1.0
+        if rep.crossed_fraction > 0:
+            assert rep.detour_factor >= 0.9
+
+    def test_no_crossings_gives_nan(self, tiny_config):
+        eng = build_engine(tiny_config, "vectorized")
+        assert np.isnan(detour_factor(eng))

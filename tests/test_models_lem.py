@@ -1,0 +1,131 @@
+"""LEM decision kernel tests (eq. 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.models import LEMModel, LEMParams, lem_scores
+from repro.rng import PhiloxKeyedRNG
+
+
+def make_scan(dists):
+    """One agent's scan row from a dict slot->distance (1-based slots)."""
+    row = np.zeros((1, 8))
+    for slot, d in dists.items():
+        row[0, slot - 1] = d
+    return row
+
+
+class TestScores:
+    def test_best_cell_scores_one(self):
+        scan = make_scan({1: 2.0, 4: 3.0, 6: 4.0})
+        scores = lem_scores(scan, scan > 0)
+        assert scores[0, 0] == 1.0
+
+    def test_scores_are_dmin_over_d(self):
+        scan = make_scan({1: 2.0, 4: 4.0})
+        scores = lem_scores(scan, scan > 0)
+        assert scores[0, 3] == 0.5
+
+    def test_non_candidates_zero(self):
+        scan = make_scan({2: 5.0})
+        scores = lem_scores(scan, scan > 0)
+        assert scores[0, 0] == 0.0
+        assert np.count_nonzero(scores) == 1
+
+    def test_empty_row_all_zero(self):
+        scan = np.zeros((1, 8))
+        scores = lem_scores(scan, scan > 0)
+        assert np.all(scores == 0.0)
+
+    def test_batch_rows_independent(self):
+        scan = np.vstack([make_scan({1: 2.0}), make_scan({6: 8.0})])
+        scores = lem_scores(scan, scan > 0)
+        assert scores[0, 0] == 1.0 and scores[1, 5] == 1.0
+
+
+class TestSelectFloor:
+    """Default rule: largest C <= x, stay when all scores exceed the draw."""
+
+    def test_no_candidates_returns_minus_one(self, rng):
+        model = LEMModel(LEMParams())
+        slot = model.select(np.zeros((1, 8)), rng, 0, np.array([1]))
+        assert slot[0] == -1
+
+    def test_stay_frequency_matches_normal_mass(self):
+        """With one candidate at C=1 and x ~ clipped N(0,1), the agent moves
+        only when x clips to 1 — probability P(z >= 1) ~ 0.1587."""
+        model = LEMModel(LEMParams())
+        rng = PhiloxKeyedRNG(0)
+        scan = np.tile(make_scan({1: 5.0}), (200000, 1))
+        lanes = np.arange(1, 200001)
+        slots = model.select(scan, rng, 0, lanes)
+        move_rate = np.mean(slots == 0)
+        assert move_rate == pytest.approx(0.1587, abs=0.01)
+
+    def test_high_mu_always_moves_to_best(self):
+        model = LEMModel(LEMParams(mu=10.0, sigma=0.01))
+        rng = PhiloxKeyedRNG(0)
+        scan = np.tile(make_scan({1: 2.0, 6: 9.0}), (1000, 1))
+        slots = model.select(scan, rng, 0, np.arange(1, 1001))
+        assert np.all(slots == 0)
+
+    def test_low_draws_stay(self):
+        model = LEMModel(LEMParams(mu=-10.0, sigma=0.01))
+        rng = PhiloxKeyedRNG(0)
+        scan = np.tile(make_scan({1: 2.0, 6: 9.0}), (100, 1))
+        slots = model.select(scan, rng, 0, np.arange(1, 101))
+        assert np.all(slots == -1)
+
+    def test_tie_break_unbiased(self):
+        """Equal-distance diagonals must split roughly 50/50."""
+        model = LEMModel(LEMParams(mu=10.0, sigma=0.01))
+        rng = PhiloxKeyedRNG(3)
+        scan = np.tile(make_scan({2: 3.0, 3: 3.0}), (20000, 1))
+        slots = model.select(scan, rng, 0, np.arange(1, 20001))
+        assert set(np.unique(slots)) == {1, 2}
+        assert abs(np.mean(slots == 1) - 0.5) < 0.02
+
+
+class TestSelectCeil:
+    """Ablation rule: smallest C >= x, always moves."""
+
+    def test_always_moves_with_candidates(self):
+        model = LEMModel(LEMParams(rule="ceil"))
+        rng = PhiloxKeyedRNG(0)
+        scan = np.tile(make_scan({4: 5.0, 6: 9.0}), (5000, 1))
+        slots = model.select(scan, rng, 0, np.arange(1, 5001))
+        assert np.all(slots >= 0)
+
+    def test_prefers_best_with_high_mu(self):
+        model = LEMModel(LEMParams(mu=1.0, sigma=0.2, rule="ceil"))
+        rng = PhiloxKeyedRNG(0)
+        scan = np.tile(make_scan({1: 2.0, 6: 20.0}), (5000, 1))
+        slots = model.select(scan, rng, 0, np.arange(1, 5001))
+        assert np.mean(slots == 0) > 0.5
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("rule", ["floor", "ceil"])
+    def test_scalar_matches_vectorized(self, rule):
+        model = LEMModel(LEMParams(rule=rule))
+        rng = PhiloxKeyedRNG(17)
+        cases = [
+            {},
+            {1: 2.0},
+            {1: 2.0, 2: 2.2360679774997896, 3: 2.2360679774997896},
+            {4: 5.0990195135927845, 5: 5.0990195135927845, 6: 6.0},
+            {1: 1e-6},
+            {k: float(k) for k in range(1, 9)},
+        ]
+        scan = np.vstack([make_scan(c) for c in cases])
+        lanes = np.arange(1, len(cases) + 1)
+        for step in range(5):
+            vec = model.select(scan, rng, step, lanes)
+            variates = model.scalar_prepare(rng, step, len(cases))
+            for i in range(len(cases)):
+                scalar = model.select_scalar(list(scan[i]), i + 1, variates)
+                assert scalar == vec[i], (rule, step, i)
+
+    def test_scan_value_scalar_is_distance(self):
+        model = LEMModel(LEMParams())
+        assert model.scan_value_scalar(3.25, 0.0) == 3.25

@@ -1,0 +1,40 @@
+"""fast_pow determinism and correctness."""
+
+import numpy as np
+import pytest
+
+from repro.models.mathops import MAX_INT_EXPONENT, fast_pow, fast_pow_scalar
+
+
+class TestFastPow:
+    @pytest.mark.parametrize("p", [0.0, 1.0, 2.0, 3.0, 7.0, 16.0, -1.0, -2.0])
+    def test_matches_power(self, p):
+        x = np.array([0.5, 1.0, 2.0, 3.7, 100.0])
+        assert np.allclose(fast_pow(x, p), np.power(x, p), rtol=1e-12)
+
+    def test_zero_exponent_is_ones(self):
+        assert np.array_equal(fast_pow(np.array([5.0, 0.0]), 0.0), [1.0, 1.0])
+
+    def test_fractional_falls_back(self):
+        x = np.array([4.0])
+        assert fast_pow(x, 0.5)[0] == pytest.approx(2.0)
+
+    def test_large_int_falls_back(self):
+        x = np.array([1.01])
+        p = MAX_INT_EXPONENT + 1
+        assert fast_pow(x, float(p))[0] == pytest.approx(1.01**p)
+
+    def test_scalar_path_bit_identical(self):
+        """The engine-equivalence requirement: scalar == vector, bit for bit."""
+        values = [0.3, 1.0, 2.5, 17.125, 1e-6, 1e6]
+        for p in (1.0, 2.0, 3.0, 5.0, -2.0):
+            vec = fast_pow(np.array(values), p)
+            for i, v in enumerate(values):
+                assert fast_pow_scalar(v, p) == vec[i]
+
+    def test_scalar_identity(self):
+        assert fast_pow_scalar(3.5, 1.0) == 3.5
+
+    def test_negative_power_is_reciprocal(self):
+        x = 2.0
+        assert fast_pow_scalar(x, -3.0) == 1.0 / (x * x * x)

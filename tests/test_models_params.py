@@ -1,0 +1,83 @@
+"""Model parameter bundle tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    ACOParams,
+    GreedyParams,
+    LEMParams,
+    MODEL_NAMES,
+    RandomParams,
+    params_from_name,
+)
+
+
+class TestLEMParams:
+    def test_defaults_standard_normal(self):
+        p = LEMParams()
+        assert p.mu == 0.0 and p.sigma == 1.0 and p.rule == "floor"
+
+    def test_sigma_positive(self):
+        with pytest.raises(ConfigurationError):
+            LEMParams(sigma=0.0).validate()
+
+    def test_rule_checked(self):
+        with pytest.raises(ConfigurationError):
+            LEMParams(rule="round").validate()
+
+    def test_replace(self):
+        p = LEMParams().replace(sigma=0.3)
+        assert p.sigma == 0.3
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            LEMParams().replace(sigma=-1.0)
+
+
+class TestACOParams:
+    def test_defaults(self):
+        p = ACOParams()
+        assert p.alpha == 1.0 and p.beta == 2.0
+        p.validate()
+
+    def test_rho_range(self):
+        with pytest.raises(ConfigurationError):
+            ACOParams(rho=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            ACOParams(rho=1.5).validate()
+        ACOParams(rho=1.0).validate()  # boundary allowed
+
+    def test_clamp_ordering(self):
+        with pytest.raises(ConfigurationError):
+            ACOParams(tau_min=1.0, tau0=0.5).validate()
+        with pytest.raises(ConfigurationError):
+            ACOParams(tau_max=0.01).validate()
+
+    def test_negative_exponents_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ACOParams(alpha=-1).validate()
+        with pytest.raises(ConfigurationError):
+            ACOParams(beta=-1).validate()
+
+    def test_deposit_positive(self):
+        with pytest.raises(ConfigurationError):
+            ACOParams(deposit_q=0.0).validate()
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in MODEL_NAMES:
+            params = params_from_name(name)
+            assert params.model_name == name
+
+    def test_case_insensitive(self):
+        assert isinstance(params_from_name("ACO"), ACOParams)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            params_from_name("boids")
+
+    def test_baseline_params_exist(self):
+        assert isinstance(params_from_name("random"), RandomParams)
+        assert isinstance(params_from_name("greedy"), GreedyParams)

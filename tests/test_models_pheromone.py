@@ -1,0 +1,71 @@
+"""Pheromone field tests (eq. 3-5 mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.models import ACOParams, PheromoneField
+from repro.types import Group
+
+
+@pytest.fixture
+def field():
+    return PheromoneField(10, 10, ACOParams(rho=0.1, tau0=0.5, tau_min=0.01, tau_max=2.0))
+
+
+class TestInitial:
+    def test_initialised_to_tau0(self, field):
+        for g in (Group.TOP, Group.BOTTOM):
+            assert np.all(field.field(g) == 0.5)
+
+    def test_groups_independent(self, field):
+        field.deposit(Group.TOP, [1], [1], [0.3])
+        assert field.value(Group.TOP, 1, 1) == pytest.approx(0.8)
+        assert field.value(Group.BOTTOM, 1, 1) == 0.5
+
+
+class TestEvaporation:
+    def test_eq3_rate(self, field):
+        field.evaporate()
+        assert np.all(field.field(Group.TOP) == pytest.approx(0.45))
+
+    def test_clamped_below(self):
+        f = PheromoneField(4, 4, ACOParams(rho=0.99, tau0=0.02, tau_min=0.015))
+        f.evaporate()
+        assert np.all(f.field(Group.TOP) == 0.015)
+
+    def test_monotone_decay_to_floor(self, field):
+        for _ in range(500):
+            field.evaporate()
+        assert np.all(field.field(Group.BOTTOM) == pytest.approx(0.01))
+
+
+class TestDeposit:
+    def test_vector_deposit(self, field):
+        field.deposit(Group.TOP, np.array([0, 1]), np.array([0, 1]), np.array([0.1, 0.2]))
+        assert field.value(Group.TOP, 0, 0) == pytest.approx(0.6)
+        assert field.value(Group.TOP, 1, 1) == pytest.approx(0.7)
+
+    def test_duplicate_cells_accumulate(self, field):
+        field.deposit(Group.TOP, [2, 2], [2, 2], [0.1, 0.1])
+        assert field.value(Group.TOP, 2, 2) == pytest.approx(0.7)
+
+    def test_clamped_above(self, field):
+        field.deposit(Group.TOP, [0], [0], [100.0])
+        assert field.value(Group.TOP, 0, 0) == 2.0
+
+    def test_scalar_matches_vector(self, field):
+        other = field.copy()
+        field.deposit(Group.BOTTOM, [3], [4], [0.25])
+        other.deposit_scalar(Group.BOTTOM, 3, 4, 0.25)
+        assert field.equals(other)
+
+
+class TestCopyEquality:
+    def test_copy_deep(self, field):
+        dup = field.copy()
+        dup.deposit(Group.TOP, [0], [0], [0.1])
+        assert not field.equals(dup)
+
+    def test_totals(self, field):
+        totals = field.totals()
+        assert totals[Group.TOP] == pytest.approx(0.5 * 100)

@@ -1,0 +1,93 @@
+"""Distribution transform tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    Stream,
+    box_muller,
+    categorical,
+    categorical_from_cumsum,
+    clip_lem_draw,
+)
+
+
+class TestBoxMuller:
+    def test_moments(self, rng):
+        u = rng.uniform4(Stream.EXPERIMENT, 0, np.arange(100000))
+        z = box_muller(u[0], u[1])
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+    def test_deterministic(self):
+        z1 = box_muller(np.array([0.5]), np.array([0.25]))
+        z2 = box_muller(np.array([0.5]), np.array([0.25]))
+        assert np.array_equal(z1, z2)
+
+
+class TestClipLemDraw:
+    def test_negative_to_zero(self):
+        x = clip_lem_draw(np.array([-10.0]), mu=0.0, sigma=1.0, c_max=1.0)
+        assert x[0] == 0.0
+
+    def test_above_cmax_clipped(self):
+        x = clip_lem_draw(np.array([10.0]), mu=0.0, sigma=1.0, c_max=1.0)
+        assert x[0] == 1.0
+
+    def test_interior_untouched(self):
+        x = clip_lem_draw(np.array([0.5]), mu=0.0, sigma=1.0, c_max=1.0)
+        assert x[0] == 0.5
+
+    def test_mu_sigma_applied(self):
+        x = clip_lem_draw(np.array([2.0]), mu=0.1, sigma=0.2, c_max=1.0)
+        assert x[0] == pytest.approx(0.5)
+
+    def test_per_lane_cmax(self):
+        x = clip_lem_draw(
+            np.array([5.0, 5.0]), mu=0.0, sigma=1.0, c_max=np.array([1.0, 0.5])
+        )
+        assert np.array_equal(x, [1.0, 0.5])
+
+
+class TestCategorical:
+    def test_zero_weights_return_minus_one(self):
+        idx = categorical(np.zeros((3, 8)), np.full(3, 0.5))
+        assert np.array_equal(idx, [-1, -1, -1])
+
+    def test_single_candidate_always_chosen(self):
+        w = np.zeros((4, 8))
+        w[:, 5] = 2.0
+        idx = categorical(w, np.array([0.01, 0.3, 0.7, 0.999]))
+        assert np.array_equal(idx, [5, 5, 5, 5])
+
+    def test_zero_weight_never_chosen(self, rng):
+        w = np.zeros((1000, 4))
+        w[:, 1] = 1.0
+        w[:, 3] = 1.0
+        u = rng.uniform(Stream.EXPERIMENT, 0, np.arange(1000))
+        idx = categorical(np.tile(w[0], (1000, 1)), u)
+        assert set(np.unique(idx)) <= {1, 3}
+
+    def test_proportions(self, rng):
+        w = np.tile(np.array([1.0, 3.0]), (200000, 1))
+        u = rng.uniform(Stream.EXPERIMENT, 1, np.arange(200000))
+        idx = categorical(w, u)
+        frac = np.mean(idx == 1)
+        assert abs(frac - 0.75) < 0.005
+
+    def test_cumsum_variant_matches(self, rng):
+        w = np.abs(rng.normal12(Stream.EXPERIMENT, 2, np.arange(800))).reshape(100, 8)
+        u = rng.uniform(Stream.EXPERIMENT, 3, np.arange(100))
+        assert np.array_equal(
+            categorical(w, u), categorical_from_cumsum(np.cumsum(w, axis=1), u)
+        )
+
+    def test_threshold_rounding_guarantees_hit(self):
+        """Even u -> 1 must select a positive-weight slot."""
+        w = np.array([[0.0, 1e-300, 0.0, 1e-300]])
+        idx = categorical(w, np.array([1.0 - 1e-16]))
+        assert idx[0] in (1, 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            categorical(np.zeros(8), np.array([0.5]))

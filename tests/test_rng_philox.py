@@ -1,0 +1,151 @@
+"""Philox4x32-10 correctness: known-answer tests and stream properties."""
+
+import numpy as np
+import pytest
+
+from repro.rng import PHILOX_ROUNDS, PhiloxKeyedRNG, Stream, philox4x32, philox4x32_scalar
+
+
+class TestKnownAnswers:
+    """Random123 known-answer vectors for philox4x32-10."""
+
+    def test_zero_vector(self):
+        out = philox4x32_scalar((0, 0, 0, 0), (0, 0))
+        assert out == (0x6627E8D5, 0xE169C58D, 0xBC57AC4C, 0x9B00DBD8)
+
+    def test_ones_vector(self):
+        out = philox4x32_scalar((0xFFFFFFFF,) * 4, (0xFFFFFFFF,) * 2)
+        assert out == (0x408F276D, 0x41C83B0E, 0xA20BC7C6, 0x6D5451FD)
+
+    def test_pi_vector(self):
+        out = philox4x32_scalar(
+            (0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344),
+            (0xA4093822, 0x299F31D0),
+        )
+        assert out == (0xD16CFE09, 0x94FDCCEB, 0x5001E420, 0x24126EA1)
+
+
+class TestBijection:
+    def test_rounds_default(self):
+        assert PHILOX_ROUNDS == 10
+
+    def test_vectorized_matches_scalar(self):
+        counters = np.arange(40, dtype=np.uint32).reshape(4, 10)
+        keys = np.array([[7] * 10, [9] * 10], dtype=np.uint32)
+        batch = philox4x32(counters, keys)
+        for i in range(10):
+            single = philox4x32_scalar(tuple(counters[:, i]), (7, 9))
+            assert tuple(int(batch[j, i]) for j in range(4)) == single
+
+    def test_key_broadcast(self):
+        counters = np.zeros((4, 5), dtype=np.uint32)
+        counters[2] = np.arange(5)
+        broadcast = philox4x32(counters, np.array([[1], [2]], dtype=np.uint32))
+        explicit = philox4x32(
+            counters, np.array([[1] * 5, [2] * 5], dtype=np.uint32)
+        )
+        assert np.array_equal(broadcast, explicit)
+
+    def test_counter_sensitivity(self):
+        a = philox4x32_scalar((0, 0, 0, 0), (0, 0))
+        b = philox4x32_scalar((1, 0, 0, 0), (0, 0))
+        assert a != b
+
+    def test_key_sensitivity(self):
+        a = philox4x32_scalar((0, 0, 0, 0), (0, 0))
+        b = philox4x32_scalar((0, 0, 0, 0), (1, 0))
+        assert a != b
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="counter"):
+            philox4x32(np.zeros((3, 1), dtype=np.uint32), np.zeros((2, 1), dtype=np.uint32))
+        with pytest.raises(ValueError, match="key"):
+            philox4x32(np.zeros((4, 1), dtype=np.uint32), np.zeros((3, 1), dtype=np.uint32))
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError, match="rounds"):
+            philox4x32(
+                np.zeros((4, 1), dtype=np.uint32),
+                np.zeros((2, 1), dtype=np.uint32),
+                rounds=0,
+            )
+
+
+class TestKeyedRNG:
+    def test_seed_range_validation(self):
+        with pytest.raises(ValueError):
+            PhiloxKeyedRNG(-1)
+        with pytest.raises(ValueError):
+            PhiloxKeyedRNG(2**64)
+
+    def test_uniform_open_interval(self, rng):
+        u = rng.uniform(Stream.EXPERIMENT, 0, np.arange(10000))
+        assert np.all(u > 0.0) and np.all(u < 1.0)
+
+    def test_uniform_mean(self, rng):
+        u = rng.uniform(Stream.EXPERIMENT, 0, np.arange(200000))
+        assert abs(u.mean() - 0.5) < 0.005
+
+    def test_order_independence(self, rng):
+        """The defining property: draws depend only on keys, not batching."""
+        lanes = np.arange(100, dtype=np.uint64)
+        batch = rng.uniform(Stream.LEM_SELECT, 5, lanes)
+        singles = np.array(
+            [rng.uniform_scalar(Stream.LEM_SELECT, 5, int(l)) for l in lanes]
+        )
+        assert np.array_equal(batch, singles)
+
+    def test_streams_independent(self, rng):
+        lanes = np.arange(50)
+        a = rng.uniform(Stream.LEM_SELECT, 0, lanes)
+        b = rng.uniform(Stream.ACO_SELECT, 0, lanes)
+        assert not np.array_equal(a, b)
+
+    def test_steps_independent(self, rng):
+        lanes = np.arange(50)
+        a = rng.uniform(Stream.LEM_SELECT, 0, lanes)
+        b = rng.uniform(Stream.LEM_SELECT, 1, lanes)
+        assert not np.array_equal(a, b)
+
+    def test_slots_independent(self, rng):
+        lanes = np.arange(50)
+        a = rng.uniform(Stream.LEM_SELECT, 0, lanes, slot=0)
+        b = rng.uniform(Stream.LEM_SELECT, 0, lanes, slot=1)
+        assert not np.array_equal(a, b)
+
+    def test_seeds_independent(self):
+        a = PhiloxKeyedRNG(1).uniform(Stream.EXPERIMENT, 0, np.arange(50))
+        b = PhiloxKeyedRNG(2).uniform(Stream.EXPERIMENT, 0, np.arange(50))
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        a = PhiloxKeyedRNG(99).uniform(Stream.EXPERIMENT, 3, np.arange(50))
+        b = PhiloxKeyedRNG(99).uniform(Stream.EXPERIMENT, 3, np.arange(50))
+        assert np.array_equal(a, b)
+
+    def test_uniform4_shape(self, rng):
+        u4 = rng.uniform4(Stream.EXPERIMENT, 0, np.arange(7))
+        assert u4.shape == (4, 7)
+        assert np.all((u4 > 0) & (u4 < 1))
+
+    def test_normal12_moments(self, rng):
+        z = rng.normal12(Stream.LEM_SELECT, 0, np.arange(200000))
+        assert abs(z.mean()) < 0.01
+        assert abs(z.std() - 1.0) < 0.01
+
+    def test_normal12_range(self, rng):
+        """Irwin-Hall with 12 terms is bounded in [-6, 6]."""
+        z = rng.normal12(Stream.LEM_SELECT, 0, np.arange(100000))
+        assert np.all(z >= -6.0) and np.all(z <= 6.0)
+
+    def test_normal12_scalar_matches(self, rng):
+        z = rng.normal12(Stream.LEM_SELECT, 2, np.arange(20))
+        for i in range(20):
+            assert rng.normal12_scalar(Stream.LEM_SELECT, 2, i) == z[i]
+
+    def test_large_lane_ids(self, rng):
+        """Cell lanes on big grids exceed 2**20; draws must stay valid."""
+        lanes = np.array([0, 2**31, 2**32 - 1], dtype=np.uint64)
+        u = rng.uniform(Stream.MOVE_WINNER, 0, lanes)
+        assert np.all((u > 0) & (u < 1))
+        assert len(np.unique(u)) == 3

@@ -1,0 +1,77 @@
+"""Runner plumbing tests (scale routing, artefact shapes)."""
+
+import os
+
+import pytest
+
+from repro.experiments import run_all
+from repro.io import read_json_record, read_text_table
+
+
+class TestRunnerScaleRouting:
+    def test_explicit_fig5_scale(self, tmp_path):
+        outdir = str(tmp_path / "r")
+        run_all(
+            outdir,
+            scale="tiny",
+            fig5_scale="tiny",
+            fig5_scenarios=(1,),
+            fig5_steps=10,
+            fig6a_scenarios=(1,),
+            fig6a_seeds=(0,),
+            fig6b_scenarios=(14, 16),
+            fig6b_seeds_cpu=(100, 101),
+            fig6b_seeds_gpu=(200, 201),
+            verbose=False,
+        )
+        table = read_text_table(os.path.join(outdir, "fig5_measured.txt"))
+        assert len(table["scenario"]) == 3  # lem/vec, aco/vec, aco/seq
+
+    def test_report_json_complete(self, tmp_path):
+        outdir = str(tmp_path / "r")
+        report = run_all(
+            outdir,
+            scale="tiny",
+            fig5_scenarios=(1,),
+            fig5_steps=10,
+            fig6a_scenarios=(1, 8),
+            fig6a_seeds=(0,),
+            fig6b_scenarios=(14, 16),
+            fig6b_seeds_cpu=(100, 101),
+            fig6b_seeds_gpu=(200, 201),
+            verbose=False,
+        )
+        blob = read_json_record(os.path.join(outdir, "report.json"))
+        assert len(blob["fig5_modelled"]) == 40
+        assert len(blob["fig6a"]) == 2
+        assert len(blob["fig6b"]) == 2
+        assert "measured_speedups" in blob["notes"]
+        assert blob["fig6a_overall_gain"] == pytest.approx(
+            report.fig6a_overall_gain
+        )
+
+    def test_all_artifacts_exist(self, tmp_path):
+        outdir = str(tmp_path / "r")
+        run_all(
+            outdir,
+            scale="tiny",
+            fig5_scenarios=(1,),
+            fig5_steps=5,
+            fig6a_scenarios=(1,),
+            fig6a_seeds=(0,),
+            fig6b_scenarios=(14, 16),
+            fig6b_seeds_cpu=(100, 101),
+            fig6b_seeds_gpu=(200, 201),
+            verbose=False,
+        )
+        for name in (
+            "table1_hardware.txt",
+            "fig5_modelled.txt",
+            "fig5_measured.txt",
+            "fig6a_throughput.txt",
+            "fig6a_plot.txt",
+            "fig6b_platforms.txt",
+            "fig6b_glm.txt",
+            "report.json",
+        ):
+            assert os.path.exists(os.path.join(outdir, name)), name

@@ -1,0 +1,109 @@
+"""Binomial GLM tests: parameter recovery, inference, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import BinomialGLM, ProbitLink, add_intercept
+
+
+def simulate_logistic(n=400, beta=(-0.5, 1.2), trials=40, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    eta = beta[0] + beta[1] * x
+    p = 1.0 / (1.0 + np.exp(-eta))
+    y = rng.binomial(trials, p).astype(float)
+    return add_intercept(x), y, np.full(n, float(trials))
+
+
+class TestFit:
+    def test_parameter_recovery(self):
+        design, y, m = simulate_logistic()
+        res = BinomialGLM().fit(design, y, m)
+        assert res.converged
+        assert res.coef[0] == pytest.approx(-0.5, abs=0.08)
+        assert res.coef[1] == pytest.approx(1.2, abs=0.08)
+
+    def test_null_model_intercept_is_logit_of_pooled_rate(self):
+        rng = np.random.default_rng(1)
+        y = rng.binomial(20, 0.3, size=100).astype(float)
+        m = np.full(100, 20.0)
+        res = BinomialGLM().fit(np.ones((100, 1)), y, m)
+        pooled = y.sum() / m.sum()
+        assert res.coef[0] == pytest.approx(np.log(pooled / (1 - pooled)), abs=1e-6)
+
+    def test_separation_free_signal_is_significant(self):
+        design, y, m = simulate_logistic(beta=(-0.5, 2.0))
+        res = BinomialGLM().fit(design, y, m)
+        t, p = res.test_coefficient(1)
+        assert p < 1e-6
+
+    def test_null_effect_not_significant(self):
+        """A covariate with no effect should usually yield p > 0.05."""
+        design, y, m = simulate_logistic(beta=(0.2, 0.0), seed=3)
+        res = BinomialGLM().fit(design, y, m)
+        _, p = res.test_coefficient(1)
+        assert p > 0.05
+
+    def test_deviance_improves_over_null(self):
+        design, y, m = simulate_logistic()
+        res = BinomialGLM().fit(design, y, m)
+        assert res.deviance < res.null_deviance
+
+    def test_probit_link(self):
+        design, y, m = simulate_logistic()
+        res = BinomialGLM(link=ProbitLink()).fit(design, y, m)
+        assert res.converged
+        # Probit coefficients are roughly logit / 1.6.
+        assert res.coef[1] == pytest.approx(1.2 / 1.6, abs=0.15)
+
+    def test_boundary_counts_handled(self):
+        """All-success and all-failure observations must not blow up."""
+        design = add_intercept(np.array([-2.0, -1.0, 0.0, 1.0, 2.0] * 10))
+        m = np.full(50, 10.0)
+        y = np.where(design[:, 1] > 0, 10.0, 0.0)
+        y[::7] = 5.0
+        res = BinomialGLM().fit(design, y, m)
+        assert np.all(np.isfinite(res.coef))
+
+
+class TestNamesAndSummary:
+    def test_coef_table_contains_names(self):
+        design, y, m = simulate_logistic(n=100)
+        res = BinomialGLM().fit(design, y, m, names=["intercept", "slope"])
+        table = res.coef_table()
+        assert "intercept" in table and "slope" in table
+
+    def test_test_coefficient_by_name(self):
+        design, y, m = simulate_logistic(n=100)
+        res = BinomialGLM().fit(design, y, m, names=["intercept", "slope"])
+        assert res.test_coefficient("slope") == res.test_coefficient(1)
+
+    def test_name_count_checked(self):
+        design, y, m = simulate_logistic(n=100)
+        with pytest.raises(StatsError):
+            BinomialGLM().fit(design, y, m, names=["only-one"])
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(StatsError):
+            BinomialGLM().fit(np.ones((10, 2)), np.ones(9), np.full(10, 5.0))
+
+    def test_successes_exceed_trials(self):
+        with pytest.raises(StatsError):
+            BinomialGLM().fit(np.ones((5, 1)), np.full(5, 6.0), np.full(5, 5.0))
+
+    def test_zero_trials(self):
+        with pytest.raises(StatsError):
+            BinomialGLM().fit(np.ones((5, 1)), np.zeros(5), np.zeros(5))
+
+    def test_underdetermined(self):
+        with pytest.raises(StatsError):
+            BinomialGLM().fit(np.ones((2, 3)), np.ones(2), np.full(2, 5.0))
+
+    def test_add_intercept_shapes(self):
+        assert add_intercept(np.zeros(5)).shape == (5, 2)
+        assert add_intercept(np.zeros((5, 2))).shape == (5, 3)
+        with pytest.raises(StatsError):
+            add_intercept(np.zeros((2, 2, 2)))

@@ -1,0 +1,115 @@
+"""t-test / Wald test / summary helper tests."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import StatsError
+from repro.stats import (
+    mean_ci,
+    paired_ttest,
+    summarize,
+    wald_test,
+    welch_ttest,
+)
+
+
+class TestWelch:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 40)
+        b = rng.normal(0.5, 2, 35)
+        ours = welch_ttest(a, b)
+        ref = sps.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.pvalue == pytest.approx(ref.pvalue)
+
+    def test_identical_samples_p_one(self):
+        a = np.array([1.0, 1.0, 1.0])
+        res = welch_ttest(a, a)
+        assert res.pvalue == 1.0
+        assert not res.significant
+
+    def test_clear_difference_significant(self):
+        res = welch_ttest(np.zeros(30) + 0.01 * np.arange(30), np.full(30, 5.0))
+        assert res.significant
+
+    def test_needs_two_observations(self):
+        with pytest.raises(StatsError):
+            welch_ttest([1.0], [1.0, 2.0])
+
+
+class TestPaired:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=25)
+        b = a + rng.normal(0.3, 0.5, size=25)
+        ours = paired_ttest(a, b)
+        ref = sps.ttest_rel(a, b)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.pvalue == pytest.approx(ref.pvalue)
+
+    def test_shape_check(self):
+        with pytest.raises(StatsError):
+            paired_ttest([1.0, 2.0], [1.0])
+
+    def test_constant_difference(self):
+        res = paired_ttest(np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0, 3.0]))
+        assert res.pvalue == 1.0
+
+
+class TestWald:
+    def test_single_coefficient_matches_z_squared(self):
+        coef = np.array([0.0, 2.0])
+        cov = np.diag([1.0, 0.25])
+        res = wald_test(coef, cov, [1])
+        assert res.statistic == pytest.approx((2.0 / 0.5) ** 2)
+
+    def test_joint_test(self):
+        coef = np.array([1.0, 1.0])
+        cov = np.eye(2)
+        res = wald_test(coef, cov, [0, 1])
+        assert res.statistic == pytest.approx(2.0)
+        assert res.df == 2.0
+
+    def test_empty_indices(self):
+        with pytest.raises(StatsError):
+            wald_test(np.array([1.0]), np.eye(1), [])
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(StatsError):
+            summarize([])
+
+    def test_str_rendering(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestMeanCI:
+    def test_halfwidth_shrinks_with_n(self):
+        rng = np.random.default_rng(2)
+        _, hw_small = mean_ci(rng.normal(size=10))
+        _, hw_big = mean_ci(rng.normal(size=1000))
+        assert hw_big < hw_small
+
+    def test_single_observation_infinite(self):
+        mean, hw = mean_ci([3.0])
+        assert mean == 3.0 and np.isinf(hw)
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            mean_ci([])
+        with pytest.raises(StatsError):
+            mean_ci([1.0, 2.0], confidence=1.5)

@@ -1,0 +1,60 @@
+"""Core type tests."""
+
+import pytest
+
+from repro.types import CellState, Group, NeighborSlot, coerce_group
+
+
+class TestGroup:
+    def test_labels_match_mat_values(self):
+        assert int(Group.TOP) == 1
+        assert int(Group.BOTTOM) == 2
+        assert int(CellState.EMPTY) == 0
+
+    def test_forward_direction(self):
+        assert Group.TOP.forward_row_step == 1
+        assert Group.BOTTOM.forward_row_step == -1
+
+    def test_opponent(self):
+        assert Group.TOP.opponent is Group.BOTTOM
+        assert Group.BOTTOM.opponent is Group.TOP
+
+    def test_target_rows(self):
+        assert Group.TOP.target_row(480) == 479
+        assert Group.BOTTOM.target_row(480) == 0
+
+    def test_start_row_range(self):
+        assert Group.TOP.start_row_range(16, 3) == (0, 3)
+        assert Group.BOTTOM.start_row_range(16, 3) == (13, 16)
+
+    def test_start_row_range_validation(self):
+        with pytest.raises(ValueError):
+            Group.TOP.start_row_range(16, 0)
+        with pytest.raises(ValueError):
+            Group.TOP.start_row_range(16, 17)
+
+
+class TestNeighborSlot:
+    def test_slot_values_are_paper_numbering(self):
+        assert NeighborSlot.FORWARD == 1
+        assert NeighborSlot.BACKWARD == 6
+        assert len(NeighborSlot) == 8
+
+
+class TestCoerceGroup:
+    def test_from_int(self):
+        assert coerce_group(1) is Group.TOP
+        assert coerce_group(2) is Group.BOTTOM
+
+    def test_from_string(self):
+        assert coerce_group("top") is Group.TOP
+        assert coerce_group(" BOTTOM ") is Group.BOTTOM
+
+    def test_identity(self):
+        assert coerce_group(Group.TOP) is Group.TOP
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            coerce_group(3)
+        with pytest.raises(ValueError):
+            coerce_group("middle")
