@@ -21,6 +21,8 @@ from ._version import __version__
 from .config import SimulationConfig, paper_config
 from .engine import (
     BaseEngine,
+    BatchedEngine,
+    BatchedTimedResult,
     RunResult,
     SequentialEngine,
     StepReport,
@@ -28,6 +30,7 @@ from .engine import (
     VectorizedEngine,
     available_engines,
     build_engine,
+    run_batched,
     run_simulation,
 )
 from .errors import (
@@ -64,12 +67,15 @@ __all__ = [
     "BaseEngine",
     "SequentialEngine",
     "VectorizedEngine",
+    "BatchedEngine",
     "build_engine",
     "available_engines",
     "run_simulation",
+    "run_batched",
     "RunResult",
     "StepReport",
     "TimedRunResult",
+    "BatchedTimedResult",
     # models
     "ModelParams",
     "LEMParams",

@@ -9,7 +9,7 @@ percentiles, and comparisons between runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -4,6 +4,8 @@ Commands:
 
 * ``info`` — package, device and scenario summary;
 * ``run`` — one simulation with a rendered snapshot and metrics;
+* ``sweep`` — a batched scenario x model x seed grid (``--smoke`` for the
+  CI fast path);
 * ``figures`` — regenerate the paper's tables/figures into a directory;
 * ``occupancy`` — the CC 2.0 occupancy calculator;
 * ``speedup`` — the modelled Fig 5c curve.
@@ -17,7 +19,6 @@ from typing import List, Optional
 
 from . import __version__
 from .config import SimulationConfig
-from .engine import run_simulation
 from .experiments import SCALES, occupancy_table, run_all, table1_hardware
 from .io import render_engine
 from .metrics import efficiency_report, lane_order_parameter
@@ -50,6 +51,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--render", action="store_true", help="print the final grid")
 
+    swp_p = sub.add_parser(
+        "sweep", help="batched scenario x model x seed sweep"
+    )
+    swp_p.add_argument(
+        "--scenarios",
+        default="1-4",
+        help="scenario indices: comma list and/or ranges, e.g. '1,3,5-8'",
+    )
+    swp_p.add_argument("--seeds", type=int, default=4, help="seeds per point (0..N-1)")
+    swp_p.add_argument(
+        "--models",
+        default="lem,aco",
+        help="comma-separated movement models",
+    )
+    swp_p.add_argument(
+        "--engines",
+        default="vectorized",
+        help="comma-separated engines (seed batching needs 'vectorized')",
+    )
+    swp_p.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    swp_p.add_argument("--lanes", type=int, default=8,
+                       help="max replications per batched launch")
+    swp_p.add_argument("--processes", type=int, default=1,
+                       help="worker processes for heterogeneous points")
+    swp_p.add_argument("--out", default=None,
+                       help="directory for sweep.json + sweep.txt (optional)")
+    swp_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI fast path: tiny grid, 2 scenarios x 2 models x 2 seeds",
+    )
+
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
     fig_p.add_argument("--outdir", default="results")
     fig_p.add_argument("--scale", default="quick", choices=sorted(SCALES))
@@ -71,13 +104,117 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_scenarios(spec: str) -> List[int]:
+    """Parse '1,3,5-8' style scenario index lists."""
+    out: List[int] = []
+    try:
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "-" in part:
+                lo, hi = part.split("-", 1)
+                out.extend(range(int(lo), int(hi) + 1))
+            else:
+                out.append(int(part))
+    except ValueError:
+        raise SystemExit(
+            f"error: bad --scenarios value {spec!r} "
+            "(expected comma list and/or ranges, e.g. '1,3,5-8')"
+        ) from None
+    if not out:
+        raise SystemExit(f"error: no scenario indices in {spec!r}")
+    return out
+
+
+def _cmd_sweep(args) -> int:
+    """The ``repro sweep`` subcommand body."""
+    import os
+
+    from .errors import ReproError
+    from .experiments.sweep import SweepRunner, smoke_sweep_points, sweep_grid
+    from .io import write_json_record, write_text_table
+
+    try:
+        if args.smoke:
+            points = smoke_sweep_points()
+            runner = SweepRunner(max_lanes=2, processes=1)
+        else:
+            seeds = tuple(range(args.seeds))
+            models = tuple(m for m in args.models.split(",") if m)
+            engines = tuple(e for e in args.engines.split(",") if e)
+            for label, values in (
+                ("--seeds", seeds),
+                ("--models", models),
+                ("--engines", engines),
+            ):
+                if not values:
+                    print(f"error: {label} selects no runs")
+                    return 2
+            points = sweep_grid(
+                scenario_indices=_parse_scenarios(args.scenarios),
+                seeds=seeds,
+                models=models,
+                engines=engines,
+                scale=args.scale,
+            )
+            runner = SweepRunner(max_lanes=args.lanes, processes=args.processes)
+        report = runner.run_report(points)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    print(
+        f"sweep: {report.n_points} runs in {report.wall_seconds:.2f}s "
+        f"(lanes<={report.max_lanes}, processes={report.processes})"
+    )
+    by_point = {}
+    for r in report.records:
+        key = (r.scenario_index, r.model, r.engine)
+        by_point.setdefault(key, []).append(r)
+    for (k, model, engine), recs in sorted(by_point.items()):
+        mean_tp = sum(r.throughput for r in recs) / len(recs)
+        print(
+            f"  scenario {k:>2d} {model:>6s}/{engine}: "
+            f"mean throughput {mean_tp:8.1f} over {len(recs)} seeds"
+        )
+    if report.n_points and report.total_throughput == 0:
+        print("warning: no agent crossed in any run (grid too short?)")
+
+    if args.smoke and report.total_throughput == 0:
+        # The smoke grid is sized so agents always cross; zero means the
+        # pipeline is broken, so fail the CI job loudly.
+        return 1
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        write_json_record(os.path.join(args.out, "sweep.json"), report)
+        write_text_table(
+            os.path.join(args.out, "sweep.txt"),
+            {
+                "scenario": [r.scenario_index for r in report.records],
+                "total_agents": [r.total_agents for r in report.records],
+                "model_is_aco": [
+                    1 if r.model == "aco" else 0 for r in report.records
+                ],
+                "seed": [r.seed for r in report.records],
+                "throughput": [r.throughput for r in report.records],
+                "wall_s": [r.wall_seconds for r in report.records],
+            },
+            header_comment=(
+                f"repro sweep: {report.n_points} runs, "
+                f"lanes<={report.max_lanes}, processes={report.processes}"
+            ),
+        )
+        print(f"records written to {args.out}/sweep.json and {args.out}/sweep.txt")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "info":
-        from .cuda import GTX_560_TI_448, I7_930
-
         print(f"repro {__version__} — bi-directional pedestrian movement")
         print()
         print(table1_hardware())
@@ -88,6 +225,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        import time
+
+        from .engine import build_engine
+
         cfg = SimulationConfig(
             height=args.height,
             width=args.width,
@@ -96,15 +237,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
         ).with_model(args.model)
         print(cfg.describe())
-        out = run_simulation(cfg, engine=args.engine)
-        res = out.result
-        eng = out  # TimedRunResult
+        eng = build_engine(cfg, engine=args.engine)
+        start = time.perf_counter()
+        res = eng.run(record_timeline=False)
+        wall = time.perf_counter() - start
         print(
             f"{res.platform}: {res.throughput_total}/{cfg.total_agents} crossed "
-            f"in {res.steps_run} steps ({out.wall_seconds:.2f}s wall, "
-            f"{out.seconds_per_step * 1e3:.2f} ms/step)"
+            f"in {res.steps_run} steps ({wall:.2f}s wall, "
+            f"{wall / max(1, res.steps_run) * 1e3:.2f} ms/step)"
         )
+        eff = efficiency_report(eng)
+        print(
+            f"lane order {lane_order_parameter(eng.env.mat):.3f}, "
+            f"mean crossed tour {eff.mean_tour_crossed:.1f}"
+        )
+        if args.render:
+            print(render_engine(eng))
         return 0
+
+    if args.command == "sweep":
+        return _cmd_sweep(args)
 
     if args.command == "figures":
         seeds = tuple(range(args.seeds))

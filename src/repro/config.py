@@ -15,7 +15,7 @@ from typing import Optional
 
 from .errors import ConfigurationError
 from .grid.obstacles import ObstacleSpec
-from .models.params import ACOParams, LEMParams, ModelParams, params_from_name
+from .models.params import LEMParams, ModelParams, params_from_name
 
 __all__ = ["SimulationConfig", "paper_config"]
 

@@ -11,12 +11,12 @@ the divergence factor of the branch-free formulations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from .device import DeviceSpec, GTX_560_TI_448
 from .divergence import branchless_factor, expected_serialization_factor
 from .halo import halo_pass_count
-from .kernels import KernelWorkload, gpu_kernel_workloads
+from .kernels import gpu_kernel_workloads
 from .launch import agent_kernel_launch, cell_kernel_launch
 from .memory import global_transactions_per_warp
 from .occupancy import occupancy

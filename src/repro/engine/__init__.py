@@ -1,6 +1,12 @@
 """Simulation engines: sequential (CPU), vectorized (GPU) and the driver."""
 
 from .base import ABS_STEP_COSTS, BaseEngine, RunResult, StepReport
+from .batched import (
+    BatchedEngine,
+    BatchedStepReport,
+    BatchedTimedResult,
+    run_batched,
+)
 from .conflict import DIRECTION_INDEX, shift, winner_rank
 from .sequential import SequentialEngine
 from .simulation import (
@@ -15,9 +21,13 @@ __all__ = [
     "BaseEngine",
     "SequentialEngine",
     "VectorizedEngine",
+    "BatchedEngine",
     "StepReport",
+    "BatchedStepReport",
     "RunResult",
     "TimedRunResult",
+    "BatchedTimedResult",
+    "run_batched",
     "ABS_STEP_COSTS",
     "DIRECTION_INDEX",
     "shift",

@@ -1,0 +1,501 @@
+"""Multi-replication batched engine — whole-sweep data parallelism.
+
+:class:`VectorizedEngine` plays one GPU launch per simulation; the paper's
+evaluation, however, is a 40-scenario population sweep with repeated seeds
+per point, i.e. many *independent replications* of the same grid shape.
+:class:`BatchedEngine` lifts the scan / select / move kernels to a leading
+batch axis so ``B`` replications advance through a single set of NumPy
+whole-array stages per step — the same data-parallel move the paper makes
+across agents, applied across runs.
+
+Replication lanes are fully independent: lane ``b`` draws its randomness
+with the Philox key of ``seeds[b]`` (see
+:class:`repro.rng.batched.BatchedPhiloxRNG`), every stage is element-wise
+or row-wise per lane, and the movement scatter touches disjoint ``(lane,
+cell)`` sets. Each lane is therefore **bit-identical** to a solo
+:class:`VectorizedEngine` run with the same config and seed — the property
+``tests/test_engine_batched.py`` pins down trajectory-for-trajectory.
+
+Batching wins because a small-grid simulation step is dominated by the
+fixed overhead of its ~50 NumPy kernel dispatches; fusing ``B``
+replications into one dispatch sequence amortises that overhead ``B``
+ways (see ``benchmarks/test_bench_batched_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..agents.population import NO_FUTURE, Population
+from ..config import SimulationConfig
+from ..errors import EngineError
+from ..grid import build_distance_tables, offsets_array, place_groups
+from ..grid.environment import Environment
+from ..grid.neighborhood import ABSOLUTE_OFFSETS
+from ..models import build_model
+from ..models.pheromone import deposit_at, evaporate_field
+from ..rng import BatchedPhiloxRNG, FlatLaneRNG, PhiloxKeyedRNG, Stream
+from ..types import Group
+from .base import ABS_STEP_COSTS, RunResult
+from .conflict import shift, winner_rank
+
+__all__ = [
+    "BatchedEngine",
+    "BatchedStepReport",
+    "BatchedTimedResult",
+    "run_batched",
+]
+
+
+@dataclass(frozen=True)
+class BatchedStepReport:
+    """Per-step outcome counts, one entry per replication lane."""
+
+    step: int
+    decided: np.ndarray
+    moved: np.ndarray
+    new_crossings: np.ndarray
+
+
+@dataclass
+class BatchedTimedResult:
+    """Per-lane :class:`RunResult` list plus shared wall-clock timing."""
+
+    results: List[RunResult]
+    wall_seconds: float
+    config: SimulationConfig = field(repr=False, default=None)
+    seeds: Tuple[int, ...] = ()
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of replication lanes in the batch."""
+        return len(self.results)
+
+    @property
+    def wall_seconds_per_lane(self) -> float:
+        """Amortised wall time attributable to one replication."""
+        return self.wall_seconds / max(1, self.n_lanes)
+
+
+class _BatchedPheromone:
+    """Per-group pheromone stacks ``(B, H, W)`` (eq. 3 / eq. 5, batched)."""
+
+    def __init__(self, n_lanes: int, height: int, width: int, params) -> None:
+        self.params = params
+        self.fields: Dict[Group, np.ndarray] = {
+            g: np.full((n_lanes, height, width), params.tau0, dtype=np.float64)
+            for g in (Group.TOP, Group.BOTTOM)
+        }
+
+    def evaporate(self) -> None:
+        for f in self.fields.values():
+            evaporate_field(f, self.params)
+
+    def deposit(self, group: Group, lanes, rows, cols, amounts) -> None:
+        deposit_at(
+            self.fields[Group(group)],
+            (np.asarray(lanes), np.asarray(rows), np.asarray(cols)),
+            amounts,
+            self.params,
+        )
+
+
+class BatchedEngine:
+    """Run ``B`` independent replications in lock-step whole-array stages.
+
+    All lanes share one :class:`~repro.config.SimulationConfig` (the grid
+    shape, populations and model must match for the arrays to stack) and
+    differ only in their seed. State mirrors :class:`VectorizedEngine` with
+    a leading batch axis: ``mats``/``index`` are ``(B, H, W)``, the
+    property-matrix fields are ``(B, n_agents + 1)`` and the scan matrix is
+    ``(B, n_agents + 1, 8)``.
+    """
+
+    platform = "batched"
+
+    def __init__(self, config: SimulationConfig, seeds: Sequence[int]) -> None:
+        seeds = tuple(int(s) for s in seeds)
+        if not seeds:
+            raise EngineError("BatchedEngine needs at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise EngineError(f"replication seeds must be distinct, got {seeds}")
+        self.config = config
+        self.seeds = seeds
+        self.n_lanes = len(seeds)
+        self.rng = BatchedPhiloxRNG(seeds)
+        self.model = build_model(config.params)
+        self.t = 0
+
+        h, w = config.height, config.width
+        obstacle_mask = (
+            config.obstacles.build(h, w) if config.obstacles is not None else None
+        )
+        # Placement is a pure function of (seed, group); build each lane's
+        # environment with a solo keyed RNG (setup cost only) and stack.
+        self.mats = np.zeros((self.n_lanes, h, w), dtype=np.int8)
+        self.index = np.zeros((self.n_lanes, h, w), dtype=np.int32)
+        pops: List[Population] = []
+        for b, seed in enumerate(seeds):
+            env = place_groups(
+                h,
+                w,
+                config.n_per_side,
+                config.band_rows,
+                PhiloxKeyedRNG(seed),
+                obstacles=obstacle_mask,
+            )
+            self.mats[b] = env.mat
+            self.index[b] = env.index
+            pops.append(Population.from_environment(env))
+
+        n = pops[0].n_agents
+        self.n_agents = n
+        size = n + 1
+        self.ids = np.stack([p.ids for p in pops])
+        self.rows = np.stack([p.rows for p in pops])
+        self.cols = np.stack([p.cols for p in pops])
+        self.future_rows = np.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
+        self.future_cols = np.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
+        self.front_empty = np.zeros((self.n_lanes, size), dtype=bool)
+        self.tour = np.zeros((self.n_lanes, size), dtype=np.float64)
+        self.crossed = np.zeros((self.n_lanes, size), dtype=bool)
+        self.crossed_step = np.full((self.n_lanes, size), -1, dtype=np.int64)
+        self.crossed_tour = np.full((self.n_lanes, size), np.nan, dtype=np.float64)
+        self.scan = np.zeros((self.n_lanes, size, 8), dtype=np.float64)
+
+        # Agent indexing is seed-independent (top group first, then bottom),
+        # so group membership vectors are shared by every lane.
+        if not all(np.array_equal(self.ids[0], p.ids) for p in pops[1:]):
+            raise EngineError(
+                "lane group layouts diverged; agent indexing must be "
+                "seed-independent for batching"
+            )
+        self._members: Dict[Group, np.ndarray] = {
+            g: pops[0].members(g) for g in (Group.TOP, Group.BOTTOM)
+        }
+        self._offsets: Dict[Group, np.ndarray] = {
+            g: offsets_array(g) for g in (Group.TOP, Group.BOTTOM)
+        }
+        # Loop-invariant select-stage inputs: the flattened lane vector and
+        # the flat RNG view depend only on the static group membership.
+        self._lanes_flat: Dict[Group, np.ndarray] = {
+            g: np.ascontiguousarray(
+                np.broadcast_to(idx, (self.n_lanes, idx.size))
+            ).reshape(-1)
+            for g, idx in self._members.items()
+        }
+        self._flat_rng: Dict[Group, FlatLaneRNG] = {
+            g: self.rng.flat(idx.size)
+            for g, idx in self._members.items()
+            if idx.size
+        }
+
+        self.dist = build_distance_tables(h, getattr(config.params, "scan_range", 1))
+        self.pher: Optional[_BatchedPheromone] = (
+            _BatchedPheromone(self.n_lanes, h, w, config.params)
+            if self.model.uses_pheromone
+            else None
+        )
+
+        rows_idx, cols_idx = np.indices((h, w))
+        self._rowgrid = rows_idx.astype(np.int64)
+        self._colgrid = cols_idx.astype(np.int64)
+        self._bidx = np.arange(self.n_lanes)[:, None, None]
+
+        # Heterogeneous-velocity extension: per-lane keyed draws, identical
+        # to each solo engine's mask under the matching seed.
+        self._slow_mask = np.zeros((self.n_lanes, size), dtype=bool)
+        if config.slow_fraction > 0.0:
+            lanes = np.arange(size, dtype=np.uint64)
+            u = self.rng.uniform(Stream.SPEED_CLASS, 0, lanes)
+            self._slow_mask = u < config.slow_fraction
+            self._slow_mask[:, 0] = False
+
+    # ------------------------------------------------------------------
+    # Extensions
+    # ------------------------------------------------------------------
+    def eligible_mask(self, t: int) -> np.ndarray:
+        """Movement eligibility ``(B, n+1)`` at step ``t`` (velocity classes)."""
+        if not self._slow_mask.any():
+            return np.ones((self.n_lanes, self.n_agents + 1), dtype=bool)
+        idx = np.arange(self.n_agents + 1, dtype=np.int64)
+        on_beat = (t + idx) % self.config.slow_period == 0
+        return ~self._slow_mask | on_beat[None, :]
+
+    # ------------------------------------------------------------------
+    # Stage 1: initial calculation (per-agent scan, all lanes)
+    # ------------------------------------------------------------------
+    def _stage_scan(self, t: int) -> None:
+        h, w = self.config.height, self.config.width
+        for group in (Group.TOP, Group.BOTTOM):
+            idx = self._members[group]
+            if idx.size == 0:
+                continue
+            rows = self.rows[:, idx]  # (B, m)
+            cols = self.cols[:, idx]
+            off = self._offsets[group]  # (8, 2)
+            nr = rows[..., None] + off[:, 0]  # (B, m, 8)
+            nc = cols[..., None] + off[:, 1]
+            inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
+            nrc = np.clip(nr, 0, h - 1)
+            ncc = np.clip(nc, 0, w - 1)
+            candidates = inb & (self.mats[self._bidx, nrc, ncc] == 0)
+            dist = self.dist[group].distances(rows)  # (B, m, 8)
+            tau = None
+            if self.pher is not None:
+                tau = self.pher.fields[group][self._bidx, nrc, ncc]
+            m = idx.size
+            values = self.model.scan_values(
+                dist.reshape(-1, 8),
+                candidates.reshape(-1, 8),
+                None if tau is None else tau.reshape(-1, 8),
+            )
+            self.scan[:, idx, :] = values.reshape(self.n_lanes, m, 8)
+            self.front_empty[:, idx] = candidates[..., 0]
+
+    # ------------------------------------------------------------------
+    # Stage 2: tour construction (per-agent decision, all lanes)
+    # ------------------------------------------------------------------
+    def _stage_select(self, t: int) -> np.ndarray:
+        decided = np.zeros(self.n_lanes, dtype=np.int64)
+        eligible = self.eligible_mask(t)
+        for group in (Group.TOP, Group.BOTTOM):
+            idx = self._members[group]
+            if idx.size == 0:
+                continue
+            m = idx.size
+            scan_rows = self.scan[:, idx, :].reshape(-1, 8)
+            # The model's vector select runs unmodified: the flat RNG view
+            # keys element i with replication i // m, so each lane's rows
+            # see exactly the solo engine's draws.
+            slots = self.model.select(
+                scan_rows, self._flat_rng[group], t, self._lanes_flat[group]
+            ).reshape(self.n_lanes, m)
+            if self.config.forward_priority:
+                slots = np.where(self.front_empty[:, idx], 0, slots)
+            valid = (slots >= 0) & eligible[:, idx]
+            safe = np.where(valid, slots, 0)
+            off = self._offsets[group]
+            fr = self.rows[:, idx] + off[safe, 0]
+            fc = self.cols[:, idx] + off[safe, 1]
+            self.future_rows[:, idx] = np.where(valid, fr, NO_FUTURE)
+            self.future_cols[:, idx] = np.where(valid, fc, NO_FUTURE)
+            decided += np.count_nonzero(valid, axis=1)
+        return decided
+
+    # ------------------------------------------------------------------
+    # Stage 3: movement (per-cell scatter-to-gather, all lanes)
+    # ------------------------------------------------------------------
+    def _stage_move(self, t: int) -> np.ndarray:
+        h, w = self.config.height, self.config.width
+        moved = np.zeros(self.n_lanes, dtype=np.int64)
+
+        if self.pher is not None:
+            self.pher.evaporate()
+
+        empty = self.mats == 0
+        counts = np.zeros((self.n_lanes, h, w), dtype=np.int16)
+        matches: List[np.ndarray] = []
+        for dr, dc in ABSOLUTE_OFFSETS:
+            nidx = shift(self.index, dr, dc, fill=0)
+            fr = self.future_rows[self._bidx, nidx]
+            fc = self.future_cols[self._bidx, nidx]
+            match = empty & (nidx > 0) & (fr == self._rowgrid) & (fc == self._colgrid)
+            matches.append(match)
+            counts += match
+        con_b, con_r, con_c = np.nonzero(counts > 0)
+        if con_b.size == 0:
+            return moved
+
+        cell_lanes = con_r.astype(np.uint64) * np.uint64(w) + con_c.astype(np.uint64)
+        u = self.rng.uniform_at(Stream.MOVE_WINNER, t, con_b, cell_lanes)
+        pick = winner_rank(u, counts[con_b, con_r, con_c])
+        pickmap = np.full((self.n_lanes, h, w), -1, dtype=np.int64)
+        pickmap[con_b, con_r, con_c] = pick
+
+        cum = np.zeros((self.n_lanes, h, w), dtype=np.int16)
+        lane_parts: List[np.ndarray] = []
+        dst_rows: List[np.ndarray] = []
+        dst_cols: List[np.ndarray] = []
+        agents: List[np.ndarray] = []
+        costs: List[np.ndarray] = []
+        for d, (dr, dc) in enumerate(ABSOLUTE_OFFSETS):
+            match = matches[d]
+            sel = match & (cum == pickmap)
+            cum += match
+            bb, rr, cc = np.nonzero(sel)
+            if bb.size:
+                lane_parts.append(bb)
+                dst_rows.append(rr)
+                dst_cols.append(cc)
+                agents.append(self.index[bb, rr + dr, cc + dc].astype(np.int64))
+                costs.append(np.full(bb.size, ABS_STEP_COSTS[d]))
+        bs = np.concatenate(lane_parts)
+        dst_r = np.concatenate(dst_rows)
+        dst_c = np.concatenate(dst_cols)
+        winners = np.concatenate(agents)
+        move_cost = np.concatenate(costs)
+        src_r = self.rows[bs, winners]
+        src_c = self.cols[bs, winners]
+
+        # (lane, cell) destinations were empty, sources occupied, and the
+        # two sets are disjoint per lane, so fancy indexing stays safe.
+        self.mats[bs, dst_r, dst_c] = self.ids[bs, winners]
+        self.index[bs, dst_r, dst_c] = winners
+        self.mats[bs, src_r, src_c] = 0
+        self.index[bs, src_r, src_c] = 0
+        self.rows[bs, winners] = dst_r
+        self.cols[bs, winners] = dst_c
+        self.tour[bs, winners] += move_cost
+
+        if self.pher is not None:
+            amounts = self.pher.params.deposit_q / self.tour[bs, winners]
+            winner_ids = self.ids[bs, winners]
+            for group in (Group.TOP, Group.BOTTOM):
+                gmask = winner_ids == int(group)
+                if np.any(gmask):
+                    self.pher.deposit(
+                        group, bs[gmask], dst_r[gmask], dst_c[gmask], amounts[gmask]
+                    )
+        np.add.at(moved, bs, 1)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Stage 4 + crossings bookkeeping
+    # ------------------------------------------------------------------
+    def _record_crossings(self, step: int) -> np.ndarray:
+        height = self.config.height
+        band = self.config.cross_rows
+        top = self.ids == int(Group.TOP)
+        bottom = self.ids == int(Group.BOTTOM)
+        newly = (
+            (top & (self.rows >= height - band)) | (bottom & (self.rows < band))
+        ) & ~self.crossed
+        self.crossed |= newly
+        self.crossed_step[newly] = step
+        self.crossed_tour[newly] = self.tour[newly]
+        return np.count_nonzero(newly, axis=1)
+
+    def _stage_support(self, t: int) -> None:
+        self.future_rows.fill(NO_FUTURE)
+        self.future_cols.fill(NO_FUTURE)
+        self.front_empty.fill(False)
+        self.scan.fill(0.0)
+
+    # ------------------------------------------------------------------
+    # Template step / run
+    # ------------------------------------------------------------------
+    def step(self) -> BatchedStepReport:
+        """Advance every lane one synchronous step (all four stages)."""
+        t = self.t
+        self._stage_scan(t)
+        decided = self._stage_select(t)
+        moved = self._stage_move(t)
+        new_crossings = self._record_crossings(t)
+        self._stage_support(t)
+        self.t += 1
+        return BatchedStepReport(
+            step=t, decided=decided, moved=moved, new_crossings=new_crossings
+        )
+
+    def run(
+        self, steps: Optional[int] = None, record_timeline: bool = True
+    ) -> List[RunResult]:
+        """Run all lanes for ``steps`` steps; one :class:`RunResult` per lane."""
+        n = self.config.steps if steps is None else int(steps)
+        moved_tl: List[np.ndarray] = [] if record_timeline else None
+        cross_tl: List[np.ndarray] = [] if record_timeline else None
+        for _ in range(n):
+            report = self.step()
+            if record_timeline:
+                moved_tl.append(report.moved)
+                cross_tl.append(report.new_crossings)
+        if record_timeline and n > 0:
+            moved_mat = np.stack(moved_tl, axis=1)  # (B, steps)
+            cross_mat = np.stack(cross_tl, axis=1)
+        else:
+            moved_mat = np.zeros((self.n_lanes, 0), dtype=np.int64)
+            cross_mat = np.zeros((self.n_lanes, 0), dtype=np.int64)
+        results = []
+        for b, seed in enumerate(self.seeds):
+            results.append(
+                RunResult(
+                    platform=self.platform,
+                    seed=seed,
+                    steps_run=n,
+                    throughput_total=self.throughput(b),
+                    throughput_top=self.throughput(b, Group.TOP),
+                    throughput_bottom=self.throughput(b, Group.BOTTOM),
+                    moved_per_step=moved_mat[b] if record_timeline else None,
+                    crossings_per_step=cross_mat[b] if record_timeline else None,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection / verification
+    # ------------------------------------------------------------------
+    def throughput(self, lane: int, group: Group = None) -> int:
+        """Crossed-agent count of one lane (optionally one group)."""
+        crossed = self.crossed[lane]
+        if group is None:
+            return int(np.count_nonzero(crossed[1:]))
+        return int(np.count_nonzero(crossed & (self.ids[lane] == int(Group(group)))))
+
+    def lane_environment(self, lane: int) -> Environment:
+        """Copy of one lane's environment (solo-engine comparable)."""
+        env = Environment(self.config.height, self.config.width)
+        env.mat[...] = self.mats[lane]
+        env.index[...] = self.index[lane]
+        return env
+
+    def lane_population(self, lane: int) -> Population:
+        """Copy of one lane's property matrix (solo-engine comparable)."""
+        pop = Population(self.n_agents)
+        pop.ids[...] = self.ids[lane]
+        pop.rows[...] = self.rows[lane]
+        pop.cols[...] = self.cols[lane]
+        pop.future_rows[...] = self.future_rows[lane]
+        pop.future_cols[...] = self.future_cols[lane]
+        pop.front_empty[...] = self.front_empty[lane]
+        pop.tour[...] = self.tour[lane]
+        pop.crossed[...] = self.crossed[lane]
+        pop.crossed_step[...] = self.crossed_step[lane]
+        pop.crossed_tour[...] = self.crossed_tour[lane]
+        return pop
+
+    def lane_pheromone(self, lane: int, group: Group) -> Optional[np.ndarray]:
+        """Copy of one lane's pheromone field for ``group`` (None when LEM)."""
+        if self.pher is None:
+            return None
+        return self.pher.fields[Group(group)][lane].copy()
+
+    def validate_state(self) -> None:
+        """Cross-check env/pop invariants on every lane (test support)."""
+        for b in range(self.n_lanes):
+            env = self.lane_environment(b)
+            env.validate()
+            self.lane_population(b).validate_against(env)
+
+
+def run_batched(
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    steps: Optional[int] = None,
+    record_timeline: bool = True,
+) -> BatchedTimedResult:
+    """Build a :class:`BatchedEngine`, run it, and time the whole batch."""
+    eng = BatchedEngine(config, seeds)
+    start = time.perf_counter()
+    results = eng.run(steps=steps, record_timeline=record_timeline)
+    elapsed = time.perf_counter() - start
+    return BatchedTimedResult(
+        results=results,
+        wall_seconds=elapsed,
+        config=config,
+        seeds=eng.seeds,
+    )

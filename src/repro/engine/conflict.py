@@ -25,19 +25,21 @@ DIRECTION_INDEX: Dict[Tuple[int, int], int] = {
 
 
 def shift(arr: np.ndarray, dr: int, dc: int, fill=0) -> np.ndarray:
-    """Return ``out`` with ``out[i, j] = arr[i + dr, j + dc]``.
+    """Return ``out`` with ``out[..., i, j] = arr[..., i + dr, j + dc]``.
 
     Cells whose source falls outside the array get ``fill``. This is the
     whole-array analogue of reading a neighbour through the shared-memory
     halo: direction ``d`` of the gather reads the agent standing at
-    ``cell + offset[d]``.
+    ``cell + offset[d]``. The grid occupies the last two axes; any leading
+    axes (e.g. the batch axis of :class:`repro.engine.batched.BatchedEngine`)
+    shift lane-wise.
     """
-    h, w = arr.shape
+    h, w = arr.shape[-2:]
     out = np.full_like(arr, fill)
     r0, r1 = max(0, -dr), min(h, h - dr)
     c0, c1 = max(0, -dc), min(w, w - dc)
     if r0 < r1 and c0 < c1:
-        out[r0:r1, c0:c1] = arr[r0 + dr : r1 + dr, c0 + dc : c1 + dc]
+        out[..., r0:r1, c0:c1] = arr[..., r0 + dr : r1 + dr, c0 + dc : c1 + dc]
     return out
 
 

@@ -14,7 +14,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Type
 
-import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import EngineError

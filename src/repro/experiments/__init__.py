@@ -19,8 +19,16 @@ from .figure6 import (
     run_fig6b,
     run_scenario_batch,
 )
-from .records import ExperimentReport, Fig5Row, Fig6aRow, Fig6bRow, RunRecord
+from .records import (
+    ExperimentReport,
+    Fig5Row,
+    Fig6aRow,
+    Fig6bRow,
+    RunRecord,
+    SweepReport,
+)
 from .runner import run_all
+from .sweep import SweepPoint, SweepRunner, smoke_sweep_points, sweep_grid
 from .scenarios import (
     AGENT_INCREMENT,
     FIG6A_SCENARIOS,
@@ -48,7 +56,12 @@ __all__ = [
     "Fig6aRow",
     "Fig6bRow",
     "ExperimentReport",
+    "SweepReport",
     "run_all",
+    "SweepPoint",
+    "SweepRunner",
+    "sweep_grid",
+    "smoke_sweep_points",
     "ScenarioSpec",
     "ScaleSpec",
     "SCALES",

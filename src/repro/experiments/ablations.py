@@ -15,7 +15,7 @@ benchmarks, the CLI and EXPERIMENTS.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..config import SimulationConfig
 from ..engine import run_simulation

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from ..config import paper_config
 from ..cuda.costmodel import CpuCostModel, GpuCostModel
-from ..engine import run_simulation
 from .records import Fig5Row, RunRecord
-from .scenarios import SCALES, ScenarioSpec, paper_scenarios, scenario_config
+from .scenarios import paper_scenarios
+from .sweep import SweepPoint, SweepRunner
 
 __all__ = ["modelled_fig5", "measured_fig5", "measured_speedups"]
 
@@ -56,32 +55,28 @@ def measured_fig5(
     Runs, per scenario: LEM and ACO on the vectorized engine (Fig 5a) and
     ACO on the sequential engine (Fig 5b/5c numerator). ``steps`` overrides
     the scaled step budget (timing does not need full-length runs).
+
+    These are *timing* runs, so the sweep executes with ``max_lanes=1``:
+    every wall measurement comes from an isolated solo engine, never from
+    an amortised batch share.
     """
-    records: List[RunRecord] = []
-    for k in scenario_indices:
-        scenario = ScenarioSpec(k, 2560 * k)
+    points = [
+        SweepPoint(
+            scenario_index=k,
+            model=model,
+            engine=engine,
+            seed=seed,
+            scale=scale,
+            steps=steps,
+        )
+        for k in scenario_indices
         for model, engine in (
             ("lem", "vectorized"),
             ("aco", "vectorized"),
             ("aco", "sequential"),
-        ):
-            cfg = scenario_config(scenario, model=model, scale=scale, seed=seed)
-            out = run_simulation(
-                cfg, engine=engine, steps=steps, record_timeline=False
-            )
-            records.append(
-                RunRecord(
-                    scenario_index=k,
-                    total_agents=scenario.total_agents,
-                    model=model,
-                    engine=engine,
-                    seed=seed,
-                    steps=out.result.steps_run,
-                    throughput=out.result.throughput_total,
-                    wall_seconds=out.wall_seconds,
-                )
-            )
-    return records
+        )
+    ]
+    return SweepRunner(max_lanes=1).run(points)
 
 
 def measured_speedups(records: List[RunRecord]) -> List[tuple]:

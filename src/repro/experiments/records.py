@@ -5,7 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["RunRecord", "Fig5Row", "Fig6aRow", "Fig6bRow", "ExperimentReport"]
+__all__ = [
+    "RunRecord",
+    "Fig5Row",
+    "Fig6aRow",
+    "Fig6bRow",
+    "ExperimentReport",
+    "SweepReport",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,27 @@ class Fig6bRow:
     total_agents: int
     cpu_throughput: float
     gpu_throughput: float
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :class:`~repro.experiments.sweep.SweepRunner` grid.
+
+    ``wall_seconds`` is the end-to-end grid wall time; the per-record
+    ``wall_seconds`` of batched lanes is the amortised per-replication
+    share of their batch.
+    """
+
+    n_points: int
+    max_lanes: int
+    processes: int
+    wall_seconds: float
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def total_throughput(self) -> int:
+        """Crossed agents summed over every record (smoke-check invariant)."""
+        return int(sum(r.throughput for r in self.records))
 
 
 @dataclass

@@ -34,8 +34,14 @@ def run_all(
     fig6a_scenarios: Sequence[int] = FIG6A_SCENARIOS,
     fig6b_scenarios: Sequence[int] = FIG6B_SCENARIOS,
     verbose: bool = True,
+    sweep_lanes: int = 8,
+    sweep_processes: int = 1,
 ) -> ExperimentReport:
-    """Run the full harness; returns the report (also serialised to disk)."""
+    """Run the full harness; returns the report (also serialised to disk).
+
+    ``sweep_lanes``/``sweep_processes`` tune the batched sweep execution of
+    the Figure 6 drivers (seed repetitions share one batched launch).
+    """
     os.makedirs(outdir, exist_ok=True)
     report = ExperimentReport(scale=scale)
     t0 = time.perf_counter()
@@ -86,7 +92,13 @@ def run_all(
 
     # ------------------------------------------------------------------
     log(f"Fig 6a: LEM vs ACO throughput sweep at scale={scale!r}")
-    fig6a = run_fig6a(scale=scale, scenario_indices=fig6a_scenarios, seeds=fig6a_seeds)
+    fig6a = run_fig6a(
+        scale=scale,
+        scenario_indices=fig6a_scenarios,
+        seeds=fig6a_seeds,
+        max_lanes=sweep_lanes,
+        processes=sweep_processes,
+    )
     report.fig6a = fig6a.rows
     report.fig6a_overall_gain = fig6a.overall_gain
     write_text_table(
@@ -123,6 +135,8 @@ def run_all(
         scenario_indices=fig6b_scenarios,
         seeds_cpu=fig6b_seeds_cpu,
         seeds_gpu=fig6b_seeds_gpu,
+        max_lanes=sweep_lanes,
+        processes=sweep_processes,
     )
     report.fig6b = fig6b.rows
     report.fig6b_pvalue = fig6b.platform_p

@@ -1,0 +1,277 @@
+"""Parallel sweep runner: map a (scenario x seed x engine x model) grid
+onto batched replication lanes and a process pool.
+
+The paper's evaluation is a population sweep with repeated seeds per
+point. Two orthogonal axes of parallelism apply:
+
+* **replication batching** — runs that share everything except the seed
+  stack into one :class:`~repro.engine.batched.BatchedEngine` launch
+  (bit-identical per lane, so sweep results match solo runs exactly);
+* **process parallelism** — points with *heterogeneous* shapes (different
+  scenarios, models or engines) cannot share arrays, so they fan out over
+  a ``multiprocessing`` pool instead.
+
+:class:`SweepRunner` composes both: it groups the requested points by
+batch key, packs batchable seed sets into lanes of at most ``max_lanes``,
+and executes the resulting work units inline or across workers. Records
+come back in the exact order of the requested points.
+
+Timing note: a batched unit reports ``wall_seconds`` as the batch wall
+time divided by its lane count (the amortised per-replication cost).
+Timing studies that need isolated per-run walls (Figure 5) should use
+``max_lanes=1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import run_batched, run_simulation
+from ..errors import ExperimentError
+from .records import RunRecord, SweepReport
+from .scenarios import ScenarioSpec, scenario_config
+
+__all__ = ["SweepPoint", "SweepRunner", "sweep_grid", "smoke_sweep_points"]
+
+#: Engines whose runs can share a batched launch. The sequential engine is
+#: scalar by construction and the tiled engine carries per-run tile state.
+BATCHABLE_ENGINES = ("vectorized",)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One requested run of the sweep grid."""
+
+    scenario_index: int
+    model: str = "lem"
+    engine: str = "vectorized"
+    seed: int = 0
+    scale: str = "standard"
+    #: Optional step-budget override (timing studies shorten runs).
+    steps: Optional[int] = None
+
+    @property
+    def batch_key(self) -> Tuple:
+        """Runs sharing this key differ only in their seed."""
+        return (self.scenario_index, self.model, self.engine, self.scale, self.steps)
+
+    def config(self):
+        """The scaled :class:`~repro.config.SimulationConfig` for this point."""
+        scenario = ScenarioSpec(self.scenario_index, 2560 * self.scenario_index)
+        cfg = scenario_config(
+            scenario, model=self.model, scale=self.scale, seed=self.seed
+        )
+        if self.steps is not None:
+            cfg = cfg.replace(steps=int(self.steps))
+        return cfg
+
+
+def sweep_grid(
+    scenario_indices: Sequence[int],
+    seeds: Sequence[int],
+    models: Sequence[str] = ("lem",),
+    engines: Sequence[str] = ("vectorized",),
+    scale: str = "standard",
+    steps: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Expand a full factorial grid, scenario-major then model/engine/seed."""
+    return [
+        SweepPoint(
+            scenario_index=k,
+            model=model,
+            engine=engine,
+            seed=seed,
+            scale=scale,
+            steps=steps,
+        )
+        for k in scenario_indices
+        for model in models
+        for engine in engines
+        for seed in seeds
+    ]
+
+
+def smoke_sweep_points() -> List[SweepPoint]:
+    """The CI smoke grid: 2 scenarios x 2 models x 2 seeds on the tiny scale."""
+    return sweep_grid(
+        scenario_indices=(1, 2),
+        seeds=(0, 1),
+        models=("lem", "aco"),
+        engines=("vectorized",),
+        scale="tiny",
+    )
+
+
+# ----------------------------------------------------------------------
+# Work units (module-level so they pickle into pool workers)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkUnit:
+    """A batch of same-shape seeds (batched) or a single solo run."""
+
+    point: SweepPoint  # representative point (seed = first of ``seeds``)
+    seeds: Tuple[int, ...]
+    batched: bool
+    record_timeline: bool = False
+
+
+def _execute_unit(unit: _WorkUnit) -> List[RunRecord]:
+    """Run one work unit; one record per seed, in ``unit.seeds`` order."""
+    point = unit.point
+    cfg = point.config()
+    records: List[RunRecord] = []
+    if unit.batched and len(unit.seeds) > 1:
+        out = run_batched(cfg, unit.seeds, record_timeline=unit.record_timeline)
+        per_lane_wall = out.wall_seconds_per_lane
+        for seed, result in zip(unit.seeds, out.results):
+            records.append(
+                RunRecord(
+                    scenario_index=point.scenario_index,
+                    total_agents=cfg.total_agents,
+                    model=point.model,
+                    engine=point.engine,
+                    seed=seed,
+                    steps=result.steps_run,
+                    throughput=result.throughput_total,
+                    wall_seconds=per_lane_wall,
+                )
+            )
+    else:
+        for seed in unit.seeds:
+            out = run_simulation(
+                cfg.replace(seed=seed),
+                engine=point.engine,
+                record_timeline=unit.record_timeline,
+            )
+            records.append(
+                RunRecord(
+                    scenario_index=point.scenario_index,
+                    total_agents=cfg.total_agents,
+                    model=point.model,
+                    engine=point.engine,
+                    seed=seed,
+                    steps=out.result.steps_run,
+                    throughput=out.result.throughput_total,
+                    wall_seconds=out.wall_seconds,
+                )
+            )
+    return records
+
+
+class SweepRunner:
+    """Execute a list of :class:`SweepPoint` via batched lanes + a pool.
+
+    Parameters
+    ----------
+    max_lanes:
+        Upper bound on replications per batched launch. ``1`` disables
+        batching entirely (every run is a solo engine — use for timing).
+    processes:
+        Worker processes for heterogeneous work units. ``1`` (default)
+        executes inline; larger values use a ``multiprocessing`` pool.
+    record_timeline:
+        Forwarded to the engines; sweeps usually only need totals.
+    """
+
+    def __init__(
+        self,
+        max_lanes: int = 8,
+        processes: int = 1,
+        record_timeline: bool = False,
+    ) -> None:
+        if max_lanes < 1:
+            raise ExperimentError(f"max_lanes must be >= 1, got {max_lanes}")
+        if processes < 1:
+            raise ExperimentError(f"processes must be >= 1, got {processes}")
+        self.max_lanes = int(max_lanes)
+        self.processes = int(processes)
+        self.record_timeline = bool(record_timeline)
+
+    # ------------------------------------------------------------------
+    def plan(self, points: Sequence[SweepPoint]) -> List[_WorkUnit]:
+        """Group points into batched / solo work units (order-preserving).
+
+        Points sharing a batch key on a batchable engine pack into lanes of
+        at most ``max_lanes`` seeds; duplicate seeds within a key fall back
+        to solo runs (the batched engine requires distinct lane seeds).
+        """
+        groups: Dict[Tuple, List[SweepPoint]] = {}
+        order: List[Tuple] = []
+        for p in points:
+            key = p.batch_key
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(p)
+
+        units: List[_WorkUnit] = []
+        for key in order:
+            members = groups[key]
+            rep = members[0]
+            seeds = tuple(p.seed for p in members)
+            batchable = (
+                rep.engine in BATCHABLE_ENGINES
+                and self.max_lanes > 1
+                and len(seeds) > 1
+                and len(set(seeds)) == len(seeds)
+            )
+            if batchable:
+                for i in range(0, len(seeds), self.max_lanes):
+                    chunk = seeds[i : i + self.max_lanes]
+                    units.append(
+                        _WorkUnit(
+                            point=rep,
+                            seeds=chunk,
+                            batched=len(chunk) > 1,
+                            record_timeline=self.record_timeline,
+                        )
+                    )
+            else:
+                for seed in seeds:
+                    units.append(
+                        _WorkUnit(
+                            point=rep,
+                            seeds=(seed,),
+                            batched=False,
+                            record_timeline=self.record_timeline,
+                        )
+                    )
+        return units
+
+    # ------------------------------------------------------------------
+    def run(self, points: Sequence[SweepPoint]) -> List[RunRecord]:
+        """Execute every point; records return in the requested order."""
+        points = list(points)
+        units = self.plan(points)
+        if self.processes > 1 and len(units) > 1:
+            # fork keeps the workers cheap; spawn (macOS/Windows default)
+            # works too since _execute_unit and its payload pickle cleanly.
+            with multiprocessing.Pool(self.processes) as pool:
+                unit_records = pool.map(_execute_unit, units)
+        else:
+            unit_records = [_execute_unit(u) for u in units]
+
+        by_key: Dict[Tuple, RunRecord] = {}
+        for unit, records in zip(units, unit_records):
+            for seed, record in zip(unit.seeds, records):
+                by_key[unit.point.batch_key + (seed,)] = record
+        return [by_key[p.batch_key + (p.seed,)] for p in points]
+
+    # ------------------------------------------------------------------
+    def run_report(self, points: Sequence[SweepPoint]) -> SweepReport:
+        """Like :meth:`run`, wrapped with grid metadata and total wall time."""
+        start = time.perf_counter()
+        records = self.run(points)
+        elapsed = time.perf_counter() - start
+        return SweepReport(
+            n_points=len(records),
+            max_lanes=self.max_lanes,
+            processes=self.processes,
+            wall_seconds=elapsed,
+            records=list(records),
+        )

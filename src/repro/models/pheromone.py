@@ -16,7 +16,28 @@ import numpy as np
 from ..types import Group
 from .params import ACOParams
 
-__all__ = ["PheromoneField"]
+__all__ = ["PheromoneField", "evaporate_field", "deposit_at"]
+
+
+def evaporate_field(field: np.ndarray, params: ACOParams) -> None:
+    """Eq. 3 in place: ``tau <- max((1 - rho) * tau, tau_min)``.
+
+    Element-wise, so it applies unchanged to a single ``(H, W)`` field or a
+    batched ``(B, H, W)`` stack — the single source of the decay-then-clamp
+    semantics shared by :class:`PheromoneField` and the batched engine.
+    """
+    field *= 1.0 - params.rho
+    np.maximum(field, params.tau_min, out=field)
+
+
+def deposit_at(field: np.ndarray, index, amounts, params: ACOParams) -> None:
+    """Eq. 5 in place: scatter-add ``amounts`` at ``index``, clamp at tau_max.
+
+    ``index`` is any fancy-index tuple into ``field`` (``(rows, cols)`` for
+    a solo field, ``(lanes, rows, cols)`` for a batched stack).
+    """
+    np.add.at(field, index, amounts)
+    np.minimum(field, params.tau_max, out=field)
 
 
 class PheromoneField:
@@ -47,10 +68,8 @@ class PheromoneField:
     # ------------------------------------------------------------------
     def evaporate(self) -> None:
         """Apply ``tau <- (1 - rho) * tau`` to both fields, then clamp below."""
-        decay = 1.0 - self.params.rho
         for field in self._fields.values():
-            field *= decay
-            np.maximum(field, self.params.tau_min, out=field)
+            evaporate_field(field, self.params)
 
     def deposit(self, group: Group, rows, cols, amounts) -> None:
         """Add ``amounts`` on cells ``(rows, cols)`` of ``group``'s field.
@@ -59,9 +78,12 @@ class PheromoneField:
         (one winner per cell) but ``np.add.at`` keeps this correct for any
         caller that passes duplicates.
         """
-        field = self._fields[Group(group)]
-        np.add.at(field, (np.asarray(rows), np.asarray(cols)), amounts)
-        np.minimum(field, self.params.tau_max, out=field)
+        deposit_at(
+            self._fields[Group(group)],
+            (np.asarray(rows), np.asarray(cols)),
+            amounts,
+            self.params,
+        )
 
     def deposit_scalar(self, group: Group, row: int, col: int, amount: float) -> None:
         """Single-cell deposit used by the sequential engine."""

@@ -69,7 +69,9 @@ class RandomModel(MovementModel):
         acc = 0.0
         for s in range(8):
             acc = acc + scan_row[s]
-            if acc >= threshold:
+            # acc > 0 mirrors the vectorized cumsum guard: when the
+            # threshold underflows to 0.0, skip leading zero-weight slots.
+            if acc >= threshold and acc > 0.0:
                 return s
         return 7  # unreachable: final acc equals total >= threshold
 

@@ -8,6 +8,7 @@ Public surface:
 * distribution transforms in :mod:`repro.rng.distributions`.
 """
 
+from .batched import BatchedPhiloxRNG, FlatLaneRNG
 from .distributions import (
     box_muller,
     categorical,
@@ -19,6 +20,8 @@ from .streams import Stream
 
 __all__ = [
     "PhiloxKeyedRNG",
+    "BatchedPhiloxRNG",
+    "FlatLaneRNG",
     "Stream",
     "philox4x32",
     "philox4x32_scalar",

@@ -1,0 +1,178 @@
+"""Batched keyed randomness: one Philox key per replication lane.
+
+:class:`BatchedPhiloxRNG` drives ``B`` independent replications through a
+single vectorized Philox evaluation. Replication ``b`` draws with exactly
+the key :class:`~repro.rng.philox.PhiloxKeyedRNG` would derive from
+``seeds[b]``, and the Philox bijection is element-wise over lanes, so every
+word a batched draw produces is bit-identical to the corresponding solo
+draw — the invariant the batched engine's equivalence tests pin down.
+
+Two addressing modes cover the engine's needs:
+
+* *replication-major grids* — ``words(stream, step, lane)`` with ``lane``
+  of shape ``(B, m)`` (or ``(m,)``, broadcast to every replication): one
+  draw per (replication, lane) pair, e.g. per-agent tour-construction
+  draws;
+* *scattered draws* — ``words_at(stream, step, rep, lane)`` with parallel
+  ``rep``/``lane`` index vectors: draws for irregular sets such as the
+  contested cells of the movement stage, which differ per replication.
+
+:meth:`BatchedPhiloxRNG.flat` exposes a :class:`PhiloxKeyedRNG`-compatible
+view over flattened replication-major lanes so the movement models' vector
+``select`` kernels run unmodified on batched scan matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .philox import _u32_to_unit_open, irwin_hall_normal12, philox4x32
+
+__all__ = ["BatchedPhiloxRNG", "FlatLaneRNG"]
+
+
+class BatchedPhiloxRNG:
+    """Per-replication keyed random streams sharing one Philox evaluation."""
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ValueError("need at least one replication seed")
+        for s in seeds:
+            if not (0 <= s < 2**64):
+                raise ValueError(f"seed must fit in 64 bits, got {s}")
+        self.seeds = tuple(seeds)
+        self.n_reps = len(seeds)
+        self._key_lo = np.array([s & 0xFFFFFFFF for s in seeds], dtype=np.uint32)
+        self._key_hi_base = np.array(
+            [(s >> 32) & 0xFFFFFFFF for s in seeds], dtype=np.uint32
+        )
+
+    # ------------------------------------------------------------------
+    # Replication-major grids: lane shape (B, m) -> words (4, B, m)
+    # ------------------------------------------------------------------
+    def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        """Raw output words, shape ``(4, B, m)``.
+
+        ``lane`` is ``(B, m)`` (one lane vector per replication) or ``(m,)``
+        (the same lane vector for every replication — the common case, since
+        agent indexing is seed-independent).
+        """
+        lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64))
+        if lanes.ndim == 1:
+            lanes = np.broadcast_to(lanes, (self.n_reps, lanes.shape[0]))
+        if lanes.ndim != 2 or lanes.shape[0] != self.n_reps:
+            raise ValueError(
+                f"lane must have shape (m,) or ({self.n_reps}, m), got {lanes.shape}"
+            )
+        m = lanes.shape[1]
+        rep = np.repeat(np.arange(self.n_reps, dtype=np.intp), m)
+        out = self._words_flat(stream, step, rep, lanes.ravel(), slot)
+        return out.reshape(4, self.n_reps, m)
+
+    def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        """Uniforms in (0, 1), shape ``(B, m)`` (word 0)."""
+        return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])
+
+    def uniform4(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        """Four uniforms in (0, 1) per draw; shape ``(4, B, m)``."""
+        return _u32_to_unit_open(self.words(stream, step, lane, slot))
+
+    def normal12(self, stream: int, step: int, lane, slot_base: int = 0) -> np.ndarray:
+        """Irwin-Hall standard normal, shape ``(B, m)``.
+
+        Routes through the same accumulation as
+        :meth:`~repro.rng.philox.PhiloxKeyedRNG.normal12`, so each element
+        is bit-identical to the solo draw under the same seed.
+        """
+        return irwin_hall_normal12(self.uniform4, stream, step, lane, slot_base)
+
+    # ------------------------------------------------------------------
+    # Scattered draws: parallel (rep, lane) index vectors
+    # ------------------------------------------------------------------
+    def words_at(
+        self, stream: int, step: int, rep, lane, slot: int = 0
+    ) -> np.ndarray:
+        """Raw words for scattered ``(rep, lane)`` pairs; shape ``(4, n)``."""
+        rep = np.asarray(rep, dtype=np.intp).ravel()
+        lanes = np.asarray(lane, dtype=np.uint64).ravel()
+        if rep.shape != lanes.shape:
+            raise ValueError(
+                f"rep and lane must align, got {rep.shape} vs {lanes.shape}"
+            )
+        return self._words_flat(stream, step, rep, lanes, slot)
+
+    def uniform_at(self, stream: int, step: int, rep, lane, slot: int = 0) -> np.ndarray:
+        """Scattered uniforms in (0, 1); shape ``(n,)``."""
+        return _u32_to_unit_open(self.words_at(stream, step, rep, lane, slot)[0])
+
+    # ------------------------------------------------------------------
+    # Adapters / internals
+    # ------------------------------------------------------------------
+    def flat(self, lanes_per_rep: int) -> "FlatLaneRNG":
+        """A :class:`PhiloxKeyedRNG`-shaped view over flattened lanes."""
+        return FlatLaneRNG(self, lanes_per_rep)
+
+    def _words_flat(
+        self, stream: int, step: int, rep: np.ndarray, lanes: np.ndarray, slot: int
+    ) -> np.ndarray:
+        """Philox words for flattened per-replication lanes; shape ``(4, n)``.
+
+        Counter layout matches :meth:`PhiloxKeyedRNG.words` exactly; the key
+        words are gathered per element from the replication seeds.
+        """
+        n = lanes.shape[0]
+        step = int(step)
+        counter = np.empty((4, n), dtype=np.uint32)
+        counter[0] = np.uint32(step & 0xFFFFFFFF)
+        counter[1] = np.uint32((step >> 32) & 0xFFFFFFFF)
+        counter[2] = (lanes & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        counter[3] = np.uint32(int(slot) & 0xFFFFFFFF)
+        stream_word = np.uint32(int(stream) & 0xFFFFFFFF)
+        key = np.empty((2, n), dtype=np.uint32)
+        key[0] = self._key_lo[rep]
+        key[1] = self._key_hi_base[rep] ^ stream_word
+        return philox4x32(counter, key)
+
+
+class FlatLaneRNG:
+    """Duck-typed :class:`PhiloxKeyedRNG` over flattened replication lanes.
+
+    The movement models' ``select`` kernels take a ``(n, 8)`` scan matrix
+    plus a 1-D lane vector and draw through the ``uniform``/``uniform4``/
+    ``normal12``/``words`` surface. This view accepts lane vectors of length
+    ``B * lanes_per_rep`` in replication-major order and keys element ``i``
+    with replication ``i // lanes_per_rep``'s seed, so a batched ``select``
+    call is element-for-element identical to ``B`` solo calls.
+    """
+
+    def __init__(self, batched: BatchedPhiloxRNG, lanes_per_rep: int) -> None:
+        if lanes_per_rep < 1:
+            raise ValueError(f"lanes_per_rep must be >= 1, got {lanes_per_rep}")
+        self._batched = batched
+        self._m = int(lanes_per_rep)
+
+    def _rep_of(self, lanes: np.ndarray) -> np.ndarray:
+        n = lanes.shape[0]
+        expected = self._batched.n_reps * self._m
+        if n != expected:
+            raise ValueError(
+                f"expected {expected} flattened lanes "
+                f"({self._batched.n_reps} reps x {self._m}), got {n}"
+            )
+        return np.repeat(np.arange(self._batched.n_reps, dtype=np.intp), self._m)
+
+    def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64)).ravel()
+        return self._batched.words_at(stream, step, self._rep_of(lanes), lanes, slot)
+
+    def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])
+
+    def uniform4(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        return _u32_to_unit_open(self.words(stream, step, lane, slot))
+
+    def normal12(self, stream: int, step: int, lane, slot_base: int = 0) -> np.ndarray:
+        return irwin_hall_normal12(self.uniform4, stream, step, lane, slot_base)

@@ -58,19 +58,22 @@ def categorical_from_cumsum(cumsum: np.ndarray, u: np.ndarray) -> np.ndarray:
     ``(n,)`` int64 chosen column indices. Lanes whose total weight is zero
     return -1 (no candidate).
 
-    The chosen index is the first ``j`` with ``cumsum[:, j] >= u * total``,
-    which for positive weights reproduces the usual inverse-CDF rule. The
-    comparison is ``>=`` (not ``>``) so that a hit is guaranteed even when
-    ``u * total`` rounds up to ``total`` exactly; zero-weight slots can
-    never be selected because the threshold is strictly positive whenever
-    the total is.
+    The chosen index is the first ``j`` with ``cumsum[:, j] >= u * total``
+    *and* ``cumsum[:, j] > 0``, which for positive weights reproduces the
+    usual inverse-CDF rule. The comparison is ``>=`` (not ``>``) so that a
+    hit is guaranteed even when ``u * total`` rounds up to ``total``
+    exactly. The ``> 0`` guard covers subnormal totals where ``u * total``
+    underflows to exactly 0.0 — without it a leading zero-weight slot
+    (cumsum 0.0) would win; with it the first positive-cumsum slot does,
+    which is always a positive-weight slot because cumsum is
+    non-decreasing.
     """
     cumsum = np.asarray(cumsum, dtype=np.float64)
     if cumsum.ndim != 2:
         raise ValueError(f"cumsum must be 2-D, got shape {cumsum.shape}")
     total = cumsum[:, -1]
     thresholds = np.asarray(u, dtype=np.float64) * total
-    hit = cumsum >= thresholds[:, None]
+    hit = (cumsum >= thresholds[:, None]) & (cumsum > 0.0)
     idx = hit.argmax(axis=1).astype(np.int64)
     idx[total <= 0.0] = -1
     return idx

@@ -22,6 +22,7 @@ __all__ = [
     "philox4x32_scalar",
     "PHILOX_ROUNDS",
     "PhiloxKeyedRNG",
+    "irwin_hall_normal12",
 ]
 
 #: Standard number of rounds for philox4x32-10.
@@ -180,13 +181,7 @@ class PhiloxKeyedRNG:
         so it is bit-identical across scalar and vectorized execution, which
         keeps the engine-equivalence invariant airtight.
         """
-        total = None
-        for k in range(3):  # 3 philox calls x 4 words = 12 uniforms
-            u = self.uniform4(stream, step, lane, slot_base + k)
-            # Left-to-right accumulation: same FP order in all engines.
-            for j in range(4):
-                total = u[j] if total is None else total + u[j]
-        return total - 6.0
+        return irwin_hall_normal12(self.uniform4, stream, step, lane, slot_base)
 
     def uniform_scalar(self, stream: int, step: int, lane: int, slot: int = 0) -> float:
         """Scalar uniform in (0, 1) for loop-based (sequential) call sites."""
@@ -195,6 +190,23 @@ class PhiloxKeyedRNG:
     def normal12_scalar(self, stream: int, step: int, lane: int, slot_base: int = 0) -> float:
         """Scalar Irwin-Hall normal for loop-based call sites."""
         return float(self.normal12(stream, step, np.uint64(lane), slot_base)[0])
+
+
+def irwin_hall_normal12(uniform4, stream: int, step: int, lane, slot_base: int = 0):
+    """Irwin-Hall sum over three ``uniform4`` draws: 12 uniforms minus 6.
+
+    The accumulation order (left-to-right over the 4 words of 3 successive
+    slots) fixes the FP evaluation order; every RNG front-end — solo,
+    batched grid, flattened lane view — routes through this one function so
+    the bit-identity invariant has a single source of truth.
+    """
+    total = None
+    for k in range(3):  # 3 philox calls x 4 words = 12 uniforms
+        u = uniform4(stream, step, lane, slot_base + k)
+        # Left-to-right accumulation: same FP order in all engines.
+        for j in range(4):
+            total = u[j] if total is None else total + u[j]
+    return total - 6.0
 
 
 def _u32_to_unit_open(words: np.ndarray) -> np.ndarray:

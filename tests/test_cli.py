@@ -12,7 +12,7 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("info", "run", "occupancy", "speedup"):
+        for cmd in ("info", "run", "sweep", "occupancy", "speedup"):
             assert parser.parse_args([cmd]).command == cmd
 
     def test_run_options(self):
@@ -20,6 +20,12 @@ class TestParser:
             ["run", "--model", "aco", "--engine", "tiled", "--steps", "5"]
         )
         assert args.model == "aco" and args.engine == "tiled" and args.steps == 5
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenarios", "1-3", "--lanes", "4", "--smoke"]
+        )
+        assert args.scenarios == "1-3" and args.lanes == 4 and args.smoke
 
     def test_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
@@ -40,6 +46,16 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "crossed" in out
+        assert "lane order" in out
+
+    def test_run_render(self, capsys):
+        code = main(
+            ["run", "--height", "16", "--width", "16", "--agents", "10",
+             "--steps", "5", "--render"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossed" in out and len(out.splitlines()) > 10
 
     def test_occupancy(self, capsys):
         assert main(["occupancy", "--threads", "256", "--registers", "20"]) == 0

@@ -1,6 +1,5 @@
 """Cost model tests: calibration, Fig 5 shapes, kernel pricing."""
 
-import numpy as np
 import pytest
 
 from repro.cuda import (

@@ -5,7 +5,6 @@ import pytest
 
 from repro.cuda import (
     OUT_OF_GRID,
-    Tile,
     TileDecomposition,
     halo_pass_count,
     halo_perimeter,

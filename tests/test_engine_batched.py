@@ -1,0 +1,214 @@
+"""Batched-vs-solo equivalence: every lane of a :class:`BatchedEngine`
+must be bit-identical to a solo :class:`VectorizedEngine` run with the
+same config and seed — trajectories, pheromone fields, crossing
+bookkeeping and per-step throughput series alike."""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig
+from repro.engine import BatchedEngine, build_engine, run_batched
+from repro.errors import EngineError
+from repro.rng import BatchedPhiloxRNG, PhiloxKeyedRNG, Stream
+from repro.types import Group
+
+
+def _solo_run(cfg, seed, steps=None):
+    eng = build_engine(cfg, engine="vectorized", seed=seed)
+    result = eng.run(steps=steps, record_timeline=True)
+    return eng, result
+
+
+def _assert_lane_matches_solo(batched, lane, solo_engine):
+    assert batched.lane_environment(lane).equals(solo_engine.env)
+    assert batched.lane_population(lane).equals(solo_engine.pop)
+    if solo_engine.pher is None:
+        assert batched.pher is None
+    else:
+        for group in (Group.TOP, Group.BOTTOM):
+            assert np.array_equal(
+                batched.lane_pheromone(lane, group), solo_engine.pher.field(group)
+            )
+
+
+class TestBatchedRNG:
+    """The per-lane keys reproduce the solo Philox streams exactly."""
+
+    def test_words_match_solo_per_seed(self):
+        seeds = (0, 7, 2**40 + 3)
+        batched = BatchedPhiloxRNG(seeds)
+        lanes = np.arange(33, dtype=np.uint64)
+        got = batched.words(Stream.LEM_SELECT, step=5, lane=lanes)
+        for b, seed in enumerate(seeds):
+            solo = PhiloxKeyedRNG(seed).words(Stream.LEM_SELECT, 5, lanes)
+            assert np.array_equal(got[:, b, :], solo)
+
+    def test_normal12_and_uniform_match_solo(self):
+        seeds = (11, 13)
+        batched = BatchedPhiloxRNG(seeds)
+        lanes = np.arange(17, dtype=np.uint64)
+        for b, seed in enumerate(seeds):
+            solo = PhiloxKeyedRNG(seed)
+            assert np.array_equal(
+                batched.uniform(Stream.ACO_SELECT, 3, lanes)[b],
+                solo.uniform(Stream.ACO_SELECT, 3, lanes),
+            )
+            assert np.array_equal(
+                batched.normal12(Stream.LEM_SELECT, 9, lanes)[b],
+                solo.normal12(Stream.LEM_SELECT, 9, lanes),
+            )
+
+    def test_scattered_draws_match_solo(self):
+        seeds = (21, 22)
+        batched = BatchedPhiloxRNG(seeds)
+        rep = np.array([0, 1, 1, 0])
+        lane = np.array([4, 4, 9, 9], dtype=np.uint64)
+        got = batched.uniform_at(Stream.MOVE_WINNER, 2, rep, lane)
+        for i in range(4):
+            solo = PhiloxKeyedRNG(seeds[rep[i]]).uniform(
+                Stream.MOVE_WINNER, 2, np.uint64(lane[i])
+            )
+            assert got[i] == solo[0]
+
+    def test_flat_view_matches_grid(self):
+        batched = BatchedPhiloxRNG((5, 6, 7))
+        lanes = np.arange(1, 11, dtype=np.uint64)
+        grid = batched.uniform(Stream.TIEBREAK, 4, lanes)
+        flat = batched.flat(10).uniform(
+            Stream.TIEBREAK, 4, np.tile(lanes, 3)
+        )
+        assert np.array_equal(grid.ravel(), flat)
+
+    def test_rejects_bad_shapes(self):
+        batched = BatchedPhiloxRNG((1, 2))
+        with pytest.raises(ValueError):
+            batched.words(Stream.TIEBREAK, 0, np.zeros((3, 4), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            batched.flat(4).uniform(Stream.TIEBREAK, 0, np.zeros(5, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            BatchedPhiloxRNG(())
+
+
+class TestBatchedEquivalence:
+    """Lane-for-lane trajectory equality with solo vectorized runs."""
+
+    @pytest.mark.parametrize("model", ["lem", "aco"])
+    @pytest.mark.parametrize("seeds", [(3,), (0, 11, 42)])
+    def test_lanes_bit_identical(self, small_config, model, seeds):
+        cfg = small_config.with_model(model)
+        batched = BatchedEngine(cfg, seeds)
+        results = batched.run(record_timeline=True)
+        batched.validate_state()
+        for lane, seed in enumerate(seeds):
+            solo_engine, solo_result = _solo_run(cfg, seed)
+            _assert_lane_matches_solo(batched, lane, solo_engine)
+            lane_result = results[lane]
+            assert lane_result.seed == seed
+            assert lane_result.throughput_total == solo_result.throughput_total
+            assert lane_result.throughput_top == solo_result.throughput_top
+            assert lane_result.throughput_bottom == solo_result.throughput_bottom
+            assert np.array_equal(
+                lane_result.moved_per_step, solo_result.moved_per_step
+            )
+            assert np.array_equal(
+                lane_result.crossings_per_step, solo_result.crossings_per_step
+            )
+
+    @pytest.mark.parametrize("model", ["random", "greedy"])
+    def test_baseline_policies_bit_identical(self, tiny_config, model):
+        cfg = tiny_config.with_model(model)
+        seeds = (1, 9)
+        batched = BatchedEngine(cfg, seeds)
+        batched.run(record_timeline=False)
+        for lane, seed in enumerate(seeds):
+            solo_engine, _ = _solo_run(cfg, seed)
+            _assert_lane_matches_solo(batched, lane, solo_engine)
+
+    def test_slow_agents_extension_batched(self, tiny_config):
+        cfg = tiny_config.replace(slow_fraction=0.5, slow_period=3)
+        seeds = (2, 5)
+        batched = BatchedEngine(cfg, seeds)
+        batched.run(record_timeline=False)
+        for lane, seed in enumerate(seeds):
+            solo_engine, _ = _solo_run(cfg, seed)
+            _assert_lane_matches_solo(batched, lane, solo_engine)
+
+    def test_lane_order_does_not_matter(self, tiny_config):
+        """A lane's trajectory is independent of its batch neighbours."""
+        a = BatchedEngine(tiny_config, (4, 8))
+        b = BatchedEngine(tiny_config, (8, 4, 15))
+        a.run(record_timeline=False)
+        b.run(record_timeline=False)
+        assert a.lane_environment(1).equals(b.lane_environment(0))
+        assert a.lane_population(1).equals(b.lane_population(0))
+
+    def test_stepwise_equivalence(self, tiny_config):
+        """Per-step reports match the solo engine's step reports."""
+        seeds = (6, 7)
+        batched = BatchedEngine(tiny_config, seeds)
+        solos = [
+            build_engine(tiny_config, engine="vectorized", seed=s) for s in seeds
+        ]
+        for _ in range(10):
+            report = batched.step()
+            for lane, solo in enumerate(solos):
+                solo_report = solo.step()
+                assert report.decided[lane] == solo_report.decided
+                assert report.moved[lane] == solo_report.moved
+                assert report.new_crossings[lane] == solo_report.new_crossings
+        batched.validate_state()
+
+
+class TestBatchedEngineAPI:
+    def test_requires_seeds(self, tiny_config):
+        with pytest.raises(EngineError):
+            BatchedEngine(tiny_config, ())
+
+    def test_rejects_duplicate_seeds(self, tiny_config):
+        with pytest.raises(EngineError):
+            BatchedEngine(tiny_config, (3, 3))
+
+    def test_single_lane_batch(self, tiny_config):
+        batched = BatchedEngine(tiny_config, (12,))
+        results = batched.run(record_timeline=True)
+        assert len(results) == 1
+        solo_engine, solo_result = _solo_run(tiny_config, 12)
+        _assert_lane_matches_solo(batched, 0, solo_engine)
+        assert results[0].throughput_total == solo_result.throughput_total
+
+    def test_run_batched_helper(self, tiny_config):
+        out = run_batched(tiny_config, (0, 1), record_timeline=False)
+        assert out.n_lanes == 2
+        assert out.seeds == (0, 1)
+        assert out.wall_seconds > 0
+        assert out.wall_seconds_per_lane == pytest.approx(out.wall_seconds / 2)
+        assert all(r.platform == "batched" for r in out.results)
+
+    def test_zero_steps(self, tiny_config):
+        out = run_batched(tiny_config, (0, 1), steps=0)
+        assert all(r.steps_run == 0 for r in out.results)
+        assert all(r.moved_per_step.size == 0 for r in out.results)
+
+    def test_obstacles_batched(self, tiny_config):
+        from repro import ObstacleSpec
+
+        cfg = tiny_config.replace(obstacles=ObstacleSpec("bottleneck", gap=6))
+        seeds = (3, 14)
+        batched = BatchedEngine(cfg, seeds)
+        batched.run(record_timeline=False)
+        for lane, seed in enumerate(seeds):
+            solo_engine, _ = _solo_run(cfg, seed)
+            _assert_lane_matches_solo(batched, lane, solo_engine)
+
+
+class TestBatchedThroughputMatchesSequential:
+    """Transitivity check: batched == vectorized == sequential trajectories."""
+
+    def test_three_way_equality(self):
+        cfg = SimulationConfig(height=16, width=16, n_per_side=12, steps=15, seed=0)
+        batched = BatchedEngine(cfg, (5,))
+        batched.run(record_timeline=False)
+        seq = build_engine(cfg, engine="sequential", seed=5)
+        seq.run(record_timeline=False)
+        assert batched.lane_environment(0).equals(seq.env)
+        assert batched.lane_population(0).equals(seq.pop)

@@ -1,7 +1,6 @@
 """Scatter-to-gather helper tests."""
 
 import numpy as np
-import pytest
 
 from repro.engine import DIRECTION_INDEX, shift, winner_rank
 from repro.grid import ABSOLUTE_OFFSETS

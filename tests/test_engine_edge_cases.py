@@ -1,6 +1,5 @@
 """Engine edge cases: extreme densities, tiny populations, odd geometry."""
 
-import numpy as np
 import pytest
 
 from repro import SimulationConfig, build_engine

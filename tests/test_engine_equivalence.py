@@ -6,7 +6,6 @@ establish consistency of the implementation"), strengthened to exact
 equality via the keyed counter-based RNG.
 """
 
-import numpy as np
 import pytest
 
 from repro import SimulationConfig, build_engine

@@ -1,6 +1,5 @@
 """Experiment harness tests (scenarios, figure drivers, tables)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExperimentError

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.grid import Environment
-from repro.types import CellState, Group
+from repro.types import Group
 
 
 class TestConstruction:

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro import SimulationConfig, build_engine
 from repro.engine import shift, winner_rank
-from repro.grid import DistanceTable, Environment
+from repro.grid import DistanceTable
 from repro.models import fast_pow
 from repro.models.mathops import fast_pow_scalar
 from repro.rng import PhiloxKeyedRNG, Stream, categorical, philox4x32

@@ -1,0 +1,175 @@
+"""Sweep runner: grid expansion, batch planning, execution equivalence,
+process-pool path, and the report/CLI surface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine import run_simulation
+from repro.errors import ExperimentError
+from repro.experiments import (
+    SweepPoint,
+    SweepRunner,
+    smoke_sweep_points,
+    sweep_grid,
+)
+from repro.io import read_json_record, read_text_table
+
+
+class TestGridExpansion:
+    def test_full_factorial_order(self):
+        points = sweep_grid(
+            (1, 2), (0, 1), models=("lem", "aco"), engines=("vectorized",), scale="tiny"
+        )
+        assert len(points) == 8
+        # Scenario-major, then model, then seed.
+        assert points[0] == SweepPoint(1, "lem", "vectorized", 0, "tiny")
+        assert points[1] == SweepPoint(1, "lem", "vectorized", 1, "tiny")
+        assert points[2] == SweepPoint(1, "aco", "vectorized", 0, "tiny")
+        assert points[-1] == SweepPoint(2, "aco", "vectorized", 1, "tiny")
+
+    def test_point_config_applies_steps_override(self):
+        p = SweepPoint(1, scale="tiny", steps=7)
+        assert p.config().steps == 7
+        assert SweepPoint(1, scale="tiny").config().steps > 7
+
+    def test_smoke_grid_is_tiny(self):
+        points = smoke_sweep_points()
+        assert len(points) == 8
+        assert all(p.scale == "tiny" for p in points)
+
+
+class TestPlanning:
+    def test_same_key_seeds_batch_together(self):
+        runner = SweepRunner(max_lanes=8)
+        points = sweep_grid((1,), (0, 1, 2), models=("lem",), scale="tiny")
+        units = runner.plan(points)
+        assert len(units) == 1
+        assert units[0].batched and units[0].seeds == (0, 1, 2)
+
+    def test_lane_cap_chunks_seeds(self):
+        runner = SweepRunner(max_lanes=2)
+        units = runner.plan(sweep_grid((1,), (0, 1, 2, 3, 4), scale="tiny"))
+        assert [u.seeds for u in units] == [(0, 1), (2, 3), (4,)]
+        assert [u.batched for u in units] == [True, True, False]
+
+    def test_max_lanes_one_disables_batching(self):
+        runner = SweepRunner(max_lanes=1)
+        units = runner.plan(sweep_grid((1,), (0, 1, 2), scale="tiny"))
+        assert all(not u.batched and len(u.seeds) == 1 for u in units)
+
+    def test_sequential_engine_never_batches(self):
+        runner = SweepRunner(max_lanes=8)
+        units = runner.plan(
+            sweep_grid((1,), (0, 1), engines=("sequential",), scale="tiny")
+        )
+        assert all(not u.batched for u in units)
+
+    def test_duplicate_seeds_fall_back_to_solo(self):
+        runner = SweepRunner(max_lanes=8)
+        points = [SweepPoint(1, scale="tiny", seed=0), SweepPoint(1, scale="tiny", seed=0)]
+        units = runner.plan(points)
+        assert all(not u.batched for u in units)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(max_lanes=0)
+        with pytest.raises(ExperimentError):
+            SweepRunner(processes=0)
+
+
+class TestExecution:
+    def test_records_match_solo_runs(self):
+        points = sweep_grid((1, 2), (0, 1), models=("lem", "aco"), scale="tiny")
+        records = SweepRunner(max_lanes=4).run(points)
+        assert len(records) == len(points)
+        for point, record in zip(points, records):
+            assert (record.scenario_index, record.model, record.seed) == (
+                point.scenario_index,
+                point.model,
+                point.seed,
+            )
+            solo = run_simulation(
+                point.config(), engine=point.engine, record_timeline=False
+            )
+            assert record.throughput == solo.result.throughput_total
+            assert record.steps == solo.result.steps_run
+
+    def test_batched_and_solo_paths_agree(self):
+        points = sweep_grid((2,), (0, 1, 2), models=("aco",), scale="tiny")
+        batched = SweepRunner(max_lanes=4).run(points)
+        solo = SweepRunner(max_lanes=1).run(points)
+        assert [r.throughput for r in batched] == [r.throughput for r in solo]
+
+    def test_process_pool_path(self):
+        points = sweep_grid((1, 2), (0, 1), models=("lem", "aco"), scale="tiny")
+        pooled = SweepRunner(max_lanes=2, processes=2).run(points)
+        inline = SweepRunner(max_lanes=2, processes=1).run(points)
+        assert [r.throughput for r in pooled] == [r.throughput for r in inline]
+
+    def test_run_report_metadata(self):
+        report = SweepRunner(max_lanes=2).run_report(smoke_sweep_points())
+        assert report.n_points == 8
+        assert report.max_lanes == 2
+        assert report.wall_seconds > 0
+        assert report.total_throughput > 0
+
+
+class TestSweepCLI:
+    def test_smoke_flag(self, capsys):
+        assert main(["sweep", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "8 runs" in out
+        assert "lem/vectorized" in out and "aco/vectorized" in out
+
+    def test_writes_records(self, tmp_path, capsys):
+        outdir = str(tmp_path / "sweep")
+        code = main(
+            [
+                "sweep",
+                "--scenarios",
+                "1-2",
+                "--seeds",
+                "2",
+                "--models",
+                "lem",
+                "--scale",
+                "tiny",
+                "--lanes",
+                "2",
+                "--out",
+                outdir,
+            ]
+        )
+        assert code == 0
+        blob = read_json_record(os.path.join(outdir, "sweep.json"))
+        assert blob["n_points"] == 4
+        assert len(blob["records"]) == 4
+        table = read_text_table(os.path.join(outdir, "sweep.txt"))
+        assert table["throughput"].shape == (4,)
+
+    def test_scenario_range_parsing(self):
+        from repro.cli import _parse_scenarios
+
+        assert _parse_scenarios("1,3,5-7") == [1, 3, 5, 6, 7]
+        with pytest.raises(SystemExit):
+            _parse_scenarios(",")
+        with pytest.raises(SystemExit):
+            _parse_scenarios("foo")
+
+    def test_clean_errors_exit_2(self, capsys):
+        assert main(["sweep", "--scenarios", "1", "--scale", "tiny",
+                     "--models", "boids"]) == 2
+        assert "unknown model" in capsys.readouterr().out
+        assert main(["sweep", "--scenarios", "1", "--scale", "tiny",
+                     "--lanes", "0"]) == 2
+        assert "max_lanes" in capsys.readouterr().out
+
+    def test_empty_grid_axes_exit_2(self, capsys):
+        assert main(["sweep", "--scenarios", "1", "--scale", "tiny",
+                     "--seeds", "0"]) == 2
+        assert "--seeds selects no runs" in capsys.readouterr().out
+        assert main(["sweep", "--scenarios", "1", "--scale", "tiny",
+                     "--models", ","]) == 2
+        assert "--models selects no runs" in capsys.readouterr().out
