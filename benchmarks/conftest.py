@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import ScenarioSpec, scenario_config
+from repro.experiments import scenario_config, scenario_spec
 
 
 @pytest.fixture
@@ -19,7 +19,7 @@ def quick_scenario():
 
     def make(index: int, model: str = "aco", seed: int = 0, scale: str = "quick"):
         return scenario_config(
-            ScenarioSpec(index, 2560 * index), model=model, scale=scale, seed=seed
+            scenario_spec(index), model=model, scale=scale, seed=seed
         )
 
     return make

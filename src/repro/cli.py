@@ -73,6 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--scale", default="quick", choices=sorted(SCALES))
     swp_p.add_argument("--lanes", type=int, default=8,
                        help="max replications per batched launch")
+    swp_p.add_argument(
+        "--pad-lanes",
+        action="store_true",
+        help="fuse mixed-scenario points into padded batches "
+        "(same model/engine/scale, populations padded to the largest lane)",
+    )
+    swp_p.add_argument(
+        "--pad-waste",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="max padded-slot fraction per fused batch (default 0.3)",
+    )
     swp_p.add_argument("--processes", type=int, default=1,
                        help="worker processes for heterogeneous points")
     swp_p.add_argument("--out", default=None,
@@ -132,13 +145,26 @@ def _cmd_sweep(args) -> int:
     import os
 
     from .errors import ReproError
-    from .experiments.sweep import SweepRunner, smoke_sweep_points, sweep_grid
+    from .experiments.sweep import (
+        DEFAULT_MAX_PAD_WASTE,
+        SweepRunner,
+        smoke_sweep_points,
+        sweep_grid,
+    )
     from .io import write_json_record, write_text_table
 
+    pad_waste = (
+        DEFAULT_MAX_PAD_WASTE if args.pad_waste is None else args.pad_waste
+    )
     try:
         if args.smoke:
             points = smoke_sweep_points()
-            runner = SweepRunner(max_lanes=2, processes=1)
+            runner = SweepRunner(
+                max_lanes=2,
+                processes=1,
+                pad_lanes=args.pad_lanes,
+                max_pad_waste=pad_waste,
+            )
         else:
             seeds = tuple(range(args.seeds))
             models = tuple(m for m in args.models.split(",") if m)
@@ -158,15 +184,21 @@ def _cmd_sweep(args) -> int:
                 engines=engines,
                 scale=args.scale,
             )
-            runner = SweepRunner(max_lanes=args.lanes, processes=args.processes)
+            runner = SweepRunner(
+                max_lanes=args.lanes,
+                processes=args.processes,
+                pad_lanes=args.pad_lanes,
+                max_pad_waste=pad_waste,
+            )
         report = runner.run_report(points)
     except ReproError as exc:
         print(f"error: {exc}")
         return 2
 
+    packing = ", padded lanes" if report.pad_lanes else ""
     print(
         f"sweep: {report.n_points} runs in {report.wall_seconds:.2f}s "
-        f"(lanes<={report.max_lanes}, processes={report.processes})"
+        f"(lanes<={report.max_lanes}, processes={report.processes}{packing})"
     )
     by_point = {}
     for r in report.records:

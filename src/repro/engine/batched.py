@@ -2,31 +2,38 @@
 
 :class:`VectorizedEngine` plays one GPU launch per simulation; the paper's
 evaluation, however, is a 40-scenario population sweep with repeated seeds
-per point, i.e. many *independent replications* of the same grid shape.
-:class:`BatchedEngine` lifts the scan / select / move kernels to a leading
-batch axis so ``B`` replications advance through a single set of NumPy
-whole-array stages per step — the same data-parallel move the paper makes
-across agents, applied across runs.
+per point, i.e. many *independent replications*. :class:`BatchedEngine`
+lifts the scan / select / move kernels to a leading batch axis so ``B``
+replications advance through a single set of NumPy whole-array stages per
+step — the same data-parallel move the paper makes across agents, applied
+across runs.
 
-Replication lanes are fully independent: lane ``b`` draws its randomness
+Lanes need not share a scenario: per-agent arrays are padded to the
+largest lane's population and the grids to the largest lane's shape, with
+an ``active`` mask (and obstacle-sentinel padding cells) guaranteeing that
+padding slots never scan, decide, move, deposit or cross. Ragged per-lane
+group membership is flattened into ``(rep, agent)`` index vectors, so
+every stage is element-wise or row-wise per lane and the movement scatter
+touches disjoint ``(lane, cell)`` sets. Lane ``b`` draws its randomness
 with the Philox key of ``seeds[b]`` (see
-:class:`repro.rng.batched.BatchedPhiloxRNG`), every stage is element-wise
-or row-wise per lane, and the movement scatter touches disjoint ``(lane,
-cell)`` sets. Each lane is therefore **bit-identical** to a solo
-:class:`VectorizedEngine` run with the same config and seed — the property
-``tests/test_engine_batched.py`` pins down trajectory-for-trajectory.
+:class:`repro.rng.batched.BatchedPhiloxRNG`), which makes each lane
+**bit-identical** to a solo :class:`VectorizedEngine` run with the same
+config and seed — the property ``tests/test_engine_batched.py`` pins down
+trajectory-for-trajectory, now over mixed-scenario batches too.
 
 Batching wins because a small-grid simulation step is dominated by the
 fixed overhead of its ~50 NumPy kernel dispatches; fusing ``B``
 replications into one dispatch sequence amortises that overhead ``B``
-ways (see ``benchmarks/test_bench_batched_sweep.py``).
+ways (see ``benchmarks/test_bench_batched_sweep.py`` for same-shape lanes
+and ``benchmarks/test_bench_padded_sweep.py`` for padded mixed-scenario
+lanes).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,8 +45,8 @@ from ..grid.environment import Environment
 from ..grid.neighborhood import ABSOLUTE_OFFSETS
 from ..models import build_model
 from ..models.pheromone import deposit_at, evaporate_field
-from ..rng import BatchedPhiloxRNG, FlatLaneRNG, PhiloxKeyedRNG, Stream
-from ..types import Group
+from ..rng import BatchedPhiloxRNG, PhiloxKeyedRNG, RaggedLaneRNG, Stream
+from ..types import CellState, Group
 from .base import ABS_STEP_COSTS, RunResult
 from .conflict import shift, winner_rank
 
@@ -49,6 +56,11 @@ __all__ = [
     "BatchedTimedResult",
     "run_batched",
 ]
+
+#: Cell label written into grid padding (cells beyond a lane's real extent).
+#: Any non-zero value reads as "unavailable" to every kernel, exactly like
+#: a static obstacle, so padding needs no special-casing on the hot paths.
+_PAD_CELL = int(CellState.OBSTACLE)
 
 
 @dataclass(frozen=True)
@@ -67,8 +79,12 @@ class BatchedTimedResult:
 
     results: List[RunResult]
     wall_seconds: float
-    config: SimulationConfig = field(repr=False, default=None)
+    #: The shared lane config for homogeneous batches; ``None`` when the
+    #: lanes were padded over heterogeneous scenarios (see ``configs``).
+    config: Optional[SimulationConfig] = field(repr=False, default=None)
     seeds: Tuple[int, ...] = ()
+    #: Per-lane configs, aligned with ``seeds`` (always populated).
+    configs: Tuple[SimulationConfig, ...] = field(repr=False, default=())
 
     @property
     def n_lanes(self) -> int:
@@ -107,57 +123,121 @@ class _BatchedPheromone:
 class BatchedEngine:
     """Run ``B`` independent replications in lock-step whole-array stages.
 
-    All lanes share one :class:`~repro.config.SimulationConfig` (the grid
-    shape, populations and model must match for the arrays to stack) and
-    differ only in their seed. State mirrors :class:`VectorizedEngine` with
-    a leading batch axis: ``mats``/``index`` are ``(B, H, W)``, the
-    property-matrix fields are ``(B, n_agents + 1)`` and the scan matrix is
-    ``(B, n_agents + 1, 8)``.
+    ``config`` is either one :class:`~repro.config.SimulationConfig` shared
+    by every lane (the homogeneous case — lanes differ only in their seed)
+    or a sequence of per-lane configs aligned with ``seeds`` (the padded
+    heterogeneous case). Lanes may differ in population, grid shape,
+    placement band and extension knobs; they must share the movement-model
+    parameters and the step budget (the batch advances in lock-step).
+
+    State mirrors :class:`VectorizedEngine` with a leading batch axis,
+    padded to the largest lane: ``mats``/``index`` are ``(B, Hmax, Wmax)``
+    with obstacle-sentinel padding cells, the property-matrix fields are
+    ``(B, n_max + 1)`` and the scan matrix is ``(B, n_max + 1, 8)``. The
+    ``active`` mask marks each lane's live agent slots; padding slots carry
+    the sentinel ID 0 and never enter any stage.
     """
 
     platform = "batched"
 
-    def __init__(self, config: SimulationConfig, seeds: Sequence[int]) -> None:
+    def __init__(
+        self,
+        config: Union[SimulationConfig, Sequence[SimulationConfig]],
+        seeds: Sequence[int],
+    ) -> None:
         seeds = tuple(int(s) for s in seeds)
         if not seeds:
             raise EngineError("BatchedEngine needs at least one seed")
-        if len(set(seeds)) != len(seeds):
-            raise EngineError(f"replication seeds must be distinct, got {seeds}")
-        self.config = config
+        if isinstance(config, SimulationConfig):
+            if len(set(seeds)) != len(seeds):
+                raise EngineError(f"replication seeds must be distinct, got {seeds}")
+            configs: Tuple[SimulationConfig, ...] = tuple(config for _ in seeds)
+        else:
+            configs = tuple(config)
+            if not all(isinstance(c, SimulationConfig) for c in configs):
+                raise EngineError("per-lane configs must be SimulationConfig")
+            if len(configs) != len(seeds):
+                raise EngineError(
+                    f"need one config per lane, got {len(configs)} configs "
+                    f"for {len(seeds)} seeds"
+                )
+            for i in range(len(seeds)):
+                for j in range(i):
+                    if seeds[i] == seeds[j] and configs[i] == configs[j]:
+                        raise EngineError(
+                            f"replication lanes must be distinct (config, seed) "
+                            f"pairs; lanes {j} and {i} repeat seed {seeds[i]}"
+                        )
+        rep_cfg = configs[0]
+        for c in configs[1:]:
+            if c.params != rep_cfg.params:
+                raise EngineError(
+                    "batched lanes must share the movement-model parameters"
+                )
+            if c.steps != rep_cfg.steps:
+                raise EngineError(
+                    "batched lanes must share the step budget "
+                    f"(got {rep_cfg.steps} and {c.steps})"
+                )
+        self.config = rep_cfg
+        self.configs = configs
         self.seeds = seeds
         self.n_lanes = len(seeds)
         self.rng = BatchedPhiloxRNG(seeds)
-        self.model = build_model(config.params)
+        self.model = build_model(rep_cfg.params)
         self.t = 0
 
-        h, w = config.height, config.width
-        obstacle_mask = (
-            config.obstacles.build(h, w) if config.obstacles is not None else None
+        # Per-lane geometry, padded to the largest lane.
+        self._heights = np.array([c.height for c in configs], dtype=np.int64)
+        self._widths = np.array([c.width for c in configs], dtype=np.int64)
+        self._widths_u64 = self._widths.astype(np.uint64)
+        self._cross_rows = np.array([c.cross_rows for c in configs], dtype=np.int64)
+        self.h_max = int(self._heights.max())
+        self.w_max = int(self._widths.max())
+
+        # Placement is a pure function of (config, seed, group); build each
+        # lane's environment with a solo keyed RNG (setup cost only) and
+        # stack into the padded arrays. Padding cells read as obstacles.
+        self.mats = np.full(
+            (self.n_lanes, self.h_max, self.w_max), _PAD_CELL, dtype=np.int8
         )
-        # Placement is a pure function of (seed, group); build each lane's
-        # environment with a solo keyed RNG (setup cost only) and stack.
-        self.mats = np.zeros((self.n_lanes, h, w), dtype=np.int8)
-        self.index = np.zeros((self.n_lanes, h, w), dtype=np.int32)
+        self.index = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int32)
         pops: List[Population] = []
-        for b, seed in enumerate(seeds):
+        for b, (cfg, seed) in enumerate(zip(configs, seeds)):
+            obstacle_mask = (
+                cfg.obstacles.build(cfg.height, cfg.width)
+                if cfg.obstacles is not None
+                else None
+            )
             env = place_groups(
-                h,
-                w,
-                config.n_per_side,
-                config.band_rows,
+                cfg.height,
+                cfg.width,
+                cfg.n_per_side,
+                cfg.band_rows,
                 PhiloxKeyedRNG(seed),
                 obstacles=obstacle_mask,
             )
-            self.mats[b] = env.mat
-            self.index[b] = env.index
+            self.mats[b, : cfg.height, : cfg.width] = env.mat
+            self.index[b, : cfg.height, : cfg.width] = env.index
             pops.append(Population.from_environment(env))
 
-        n = pops[0].n_agents
-        self.n_agents = n
-        size = n + 1
-        self.ids = np.stack([p.ids for p in pops])
-        self.rows = np.stack([p.rows for p in pops])
-        self.cols = np.stack([p.cols for p in pops])
+        self.lane_agents = np.array([p.n_agents for p in pops], dtype=np.int64)
+        self.n_agents = int(self.lane_agents.max())
+        size = self.n_agents + 1
+        #: Live-slot mask: ``active[b, i]`` iff agent ``i`` exists in lane
+        #: ``b`` (the sentinel row 0 and padding slots are inactive).
+        self.active = (
+            np.arange(size)[None, :] <= self.lane_agents[:, None]
+        ) & (np.arange(size)[None, :] > 0)
+
+        self.ids = np.zeros((self.n_lanes, size), dtype=np.int8)
+        self.rows = np.zeros((self.n_lanes, size), dtype=np.int64)
+        self.cols = np.zeros((self.n_lanes, size), dtype=np.int64)
+        for b, p in enumerate(pops):
+            end = p.n_agents + 1
+            self.ids[b, :end] = p.ids
+            self.rows[b, :end] = p.rows
+            self.cols[b, :end] = p.cols
         self.future_rows = np.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
         self.future_cols = np.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
         self.front_empty = np.zeros((self.n_lanes, size), dtype=bool)
@@ -167,53 +247,71 @@ class BatchedEngine:
         self.crossed_tour = np.full((self.n_lanes, size), np.nan, dtype=np.float64)
         self.scan = np.zeros((self.n_lanes, size, 8), dtype=np.float64)
 
-        # Agent indexing is seed-independent (top group first, then bottom),
-        # so group membership vectors are shared by every lane.
-        if not all(np.array_equal(self.ids[0], p.ids) for p in pops[1:]):
-            raise EngineError(
-                "lane group layouts diverged; agent indexing must be "
-                "seed-independent for batching"
+        # Ragged group membership, flattened lane-major into parallel
+        # (replication, agent-index) vectors. Agent indexing is top group
+        # first within each lane, so membership is ragged across lanes as
+        # soon as populations differ.
+        self._rep: Dict[Group, np.ndarray] = {}
+        self._agent: Dict[Group, np.ndarray] = {}
+        self._ragged_rng: Dict[Group, RaggedLaneRNG] = {}
+        for g in (Group.TOP, Group.BOTTOM):
+            reps: List[np.ndarray] = []
+            members: List[np.ndarray] = []
+            for b, p in enumerate(pops):
+                idx = p.members(g)
+                reps.append(np.full(idx.size, b, dtype=np.intp))
+                members.append(idx)
+            self._rep[g] = np.concatenate(reps) if reps else np.empty(0, np.intp)
+            self._agent[g] = (
+                np.concatenate(members) if members else np.empty(0, np.int64)
             )
-        self._members: Dict[Group, np.ndarray] = {
-            g: pops[0].members(g) for g in (Group.TOP, Group.BOTTOM)
-        }
+            if self._agent[g].size:
+                self._ragged_rng[g] = self.rng.ragged(self._rep[g])
         self._offsets: Dict[Group, np.ndarray] = {
             g: offsets_array(g) for g in (Group.TOP, Group.BOTTOM)
         }
-        # Loop-invariant select-stage inputs: the flattened lane vector and
-        # the flat RNG view depend only on the static group membership.
-        self._lanes_flat: Dict[Group, np.ndarray] = {
-            g: np.ascontiguousarray(
-                np.broadcast_to(idx, (self.n_lanes, idx.size))
-            ).reshape(-1)
-            for g, idx in self._members.items()
-        }
-        self._flat_rng: Dict[Group, FlatLaneRNG] = {
-            g: self.rng.flat(idx.size)
-            for g, idx in self._members.items()
-            if idx.size
-        }
 
-        self.dist = build_distance_tables(h, getattr(config.params, "scan_range", 1))
+        # Per-lane distance tables stacked to (B, Hmax, 8); rows beyond a
+        # lane's height carry inf (never candidates). Tables are pure
+        # functions of (height, scan_range), so duplicate heights share one
+        # build.
+        scan_range = getattr(rep_cfg.params, "scan_range", 1)
+        by_height = {
+            int(h): build_distance_tables(int(h), scan_range)
+            for h in np.unique(self._heights)
+        }
+        self._dist_stack: Dict[Group, np.ndarray] = {}
+        for g in (Group.TOP, Group.BOTTOM):
+            stack = np.full((self.n_lanes, self.h_max, 8), np.inf, dtype=np.float64)
+            for b, h in enumerate(self._heights):
+                stack[b, : int(h)] = by_height[int(h)][g].table
+            self._dist_stack[g] = stack
+
         self.pher: Optional[_BatchedPheromone] = (
-            _BatchedPheromone(self.n_lanes, h, w, config.params)
+            _BatchedPheromone(self.n_lanes, self.h_max, self.w_max, rep_cfg.params)
             if self.model.uses_pheromone
             else None
         )
 
-        rows_idx, cols_idx = np.indices((h, w))
+        rows_idx, cols_idx = np.indices((self.h_max, self.w_max))
         self._rowgrid = rows_idx.astype(np.int64)
         self._colgrid = cols_idx.astype(np.int64)
         self._bidx = np.arange(self.n_lanes)[:, None, None]
 
+        # Paper-modification flag, per lane.
+        self._forward_priority = np.array(
+            [c.forward_priority for c in configs], dtype=bool
+        )
+
         # Heterogeneous-velocity extension: per-lane keyed draws, identical
         # to each solo engine's mask under the matching seed.
         self._slow_mask = np.zeros((self.n_lanes, size), dtype=bool)
-        if config.slow_fraction > 0.0:
+        slow_fractions = np.array([c.slow_fraction for c in configs])
+        self._slow_periods = np.array([c.slow_period for c in configs], dtype=np.int64)
+        if np.any(slow_fractions > 0.0):
             lanes = np.arange(size, dtype=np.uint64)
             u = self.rng.uniform(Stream.SPEED_CLASS, 0, lanes)
-            self._slow_mask = u < config.slow_fraction
-            self._slow_mask[:, 0] = False
+            self._slow_mask = (u < slow_fractions[:, None]) & self.active
 
     # ------------------------------------------------------------------
     # Extensions
@@ -223,82 +321,81 @@ class BatchedEngine:
         if not self._slow_mask.any():
             return np.ones((self.n_lanes, self.n_agents + 1), dtype=bool)
         idx = np.arange(self.n_agents + 1, dtype=np.int64)
-        on_beat = (t + idx) % self.config.slow_period == 0
-        return ~self._slow_mask | on_beat[None, :]
+        on_beat = (t + idx[None, :]) % self._slow_periods[:, None] == 0
+        return ~self._slow_mask | on_beat
 
     # ------------------------------------------------------------------
     # Stage 1: initial calculation (per-agent scan, all lanes)
     # ------------------------------------------------------------------
     def _stage_scan(self, t: int) -> None:
-        h, w = self.config.height, self.config.width
         for group in (Group.TOP, Group.BOTTOM):
-            idx = self._members[group]
-            if idx.size == 0:
+            rep = self._rep[group]
+            agent = self._agent[group]
+            if rep.size == 0:
                 continue
-            rows = self.rows[:, idx]  # (B, m)
-            cols = self.cols[:, idx]
+            rows = self.rows[rep, agent]  # (N,)
+            cols = self.cols[rep, agent]
             off = self._offsets[group]  # (8, 2)
-            nr = rows[..., None] + off[:, 0]  # (B, m, 8)
-            nc = cols[..., None] + off[:, 1]
+            nr = rows[:, None] + off[:, 0]  # (N, 8)
+            nc = cols[:, None] + off[:, 1]
+            h = self._heights[rep][:, None]
+            w = self._widths[rep][:, None]
             inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
-            nrc = np.clip(nr, 0, h - 1)
-            ncc = np.clip(nc, 0, w - 1)
-            candidates = inb & (self.mats[self._bidx, nrc, ncc] == 0)
-            dist = self.dist[group].distances(rows)  # (B, m, 8)
+            nrc = np.clip(nr, 0, self.h_max - 1)
+            ncc = np.clip(nc, 0, self.w_max - 1)
+            rcol = rep[:, None]
+            candidates = inb & (self.mats[rcol, nrc, ncc] == 0)
+            dist = self._dist_stack[group][rep, rows]  # (N, 8)
             tau = None
             if self.pher is not None:
-                tau = self.pher.fields[group][self._bidx, nrc, ncc]
-            m = idx.size
-            values = self.model.scan_values(
-                dist.reshape(-1, 8),
-                candidates.reshape(-1, 8),
-                None if tau is None else tau.reshape(-1, 8),
-            )
-            self.scan[:, idx, :] = values.reshape(self.n_lanes, m, 8)
-            self.front_empty[:, idx] = candidates[..., 0]
+                tau = self.pher.fields[group][rcol, nrc, ncc]
+            values = self.model.scan_values(dist, candidates, tau)
+            self.scan[rep, agent, :] = values
+            self.front_empty[rep, agent] = candidates[:, 0]
 
     # ------------------------------------------------------------------
     # Stage 2: tour construction (per-agent decision, all lanes)
     # ------------------------------------------------------------------
     def _stage_select(self, t: int) -> np.ndarray:
-        decided = np.zeros(self.n_lanes, dtype=np.int64)
         eligible = self.eligible_mask(t)
+        decided = np.zeros(self.n_lanes, dtype=np.int64)
         for group in (Group.TOP, Group.BOTTOM):
-            idx = self._members[group]
-            if idx.size == 0:
+            rep = self._rep[group]
+            agent = self._agent[group]
+            if rep.size == 0:
                 continue
-            m = idx.size
-            scan_rows = self.scan[:, idx, :].reshape(-1, 8)
-            # The model's vector select runs unmodified: the flat RNG view
-            # keys element i with replication i // m, so each lane's rows
+            scan_rows = self.scan[rep, agent]  # (N, 8)
+            # The model's vector select runs unmodified: the ragged RNG view
+            # keys element i with replication rep[i], so each lane's rows
             # see exactly the solo engine's draws.
-            slots = self.model.select(
-                scan_rows, self._flat_rng[group], t, self._lanes_flat[group]
-            ).reshape(self.n_lanes, m)
-            if self.config.forward_priority:
-                slots = np.where(self.front_empty[:, idx], 0, slots)
-            valid = (slots >= 0) & eligible[:, idx]
+            slots = self.model.select(scan_rows, self._ragged_rng[group], t, agent)
+            if self._forward_priority.any():
+                fwd = self.front_empty[rep, agent] & self._forward_priority[rep]
+                slots = np.where(fwd, 0, slots)
+            valid = (slots >= 0) & eligible[rep, agent]
             safe = np.where(valid, slots, 0)
             off = self._offsets[group]
-            fr = self.rows[:, idx] + off[safe, 0]
-            fc = self.cols[:, idx] + off[safe, 1]
-            self.future_rows[:, idx] = np.where(valid, fr, NO_FUTURE)
-            self.future_cols[:, idx] = np.where(valid, fc, NO_FUTURE)
-            decided += np.count_nonzero(valid, axis=1)
+            fr = self.rows[rep, agent] + off[safe, 0]
+            fc = self.cols[rep, agent] + off[safe, 1]
+            self.future_rows[rep, agent] = np.where(valid, fr, NO_FUTURE)
+            self.future_cols[rep, agent] = np.where(valid, fc, NO_FUTURE)
+            decided += np.bincount(rep[valid], minlength=self.n_lanes)
         return decided
 
     # ------------------------------------------------------------------
     # Stage 3: movement (per-cell scatter-to-gather, all lanes)
     # ------------------------------------------------------------------
     def _stage_move(self, t: int) -> np.ndarray:
-        h, w = self.config.height, self.config.width
         moved = np.zeros(self.n_lanes, dtype=np.int64)
 
         if self.pher is not None:
             self.pher.evaporate()
 
+        # Padding cells are never empty (obstacle sentinel), so neither the
+        # destination set nor the candidate gathers can leave a lane's real
+        # grid region.
         empty = self.mats == 0
-        counts = np.zeros((self.n_lanes, h, w), dtype=np.int16)
+        counts = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
         matches: List[np.ndarray] = []
         for dr, dc in ABSOLUTE_OFFSETS:
             nidx = shift(self.index, dr, dc, fill=0)
@@ -311,13 +408,17 @@ class BatchedEngine:
         if con_b.size == 0:
             return moved
 
-        cell_lanes = con_r.astype(np.uint64) * np.uint64(w) + con_c.astype(np.uint64)
+        # Cell lanes use each replication's *real* width so the winner draw
+        # matches the solo engine's ``Environment.cell_lane`` keying.
+        cell_lanes = con_r.astype(np.uint64) * self._widths_u64[con_b] + con_c.astype(
+            np.uint64
+        )
         u = self.rng.uniform_at(Stream.MOVE_WINNER, t, con_b, cell_lanes)
         pick = winner_rank(u, counts[con_b, con_r, con_c])
-        pickmap = np.full((self.n_lanes, h, w), -1, dtype=np.int64)
+        pickmap = np.full((self.n_lanes, self.h_max, self.w_max), -1, dtype=np.int64)
         pickmap[con_b, con_r, con_c] = pick
 
-        cum = np.zeros((self.n_lanes, h, w), dtype=np.int16)
+        cum = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
         lane_parts: List[np.ndarray] = []
         dst_rows: List[np.ndarray] = []
         dst_cols: List[np.ndarray] = []
@@ -368,12 +469,12 @@ class BatchedEngine:
     # Stage 4 + crossings bookkeeping
     # ------------------------------------------------------------------
     def _record_crossings(self, step: int) -> np.ndarray:
-        height = self.config.height
-        band = self.config.cross_rows
+        heights = self._heights[:, None]
+        band = self._cross_rows[:, None]
         top = self.ids == int(Group.TOP)
         bottom = self.ids == int(Group.BOTTOM)
         newly = (
-            (top & (self.rows >= height - band)) | (bottom & (self.rows < band))
+            (top & (self.rows >= heights - band)) | (bottom & (self.rows < band))
         ) & ~self.crossed
         self.crossed |= newly
         self.crossed_step[newly] = step
@@ -439,6 +540,16 @@ class BatchedEngine:
     # ------------------------------------------------------------------
     # Introspection / verification
     # ------------------------------------------------------------------
+    @property
+    def padded_fraction(self) -> float:
+        """Fraction of agent slots that are padding (0.0 when homogeneous)."""
+        total = self.n_lanes * self.n_agents
+        return 1.0 - float(self.lane_agents.sum()) / total if total else 0.0
+
+    def lane_config(self, lane: int) -> SimulationConfig:
+        """The :class:`SimulationConfig` backing one lane."""
+        return self.configs[lane]
+
     def throughput(self, lane: int, group: Group = None) -> int:
         """Crossed-agent count of one lane (optionally one group)."""
         crossed = self.crossed[lane]
@@ -448,31 +559,37 @@ class BatchedEngine:
 
     def lane_environment(self, lane: int) -> Environment:
         """Copy of one lane's environment (solo-engine comparable)."""
-        env = Environment(self.config.height, self.config.width)
-        env.mat[...] = self.mats[lane]
-        env.index[...] = self.index[lane]
+        cfg = self.configs[lane]
+        env = Environment(cfg.height, cfg.width)
+        env.mat[...] = self.mats[lane, : cfg.height, : cfg.width]
+        env.index[...] = self.index[lane, : cfg.height, : cfg.width]
         return env
 
     def lane_population(self, lane: int) -> Population:
         """Copy of one lane's property matrix (solo-engine comparable)."""
-        pop = Population(self.n_agents)
-        pop.ids[...] = self.ids[lane]
-        pop.rows[...] = self.rows[lane]
-        pop.cols[...] = self.cols[lane]
-        pop.future_rows[...] = self.future_rows[lane]
-        pop.future_cols[...] = self.future_cols[lane]
-        pop.front_empty[...] = self.front_empty[lane]
-        pop.tour[...] = self.tour[lane]
-        pop.crossed[...] = self.crossed[lane]
-        pop.crossed_step[...] = self.crossed_step[lane]
-        pop.crossed_tour[...] = self.crossed_tour[lane]
+        n = int(self.lane_agents[lane])
+        end = n + 1
+        pop = Population(n)
+        pop.ids[...] = self.ids[lane, :end]
+        pop.rows[...] = self.rows[lane, :end]
+        pop.cols[...] = self.cols[lane, :end]
+        pop.future_rows[...] = self.future_rows[lane, :end]
+        pop.future_cols[...] = self.future_cols[lane, :end]
+        pop.front_empty[...] = self.front_empty[lane, :end]
+        pop.tour[...] = self.tour[lane, :end]
+        pop.crossed[...] = self.crossed[lane, :end]
+        pop.crossed_step[...] = self.crossed_step[lane, :end]
+        pop.crossed_tour[...] = self.crossed_tour[lane, :end]
         return pop
 
     def lane_pheromone(self, lane: int, group: Group) -> Optional[np.ndarray]:
         """Copy of one lane's pheromone field for ``group`` (None when LEM)."""
         if self.pher is None:
             return None
-        return self.pher.fields[Group(group)][lane].copy()
+        cfg = self.configs[lane]
+        return self.pher.fields[Group(group)][
+            lane, : cfg.height, : cfg.width
+        ].copy()
 
     def validate_state(self) -> None:
         """Cross-check env/pop invariants on every lane (test support)."""
@@ -480,22 +597,47 @@ class BatchedEngine:
             env = self.lane_environment(b)
             env.validate()
             self.lane_population(b).validate_against(env)
+            # Padding slots must stay inert: sentinel IDs, no futures, no
+            # tour, no crossings.
+            pad = ~self.active[b]
+            pad[0] = False  # the sentinel row is legitimately inactive
+            if np.any(self.ids[b, pad] != 0):
+                raise AssertionError("padding agent slot acquired an ID")
+            if np.any(self.future_rows[b, pad] != NO_FUTURE) or np.any(
+                self.future_cols[b, pad] != NO_FUTURE
+            ):
+                raise AssertionError("padding agent slot decided a move")
+            if np.any(self.tour[b, pad] != 0.0):
+                raise AssertionError("padding agent slot accumulated tour length")
+            if np.any(self.crossed[b, pad]):
+                raise AssertionError("padding agent slot crossed")
+            cfg = self.configs[b]
+            if np.any(
+                self.mats[b, cfg.height :, :] != _PAD_CELL
+            ) or np.any(self.mats[b, :, cfg.width :] != _PAD_CELL):
+                raise AssertionError("grid padding lost its sentinel label")
 
 
 def run_batched(
-    config: SimulationConfig,
+    config: Union[SimulationConfig, Sequence[SimulationConfig]],
     seeds: Sequence[int],
     steps: Optional[int] = None,
     record_timeline: bool = True,
 ) -> BatchedTimedResult:
-    """Build a :class:`BatchedEngine`, run it, and time the whole batch."""
+    """Build a :class:`BatchedEngine`, run it, and time the whole batch.
+
+    ``config`` may be one shared config or a per-lane sequence aligned with
+    ``seeds`` (padded heterogeneous batching).
+    """
     eng = BatchedEngine(config, seeds)
     start = time.perf_counter()
     results = eng.run(steps=steps, record_timeline=record_timeline)
     elapsed = time.perf_counter() - start
+    homogeneous = all(c == eng.configs[0] for c in eng.configs[1:])
     return BatchedTimedResult(
         results=results,
         wall_seconds=elapsed,
-        config=config,
+        config=eng.configs[0] if homogeneous else None,
         seeds=eng.seeds,
+        configs=eng.configs,
     )

@@ -39,6 +39,7 @@ from .scenarios import (
     ScenarioSpec,
     paper_scenarios,
     scenario_config,
+    scenario_spec,
 )
 from .tables import occupancy_table, table1_hardware
 
@@ -67,6 +68,7 @@ __all__ = [
     "SCALES",
     "paper_scenarios",
     "scenario_config",
+    "scenario_spec",
     "AGENT_INCREMENT",
     "N_PAPER_SCENARIOS",
     "FIG6A_SCENARIOS",

@@ -93,6 +93,8 @@ class SweepReport:
     processes: int
     wall_seconds: float
     records: List[RunRecord] = field(default_factory=list)
+    #: Whether mixed-scenario points were fused into padded batches.
+    pad_lanes: bool = False
 
     @property
     def total_throughput(self) -> int:

@@ -31,6 +31,7 @@ __all__ = [
     "SCALES",
     "paper_scenarios",
     "scenario_config",
+    "scenario_spec",
 ]
 
 #: Agents added per scenario (Section VI).
@@ -61,13 +62,28 @@ class ScenarioSpec:
         return self.total_agents / (480.0 * 480.0)
 
 
+def scenario_spec(index: int) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` for 1-based scenario ``index``.
+
+    Population follows the paper's table (``AGENT_INCREMENT * index``);
+    indices beyond :data:`N_PAPER_SCENARIOS` extrapolate the same rule.
+    """
+    index = int(index)
+    if index < 1:
+        raise ExperimentError(
+            f"scenario index must be >= 1 (paper scenarios are 1-based), "
+            f"got {index}"
+        )
+    return ScenarioSpec(index, AGENT_INCREMENT * index)
+
+
 def paper_scenarios(count: int = N_PAPER_SCENARIOS) -> List[ScenarioSpec]:
     """The first ``count`` scenarios of the paper sweep."""
     if not (1 <= count <= N_PAPER_SCENARIOS):
         raise ExperimentError(
             f"count must be in [1, {N_PAPER_SCENARIOS}], got {count}"
         )
-    return [ScenarioSpec(k, AGENT_INCREMENT * k) for k in range(1, count + 1)]
+    return [scenario_spec(k) for k in range(1, count + 1)]
 
 
 @dataclass(frozen=True)

@@ -7,14 +7,24 @@ point. Two orthogonal axes of parallelism apply:
 * **replication batching** — runs that share everything except the seed
   stack into one :class:`~repro.engine.batched.BatchedEngine` launch
   (bit-identical per lane, so sweep results match solo runs exactly);
-* **process parallelism** — points with *heterogeneous* shapes (different
-  scenarios, models or engines) cannot share arrays, so they fan out over
-  a ``multiprocessing`` pool instead.
+* **process parallelism** — points the batch planner leaves solo fan out
+  over a ``multiprocessing`` pool instead.
 
-:class:`SweepRunner` composes both: it groups the requested points by
-batch key, packs batchable seed sets into lanes of at most ``max_lanes``,
-and executes the resulting work units inline or across workers. Records
-come back in the exact order of the requested points.
+With ``pad_lanes=True`` the planner additionally fuses points that differ
+*only* in their scenario (same model/engine/scale/steps) into padded
+heterogeneous batches: lanes are packed largest-population-first and a
+chunk stops growing once the padded agent slots would exceed
+``max_pad_waste`` of the batch. This is the move the OpenCL social-field
+and CALM batching literature make — pad heterogeneous work items to a
+common shape so one launch covers them — and it lets a mixed-scenario
+sweep with one seed per point (which same-shape batching cannot fuse at
+all) still amortise dispatch overhead.
+
+:class:`SweepRunner` composes all of it: it groups the requested points,
+packs batchable lanes (chunked at ``max_lanes``), and executes the
+resulting work units inline or across workers. Records come back in the
+exact order of the requested points, keyed by request position (so
+duplicated points each keep their own record).
 
 Timing note: a batched unit reports ``wall_seconds`` as the batch wall
 time divided by its lane count (the amortised per-replication cost).
@@ -32,13 +42,29 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..engine import run_batched, run_simulation
 from ..errors import ExperimentError
 from .records import RunRecord, SweepReport
-from .scenarios import ScenarioSpec, scenario_config
+from .scenarios import scenario_config, scenario_spec
 
 __all__ = ["SweepPoint", "SweepRunner", "sweep_grid", "smoke_sweep_points"]
 
 #: Engines whose runs can share a batched launch. The sequential engine is
 #: scalar by construction and the tiled engine carries per-run tile state.
 BATCHABLE_ENGINES = ("vectorized",)
+
+#: Default ceiling on the padded-slot fraction of a mixed-scenario batch.
+#: Beyond ~30% waste the dispatch amortisation no longer pays for the
+#: dead work the padding lanes drag through every whole-array stage.
+DEFAULT_MAX_PAD_WASTE = 0.3
+
+#: Worker-pool start method, chosen explicitly: ``fork`` is deprecated in
+#: the presence of threads on CPython 3.12 and stops being the POSIX
+#: default in 3.14, so relying on the platform default is a time bomb.
+#: ``forkserver`` (the new POSIX default) where available, ``spawn``
+#: elsewhere — both work because the work units pickle cleanly.
+_MP_START_METHOD = (
+    "forkserver"
+    if "forkserver" in multiprocessing.get_all_start_methods()
+    else "spawn"
+)
 
 
 @dataclass(frozen=True)
@@ -53,16 +79,30 @@ class SweepPoint:
     #: Optional step-budget override (timing studies shorten runs).
     steps: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        if self.scenario_index < 1:
+            raise ExperimentError(
+                f"scenario_index must be >= 1 (the paper's scenarios are "
+                f"1-based), got {self.scenario_index}"
+            )
+
     @property
     def batch_key(self) -> Tuple:
         """Runs sharing this key differ only in their seed."""
         return (self.scenario_index, self.model, self.engine, self.scale, self.steps)
 
+    @property
+    def pad_key(self) -> Tuple:
+        """Runs sharing this key can fuse into one *padded* batch."""
+        return (self.model, self.engine, self.scale, self.steps)
+
     def config(self):
         """The scaled :class:`~repro.config.SimulationConfig` for this point."""
-        scenario = ScenarioSpec(self.scenario_index, 2560 * self.scenario_index)
         cfg = scenario_config(
-            scenario, model=self.model, scale=self.scale, seed=self.seed
+            scenario_spec(self.scenario_index),
+            model=self.model,
+            scale=self.scale,
+            seed=self.seed,
         )
         if self.steps is not None:
             cfg = cfg.replace(steps=int(self.steps))
@@ -112,36 +152,55 @@ def smoke_sweep_points() -> List[SweepPoint]:
 
 @dataclass(frozen=True)
 class _WorkUnit:
-    """A batch of same-shape seeds (batched) or a single solo run."""
+    """A batch of same-config seeds, a padded mixed batch, or a solo run."""
 
     point: SweepPoint  # representative point (seed = first of ``seeds``)
     seeds: Tuple[int, ...]
     batched: bool
     record_timeline: bool = False
+    #: Positions of each lane in the caller's requested point list,
+    #: aligned with ``seeds``. Records are keyed back by these.
+    indices: Tuple[int, ...] = ()
+    #: Per-lane points for padded heterogeneous batches; ``None`` when all
+    #: lanes share ``point``'s config.
+    points: Optional[Tuple[SweepPoint, ...]] = None
+
+
+def _record_from(point: SweepPoint, cfg, seed: int, result, wall: float) -> RunRecord:
+    return RunRecord(
+        scenario_index=point.scenario_index,
+        total_agents=cfg.total_agents,
+        model=point.model,
+        engine=point.engine,
+        seed=seed,
+        steps=result.steps_run,
+        throughput=result.throughput_total,
+        wall_seconds=wall,
+    )
 
 
 def _execute_unit(unit: _WorkUnit) -> List[RunRecord]:
-    """Run one work unit; one record per seed, in ``unit.seeds`` order."""
-    point = unit.point
-    cfg = point.config()
+    """Run one work unit; one record per lane, in ``unit.seeds`` order."""
     records: List[RunRecord] = []
-    if unit.batched and len(unit.seeds) > 1:
+    if unit.points is not None:
+        # Padded heterogeneous batch: one config per lane.
+        configs = [p.config() for p in unit.points]
+        out = run_batched(configs, unit.seeds, record_timeline=unit.record_timeline)
+        per_lane_wall = out.wall_seconds_per_lane
+        for point, cfg, seed, result in zip(
+            unit.points, configs, unit.seeds, out.results
+        ):
+            records.append(_record_from(point, cfg, seed, result, per_lane_wall))
+    elif unit.batched and len(unit.seeds) > 1:
+        point = unit.point
+        cfg = point.config()
         out = run_batched(cfg, unit.seeds, record_timeline=unit.record_timeline)
         per_lane_wall = out.wall_seconds_per_lane
         for seed, result in zip(unit.seeds, out.results):
-            records.append(
-                RunRecord(
-                    scenario_index=point.scenario_index,
-                    total_agents=cfg.total_agents,
-                    model=point.model,
-                    engine=point.engine,
-                    seed=seed,
-                    steps=result.steps_run,
-                    throughput=result.throughput_total,
-                    wall_seconds=per_lane_wall,
-                )
-            )
+            records.append(_record_from(point, cfg, seed, result, per_lane_wall))
     else:
+        point = unit.point
+        cfg = point.config()
         for seed in unit.seeds:
             out = run_simulation(
                 cfg.replace(seed=seed),
@@ -149,16 +208,7 @@ def _execute_unit(unit: _WorkUnit) -> List[RunRecord]:
                 record_timeline=unit.record_timeline,
             )
             records.append(
-                RunRecord(
-                    scenario_index=point.scenario_index,
-                    total_agents=cfg.total_agents,
-                    model=point.model,
-                    engine=point.engine,
-                    seed=seed,
-                    steps=out.result.steps_run,
-                    throughput=out.result.throughput_total,
-                    wall_seconds=out.wall_seconds,
-                )
+                _record_from(point, cfg, seed, out.result, out.wall_seconds)
             )
     return records
 
@@ -173,9 +223,18 @@ class SweepRunner:
         batching entirely (every run is a solo engine — use for timing).
     processes:
         Worker processes for heterogeneous work units. ``1`` (default)
-        executes inline; larger values use a ``multiprocessing`` pool.
+        executes inline; larger values use a ``multiprocessing`` pool
+        (explicitly started via the forward-compatible
+        ``forkserver``/``spawn`` method, never the deprecated ``fork``).
     record_timeline:
         Forwarded to the engines; sweeps usually only need totals.
+    pad_lanes:
+        Fuse points that differ only in their scenario into padded
+        heterogeneous batches (same model/engine/scale/steps). Lanes pack
+        largest-population-first; a batch stops growing once padding would
+        exceed ``max_pad_waste`` of its agent slots.
+    max_pad_waste:
+        Ceiling on the padded-slot fraction of a mixed batch, in [0, 1).
     """
 
     def __init__(
@@ -183,64 +242,154 @@ class SweepRunner:
         max_lanes: int = 8,
         processes: int = 1,
         record_timeline: bool = False,
+        pad_lanes: bool = False,
+        max_pad_waste: float = DEFAULT_MAX_PAD_WASTE,
     ) -> None:
         if max_lanes < 1:
             raise ExperimentError(f"max_lanes must be >= 1, got {max_lanes}")
         if processes < 1:
             raise ExperimentError(f"processes must be >= 1, got {processes}")
+        if not (0.0 <= max_pad_waste < 1.0):
+            raise ExperimentError(
+                f"max_pad_waste must be in [0, 1), got {max_pad_waste}"
+            )
         self.max_lanes = int(max_lanes)
         self.processes = int(processes)
         self.record_timeline = bool(record_timeline)
+        self.pad_lanes = bool(pad_lanes)
+        self.max_pad_waste = float(max_pad_waste)
 
     # ------------------------------------------------------------------
     def plan(self, points: Sequence[SweepPoint]) -> List[_WorkUnit]:
-        """Group points into batched / solo work units (order-preserving).
+        """Group points into batched / padded / solo work units.
 
-        Points sharing a batch key on a batchable engine pack into lanes of
-        at most ``max_lanes`` seeds; duplicate seeds within a key fall back
-        to solo runs (the batched engine requires distinct lane seeds).
+        Points sharing a full batch key on a batchable engine pack into
+        lanes of at most ``max_lanes`` seeds. A seed repeated *within* a
+        key cannot share that key's batch (the batched engine requires
+        distinct (config, seed) lanes), so only the duplicate occurrences
+        fall back to solo runs — the distinct seeds still batch. With
+        ``pad_lanes`` enabled, lanes from different scenarios of the same
+        ``pad_key`` additionally fuse into padded batches under the
+        ``max_pad_waste`` bound.
         """
-        groups: Dict[Tuple, List[SweepPoint]] = {}
+        groups: Dict[Tuple, List[Tuple[int, SweepPoint]]] = {}
         order: List[Tuple] = []
-        for p in points:
+        for i, p in enumerate(points):
             key = p.batch_key
             if key not in groups:
                 groups[key] = []
                 order.append(key)
-            groups[key].append(p)
+            groups[key].append((i, p))
 
         units: List[_WorkUnit] = []
+        pools: Dict[Tuple, List[Tuple[int, SweepPoint]]] = {}
+        pool_order: List[Tuple] = []
+
+        def solo(member: Tuple[int, SweepPoint]) -> _WorkUnit:
+            i, p = member
+            return _WorkUnit(
+                point=p,
+                seeds=(p.seed,),
+                batched=False,
+                record_timeline=self.record_timeline,
+                indices=(i,),
+            )
+
         for key in order:
             members = groups[key]
-            rep = members[0]
-            seeds = tuple(p.seed for p in members)
-            batchable = (
-                rep.engine in BATCHABLE_ENGINES
-                and self.max_lanes > 1
-                and len(seeds) > 1
-                and len(set(seeds)) == len(seeds)
-            )
-            if batchable:
-                for i in range(0, len(seeds), self.max_lanes):
-                    chunk = seeds[i : i + self.max_lanes]
+            rep = members[0][1]
+            eligible = rep.engine in BATCHABLE_ENGINES and self.max_lanes > 1
+            if not eligible:
+                units.extend(solo(m) for m in members)
+                continue
+            # First occurrence of each seed is batchable; repeats are not.
+            seen: set = set()
+            firsts: List[Tuple[int, SweepPoint]] = []
+            dups: List[Tuple[int, SweepPoint]] = []
+            for member in members:
+                if member[1].seed in seen:
+                    dups.append(member)
+                else:
+                    seen.add(member[1].seed)
+                    firsts.append(member)
+            if self.pad_lanes:
+                pad_key = rep.pad_key
+                if pad_key not in pools:
+                    pools[pad_key] = []
+                    pool_order.append(pad_key)
+                pools[pad_key].extend(firsts)
+            elif len(firsts) >= 2:
+                for start in range(0, len(firsts), self.max_lanes):
+                    chunk = firsts[start : start + self.max_lanes]
                     units.append(
                         _WorkUnit(
-                            point=rep,
-                            seeds=chunk,
+                            point=chunk[0][1],
+                            seeds=tuple(p.seed for _, p in chunk),
                             batched=len(chunk) > 1,
                             record_timeline=self.record_timeline,
+                            indices=tuple(i for i, _ in chunk),
                         )
                     )
             else:
-                for seed in seeds:
-                    units.append(
-                        _WorkUnit(
-                            point=rep,
-                            seeds=(seed,),
-                            batched=False,
-                            record_timeline=self.record_timeline,
-                        )
-                    )
+                dups = firsts + dups
+            units.extend(solo(m) for m in dups)
+
+        for pad_key in pool_order:
+            units.extend(self._pack_padded(pools[pad_key]))
+        return units
+
+    # ------------------------------------------------------------------
+    def _pack_padded(
+        self, members: List[Tuple[int, SweepPoint]]
+    ) -> List[_WorkUnit]:
+        """Pack one pad-key pool into padded batches under the waste bound.
+
+        Lanes sort largest-population-first (stable by request order), so
+        each greedy chunk pads against its own first lane; the chunk closes
+        when it is full or admitting the next lane would push the padded
+        agent-slot fraction past ``max_pad_waste``.
+        """
+        agents_of: Dict[int, int] = {}
+        sized = []
+        for i, p in members:
+            if p.scenario_index not in agents_of:
+                agents_of[p.scenario_index] = p.config().total_agents
+            sized.append((i, p, agents_of[p.scenario_index]))
+        sized.sort(key=lambda t: (-t[2], t[0]))
+
+        units: List[_WorkUnit] = []
+
+        def emit(chunk: List[Tuple[int, SweepPoint, int]]) -> None:
+            if not chunk:
+                return
+            rep = chunk[0][1]
+            homogeneous = all(p.batch_key == rep.batch_key for _, p, _ in chunk)
+            units.append(
+                _WorkUnit(
+                    point=rep,
+                    seeds=tuple(p.seed for _, p, _ in chunk),
+                    batched=len(chunk) > 1,
+                    record_timeline=self.record_timeline,
+                    indices=tuple(i for i, _, _ in chunk),
+                    points=None
+                    if homogeneous
+                    else tuple(p for _, p, _ in chunk),
+                )
+            )
+
+        chunk: List[Tuple[int, SweepPoint, int]] = []
+        filled = 0
+        for atom in sized:
+            if chunk:
+                slot = chunk[0][2]  # pad target: the chunk's largest lane
+                waste = 1.0 - (filled + atom[2]) / ((len(chunk) + 1) * slot)
+                if len(chunk) >= self.max_lanes or waste > self.max_pad_waste:
+                    emit(chunk)
+                    chunk = []
+                    filled = 0
+            chunk.append(atom)
+            filled += atom[2]
+        emit(chunk)
         return units
 
     # ------------------------------------------------------------------
@@ -249,18 +398,24 @@ class SweepRunner:
         points = list(points)
         units = self.plan(points)
         if self.processes > 1 and len(units) > 1:
-            # fork keeps the workers cheap; spawn (macOS/Windows default)
-            # works too since _execute_unit and its payload pickle cleanly.
-            with multiprocessing.Pool(self.processes) as pool:
+            ctx = multiprocessing.get_context(_MP_START_METHOD)
+            with ctx.Pool(self.processes) as pool:
                 unit_records = pool.map(_execute_unit, units)
         else:
             unit_records = [_execute_unit(u) for u in units]
 
-        by_key: Dict[Tuple, RunRecord] = {}
+        # Key by request position, not by (batch_key, seed): duplicated
+        # points each keep their own record and wall time.
+        by_index: Dict[int, RunRecord] = {}
         for unit, records in zip(units, unit_records):
-            for seed, record in zip(unit.seeds, records):
-                by_key[unit.point.batch_key + (seed,)] = record
-        return [by_key[p.batch_key + (p.seed,)] for p in points]
+            for idx, record in zip(unit.indices, records):
+                by_index[idx] = record
+        if len(by_index) != len(points):
+            raise ExperimentError(
+                f"sweep plan lost runs: {len(points)} requested, "
+                f"{len(by_index)} executed"
+            )
+        return [by_index[i] for i in range(len(points))]
 
     # ------------------------------------------------------------------
     def run_report(self, points: Sequence[SweepPoint]) -> SweepReport:
@@ -274,4 +429,5 @@ class SweepRunner:
             processes=self.processes,
             wall_seconds=elapsed,
             records=list(records),
+            pad_lanes=self.pad_lanes,
         )

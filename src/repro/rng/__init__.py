@@ -8,7 +8,7 @@ Public surface:
 * distribution transforms in :mod:`repro.rng.distributions`.
 """
 
-from .batched import BatchedPhiloxRNG, FlatLaneRNG
+from .batched import BatchedPhiloxRNG, FlatLaneRNG, RaggedLaneRNG
 from .distributions import (
     box_muller,
     categorical,
@@ -22,6 +22,7 @@ __all__ = [
     "PhiloxKeyedRNG",
     "BatchedPhiloxRNG",
     "FlatLaneRNG",
+    "RaggedLaneRNG",
     "Stream",
     "philox4x32",
     "philox4x32_scalar",

@@ -20,6 +20,10 @@ Two addressing modes cover the engine's needs:
 :meth:`BatchedPhiloxRNG.flat` exposes a :class:`PhiloxKeyedRNG`-compatible
 view over flattened replication-major lanes so the movement models' vector
 ``select`` kernels run unmodified on batched scan matrices.
+:meth:`BatchedPhiloxRNG.ragged` generalises that view to *heterogeneous*
+replications whose member sets differ in size (padded batching): the
+replication of each flattened element is pinned by an explicit index
+vector instead of a fixed ``i // m`` stride.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ import numpy as np
 
 from .philox import _u32_to_unit_open, irwin_hall_normal12, philox4x32
 
-__all__ = ["BatchedPhiloxRNG", "FlatLaneRNG"]
+__all__ = ["BatchedPhiloxRNG", "FlatLaneRNG", "RaggedLaneRNG"]
 
 
 class BatchedPhiloxRNG:
@@ -115,6 +119,14 @@ class BatchedPhiloxRNG:
         """A :class:`PhiloxKeyedRNG`-shaped view over flattened lanes."""
         return FlatLaneRNG(self, lanes_per_rep)
 
+    def ragged(self, rep) -> "RaggedLaneRNG":
+        """A :class:`PhiloxKeyedRNG`-shaped view over ragged member sets.
+
+        ``rep[i]`` is the replication index keying flattened element ``i``;
+        unlike :meth:`flat`, the per-replication member counts may differ.
+        """
+        return RaggedLaneRNG(self, rep)
+
     def _words_flat(
         self, stream: int, step: int, rep: np.ndarray, lanes: np.ndarray, slot: int
     ) -> np.ndarray:
@@ -167,6 +179,50 @@ class FlatLaneRNG:
     def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64)).ravel()
         return self._batched.words_at(stream, step, self._rep_of(lanes), lanes, slot)
+
+    def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])
+
+    def uniform4(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        return _u32_to_unit_open(self.words(stream, step, lane, slot))
+
+    def normal12(self, stream: int, step: int, lane, slot_base: int = 0) -> np.ndarray:
+        return irwin_hall_normal12(self.uniform4, stream, step, lane, slot_base)
+
+
+class RaggedLaneRNG:
+    """Duck-typed :class:`PhiloxKeyedRNG` over ragged replication members.
+
+    Heterogeneous (padded) batches flatten per-group member sets whose size
+    differs per replication, so the fixed ``i // lanes_per_rep`` keying of
+    :class:`FlatLaneRNG` no longer applies. This view carries the explicit
+    replication index of every flattened element: element ``i`` of a lane
+    vector draws with replication ``rep[i]``'s seed, making a ragged
+    ``select`` call element-for-element identical to the per-replication
+    solo calls.
+    """
+
+    def __init__(self, batched: BatchedPhiloxRNG, rep) -> None:
+        rep = np.asarray(rep, dtype=np.intp).ravel()
+        if rep.size and (rep.min() < 0 or rep.max() >= batched.n_reps):
+            raise ValueError(
+                f"rep indices must lie in [0, {batched.n_reps}), "
+                f"got range [{rep.min()}, {rep.max()}]"
+            )
+        self._batched = batched
+        self._rep = rep
+
+    def _check(self, lanes: np.ndarray) -> np.ndarray:
+        if lanes.shape != self._rep.shape:
+            raise ValueError(
+                f"expected {self._rep.shape[0]} flattened lanes "
+                f"(one per ragged member), got {lanes.shape[0]}"
+            )
+        return self._rep
+
+    def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+        lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64)).ravel()
+        return self._batched.words_at(stream, step, self._check(lanes), lanes, slot)
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])

@@ -1,15 +1,18 @@
 """Batched-vs-solo equivalence: every lane of a :class:`BatchedEngine`
 must be bit-identical to a solo :class:`VectorizedEngine` run with the
 same config and seed — trajectories, pheromone fields, crossing
-bookkeeping and per-step throughput series alike."""
+bookkeeping and per-step throughput series alike. Holds for homogeneous
+batches (shared config, distinct seeds) and for padded heterogeneous
+batches (per-lane configs differing in population and grid shape)."""
 
 import numpy as np
 import pytest
 
 from repro import SimulationConfig
+from repro.agents.population import NO_FUTURE
 from repro.engine import BatchedEngine, build_engine, run_batched
 from repro.errors import EngineError
-from repro.rng import BatchedPhiloxRNG, PhiloxKeyedRNG, Stream
+from repro.rng import BatchedPhiloxRNG, PhiloxKeyedRNG, RaggedLaneRNG, Stream
 from repro.types import Group
 
 
@@ -87,6 +90,30 @@ class TestBatchedRNG:
             batched.flat(4).uniform(Stream.TIEBREAK, 0, np.zeros(5, dtype=np.uint64))
         with pytest.raises(ValueError):
             BatchedPhiloxRNG(())
+
+    def test_ragged_view_matches_solo(self):
+        """Ragged member counts per replication key each element correctly."""
+        seeds = (5, 6, 7)
+        batched = BatchedPhiloxRNG(seeds)
+        rep = np.array([0, 0, 0, 1, 2, 2])  # 3, 1 and 2 members
+        lanes = np.array([1, 2, 3, 1, 1, 2], dtype=np.uint64)
+        ragged = batched.ragged(rep)
+        got_u = ragged.uniform(Stream.ACO_SELECT, 4, lanes)
+        got_n = ragged.normal12(Stream.LEM_SELECT, 4, lanes)
+        for i in range(rep.size):
+            solo = PhiloxKeyedRNG(seeds[rep[i]])
+            lane = np.uint64(lanes[i])
+            assert got_u[i] == solo.uniform(Stream.ACO_SELECT, 4, lane)[0]
+            assert got_n[i] == solo.normal12(Stream.LEM_SELECT, 4, lane)[0]
+
+    def test_ragged_view_rejects_misaligned_lanes(self):
+        batched = BatchedPhiloxRNG((1, 2))
+        ragged = batched.ragged(np.array([0, 1, 1]))
+        with pytest.raises(ValueError):
+            ragged.uniform(Stream.TIEBREAK, 0, np.zeros(2, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            batched.ragged(np.array([0, 2]))  # rep out of range
+        assert isinstance(ragged, RaggedLaneRNG)
 
 
 class TestBatchedEquivalence:
@@ -199,6 +226,131 @@ class TestBatchedEngineAPI:
         for lane, seed in enumerate(seeds):
             solo_engine, _ = _solo_run(cfg, seed)
             _assert_lane_matches_solo(batched, lane, solo_engine)
+
+
+def _mixed_configs(model, steps=20):
+    """Three lanes differing in population *and* grid shape."""
+    return [
+        c.with_model(model)
+        for c in (
+            SimulationConfig(height=16, width=16, n_per_side=12, steps=steps),
+            SimulationConfig(height=16, width=16, n_per_side=6, steps=steps),
+            SimulationConfig(height=24, width=20, n_per_side=30, steps=steps),
+        )
+    ]
+
+
+class TestPaddedHeterogeneousLanes:
+    """Mixed-scenario padded batches stay bit-identical lane-for-lane."""
+
+    @pytest.mark.parametrize("model", ["lem", "aco"])
+    @pytest.mark.parametrize("seeds", [(0, 0, 0), (3, 1, 4)])
+    def test_mixed_lanes_bit_identical(self, model, seeds):
+        configs = _mixed_configs(model)
+        batched = BatchedEngine(configs, seeds)
+        assert batched.padded_fraction > 0.0
+        results = batched.run(record_timeline=True)
+        batched.validate_state()
+        for lane, (cfg, seed) in enumerate(zip(configs, seeds)):
+            solo_engine, solo_result = _solo_run(cfg, seed)
+            _assert_lane_matches_solo(batched, lane, solo_engine)
+            assert batched.lane_config(lane) == cfg
+            lane_result = results[lane]
+            assert lane_result.seed == seed
+            assert lane_result.throughput_total == solo_result.throughput_total
+            assert np.array_equal(
+                lane_result.moved_per_step, solo_result.moved_per_step
+            )
+            assert np.array_equal(
+                lane_result.crossings_per_step, solo_result.crossings_per_step
+            )
+
+    def test_padding_slots_stay_inert(self):
+        """Masked padding slots never scan, decide, move, deposit or cross."""
+        configs = _mixed_configs("aco")
+        batched = BatchedEngine(configs, (0, 1, 2))
+        for _ in range(10):
+            batched.step()
+            for lane, cfg in enumerate(configs):
+                pad = ~batched.active[lane]
+                pad[0] = False
+                assert not np.any(batched.ids[lane, pad])
+                assert not np.any(batched.crossed[lane, pad])
+                assert np.all(batched.tour[lane, pad] == 0.0)
+                assert np.all(batched.future_rows[lane, pad] == NO_FUTURE)
+                # Grid padding keeps its obstacle sentinel, so no agent
+                # index can ever appear outside the lane's real region.
+                assert not np.any(batched.index[lane, cfg.height :, :])
+                assert not np.any(batched.index[lane, :, cfg.width :])
+                assert int(batched.index[lane].max()) <= int(
+                    batched.lane_agents[lane]
+                )
+        batched.validate_state()
+
+    def test_lane_composition_does_not_matter(self):
+        """A lane's trajectory is independent of its padded neighbours."""
+        big = SimulationConfig(height=24, width=24, n_per_side=40, steps=20)
+        small = SimulationConfig(height=16, width=16, n_per_side=8, steps=20)
+        a = BatchedEngine([small, big], (4, 8))
+        b = BatchedEngine([big, small, small], (8, 11, 4))
+        a.run(record_timeline=False)
+        b.run(record_timeline=False)
+        assert a.lane_environment(1).equals(b.lane_environment(0))
+        assert a.lane_population(1).equals(b.lane_population(0))
+        assert a.lane_environment(0).equals(b.lane_environment(2))
+        assert a.lane_population(0).equals(b.lane_population(2))
+
+    def test_mixed_extension_knobs(self, tiny_config):
+        """Per-lane forward_priority / slow-class settings stay solo-exact."""
+        configs = [
+            tiny_config,
+            tiny_config.replace(forward_priority=False),
+            tiny_config.replace(slow_fraction=0.5, slow_period=3),
+        ]
+        seeds = (2, 2, 5)
+        batched = BatchedEngine(configs, seeds)
+        batched.run(record_timeline=False)
+        for lane, (cfg, seed) in enumerate(zip(configs, seeds)):
+            solo_engine, _ = _solo_run(cfg, seed)
+            _assert_lane_matches_solo(batched, lane, solo_engine)
+
+    def test_mixed_obstacles(self, tiny_config):
+        from repro import ObstacleSpec
+
+        configs = [
+            tiny_config.replace(obstacles=ObstacleSpec("bottleneck", gap=6)),
+            tiny_config.replace(n_per_side=8),
+        ]
+        seeds = (3, 3)
+        batched = BatchedEngine(configs, seeds)
+        batched.run(record_timeline=False)
+        for lane, (cfg, seed) in enumerate(zip(configs, seeds)):
+            solo_engine, _ = _solo_run(cfg, seed)
+            _assert_lane_matches_solo(batched, lane, solo_engine)
+
+    def test_rejects_duplicate_config_seed_pairs(self, tiny_config):
+        with pytest.raises(EngineError):
+            BatchedEngine([tiny_config, tiny_config], (3, 3))
+        # Same seed under different configs is a valid heterogeneous batch.
+        BatchedEngine([tiny_config, tiny_config.replace(n_per_side=8)], (3, 3))
+
+    def test_rejects_incompatible_lanes(self, tiny_config):
+        with pytest.raises(EngineError):
+            BatchedEngine([tiny_config, tiny_config.with_model("aco")], (0, 1))
+        with pytest.raises(EngineError):
+            BatchedEngine([tiny_config, tiny_config.replace(steps=7)], (0, 1))
+        with pytest.raises(EngineError):
+            BatchedEngine([tiny_config], (0, 1))  # one config per lane
+
+    def test_run_batched_heterogeneous_result(self, tiny_config):
+        configs = [tiny_config, tiny_config.replace(n_per_side=8)]
+        out = run_batched(configs, (0, 0), record_timeline=False)
+        assert out.config is None  # no single shared config
+        assert out.configs == tuple(configs)
+        assert out.n_lanes == 2
+        homo = run_batched(tiny_config, (0, 1), record_timeline=False)
+        assert homo.config == tiny_config
+        assert homo.configs == (tiny_config, tiny_config)
 
 
 class TestBatchedThroughputMatchesSequential:

@@ -1,16 +1,24 @@
-"""Sweep runner: grid expansion, batch planning, execution equivalence,
-process-pool path, and the report/CLI surface."""
+"""Sweep runner: grid expansion, batch planning (same-shape and padded
+heterogeneous), execution equivalence, duplicate handling, process-pool
+path, and the report/CLI surface."""
 
+import multiprocessing
 import os
+import typing
 
 import pytest
 
 from repro.cli import main
+from repro.config import SimulationConfig
 from repro.engine import run_simulation
+from repro.engine.batched import BatchedTimedResult
 from repro.errors import ExperimentError
 from repro.experiments import (
+    AGENT_INCREMENT,
     SweepPoint,
     SweepRunner,
+    scenario_config,
+    scenario_spec,
     smoke_sweep_points,
     sweep_grid,
 )
@@ -72,11 +80,159 @@ class TestPlanning:
         units = runner.plan(points)
         assert all(not u.batched for u in units)
 
+    def test_duplicate_seed_only_degrades_the_duplicates(self):
+        """Distinct seeds still batch; only the repeats run solo."""
+        runner = SweepRunner(max_lanes=8)
+        seeds = (0, 1, 0, 2, 1)
+        points = [SweepPoint(1, scale="tiny", seed=s) for s in seeds]
+        units = runner.plan(points)
+        assert [(u.seeds, u.batched) for u in units] == [
+            ((0, 1, 2), True),
+            ((0,), False),
+            ((1,), False),
+        ]
+        # Every requested position is covered exactly once.
+        covered = sorted(i for u in units for i in u.indices)
+        assert covered == list(range(len(points)))
+
+    def test_plan_units_carry_request_indices(self):
+        runner = SweepRunner(max_lanes=2)
+        points = sweep_grid((1, 2), (0, 1), scale="tiny")
+        units = runner.plan(points)
+        covered = sorted(i for u in units for i in u.indices)
+        assert covered == list(range(len(points)))
+        for unit in units:
+            for idx, seed in zip(unit.indices, unit.seeds):
+                assert points[idx].seed == seed
+
     def test_invalid_parameters(self):
         with pytest.raises(ExperimentError):
             SweepRunner(max_lanes=0)
         with pytest.raises(ExperimentError):
             SweepRunner(processes=0)
+        with pytest.raises(ExperimentError):
+            SweepRunner(max_pad_waste=1.0)
+        with pytest.raises(ExperimentError):
+            SweepRunner(max_pad_waste=-0.1)
+
+
+class TestScenarioTableCoupling:
+    """SweepPoint.config() follows the paper's scenario table."""
+
+    def test_config_population_matches_scenario_spec(self):
+        for k in (1, 2, 7):
+            point = SweepPoint(k, scale="tiny")
+            expected = scenario_config(scenario_spec(k), scale="tiny")
+            assert point.config().total_agents == expected.total_agents
+            assert point.config() == expected
+
+    def test_agent_increment_drives_the_table(self):
+        assert scenario_spec(3).total_agents == 3 * AGENT_INCREMENT
+
+    def test_rejects_scenario_index_below_one(self):
+        with pytest.raises(ExperimentError):
+            SweepPoint(0, scale="tiny")
+        with pytest.raises(ExperimentError):
+            scenario_spec(-2)
+
+    def test_cli_exits_2_on_bad_scenario(self, capsys):
+        assert main(["sweep", "--scenarios", "0-2", "--scale", "tiny",
+                     "--models", "lem", "--seeds", "1"]) == 2
+        assert "scenario_index must be >= 1" in capsys.readouterr().out
+
+
+class TestPaddedPacking:
+    """pad_lanes fuses mixed-scenario points under the waste bound."""
+
+    def test_mixed_scenarios_fuse_into_padded_units(self):
+        runner = SweepRunner(max_lanes=8, pad_lanes=True)
+        points = sweep_grid((2, 3, 4), (0,), models=("lem",), scale="tiny")
+        units = runner.plan(points)
+        assert len(units) == 1
+        unit = units[0]
+        assert unit.batched and unit.points is not None
+        # Packed largest-population-first.
+        assert [p.scenario_index for p in unit.points] == [4, 3, 2]
+        assert sorted(unit.indices) == [0, 1, 2]
+
+    def test_waste_bound_splits_batches(self):
+        # Scenario 1 (6 agents at tiny scale) against 4x larger lanes
+        # pushes the padded fraction past the bound and is left out.
+        runner = SweepRunner(max_lanes=8, pad_lanes=True, max_pad_waste=0.3)
+        points = sweep_grid((1, 2, 3, 4), (0,), models=("lem",), scale="tiny")
+        units = runner.plan(points)
+        assert [tuple(p.scenario_index for p in (u.points or (u.point,)))
+                for u in units] == [(4, 3, 2), (1,)]
+        assert not units[1].batched
+        # A zero waste bound only fuses identically-sized lanes.
+        strict = SweepRunner(max_lanes=8, pad_lanes=True, max_pad_waste=0.0)
+        assert all(
+            u.points is None for u in strict.plan(points)
+        )
+
+    def test_same_key_chunks_still_batch_under_pad_mode(self):
+        runner = SweepRunner(max_lanes=8, pad_lanes=True)
+        points = sweep_grid((1,), (0, 1, 2), models=("lem",), scale="tiny")
+        units = runner.plan(points)
+        assert len(units) == 1
+        assert units[0].batched and units[0].points is None
+
+    def test_padded_records_match_solo_runs(self):
+        points = sweep_grid((1, 2, 3, 4), (0, 1), models=("lem", "aco"),
+                            scale="tiny")
+        padded = SweepRunner(max_lanes=8, pad_lanes=True).run(points)
+        solo = SweepRunner(max_lanes=1).run(points)
+        assert [r.throughput for r in padded] == [r.throughput for r in solo]
+        assert [r.total_agents for r in padded] == [r.total_agents for r in solo]
+        for point, record in zip(points, padded):
+            assert (record.scenario_index, record.model, record.seed) == (
+                point.scenario_index,
+                point.model,
+                point.seed,
+            )
+
+    def test_padded_cli_flag(self, capsys):
+        assert main(["sweep", "--scenarios", "1-3", "--seeds", "1",
+                     "--models", "lem", "--scale", "tiny", "--pad-lanes"]) == 0
+        assert "padded lanes" in capsys.readouterr().out
+
+
+class TestDuplicatePointRecords:
+    """Identical requested points each keep their own record."""
+
+    def test_duplicated_points_all_return_records(self):
+        point = SweepPoint(1, scale="tiny", seed=0)
+        records = SweepRunner(max_lanes=8).run([point, point, point])
+        assert len(records) == 3
+        assert all(r.seed == 0 and r.scenario_index == 1 for r in records)
+        assert all(r.wall_seconds > 0 for r in records)
+
+    def test_mixed_duplicates_preserve_request_order(self):
+        points = [
+            SweepPoint(1, scale="tiny", seed=0),
+            SweepPoint(1, scale="tiny", seed=1),
+            SweepPoint(1, scale="tiny", seed=0),
+            SweepPoint(2, scale="tiny", seed=0),
+        ]
+        records = SweepRunner(max_lanes=8).run(points)
+        assert [(r.scenario_index, r.seed) for r in records] == [
+            (1, 0), (1, 1), (1, 0), (2, 0),
+        ]
+
+
+class TestPlatformCompat:
+    """Explicit multiprocessing context + result-type annotations."""
+
+    def test_pool_start_method_is_explicit_and_not_fork(self):
+        from repro.experiments.sweep import _MP_START_METHOD
+
+        assert _MP_START_METHOD in multiprocessing.get_all_start_methods()
+        assert _MP_START_METHOD != "fork"
+
+    def test_batched_result_config_annotation_is_optional(self):
+        hints = typing.get_type_hints(BatchedTimedResult)
+        assert hints["config"] == typing.Optional[SimulationConfig]
+        assert BatchedTimedResult([], 0.0).config is None
 
 
 class TestExecution:
