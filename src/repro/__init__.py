@@ -18,6 +18,13 @@ Quickstart::
 """
 
 from ._version import __version__
+from .backend import (
+    ArrayBackend,
+    BackendCapabilities,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 from .config import SimulationConfig, paper_config
 from .engine import (
     BaseEngine,
@@ -34,6 +41,7 @@ from .engine import (
     run_simulation,
 )
 from .errors import (
+    BackendUnavailableError,
     ConfigurationError,
     EngineError,
     ExperimentError,
@@ -63,6 +71,12 @@ __all__ = [
     # configuration
     "SimulationConfig",
     "paper_config",
+    # backends
+    "ArrayBackend",
+    "BackendCapabilities",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
     # engines
     "BaseEngine",
     "SequentialEngine",
@@ -97,6 +111,7 @@ __all__ = [
     "EMPTY",
     # errors
     "ReproError",
+    "BackendUnavailableError",
     "ConfigurationError",
     "PlacementError",
     "EngineError",

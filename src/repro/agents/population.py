@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..types import Group
 from ..grid.environment import Environment
 
@@ -31,28 +32,30 @@ class Population:
     metric.
     """
 
-    def __init__(self, n_agents: int) -> None:
+    def __init__(self, n_agents: int, backend=None) -> None:
         if n_agents < 1:
             raise ValueError(f"n_agents must be >= 1, got {n_agents}")
         self.n_agents = int(n_agents)
+        self.backend = resolve_backend(backend)
+        xp = self.backend.xp
         size = self.n_agents + 1
         #: Group label per agent (ID field); 0 in the sentinel row.
-        self.ids = np.zeros(size, dtype=np.int8)
+        self.ids = xp.zeros(size, dtype=np.int8)
         #: Current row / column (ROW, COLUMN fields).
-        self.rows = np.zeros(size, dtype=np.int64)
-        self.cols = np.zeros(size, dtype=np.int64)
+        self.rows = xp.zeros(size, dtype=np.int64)
+        self.cols = xp.zeros(size, dtype=np.int64)
         #: Decided next cell (FUTURE ROW / FUTURE COLUMN), NO_FUTURE if none.
-        self.future_rows = np.full(size, NO_FUTURE, dtype=np.int64)
-        self.future_cols = np.full(size, NO_FUTURE, dtype=np.int64)
+        self.future_rows = xp.full(size, NO_FUTURE, dtype=np.int64)
+        self.future_cols = xp.full(size, NO_FUTURE, dtype=np.int64)
         #: FRONT CELL field: True when the forward cell was empty at scan.
-        self.front_empty = np.zeros(size, dtype=bool)
+        self.front_empty = xp.zeros(size, dtype=bool)
         #: Tour length accumulated so far (tour matrix; eq. 5 denominator).
-        self.tour = np.zeros(size, dtype=np.float64)
+        self.tour = xp.zeros(size, dtype=np.float64)
         #: Crossing bookkeeping for the throughput metric.
-        self.crossed = np.zeros(size, dtype=bool)
-        self.crossed_step = np.full(size, -1, dtype=np.int64)
+        self.crossed = xp.zeros(size, dtype=bool)
+        self.crossed_step = xp.full(size, -1, dtype=np.int64)
         #: Tour length at the moment of crossing (efficiency metrics).
-        self.crossed_tour = np.full(size, np.nan, dtype=np.float64)
+        self.crossed_tour = xp.full(size, np.nan, dtype=np.float64)
 
     # ------------------------------------------------------------------
     # Construction
@@ -63,13 +66,14 @@ class Population:
 
         Obstacle cells carry no agents and are skipped.
         """
+        xp = env.backend.xp
         agent_cells = (env.mat == int(Group.TOP)) | (env.mat == int(Group.BOTTOM))
-        occ_rows, occ_cols = np.nonzero(agent_cells)
+        occ_rows, occ_cols = xp.nonzero(agent_cells)
         indices = env.index[occ_rows, occ_cols]
         n = int(indices.max()) if indices.size else 0
         if n != indices.size:
             raise ValueError("index matrix is not a dense 1..n numbering")
-        pop = cls(n)
+        pop = cls(n, backend=env.backend)
         pop.ids[indices] = env.mat[occ_rows, occ_cols]
         pop.rows[indices] = occ_rows
         pop.cols[indices] = occ_cols
@@ -81,7 +85,7 @@ class Population:
     @property
     def agent_indices(self) -> np.ndarray:
         """1-based indices of live agents (excludes the sentinel row)."""
-        return np.arange(1, self.n_agents + 1, dtype=np.int64)
+        return self.backend.xp.arange(1, self.n_agents + 1, dtype=np.int64)
 
     def group_mask(self, group: Group) -> np.ndarray:
         """Boolean mask over 0..n marking agents of ``group``."""
@@ -89,11 +93,11 @@ class Population:
 
     def members(self, group: Group) -> np.ndarray:
         """1-based indices of agents belonging to ``group``."""
-        return np.nonzero(self.group_mask(group))[0]
+        return self.backend.xp.nonzero(self.group_mask(group))[0]
 
     def positions(self) -> np.ndarray:
         """``(n, 2)`` (row, col) of live agents, index order."""
-        return np.stack([self.rows[1:], self.cols[1:]], axis=1)
+        return self.backend.xp.stack([self.rows[1:], self.cols[1:]], axis=1)
 
     # ------------------------------------------------------------------
     # Step bookkeeping
@@ -121,20 +125,21 @@ class Population:
         self.crossed |= newly
         self.crossed_step[newly] = step
         self.crossed_tour[newly] = self.tour[newly]
-        return int(np.count_nonzero(newly))
+        return int(self.backend.xp.count_nonzero(newly))
 
     def crossed_count(self, group: Group = None) -> int:
         """Number of crossed agents, optionally restricted to one group."""
+        xp = self.backend.xp
         if group is None:
-            return int(np.count_nonzero(self.crossed[1:]))
-        return int(np.count_nonzero(self.crossed & self.group_mask(group)))
+            return int(xp.count_nonzero(self.crossed[1:]))
+        return int(xp.count_nonzero(self.crossed & self.group_mask(group)))
 
     # ------------------------------------------------------------------
     # Copies / comparison
     # ------------------------------------------------------------------
     def copy(self) -> "Population":
-        """Deep copy of all fields."""
-        pop = Population(self.n_agents)
+        """Deep copy of all fields (same backend)."""
+        pop = Population(self.n_agents, backend=self.backend)
         for name in (
             "ids",
             "rows",
@@ -158,8 +163,9 @@ class Population:
         """
         if self.n_agents != other.n_agents:
             return False
+        xp = self.backend.xp
         exact = all(
-            np.array_equal(getattr(self, name), getattr(other, name))
+            bool(xp.array_equal(getattr(self, name), getattr(other, name)))
             for name in (
                 "ids",
                 "rows",
@@ -172,18 +178,20 @@ class Population:
                 "crossed_step",
             )
         )
-        return exact and bool(
-            np.array_equal(self.crossed_tour, other.crossed_tour, equal_nan=True)
-        )
+        # equal_nan semantics spelled out so the comparison works on array
+        # namespaces whose array_equal lacks the keyword.
+        a, b = self.crossed_tour, other.crossed_tour
+        return exact and bool(xp.all((a == b) | (xp.isnan(a) & xp.isnan(b))))
 
     def validate_against(self, env: Environment) -> None:
         """Check position/index consistency with the environment; raise on drift."""
+        xp = self.backend.xp
         idx = self.agent_indices
         rows = self.rows[idx]
         cols = self.cols[idx]
-        if np.any(env.index[rows, cols] != idx):
+        if bool(xp.any(env.index[rows, cols] != idx)):
             raise AssertionError("property matrix positions disagree with index matrix")
-        if np.any(env.mat[rows, cols] != self.ids[idx]):
+        if bool(xp.any(env.mat[rows, cols] != self.ids[idx])):
             raise AssertionError("property matrix ids disagree with mat")
-        if int(np.count_nonzero(env.index)) != self.n_agents:
+        if int(xp.count_nonzero(env.index)) != self.n_agents:
             raise AssertionError("index matrix has wrong number of agents")

@@ -37,7 +37,9 @@ class SpaceTimeRecorder:
         """Sample after qualifying steps."""
         if report.step % self.every:
             return
-        mat = engine.env.mat
+        # Recording boundary: sample a host copy of the grid so profiles
+        # accumulate as NumPy arrays regardless of the engine's backend.
+        mat = engine.backend.to_host(engine.env.mat)
         if self.group is None:
             occupied = (mat == int(Group.TOP)) | (mat == int(Group.BOTTOM))
         else:

@@ -1,0 +1,98 @@
+"""The optional CuPy GPU backend.
+
+This is the **only** module allowed to import ``cupy``, and it does so
+inside :func:`_import_cupy` — never at module top level — so importing
+:mod:`repro` (and resolving the NumPy backend) works on machines without
+a GPU stack. ``tests/test_backend.py`` enforces the guard with an AST
+walk over the whole package, and CI greps for stray top-level imports.
+
+When ``cupy`` is missing, :func:`make_cupy_backend` raises
+:class:`~repro.errors.BackendUnavailableError` with install guidance
+(``pip install repro[gpu]``); the CLI surfaces that as a clean exit 2.
+The backend is unit-tested GPU-less by injecting a mock module pair
+through the ``cupy_module``/``cupyx_module`` constructor hooks (see
+``tests/test_backend_cupy_mock.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import BackendUnavailableError
+from .core import ArrayBackend, BackendCapabilities
+
+__all__ = ["CupyBackend", "make_cupy_backend"]
+
+
+def _import_cupy() -> Tuple[object, object]:
+    """Guarded import of ``(cupy, cupyx)``; the sole cupy import site.
+
+    Kept as a module-level function so tests can monkeypatch it to inject
+    a mock module pair (or a deterministic ImportError).
+    """
+    import cupy  # noqa: PLC0415 - deliberate lazy import; cupy is optional
+    import cupyx  # noqa: PLC0415
+
+    return cupy, cupyx
+
+
+class CupyBackend(ArrayBackend):
+    """Whole-array execution on a CUDA device through CuPy.
+
+    The kernels' randomness (keyed Philox) is pure integer arithmetic and
+    the decision paths avoid transcendental functions, so per-lane
+    trajectories remain bit-identical to the NumPy backend.
+    """
+
+    def __init__(self, cupy_module=None, cupyx_module=None) -> None:
+        if cupy_module is None:
+            try:
+                cupy_module, cupyx_module = _import_cupy()
+            except ImportError as exc:
+                raise BackendUnavailableError(
+                    "the 'cupy' backend needs CuPy and a CUDA runtime; "
+                    "install the GPU extra (pip install repro[gpu] or "
+                    "pip install cupy-cuda12x) or run with --backend numpy"
+                ) from exc
+        if cupyx_module is None:
+            raise BackendUnavailableError(
+                "CupyBackend needs the cupyx module for scatter_add"
+            )
+        self.xp = cupy_module
+        self._cupy = cupy_module
+        self._cupyx = cupyx_module
+        self.capabilities = BackendCapabilities(
+            name="cupy",
+            module="cupy",
+            device="cuda",
+            native_scatter_add=False,
+            supports_float64=True,
+        )
+
+    def from_host(self, arr):
+        """Host -> device transfer (``cupy.asarray``)."""
+        return self._cupy.asarray(arr)
+
+    def to_host(self, arr):
+        """Device -> host transfer (``cupy.asnumpy``)."""
+        return self._cupy.asnumpy(arr)
+
+    def scatter_add(self, arr, index, values) -> None:
+        """``cupyx.scatter_add`` — CuPy's unbuffered duplicate-safe scatter."""
+        self._cupyx.scatter_add(arr, index, values)
+
+    def synchronize(self) -> None:
+        """Fence the current CUDA device stream (timing boundaries).
+
+        Defensive attribute walk so GPU-less mock modules (which have no
+        ``cuda`` submodule) degrade to a no-op.
+        """
+        cuda = getattr(self._cupy, "cuda", None)
+        device = getattr(cuda, "Device", None) if cuda is not None else None
+        if device is not None:
+            device().synchronize()
+
+
+def make_cupy_backend() -> CupyBackend:
+    """Registry factory: build the CuPy backend or raise unavailability."""
+    return CupyBackend()

@@ -44,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--model", default="lem", choices=["lem", "aco", "random", "greedy"])
     run_p.add_argument("--engine", default="vectorized",
                        choices=["sequential", "vectorized", "tiled"])
+    run_p.add_argument(
+        "--backend",
+        default="numpy",
+        help="array backend: numpy (default) or cupy (GPU; needs repro[gpu])",
+    )
     run_p.add_argument("--height", type=int, default=64)
     run_p.add_argument("--width", type=int, default=64)
     run_p.add_argument("--agents", type=int, default=256, help="agents per side")
@@ -84,7 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="FRAC",
-        help="max padded-slot fraction per fused batch (default 0.3)",
+        help="max padded-slot fraction per fused batch (default: derived "
+        "from the cost model's dispatch-overhead estimate)",
+    )
+    swp_p.add_argument(
+        "--backend",
+        default="numpy",
+        help="array backend: numpy (default) or cupy (GPU; needs repro[gpu])",
     )
     swp_p.add_argument("--processes", type=int, default=1,
                        help="worker processes for heterogeneous points")
@@ -146,16 +157,15 @@ def _cmd_sweep(args) -> int:
 
     from .errors import ReproError
     from .experiments.sweep import (
-        DEFAULT_MAX_PAD_WASTE,
         SweepRunner,
         smoke_sweep_points,
         sweep_grid,
     )
     from .io import write_json_record, write_text_table
 
-    pad_waste = (
-        DEFAULT_MAX_PAD_WASTE if args.pad_waste is None else args.pad_waste
-    )
+    # --pad-waste overrides; None lets the runner derive the ceiling from
+    # the cost model's dispatch-overhead estimate.
+    pad_waste = args.pad_waste
     try:
         if args.smoke:
             points = smoke_sweep_points()
@@ -164,6 +174,7 @@ def _cmd_sweep(args) -> int:
                 processes=1,
                 pad_lanes=args.pad_lanes,
                 max_pad_waste=pad_waste,
+                backend=args.backend,
             )
         else:
             seeds = tuple(range(args.seeds))
@@ -189,6 +200,7 @@ def _cmd_sweep(args) -> int:
                 processes=args.processes,
                 pad_lanes=args.pad_lanes,
                 max_pad_waste=pad_waste,
+                backend=args.backend,
             )
         report = runner.run_report(points)
     except ReproError as exc:
@@ -260,19 +272,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         import time
 
         from .engine import build_engine
+        from .errors import ReproError
 
-        cfg = SimulationConfig(
-            height=args.height,
-            width=args.width,
-            n_per_side=args.agents,
-            steps=args.steps,
-            seed=args.seed,
-        ).with_model(args.model)
-        print(cfg.describe())
-        eng = build_engine(cfg, engine=args.engine)
-        start = time.perf_counter()
-        res = eng.run(record_timeline=False)
-        wall = time.perf_counter() - start
+        try:
+            cfg = SimulationConfig(
+                height=args.height,
+                width=args.width,
+                n_per_side=args.agents,
+                steps=args.steps,
+                seed=args.seed,
+                backend=args.backend,
+            ).with_model(args.model)
+            print(cfg.describe())
+            eng = build_engine(cfg, engine=args.engine)
+            start = time.perf_counter()
+            res = eng.run(record_timeline=False)
+            wall = time.perf_counter() - start
+        except ReproError as exc:
+            print(f"error: {exc}")
+            return 2
         print(
             f"{res.platform}: {res.throughput_total}/{cfg.total_agents} crossed "
             f"in {res.steps_run} steps ({wall:.2f}s wall, "
@@ -280,7 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         eff = efficiency_report(eng)
         print(
-            f"lane order {lane_order_parameter(eng.env.mat):.3f}, "
+            f"lane order {lane_order_parameter(eng.backend.to_host(eng.env.mat)):.3f}, "
             f"mean crossed tour {eff.mean_tour_crossed:.1f}"
         )
         if args.render:

@@ -58,6 +58,14 @@ class SimulationConfig:
         a ``slow_fraction`` of agents, chosen by a keyed draw, may move
         only every ``slow_period``-th step. The default 0 reproduces the
         paper's constant-velocity crowds.
+    backend:
+        Array-backend name the engines execute on ("numpy" by default,
+        "cupy" for the optional GPU path). The name is resolved through
+        :func:`repro.backend.resolve_backend` when an engine is built, so
+        a config naming an uninstalled backend stays constructible — only
+        running it raises :class:`~repro.errors.BackendUnavailableError`.
+        Trajectories are bit-identical across backends (keyed integer
+        Philox randomness + transcendental-free decision arithmetic).
     """
 
     height: int = 480
@@ -74,6 +82,8 @@ class SimulationConfig:
     slow_period: int = 2
     #: Optional static obstacle layout (walls, bottlenecks, pillars).
     obstacles: Optional[ObstacleSpec] = None
+    #: Array backend the engines run on ("numpy" | "cupy" | registered name).
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.height < 4 or self.width < 4:
@@ -125,6 +135,10 @@ class SimulationConfig:
                     f"obstacles must be an ObstacleSpec, got {type(self.obstacles)!r}"
                 )
             self.obstacles.validate()
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(
+                f"backend must be a non-empty backend name, got {self.backend!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived geometry

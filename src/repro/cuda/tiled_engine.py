@@ -6,7 +6,9 @@ tile, each tile reading only its 18x18 shared-memory image loaded through
 paper's kernels, including the halo ring and the out-of-grid sentinel. The
 results are bit-identical to :class:`repro.engine.vectorized.VectorizedEngine`
 (property-tested), which is the correctness argument for the paper's tiled
-shared-memory implementation.
+shared-memory implementation. All array math routes through the engine's
+resolved backend (``self.xp``), so the tile sweep runs unchanged on NumPy
+or CuPy device arrays.
 """
 
 from __future__ import annotations
@@ -47,31 +49,34 @@ class TiledEngine(VectorizedEngine):
             )
         super().__init__(config, seed)
         self.tiles = TileDecomposition(config.height, config.width, tile_size)
+        #: Constant-memory tour-increment table, resident on the device.
+        self._step_costs = self.backend.from_host(np.asarray(ABS_STEP_COSTS))
 
     # ------------------------------------------------------------------
     # Stage 1: per-tile initial calculation
     # ------------------------------------------------------------------
     def _stage_scan(self, t: int) -> None:
+        xp = self.xp
         env, pop = self.env, self.pop
         mat = env.mat
         index = env.index
         for tile in self.tiles:
-            shared_mat = tile.load_shared(mat, fill=OUT_OF_GRID)
-            shared_idx = tile.load_shared(index, fill=0)
+            shared_mat = tile.load_shared(mat, fill=OUT_OF_GRID, xp=xp)
+            shared_idx = tile.load_shared(index, fill=0, xp=xp)
             shared_tau = None
             if self.pher is not None:
                 # The paper loads both group fields into one 36x18 local
                 # array; two stacked (tile+2)^2 images are equivalent.
                 shared_tau = {
-                    g: tile.load_shared(self.pher.field(g), fill=0.0)
+                    g: tile.load_shared(self.pher.field(g), fill=0.0, xp=xp)
                     for g in (Group.TOP, Group.BOTTOM)
                 }
             interior = shared_idx[1:-1, 1:-1]
             for group in (Group.TOP, Group.BOTTOM):
                 sel = shared_mat[1:-1, 1:-1] == int(group)
-                if not np.any(sel):
+                if not bool(xp.any(sel)):
                     continue
-                lr, lc = np.nonzero(sel)
+                lr, lc = xp.nonzero(sel)
                 idx = interior[lr, lc].astype(np.int64)
                 # Local coordinates within the shared image.
                 slr = lr + 1
@@ -90,6 +95,7 @@ class TiledEngine(VectorizedEngine):
     # Stage 3: per-tile movement
     # ------------------------------------------------------------------
     def _stage_move(self, t: int) -> int:
+        xp = self.xp
         env, pop = self.env, self.pop
         mat, index = env.mat, env.index
         ts = self.tiles.tile_size
@@ -103,12 +109,14 @@ class TiledEngine(VectorizedEngine):
 
         moved = 0
         for tile in self.tiles:
-            shared_idx = tile.load_shared(index0, fill=0)
-            interior_empty = tile.load_shared(mat0, fill=OUT_OF_GRID)[1:-1, 1:-1] == 0
-            grow = tile.row0 + np.arange(ts)[:, None]
-            gcol = tile.col0 + np.arange(ts)[None, :]
+            shared_idx = tile.load_shared(index0, fill=0, xp=xp)
+            interior_empty = (
+                tile.load_shared(mat0, fill=OUT_OF_GRID, xp=xp)[1:-1, 1:-1] == 0
+            )
+            grow = tile.row0 + xp.arange(ts)[:, None]
+            gcol = tile.col0 + xp.arange(ts)[None, :]
 
-            counts = np.zeros((ts, ts), dtype=np.int16)
+            counts = xp.zeros((ts, ts), dtype=np.int16)
             matches = []
             for dr, dc in ABSOLUTE_OFFSETS:
                 nidx = shared_idx[1 + dr : 1 + ts + dr, 1 + dc : 1 + ts + dc]
@@ -117,29 +125,29 @@ class TiledEngine(VectorizedEngine):
                 match = interior_empty & (nidx > 0) & (fr == grow) & (fc == gcol)
                 matches.append(match)
                 counts += match
-            rr, cc = np.nonzero(counts > 0)
+            rr, cc = xp.nonzero(counts > 0)
             if rr.size == 0:
                 continue
             dst_r = grow[rr, 0]
             dst_c = gcol[0, cc]
             lanes = env.cell_lane(dst_r, dst_c)
             u = self.rng.uniform(Stream.MOVE_WINNER, t, lanes)
-            pick = winner_rank(u, counts[rr, cc])
+            pick = winner_rank(u, counts[rr, cc], xp=xp)
 
-            cum = np.zeros(rr.size, dtype=np.int64)
-            winners = np.full(rr.size, -1, dtype=np.int64)
-            windir = np.zeros(rr.size, dtype=np.int64)
+            cum = xp.zeros(rr.size, dtype=np.int64)
+            winners = xp.full(rr.size, -1, dtype=np.int64)
+            windir = xp.zeros(rr.size, dtype=np.int64)
             for d in range(8):
                 m = matches[d][rr, cc]
                 hit = m & (cum == pick)
-                if np.any(hit):
+                if bool(xp.any(hit)):
                     drr, dcc = ABSOLUTE_OFFSETS[d]
                     src = shared_idx[1 + rr[hit] + drr, 1 + cc[hit] + dcc]
                     winners[hit] = src
                     windir[hit] = d
                 cum += m
             agents = winners
-            costs = np.asarray(ABS_STEP_COSTS)[windir]
+            costs = self._step_costs[windir]
             src_r = pop.rows[agents]
             src_c = pop.cols[agents]
             mat[dst_r, dst_c] = pop.ids[agents]
@@ -153,7 +161,7 @@ class TiledEngine(VectorizedEngine):
                 amounts = self.params_deposit(agents)
                 for group in (Group.TOP, Group.BOTTOM):
                     gmask = pop.ids[agents] == int(group)
-                    if np.any(gmask):
+                    if bool(xp.any(gmask)):
                         self.pher.deposit(
                             group, dst_r[gmask], dst_c[gmask], amounts[gmask]
                         )

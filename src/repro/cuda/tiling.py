@@ -69,15 +69,16 @@ class Tile:
             self.col0 + self.tile_size + 1,
         )
 
-    def load_shared(self, arr: np.ndarray, fill) -> np.ndarray:
+    def load_shared(self, arr: np.ndarray, fill, xp=np) -> np.ndarray:
         """Materialise the (tile+2)x(tile+2) shared array with halos.
 
         Out-of-grid halo cells get ``fill`` (the engines use an "occupied"
         sentinel so border agents see the outside world as unavailable,
-        exactly like the bounds checks of the global engine).
+        exactly like the bounds checks of the global engine). ``xp`` is the
+        array namespace of ``arr`` (the shared image stays on its device).
         """
         ts = self.tile_size
-        shared = np.full((ts + 2, ts + 2), fill, dtype=arr.dtype)
+        shared = xp.full((ts + 2, ts + 2), fill, dtype=arr.dtype)
         r_lo, r_hi, c_lo, c_hi = self.halo_bounds
         gr_lo, gr_hi = max(r_lo, 0), min(r_hi, self.grid_height)
         gc_lo, gc_hi = max(c_lo, 0), min(c_hi, self.grid_width)

@@ -21,18 +21,34 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..agents import Population
+from ..backend import resolve_backend
 from ..config import SimulationConfig
+from ..errors import EngineError
 from ..grid import build_distance_tables, offsets_array, place_groups
 from ..models import PheromoneField, build_model
 from ..rng import PhiloxKeyedRNG, Stream
 from ..types import Group
 
-__all__ = ["BaseEngine", "StepReport", "RunResult"]
+__all__ = ["BaseEngine", "StepReport", "RunResult", "require_float64"]
+
+
+def require_float64(backend) -> None:
+    """Reject backends without exact double precision (shared engine guard).
+
+    The eq. 1/eq. 2 decision arithmetic requires float64 for the
+    bit-identity guarantee; engines call this once at construction.
+    """
+    if not backend.capabilities.supports_float64:
+        raise EngineError(
+            f"backend {backend.name!r} lacks float64 support; the "
+            "eq. 1/eq. 2 decision arithmetic requires exact double "
+            "precision for the bit-identity guarantee"
+        )
 
 #: Euclidean cost of a move in each absolute gather direction
 #: (NW, N, NE, W, E, SW, S, SE) — the constant-memory tour-increment table.
@@ -89,37 +105,49 @@ class BaseEngine(abc.ABC):
     def __init__(self, config: SimulationConfig, seed: Optional[int] = None) -> None:
         self.config = config
         self.seed = int(config.seed if seed is None else seed)
-        self.rng = PhiloxKeyedRNG(self.seed)
-        self.model = build_model(config.params)
+        #: Resolved array backend; every stage's array math routes through
+        #: ``self.xp`` so the same kernels run on NumPy or CuPy.
+        self.backend = resolve_backend(config.backend)
+        require_float64(self.backend)
+        self.xp = self.backend.xp
+        self.rng = PhiloxKeyedRNG(self.seed, backend=self.backend)
+        self.model = build_model(config.params, backend=self.backend)
 
         # Data preparation stage (paper IV.a): environment + index matrix,
         # property matrix, distance tables (constant memory), pheromone and
         # scan matrices. Obstacles (extension) are carved out before agents
-        # are placed.
+        # are placed. Placement runs on the host with a fresh keyed RNG
+        # (Stream.PLACEMENT draws depend only on the seed, so this matches
+        # any backend bit for bit); the finished grid is then moved onto
+        # the backend device — the data-upload step of the paper's
+        # pipeline, and the last host round-trip before recording.
         obstacle_mask = (
             config.obstacles.build(config.height, config.width)
             if config.obstacles is not None
             else None
         )
-        self.env = place_groups(
+        host_env = place_groups(
             config.height,
             config.width,
             config.n_per_side,
             config.band_rows,
-            self.rng,
+            PhiloxKeyedRNG(self.seed),
             obstacles=obstacle_mask,
         )
+        self.env = host_env.to_backend(self.backend)
         self.pop = Population.from_environment(self.env)
         self.dist = build_distance_tables(
-            config.height, getattr(config.params, "scan_range", 1)
+            config.height,
+            getattr(config.params, "scan_range", 1),
+            backend=self.backend,
         )
         self.pher: Optional[PheromoneField] = (
-            PheromoneField(config.height, config.width, config.params)
+            PheromoneField(config.height, config.width, config.params, self.backend)
             if self.model.uses_pheromone
             else None
         )
         #: Scan matrix: one row per agent plus the sentinel 0th row.
-        self.scan = np.zeros((self.pop.n_agents + 1, 8), dtype=np.float64)
+        self.scan = self.xp.zeros((self.pop.n_agents + 1, 8), dtype=np.float64)
         self.t = 0
 
         # Group membership is static; cache the per-group index vectors and
@@ -128,19 +156,22 @@ class BaseEngine(abc.ABC):
             g: self.pop.members(g) for g in (Group.TOP, Group.BOTTOM)
         }
         self._offsets: Dict[Group, np.ndarray] = {
-            g: offsets_array(g) for g in (Group.TOP, Group.BOTTOM)
+            g: self.backend.from_host(offsets_array(g))
+            for g in (Group.TOP, Group.BOTTOM)
         }
 
         # Heterogeneous-velocity extension (paper Section VII future work):
         # a keyed draw per agent marks the slow class; slow agents are
         # movement-eligible only every ``slow_period``-th step (staggered by
         # agent index so the crowd does not pulse in lockstep).
-        self._slow_mask = np.zeros(self.pop.n_agents + 1, dtype=bool)
+        self._slow_mask = self.xp.zeros(self.pop.n_agents + 1, dtype=bool)
         if config.slow_fraction > 0.0:
-            lanes = np.arange(self.pop.n_agents + 1, dtype=np.uint64)
+            lanes = self.xp.arange(self.pop.n_agents + 1, dtype=np.uint64)
             u = self.rng.uniform(Stream.SPEED_CLASS, 0, lanes)
             self._slow_mask = u < config.slow_fraction
             self._slow_mask[0] = False
+        # The mask is static; the host flag spares a per-step device sync.
+        self._any_slow = bool(self._slow_mask.any())
 
     # ------------------------------------------------------------------
     # Extensions
@@ -152,9 +183,9 @@ class BaseEngine(abc.ABC):
         ``(t + index) % slow_period == 0``. With ``slow_fraction = 0``
         (default) everyone is always eligible.
         """
-        if not self._slow_mask.any():
-            return np.ones(self.pop.n_agents + 1, dtype=bool)
-        idx = np.arange(self.pop.n_agents + 1, dtype=np.int64)
+        if not self._any_slow:
+            return self.xp.ones(self.pop.n_agents + 1, dtype=bool)
+        idx = self.xp.arange(self.pop.n_agents + 1, dtype=np.int64)
         on_beat = (t + idx) % self.config.slow_period == 0
         return ~self._slow_mask | on_beat
 
@@ -168,11 +199,11 @@ class BaseEngine(abc.ABC):
         from ..models import PheromoneField, build_model
 
         params.validate()
-        model = build_model(params)
+        model = build_model(params, backend=self.backend)
         if model.uses_pheromone:
             if self.pher is None:
                 self.pher = PheromoneField(
-                    self.config.height, self.config.width, params
+                    self.config.height, self.config.width, params, self.backend
                 )
             else:
                 self.pher.params = params
@@ -181,7 +212,9 @@ class BaseEngine(abc.ABC):
         self.model = model
         new_range = getattr(params, "scan_range", 1)
         if new_range != self.dist[Group.TOP].scan_range:
-            self.dist = build_distance_tables(self.config.height, new_range)
+            self.dist = build_distance_tables(
+                self.config.height, new_range, backend=self.backend
+            )
         self._on_model_swapped()
 
     def _on_model_swapped(self) -> None:
@@ -212,16 +245,20 @@ class BaseEngine(abc.ABC):
         """Run ``steps`` steps (default: the configured budget).
 
         ``callback(engine, report)`` is invoked after every step; use it for
-        metrics hooks and recorders.
+        metrics hooks and recorders. With ``record_timeline=True`` the
+        per-step counters stream into preallocated ``(steps,)`` host
+        buffers (the recording boundary); ``record_timeline=False`` skips
+        the buffers entirely — the fast path for sweeps that only need
+        totals.
         """
         n = self.config.steps if steps is None else int(steps)
-        moved_tl: List[int] = [] if record_timeline else None
-        cross_tl: List[int] = [] if record_timeline else None
-        for _ in range(n):
+        moved_tl = np.zeros(n, dtype=np.int64) if record_timeline else None
+        cross_tl = np.zeros(n, dtype=np.int64) if record_timeline else None
+        for i in range(n):
             report = self.step()
             if record_timeline:
-                moved_tl.append(report.moved)
-                cross_tl.append(report.new_crossings)
+                moved_tl[i] = report.moved
+                cross_tl[i] = report.new_crossings
             if callback is not None:
                 callback(self, report)
         return RunResult(
@@ -231,12 +268,8 @@ class BaseEngine(abc.ABC):
             throughput_total=self.pop.crossed_count(),
             throughput_top=self.pop.crossed_count(Group.TOP),
             throughput_bottom=self.pop.crossed_count(Group.BOTTOM),
-            moved_per_step=np.asarray(moved_tl, dtype=np.int64)
-            if record_timeline
-            else None,
-            crossings_per_step=np.asarray(cross_tl, dtype=np.int64)
-            if record_timeline
-            else None,
+            moved_per_step=moved_tl,
+            crossings_per_step=cross_tl,
         )
 
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..agents.population import NO_FUTURE, Population
+from ..backend import resolve_backend
 from ..config import SimulationConfig
 from ..errors import EngineError
 from ..grid import build_distance_tables, offsets_array, place_groups
@@ -47,7 +48,7 @@ from ..models import build_model
 from ..models.pheromone import deposit_at, evaporate_field
 from ..rng import BatchedPhiloxRNG, PhiloxKeyedRNG, RaggedLaneRNG, Stream
 from ..types import CellState, Group
-from .base import ABS_STEP_COSTS, RunResult
+from .base import ABS_STEP_COSTS, RunResult, require_float64
 from .conflict import shift, winner_rank
 
 __all__ = [
@@ -100,23 +101,29 @@ class BatchedTimedResult:
 class _BatchedPheromone:
     """Per-group pheromone stacks ``(B, H, W)`` (eq. 3 / eq. 5, batched)."""
 
-    def __init__(self, n_lanes: int, height: int, width: int, params) -> None:
+    def __init__(
+        self, n_lanes: int, height: int, width: int, params, backend=None
+    ) -> None:
         self.params = params
+        self.backend = resolve_backend(backend)
+        xp = self.backend.xp
         self.fields: Dict[Group, np.ndarray] = {
-            g: np.full((n_lanes, height, width), params.tau0, dtype=np.float64)
+            g: xp.full((n_lanes, height, width), params.tau0, dtype=np.float64)
             for g in (Group.TOP, Group.BOTTOM)
         }
 
     def evaporate(self) -> None:
         for f in self.fields.values():
-            evaporate_field(f, self.params)
+            evaporate_field(f, self.params, xp=self.backend.xp)
 
     def deposit(self, group: Group, lanes, rows, cols, amounts) -> None:
+        xp = self.backend.xp
         deposit_at(
             self.fields[Group(group)],
-            (np.asarray(lanes), np.asarray(rows), np.asarray(cols)),
+            (xp.asarray(lanes), xp.asarray(rows), xp.asarray(cols)),
             amounts,
             self.params,
+            backend=self.backend,
         )
 
 
@@ -179,29 +186,43 @@ class BatchedEngine:
                     "batched lanes must share the step budget "
                     f"(got {rep_cfg.steps} and {c.steps})"
                 )
+            if c.backend != rep_cfg.backend:
+                raise EngineError(
+                    "batched lanes must share the array backend "
+                    f"(got {rep_cfg.backend!r} and {c.backend!r})"
+                )
         self.config = rep_cfg
         self.configs = configs
         self.seeds = seeds
         self.n_lanes = len(seeds)
-        self.rng = BatchedPhiloxRNG(seeds)
-        self.model = build_model(rep_cfg.params)
+        self.backend = resolve_backend(rep_cfg.backend)
+        require_float64(self.backend)
+        xp = self.xp = self.backend.xp
+        self.rng = BatchedPhiloxRNG(seeds, backend=self.backend)
+        self.model = build_model(rep_cfg.params, backend=self.backend)
         self.t = 0
 
-        # Per-lane geometry, padded to the largest lane.
-        self._heights = np.array([c.height for c in configs], dtype=np.int64)
-        self._widths = np.array([c.width for c in configs], dtype=np.int64)
-        self._widths_u64 = self._widths.astype(np.uint64)
-        self._cross_rows = np.array([c.cross_rows for c in configs], dtype=np.int64)
-        self.h_max = int(self._heights.max())
-        self.w_max = int(self._widths.max())
+        # Per-lane geometry, padded to the largest lane. Host copies drive
+        # the (pure-Python) setup logic; device mirrors feed the kernels.
+        heights_host = np.array([c.height for c in configs], dtype=np.int64)
+        widths_host = np.array([c.width for c in configs], dtype=np.int64)
+        self._heights = self.backend.from_host(heights_host)
+        self._widths = self.backend.from_host(widths_host)
+        self._widths_u64 = self.backend.from_host(widths_host.astype(np.uint64))
+        self._cross_rows = self.backend.from_host(
+            np.array([c.cross_rows for c in configs], dtype=np.int64)
+        )
+        self.h_max = int(heights_host.max())
+        self.w_max = int(widths_host.max())
 
         # Placement is a pure function of (config, seed, group); build each
-        # lane's environment with a solo keyed RNG (setup cost only) and
-        # stack into the padded arrays. Padding cells read as obstacles.
-        self.mats = np.full(
+        # lane's environment with a solo keyed RNG on the host (setup cost
+        # only), stack into padded host arrays, and upload the whole batch
+        # in one transfer. Padding cells read as obstacles.
+        mats_host = np.full(
             (self.n_lanes, self.h_max, self.w_max), _PAD_CELL, dtype=np.int8
         )
-        self.index = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int32)
+        index_host = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int32)
         pops: List[Population] = []
         for b, (cfg, seed) in enumerate(zip(configs, seeds)):
             obstacle_mask = (
@@ -217,35 +238,41 @@ class BatchedEngine:
                 PhiloxKeyedRNG(seed),
                 obstacles=obstacle_mask,
             )
-            self.mats[b, : cfg.height, : cfg.width] = env.mat
-            self.index[b, : cfg.height, : cfg.width] = env.index
+            mats_host[b, : cfg.height, : cfg.width] = env.mat
+            index_host[b, : cfg.height, : cfg.width] = env.index
             pops.append(Population.from_environment(env))
+        self.mats = self.backend.from_host(mats_host)
+        self.index = self.backend.from_host(index_host)
 
-        self.lane_agents = np.array([p.n_agents for p in pops], dtype=np.int64)
-        self.n_agents = int(self.lane_agents.max())
+        lane_agents_host = np.array([p.n_agents for p in pops], dtype=np.int64)
+        self.lane_agents = self.backend.from_host(lane_agents_host)
+        self.n_agents = int(lane_agents_host.max())
         size = self.n_agents + 1
         #: Live-slot mask: ``active[b, i]`` iff agent ``i`` exists in lane
         #: ``b`` (the sentinel row 0 and padding slots are inactive).
         self.active = (
-            np.arange(size)[None, :] <= self.lane_agents[:, None]
-        ) & (np.arange(size)[None, :] > 0)
+            xp.arange(size)[None, :] <= self.lane_agents[:, None]
+        ) & (xp.arange(size)[None, :] > 0)
 
-        self.ids = np.zeros((self.n_lanes, size), dtype=np.int8)
-        self.rows = np.zeros((self.n_lanes, size), dtype=np.int64)
-        self.cols = np.zeros((self.n_lanes, size), dtype=np.int64)
+        ids_host = np.zeros((self.n_lanes, size), dtype=np.int8)
+        rows_host = np.zeros((self.n_lanes, size), dtype=np.int64)
+        cols_host = np.zeros((self.n_lanes, size), dtype=np.int64)
         for b, p in enumerate(pops):
             end = p.n_agents + 1
-            self.ids[b, :end] = p.ids
-            self.rows[b, :end] = p.rows
-            self.cols[b, :end] = p.cols
-        self.future_rows = np.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
-        self.future_cols = np.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
-        self.front_empty = np.zeros((self.n_lanes, size), dtype=bool)
-        self.tour = np.zeros((self.n_lanes, size), dtype=np.float64)
-        self.crossed = np.zeros((self.n_lanes, size), dtype=bool)
-        self.crossed_step = np.full((self.n_lanes, size), -1, dtype=np.int64)
-        self.crossed_tour = np.full((self.n_lanes, size), np.nan, dtype=np.float64)
-        self.scan = np.zeros((self.n_lanes, size, 8), dtype=np.float64)
+            ids_host[b, :end] = p.ids
+            rows_host[b, :end] = p.rows
+            cols_host[b, :end] = p.cols
+        self.ids = self.backend.from_host(ids_host)
+        self.rows = self.backend.from_host(rows_host)
+        self.cols = self.backend.from_host(cols_host)
+        self.future_rows = xp.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
+        self.future_cols = xp.full((self.n_lanes, size), NO_FUTURE, dtype=np.int64)
+        self.front_empty = xp.zeros((self.n_lanes, size), dtype=bool)
+        self.tour = xp.zeros((self.n_lanes, size), dtype=np.float64)
+        self.crossed = xp.zeros((self.n_lanes, size), dtype=bool)
+        self.crossed_step = xp.full((self.n_lanes, size), -1, dtype=np.int64)
+        self.crossed_tour = xp.full((self.n_lanes, size), np.nan, dtype=np.float64)
+        self.scan = xp.zeros((self.n_lanes, size, 8), dtype=np.float64)
 
         # Ragged group membership, flattened lane-major into parallel
         # (replication, agent-index) vectors. Agent indexing is top group
@@ -261,66 +288,78 @@ class BatchedEngine:
                 idx = p.members(g)
                 reps.append(np.full(idx.size, b, dtype=np.intp))
                 members.append(idx)
-            self._rep[g] = np.concatenate(reps) if reps else np.empty(0, np.intp)
-            self._agent[g] = (
+            self._rep[g] = self.backend.from_host(
+                np.concatenate(reps) if reps else np.empty(0, np.intp)
+            )
+            self._agent[g] = self.backend.from_host(
                 np.concatenate(members) if members else np.empty(0, np.int64)
             )
             if self._agent[g].size:
                 self._ragged_rng[g] = self.rng.ragged(self._rep[g])
         self._offsets: Dict[Group, np.ndarray] = {
-            g: offsets_array(g) for g in (Group.TOP, Group.BOTTOM)
+            g: self.backend.from_host(offsets_array(g))
+            for g in (Group.TOP, Group.BOTTOM)
         }
 
         # Per-lane distance tables stacked to (B, Hmax, 8); rows beyond a
         # lane's height carry inf (never candidates). Tables are pure
         # functions of (height, scan_range), so duplicate heights share one
-        # build.
+        # host build; the stack uploads once.
         scan_range = getattr(rep_cfg.params, "scan_range", 1)
         by_height = {
             int(h): build_distance_tables(int(h), scan_range)
-            for h in np.unique(self._heights)
+            for h in np.unique(heights_host)
         }
         self._dist_stack: Dict[Group, np.ndarray] = {}
         for g in (Group.TOP, Group.BOTTOM):
             stack = np.full((self.n_lanes, self.h_max, 8), np.inf, dtype=np.float64)
-            for b, h in enumerate(self._heights):
+            for b, h in enumerate(heights_host):
                 stack[b, : int(h)] = by_height[int(h)][g].table
-            self._dist_stack[g] = stack
+            self._dist_stack[g] = self.backend.from_host(stack)
 
         self.pher: Optional[_BatchedPheromone] = (
-            _BatchedPheromone(self.n_lanes, self.h_max, self.w_max, rep_cfg.params)
+            _BatchedPheromone(
+                self.n_lanes, self.h_max, self.w_max, rep_cfg.params, self.backend
+            )
             if self.model.uses_pheromone
             else None
         )
 
-        rows_idx, cols_idx = np.indices((self.h_max, self.w_max))
+        rows_idx, cols_idx = xp.indices((self.h_max, self.w_max))
         self._rowgrid = rows_idx.astype(np.int64)
         self._colgrid = cols_idx.astype(np.int64)
-        self._bidx = np.arange(self.n_lanes)[:, None, None]
+        self._bidx = xp.arange(self.n_lanes)[:, None, None]
 
-        # Paper-modification flag, per lane.
-        self._forward_priority = np.array(
-            [c.forward_priority for c in configs], dtype=bool
-        )
+        # Paper-modification flag, per lane (host bool short-circuits the
+        # per-step branch without a device sync).
+        fwd_host = np.array([c.forward_priority for c in configs], dtype=bool)
+        self._forward_priority = self.backend.from_host(fwd_host)
+        self._any_forward_priority = bool(fwd_host.any())
 
         # Heterogeneous-velocity extension: per-lane keyed draws, identical
         # to each solo engine's mask under the matching seed.
-        self._slow_mask = np.zeros((self.n_lanes, size), dtype=bool)
+        self._slow_mask = xp.zeros((self.n_lanes, size), dtype=bool)
         slow_fractions = np.array([c.slow_fraction for c in configs])
-        self._slow_periods = np.array([c.slow_period for c in configs], dtype=np.int64)
-        if np.any(slow_fractions > 0.0):
-            lanes = np.arange(size, dtype=np.uint64)
+        self._any_slow = bool(np.any(slow_fractions > 0.0))
+        self._slow_periods = self.backend.from_host(
+            np.array([c.slow_period for c in configs], dtype=np.int64)
+        )
+        if self._any_slow:
+            lanes = xp.arange(size, dtype=np.uint64)
             u = self.rng.uniform(Stream.SPEED_CLASS, 0, lanes)
-            self._slow_mask = (u < slow_fractions[:, None]) & self.active
+            self._slow_mask = (
+                u < self.backend.from_host(slow_fractions)[:, None]
+            ) & self.active
 
     # ------------------------------------------------------------------
     # Extensions
     # ------------------------------------------------------------------
     def eligible_mask(self, t: int) -> np.ndarray:
         """Movement eligibility ``(B, n+1)`` at step ``t`` (velocity classes)."""
-        if not self._slow_mask.any():
-            return np.ones((self.n_lanes, self.n_agents + 1), dtype=bool)
-        idx = np.arange(self.n_agents + 1, dtype=np.int64)
+        xp = self.xp
+        if not self._any_slow:
+            return xp.ones((self.n_lanes, self.n_agents + 1), dtype=bool)
+        idx = xp.arange(self.n_agents + 1, dtype=np.int64)
         on_beat = (t + idx[None, :]) % self._slow_periods[:, None] == 0
         return ~self._slow_mask | on_beat
 
@@ -328,6 +367,7 @@ class BatchedEngine:
     # Stage 1: initial calculation (per-agent scan, all lanes)
     # ------------------------------------------------------------------
     def _stage_scan(self, t: int) -> None:
+        xp = self.xp
         for group in (Group.TOP, Group.BOTTOM):
             rep = self._rep[group]
             agent = self._agent[group]
@@ -341,8 +381,8 @@ class BatchedEngine:
             h = self._heights[rep][:, None]
             w = self._widths[rep][:, None]
             inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
-            nrc = np.clip(nr, 0, self.h_max - 1)
-            ncc = np.clip(nc, 0, self.w_max - 1)
+            nrc = xp.clip(nr, 0, self.h_max - 1)
+            ncc = xp.clip(nc, 0, self.w_max - 1)
             rcol = rep[:, None]
             candidates = inb & (self.mats[rcol, nrc, ncc] == 0)
             dist = self._dist_stack[group][rep, rows]  # (N, 8)
@@ -357,8 +397,9 @@ class BatchedEngine:
     # Stage 2: tour construction (per-agent decision, all lanes)
     # ------------------------------------------------------------------
     def _stage_select(self, t: int) -> np.ndarray:
+        xp = self.xp
         eligible = self.eligible_mask(t)
-        decided = np.zeros(self.n_lanes, dtype=np.int64)
+        decided = xp.zeros(self.n_lanes, dtype=np.int64)
         for group in (Group.TOP, Group.BOTTOM):
             rep = self._rep[group]
             agent = self._agent[group]
@@ -369,24 +410,25 @@ class BatchedEngine:
             # keys element i with replication rep[i], so each lane's rows
             # see exactly the solo engine's draws.
             slots = self.model.select(scan_rows, self._ragged_rng[group], t, agent)
-            if self._forward_priority.any():
+            if self._any_forward_priority:
                 fwd = self.front_empty[rep, agent] & self._forward_priority[rep]
-                slots = np.where(fwd, 0, slots)
+                slots = xp.where(fwd, 0, slots)
             valid = (slots >= 0) & eligible[rep, agent]
-            safe = np.where(valid, slots, 0)
+            safe = xp.where(valid, slots, 0)
             off = self._offsets[group]
             fr = self.rows[rep, agent] + off[safe, 0]
             fc = self.cols[rep, agent] + off[safe, 1]
-            self.future_rows[rep, agent] = np.where(valid, fr, NO_FUTURE)
-            self.future_cols[rep, agent] = np.where(valid, fc, NO_FUTURE)
-            decided += np.bincount(rep[valid], minlength=self.n_lanes)
+            self.future_rows[rep, agent] = xp.where(valid, fr, NO_FUTURE)
+            self.future_cols[rep, agent] = xp.where(valid, fc, NO_FUTURE)
+            decided += xp.bincount(rep[valid], minlength=self.n_lanes)
         return decided
 
     # ------------------------------------------------------------------
     # Stage 3: movement (per-cell scatter-to-gather, all lanes)
     # ------------------------------------------------------------------
     def _stage_move(self, t: int) -> np.ndarray:
-        moved = np.zeros(self.n_lanes, dtype=np.int64)
+        xp = self.xp
+        moved = xp.zeros(self.n_lanes, dtype=np.int64)
 
         if self.pher is not None:
             self.pher.evaporate()
@@ -395,16 +437,16 @@ class BatchedEngine:
         # destination set nor the candidate gathers can leave a lane's real
         # grid region.
         empty = self.mats == 0
-        counts = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
+        counts = xp.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
         matches: List[np.ndarray] = []
         for dr, dc in ABSOLUTE_OFFSETS:
-            nidx = shift(self.index, dr, dc, fill=0)
+            nidx = shift(self.index, dr, dc, fill=0, xp=xp)
             fr = self.future_rows[self._bidx, nidx]
             fc = self.future_cols[self._bidx, nidx]
             match = empty & (nidx > 0) & (fr == self._rowgrid) & (fc == self._colgrid)
             matches.append(match)
             counts += match
-        con_b, con_r, con_c = np.nonzero(counts > 0)
+        con_b, con_r, con_c = xp.nonzero(counts > 0)
         if con_b.size == 0:
             return moved
 
@@ -414,11 +456,11 @@ class BatchedEngine:
             np.uint64
         )
         u = self.rng.uniform_at(Stream.MOVE_WINNER, t, con_b, cell_lanes)
-        pick = winner_rank(u, counts[con_b, con_r, con_c])
-        pickmap = np.full((self.n_lanes, self.h_max, self.w_max), -1, dtype=np.int64)
+        pick = winner_rank(u, counts[con_b, con_r, con_c], xp=xp)
+        pickmap = xp.full((self.n_lanes, self.h_max, self.w_max), -1, dtype=np.int64)
         pickmap[con_b, con_r, con_c] = pick
 
-        cum = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
+        cum = xp.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
         lane_parts: List[np.ndarray] = []
         dst_rows: List[np.ndarray] = []
         dst_cols: List[np.ndarray] = []
@@ -428,18 +470,18 @@ class BatchedEngine:
             match = matches[d]
             sel = match & (cum == pickmap)
             cum += match
-            bb, rr, cc = np.nonzero(sel)
+            bb, rr, cc = xp.nonzero(sel)
             if bb.size:
                 lane_parts.append(bb)
                 dst_rows.append(rr)
                 dst_cols.append(cc)
                 agents.append(self.index[bb, rr + dr, cc + dc].astype(np.int64))
-                costs.append(np.full(bb.size, ABS_STEP_COSTS[d]))
-        bs = np.concatenate(lane_parts)
-        dst_r = np.concatenate(dst_rows)
-        dst_c = np.concatenate(dst_cols)
-        winners = np.concatenate(agents)
-        move_cost = np.concatenate(costs)
+                costs.append(xp.full(bb.size, ABS_STEP_COSTS[d]))
+        bs = xp.concatenate(lane_parts)
+        dst_r = xp.concatenate(dst_rows)
+        dst_c = xp.concatenate(dst_cols)
+        winners = xp.concatenate(agents)
+        move_cost = xp.concatenate(costs)
         src_r = self.rows[bs, winners]
         src_c = self.cols[bs, winners]
 
@@ -458,11 +500,11 @@ class BatchedEngine:
             winner_ids = self.ids[bs, winners]
             for group in (Group.TOP, Group.BOTTOM):
                 gmask = winner_ids == int(group)
-                if np.any(gmask):
+                if bool(xp.any(gmask)):
                     self.pher.deposit(
                         group, bs[gmask], dst_r[gmask], dst_c[gmask], amounts[gmask]
                     )
-        np.add.at(moved, bs, 1)
+        self.backend.scatter_add(moved, bs, 1)
         return moved
 
     # ------------------------------------------------------------------
@@ -479,7 +521,7 @@ class BatchedEngine:
         self.crossed |= newly
         self.crossed_step[newly] = step
         self.crossed_tour[newly] = self.tour[newly]
-        return np.count_nonzero(newly, axis=1)
+        return self.xp.count_nonzero(newly, axis=1)
 
     def _stage_support(self, t: int) -> None:
         self.future_rows.fill(NO_FUTURE)
@@ -506,18 +548,31 @@ class BatchedEngine:
     def run(
         self, steps: Optional[int] = None, record_timeline: bool = True
     ) -> List[RunResult]:
-        """Run all lanes for ``steps`` steps; one :class:`RunResult` per lane."""
+        """Run all lanes for ``steps`` steps; one :class:`RunResult` per lane.
+
+        With ``record_timeline=True`` the per-step counters stream into a
+        preallocated ``(steps, B)`` buffer on the compute device (no
+        per-step Python list growth, no end-of-run re-stack — peak memory
+        is one buffer, written once) and transfer to the host in a single
+        round-trip when the results are assembled — the recording
+        boundary. ``record_timeline=False`` skips the buffers entirely;
+        sweeps that only need totals should use it.
+        """
         n = self.config.steps if steps is None else int(steps)
-        moved_tl: List[np.ndarray] = [] if record_timeline else None
-        cross_tl: List[np.ndarray] = [] if record_timeline else None
-        for _ in range(n):
-            report = self.step()
-            if record_timeline:
-                moved_tl.append(report.moved)
-                cross_tl.append(report.new_crossings)
+        xp = self.xp
         if record_timeline and n > 0:
-            moved_mat = np.stack(moved_tl, axis=1)  # (B, steps)
-            cross_mat = np.stack(cross_tl, axis=1)
+            moved_buf = xp.zeros((n, self.n_lanes), dtype=np.int64)
+            cross_buf = xp.zeros((n, self.n_lanes), dtype=np.int64)
+        else:
+            moved_buf = cross_buf = None
+        for i in range(n):
+            report = self.step()
+            if moved_buf is not None:
+                moved_buf[i] = report.moved
+                cross_buf[i] = report.new_crossings
+        if moved_buf is not None:
+            moved_mat = self.backend.to_host(moved_buf).T  # (B, steps)
+            cross_mat = self.backend.to_host(cross_buf).T
         else:
             moved_mat = np.zeros((self.n_lanes, 0), dtype=np.int64)
             cross_mat = np.zeros((self.n_lanes, 0), dtype=np.int64)
@@ -552,47 +607,54 @@ class BatchedEngine:
 
     def throughput(self, lane: int, group: Group = None) -> int:
         """Crossed-agent count of one lane (optionally one group)."""
+        xp = self.xp
         crossed = self.crossed[lane]
         if group is None:
-            return int(np.count_nonzero(crossed[1:]))
-        return int(np.count_nonzero(crossed & (self.ids[lane] == int(Group(group)))))
+            return int(xp.count_nonzero(crossed[1:]))
+        return int(xp.count_nonzero(crossed & (self.ids[lane] == int(Group(group)))))
 
     def lane_environment(self, lane: int) -> Environment:
-        """Copy of one lane's environment (solo-engine comparable)."""
+        """Host copy of one lane's environment (solo-engine comparable)."""
         cfg = self.configs[lane]
         env = Environment(cfg.height, cfg.width)
-        env.mat[...] = self.mats[lane, : cfg.height, : cfg.width]
-        env.index[...] = self.index[lane, : cfg.height, : cfg.width]
+        env.mat[...] = self.backend.to_host(
+            self.mats[lane, : cfg.height, : cfg.width]
+        )
+        env.index[...] = self.backend.to_host(
+            self.index[lane, : cfg.height, : cfg.width]
+        )
         return env
 
     def lane_population(self, lane: int) -> Population:
-        """Copy of one lane's property matrix (solo-engine comparable)."""
+        """Host copy of one lane's property matrix (solo-engine comparable)."""
         n = int(self.lane_agents[lane])
         end = n + 1
         pop = Population(n)
-        pop.ids[...] = self.ids[lane, :end]
-        pop.rows[...] = self.rows[lane, :end]
-        pop.cols[...] = self.cols[lane, :end]
-        pop.future_rows[...] = self.future_rows[lane, :end]
-        pop.future_cols[...] = self.future_cols[lane, :end]
-        pop.front_empty[...] = self.front_empty[lane, :end]
-        pop.tour[...] = self.tour[lane, :end]
-        pop.crossed[...] = self.crossed[lane, :end]
-        pop.crossed_step[...] = self.crossed_step[lane, :end]
-        pop.crossed_tour[...] = self.crossed_tour[lane, :end]
+        to_host = self.backend.to_host
+        pop.ids[...] = to_host(self.ids[lane, :end])
+        pop.rows[...] = to_host(self.rows[lane, :end])
+        pop.cols[...] = to_host(self.cols[lane, :end])
+        pop.future_rows[...] = to_host(self.future_rows[lane, :end])
+        pop.future_cols[...] = to_host(self.future_cols[lane, :end])
+        pop.front_empty[...] = to_host(self.front_empty[lane, :end])
+        pop.tour[...] = to_host(self.tour[lane, :end])
+        pop.crossed[...] = to_host(self.crossed[lane, :end])
+        pop.crossed_step[...] = to_host(self.crossed_step[lane, :end])
+        pop.crossed_tour[...] = to_host(self.crossed_tour[lane, :end])
         return pop
 
     def lane_pheromone(self, lane: int, group: Group) -> Optional[np.ndarray]:
-        """Copy of one lane's pheromone field for ``group`` (None when LEM)."""
+        """Host copy of one lane's pheromone field (None when LEM)."""
         if self.pher is None:
             return None
         cfg = self.configs[lane]
-        return self.pher.fields[Group(group)][
-            lane, : cfg.height, : cfg.width
-        ].copy()
+        return self.backend.to_host(
+            self.pher.fields[Group(group)][lane, : cfg.height, : cfg.width]
+        ).copy()
 
     def validate_state(self) -> None:
         """Cross-check env/pop invariants on every lane (test support)."""
+        xp = self.xp
         for b in range(self.n_lanes):
             env = self.lane_environment(b)
             env.validate()
@@ -601,20 +663,20 @@ class BatchedEngine:
             # tour, no crossings.
             pad = ~self.active[b]
             pad[0] = False  # the sentinel row is legitimately inactive
-            if np.any(self.ids[b, pad] != 0):
+            if bool(xp.any(self.ids[b, pad] != 0)):
                 raise AssertionError("padding agent slot acquired an ID")
-            if np.any(self.future_rows[b, pad] != NO_FUTURE) or np.any(
-                self.future_cols[b, pad] != NO_FUTURE
+            if bool(xp.any(self.future_rows[b, pad] != NO_FUTURE)) or bool(
+                xp.any(self.future_cols[b, pad] != NO_FUTURE)
             ):
                 raise AssertionError("padding agent slot decided a move")
-            if np.any(self.tour[b, pad] != 0.0):
+            if bool(xp.any(self.tour[b, pad] != 0.0)):
                 raise AssertionError("padding agent slot accumulated tour length")
-            if np.any(self.crossed[b, pad]):
+            if bool(xp.any(self.crossed[b, pad])):
                 raise AssertionError("padding agent slot crossed")
             cfg = self.configs[b]
-            if np.any(
-                self.mats[b, cfg.height :, :] != _PAD_CELL
-            ) or np.any(self.mats[b, :, cfg.width :] != _PAD_CELL):
+            if bool(xp.any(self.mats[b, cfg.height :, :] != _PAD_CELL)) or bool(
+                xp.any(self.mats[b, :, cfg.width :] != _PAD_CELL)
+            ):
                 raise AssertionError("grid padding lost its sentinel label")
 
 
@@ -632,6 +694,9 @@ def run_batched(
     eng = BatchedEngine(config, seeds)
     start = time.perf_counter()
     results = eng.run(steps=steps, record_timeline=record_timeline)
+    # Fence queued device work so the wall time covers execution, not just
+    # kernel launches (no-op on the CPU backend).
+    eng.backend.synchronize()
     elapsed = time.perf_counter() - start
     homogeneous = all(c == eng.configs[0] for c in eng.configs[1:])
     return BatchedTimedResult(

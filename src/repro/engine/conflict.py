@@ -24,7 +24,7 @@ DIRECTION_INDEX: Dict[Tuple[int, int], int] = {
 }
 
 
-def shift(arr: np.ndarray, dr: int, dc: int, fill=0) -> np.ndarray:
+def shift(arr: np.ndarray, dr: int, dc: int, fill=0, xp=np) -> np.ndarray:
     """Return ``out`` with ``out[..., i, j] = arr[..., i + dr, j + dc]``.
 
     Cells whose source falls outside the array get ``fill``. This is the
@@ -32,10 +32,10 @@ def shift(arr: np.ndarray, dr: int, dc: int, fill=0) -> np.ndarray:
     halo: direction ``d`` of the gather reads the agent standing at
     ``cell + offset[d]``. The grid occupies the last two axes; any leading
     axes (e.g. the batch axis of :class:`repro.engine.batched.BatchedEngine`)
-    shift lane-wise.
+    shift lane-wise. ``xp`` is the array namespace of ``arr``.
     """
     h, w = arr.shape[-2:]
-    out = np.full_like(arr, fill)
+    out = xp.full_like(arr, fill)
     r0, r1 = max(0, -dr), min(h, h - dr)
     c0, c1 = max(0, -dc), min(w, w - dc)
     if r0 < r1 and c0 < c1:
@@ -43,13 +43,13 @@ def shift(arr: np.ndarray, dr: int, dc: int, fill=0) -> np.ndarray:
     return out
 
 
-def winner_rank(u: np.ndarray, counts: np.ndarray) -> np.ndarray:
+def winner_rank(u: np.ndarray, counts: np.ndarray, xp=np) -> np.ndarray:
     """Uniform winner index in ``[0, counts)`` from uniforms in ``(0, 1)``.
 
     ``floor(u * k)`` clamped to ``k - 1`` (the clamp only matters in the
     measure-zero limit ``u -> 1``); identical arithmetic on scalar and
-    vector paths.
+    vector paths (and across array backends).
     """
-    k = np.asarray(counts, dtype=np.int64)
-    pick = (np.asarray(u, dtype=np.float64) * k).astype(np.int64)
-    return np.minimum(pick, np.maximum(k - 1, 0))
+    k = xp.asarray(counts, dtype=np.int64)
+    pick = (xp.asarray(u, dtype=np.float64) * k).astype(np.int64)
+    return xp.minimum(pick, xp.maximum(k - 1, 0))

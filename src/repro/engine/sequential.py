@@ -21,7 +21,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..agents.population import NO_FUTURE
+from ..backend import resolve_backend
 from ..config import SimulationConfig
+from ..errors import EngineError
 from ..rng import Stream
 from ..types import Group
 from .base import ABS_STEP_COSTS, BaseEngine
@@ -36,6 +38,14 @@ class SequentialEngine(BaseEngine):
     platform = "sequential"
 
     def __init__(self, config: SimulationConfig, seed: Optional[int] = None) -> None:
+        # The scalar loops read every cell and agent one element at a time;
+        # on a device backend each read would be a host round-trip, so this
+        # reference engine is host-only by design.
+        if resolve_backend(config.backend).capabilities.is_gpu:
+            raise EngineError(
+                "the sequential reference engine is host-only; use "
+                "backend='numpy' or a whole-array engine for device backends"
+            )
         super().__init__(config, seed)
         # Python-native lookup tables: identical float values (tolist is
         # exact), much cheaper to index from interpreted loops.

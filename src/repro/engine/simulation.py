@@ -59,9 +59,18 @@ def available_engines() -> Dict[str, Type[BaseEngine]]:
 
 
 def build_engine(
-    config: SimulationConfig, engine: str = "vectorized", seed: Optional[int] = None
+    config: SimulationConfig,
+    engine: str = "vectorized",
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> BaseEngine:
-    """Instantiate an engine by name for ``config``."""
+    """Instantiate an engine by name for ``config``.
+
+    ``backend`` overrides ``config.backend`` (an array-backend name such
+    as "numpy" or "cupy"); the engine resolves it through
+    :func:`repro.backend.resolve_backend`, so an unavailable backend
+    raises :class:`~repro.errors.BackendUnavailableError` here.
+    """
     registry = available_engines()
     try:
         cls = registry[engine]
@@ -69,6 +78,8 @@ def build_engine(
         raise EngineError(
             f"unknown engine {engine!r}; available: {sorted(registry)}"
         ) from None
+    if backend is not None:
+        config = config.replace(backend=str(backend))
     return cls(config, seed=seed)
 
 
@@ -98,10 +109,14 @@ def run_simulation(
     steps: Optional[int] = None,
     callback: Optional[Callable[[BaseEngine, StepReport], None]] = None,
     record_timeline: bool = True,
+    backend: Optional[str] = None,
 ) -> TimedRunResult:
     """Build an engine, run it, and return the result with wall timing."""
-    eng = build_engine(config, engine=engine, seed=seed)
+    eng = build_engine(config, engine=engine, seed=seed, backend=backend)
     start = time.perf_counter()
     result = eng.run(steps=steps, callback=callback, record_timeline=record_timeline)
+    # Fence queued device work so the wall time covers execution, not just
+    # kernel launches (no-op on the CPU backend).
+    eng.backend.synchronize()
     elapsed = time.perf_counter() - start
     return TimedRunResult(result=result, wall_seconds=elapsed, config=config)

@@ -33,7 +33,7 @@ class VectorizedEngine(BaseEngine):
     def __init__(self, config, seed: Optional[int] = None) -> None:
         super().__init__(config, seed)
         h, w = self.env.shape
-        rows, cols = np.indices((h, w))
+        rows, cols = self.xp.indices((h, w))
         self._rowgrid = rows.astype(np.int64)
         self._colgrid = cols.astype(np.int64)
 
@@ -41,6 +41,7 @@ class VectorizedEngine(BaseEngine):
     # Stage 1: initial calculation (per-agent scan)
     # ------------------------------------------------------------------
     def _stage_scan(self, t: int) -> None:
+        xp = self.xp
         env, pop = self.env, self.pop
         h, w = env.shape
         mat = env.mat
@@ -54,8 +55,8 @@ class VectorizedEngine(BaseEngine):
             nr = rows[:, None] + off[:, 0][None, :]
             nc = cols[:, None] + off[:, 1][None, :]
             inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
-            nrc = np.clip(nr, 0, h - 1)
-            ncc = np.clip(nc, 0, w - 1)
+            nrc = xp.clip(nr, 0, h - 1)
+            ncc = xp.clip(nc, 0, w - 1)
             candidates = inb & (mat[nrc, ncc] == 0)
             dist = self.dist[group].distances(rows)
             tau = None
@@ -68,6 +69,7 @@ class VectorizedEngine(BaseEngine):
     # Stage 2: tour construction (per-agent decision)
     # ------------------------------------------------------------------
     def _stage_select(self, t: int) -> int:
+        xp = self.xp
         pop = self.pop
         decided = 0
         eligible = self.eligible_mask(t)
@@ -79,21 +81,22 @@ class VectorizedEngine(BaseEngine):
             if self.config.forward_priority:
                 # Paper modification: the forward cell, when empty, wins
                 # outright (slot 0 in 0-based numbering).
-                slots = np.where(pop.front_empty[idx], 0, slots)
+                slots = xp.where(pop.front_empty[idx], 0, slots)
             valid = (slots >= 0) & eligible[idx]
-            safe = np.where(valid, slots, 0)
+            safe = xp.where(valid, slots, 0)
             off = self._offsets[group]
             fr = pop.rows[idx] + off[safe, 0]
             fc = pop.cols[idx] + off[safe, 1]
-            pop.future_rows[idx] = np.where(valid, fr, NO_FUTURE)
-            pop.future_cols[idx] = np.where(valid, fc, NO_FUTURE)
-            decided += int(np.count_nonzero(valid))
+            pop.future_rows[idx] = xp.where(valid, fr, NO_FUTURE)
+            pop.future_cols[idx] = xp.where(valid, fc, NO_FUTURE)
+            decided += int(xp.count_nonzero(valid))
         return decided
 
     # ------------------------------------------------------------------
     # Stage 3: movement (per-cell scatter-to-gather)
     # ------------------------------------------------------------------
     def _stage_move(self, t: int) -> int:
+        xp = self.xp
         env, pop = self.env, self.pop
         h, w = env.shape
         mat, index = env.mat, env.index
@@ -102,28 +105,28 @@ class VectorizedEngine(BaseEngine):
             self.pher.evaporate()
 
         empty = mat == 0
-        counts = np.zeros((h, w), dtype=np.int16)
+        counts = xp.zeros((h, w), dtype=np.int16)
         matches: List[np.ndarray] = []
         for dr, dc in ABSOLUTE_OFFSETS:
-            nidx = shift(index, dr, dc, fill=0)
+            nidx = shift(index, dr, dc, fill=0, xp=xp)
             fr = pop.future_rows[nidx]  # sentinel row 0 carries NO_FUTURE
             fc = pop.future_cols[nidx]
             match = empty & (nidx > 0) & (fr == self._rowgrid) & (fc == self._colgrid)
             matches.append(match)
             counts += match
-        contested_r, contested_c = np.nonzero(counts > 0)
+        contested_r, contested_c = xp.nonzero(counts > 0)
         if contested_r.size == 0:
             return 0
 
         lanes = env.cell_lane(contested_r, contested_c)
         u = self.rng.uniform(Stream.MOVE_WINNER, t, lanes)
-        pick = winner_rank(u, counts[contested_r, contested_c])
-        pickmap = np.full((h, w), -1, dtype=np.int64)
+        pick = winner_rank(u, counts[contested_r, contested_c], xp=xp)
+        pickmap = xp.full((h, w), -1, dtype=np.int64)
         pickmap[contested_r, contested_c] = pick
 
         # Second pass over the gather directions: the candidate whose
         # cumulative rank equals the cell's pick wins.
-        cum = np.zeros((h, w), dtype=np.int16)
+        cum = xp.zeros((h, w), dtype=np.int16)
         dst_rows = []
         dst_cols = []
         agents = []
@@ -132,16 +135,16 @@ class VectorizedEngine(BaseEngine):
             match = matches[d]
             sel = match & (cum == pickmap)
             cum += match
-            rr, cc = np.nonzero(sel)
+            rr, cc = xp.nonzero(sel)
             if rr.size:
                 dst_rows.append(rr)
                 dst_cols.append(cc)
                 agents.append(index[rr + dr, cc + dc].astype(np.int64))
-                costs.append(np.full(rr.size, ABS_STEP_COSTS[d]))
-        dst_r = np.concatenate(dst_rows)
-        dst_c = np.concatenate(dst_cols)
-        winners = np.concatenate(agents)
-        move_cost = np.concatenate(costs)
+                costs.append(xp.full(rr.size, ABS_STEP_COSTS[d]))
+        dst_r = xp.concatenate(dst_rows)
+        dst_c = xp.concatenate(dst_cols)
+        winners = xp.concatenate(agents)
+        move_cost = xp.concatenate(costs)
         src_r = pop.rows[winners]
         src_c = pop.cols[winners]
 
@@ -159,7 +162,7 @@ class VectorizedEngine(BaseEngine):
             amounts = self.params_deposit(winners)
             for group in (Group.TOP, Group.BOTTOM):
                 gmask = pop.ids[winners] == int(group)
-                if np.any(gmask):
+                if bool(xp.any(gmask)):
                     self.pher.deposit(
                         group, dst_r[gmask], dst_c[gmask], amounts[gmask]
                     )

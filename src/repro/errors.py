@@ -11,6 +11,7 @@ __all__ = [
     "ConfigurationError",
     "PlacementError",
     "EngineError",
+    "BackendUnavailableError",
     "LaunchConfigError",
     "OccupancyError",
     "StatsError",
@@ -32,6 +33,15 @@ class PlacementError(ReproError, ValueError):
 
 class EngineError(ReproError, RuntimeError):
     """An engine was driven through an invalid state transition."""
+
+
+class BackendUnavailableError(ReproError, RuntimeError):
+    """A requested array backend is unknown or cannot be imported here.
+
+    Raised by :func:`repro.backend.resolve_backend` — e.g. asking for the
+    CuPy backend on a machine without ``cupy`` installed. The CLI maps it
+    (like every :class:`ReproError`) to a clean exit code 2.
+    """
 
 
 class LaunchConfigError(ReproError, ValueError):

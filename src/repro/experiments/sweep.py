@@ -13,8 +13,9 @@ point. Two orthogonal axes of parallelism apply:
 With ``pad_lanes=True`` the planner additionally fuses points that differ
 *only* in their scenario (same model/engine/scale/steps) into padded
 heterogeneous batches: lanes are packed largest-population-first and a
-chunk stops growing once the padded agent slots would exceed
-``max_pad_waste`` of the batch. This is the move the OpenCL social-field
+chunk stops growing once the padded agent slots would exceed the waste
+ceiling (explicit ``max_pad_waste``, or by default a ceiling derived per
+pool from the cost model's dispatch-overhead estimate). This is the move the OpenCL social-field
 and CALM batching literature make — pad heterogeneous work items to a
 common shape so one launch covers them — and it lets a mixed-scenario
 sweep with one seed per point (which same-shape batching cannot fuse at
@@ -39,21 +40,53 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..backend import resolve_backend
+from ..cuda.costmodel import dispatch_overhead_fraction
 from ..engine import run_batched, run_simulation
 from ..errors import ExperimentError
 from .records import RunRecord, SweepReport
 from .scenarios import scenario_config, scenario_spec
 
-__all__ = ["SweepPoint", "SweepRunner", "sweep_grid", "smoke_sweep_points"]
+__all__ = [
+    "SweepPoint",
+    "SweepRunner",
+    "sweep_grid",
+    "smoke_sweep_points",
+    "derived_pad_waste",
+]
 
 #: Engines whose runs can share a batched launch. The sequential engine is
 #: scalar by construction and the tiled engine carries per-run tile state.
 BATCHABLE_ENGINES = ("vectorized",)
 
-#: Default ceiling on the padded-slot fraction of a mixed-scenario batch.
-#: Beyond ~30% waste the dispatch amortisation no longer pays for the
-#: dead work the padding lanes drag through every whole-array stage.
-DEFAULT_MAX_PAD_WASTE = 0.3
+#: Clamp bounds on the derived padded-slot ceiling: never pack so tightly
+#: that padding is effectively forbidden (floor) and never accept a batch
+#: that is mostly dead slots (ceiling).
+MIN_PAD_WASTE = 0.05
+MAX_PAD_WASTE_CEILING = 0.5
+
+
+def derived_pad_waste(config, max_lanes: int) -> float:
+    """Default ``max_pad_waste`` from the cost model's dispatch overhead.
+
+    Fusing ``L`` lanes into one padded batch removes ``(L - 1) / L`` of
+    the per-lane kernel-dispatch overhead, but drags the padded dead slots
+    through every whole-array stage. With ``f`` the modelled
+    dispatch-overhead fraction of one step at this scenario's scale
+    (:func:`repro.cuda.costmodel.dispatch_overhead_fraction`), dead work
+    breaks even with the saved dispatch at a padded-slot fraction of
+    ``(L - 1) / L * f / (1 - f)`` — beyond that the padding costs more
+    than the amortisation saves. Tiny dispatch-dominated scenarios
+    therefore get a loose bound (clamped at 0.5) and paper-scale
+    compute-dominated ones a tight bound (clamped at 0.05).
+    """
+    f = dispatch_overhead_fraction(
+        config.total_agents, config.model_name, (config.height, config.width)
+    )
+    f = min(f, 0.99)
+    lanes = max(2, int(max_lanes))
+    bound = (lanes - 1) / lanes * f / (1.0 - f)
+    return min(MAX_PAD_WASTE_CEILING, max(MIN_PAD_WASTE, bound))
 
 #: Worker-pool start method, chosen explicitly: ``fork`` is deprecated in
 #: the presence of threads on CPython 3.12 and stops being the POSIX
@@ -164,6 +197,22 @@ class _WorkUnit:
     #: Per-lane points for padded heterogeneous batches; ``None`` when all
     #: lanes share ``point``'s config.
     points: Optional[Tuple[SweepPoint, ...]] = None
+    #: Array-backend override applied to every lane config (None = as-is).
+    backend: Optional[str] = None
+
+
+def _unit_cost(unit: _WorkUnit) -> int:
+    """Real work of a unit in agent-steps (padding slots excluded).
+
+    This is the pool-scheduling weight: a padded batch's cost is the sum
+    of its lanes' *real* populations, not ``lane count x pad target``, so
+    a worker that drew the large-lane batch is charged accordingly.
+    """
+    if unit.points is not None:
+        configs = [p.config() for p in unit.points]
+    else:
+        configs = [unit.point.config()] * len(unit.seeds)
+    return sum(c.total_agents * c.steps for c in configs)
 
 
 def _record_from(point: SweepPoint, cfg, seed: int, result, wall: float) -> RunRecord:
@@ -179,12 +228,20 @@ def _record_from(point: SweepPoint, cfg, seed: int, result, wall: float) -> RunR
     )
 
 
+def _unit_config(unit: _WorkUnit, point: SweepPoint):
+    """A point's config with the unit's backend override applied."""
+    cfg = point.config()
+    if unit.backend is not None:
+        cfg = cfg.replace(backend=unit.backend)
+    return cfg
+
+
 def _execute_unit(unit: _WorkUnit) -> List[RunRecord]:
     """Run one work unit; one record per lane, in ``unit.seeds`` order."""
     records: List[RunRecord] = []
     if unit.points is not None:
         # Padded heterogeneous batch: one config per lane.
-        configs = [p.config() for p in unit.points]
+        configs = [_unit_config(unit, p) for p in unit.points]
         out = run_batched(configs, unit.seeds, record_timeline=unit.record_timeline)
         per_lane_wall = out.wall_seconds_per_lane
         for point, cfg, seed, result in zip(
@@ -193,14 +250,14 @@ def _execute_unit(unit: _WorkUnit) -> List[RunRecord]:
             records.append(_record_from(point, cfg, seed, result, per_lane_wall))
     elif unit.batched and len(unit.seeds) > 1:
         point = unit.point
-        cfg = point.config()
+        cfg = _unit_config(unit, point)
         out = run_batched(cfg, unit.seeds, record_timeline=unit.record_timeline)
         per_lane_wall = out.wall_seconds_per_lane
         for seed, result in zip(unit.seeds, out.results):
             records.append(_record_from(point, cfg, seed, result, per_lane_wall))
     else:
         point = unit.point
-        cfg = point.config()
+        cfg = _unit_config(unit, point)
         for seed in unit.seeds:
             out = run_simulation(
                 cfg.replace(seed=seed),
@@ -232,9 +289,18 @@ class SweepRunner:
         Fuse points that differ only in their scenario into padded
         heterogeneous batches (same model/engine/scale/steps). Lanes pack
         largest-population-first; a batch stops growing once padding would
-        exceed ``max_pad_waste`` of its agent slots.
+        exceed the waste ceiling of its agent slots.
     max_pad_waste:
         Ceiling on the padded-slot fraction of a mixed batch, in [0, 1).
+        ``None`` (default) derives the ceiling per pad pool from the cost
+        model's dispatch-overhead estimate (:func:`derived_pad_waste`) —
+        loose for tiny dispatch-bound scenarios, tight at paper scale.
+    backend:
+        Array-backend name applied to every executed config ("numpy",
+        "cupy", ...). ``None`` leaves each point's config untouched. The
+        runner resolves the name up front, so an unavailable backend
+        fails fast with :class:`~repro.errors.BackendUnavailableError`
+        instead of inside a pool worker.
     """
 
     def __init__(
@@ -243,13 +309,14 @@ class SweepRunner:
         processes: int = 1,
         record_timeline: bool = False,
         pad_lanes: bool = False,
-        max_pad_waste: float = DEFAULT_MAX_PAD_WASTE,
+        max_pad_waste: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if max_lanes < 1:
             raise ExperimentError(f"max_lanes must be >= 1, got {max_lanes}")
         if processes < 1:
             raise ExperimentError(f"processes must be >= 1, got {processes}")
-        if not (0.0 <= max_pad_waste < 1.0):
+        if max_pad_waste is not None and not (0.0 <= max_pad_waste < 1.0):
             raise ExperimentError(
                 f"max_pad_waste must be in [0, 1), got {max_pad_waste}"
             )
@@ -257,7 +324,10 @@ class SweepRunner:
         self.processes = int(processes)
         self.record_timeline = bool(record_timeline)
         self.pad_lanes = bool(pad_lanes)
-        self.max_pad_waste = float(max_pad_waste)
+        self.max_pad_waste = None if max_pad_waste is None else float(max_pad_waste)
+        self.backend = None if backend is None else str(backend)
+        if self.backend is not None:
+            resolve_backend(self.backend)
 
     # ------------------------------------------------------------------
     def plan(self, points: Sequence[SweepPoint]) -> List[_WorkUnit]:
@@ -293,6 +363,7 @@ class SweepRunner:
                 batched=False,
                 record_timeline=self.record_timeline,
                 indices=(i,),
+                backend=self.backend,
             )
 
         for key in order:
@@ -328,6 +399,7 @@ class SweepRunner:
                             batched=len(chunk) > 1,
                             record_timeline=self.record_timeline,
                             indices=tuple(i for i, _ in chunk),
+                            backend=self.backend,
                         )
                     )
             else:
@@ -347,7 +419,10 @@ class SweepRunner:
         Lanes sort largest-population-first (stable by request order), so
         each greedy chunk pads against its own first lane; the chunk closes
         when it is full or admitting the next lane would push the padded
-        agent-slot fraction past ``max_pad_waste``.
+        agent-slot fraction past the waste ceiling. An explicit
+        ``max_pad_waste`` wins; otherwise the ceiling derives from the
+        cost model's dispatch-overhead estimate at the pool's largest
+        scenario (:func:`derived_pad_waste`).
         """
         agents_of: Dict[int, int] = {}
         sized = []
@@ -356,6 +431,10 @@ class SweepRunner:
                 agents_of[p.scenario_index] = p.config().total_agents
             sized.append((i, p, agents_of[p.scenario_index]))
         sized.sort(key=lambda t: (-t[2], t[0]))
+
+        waste_bound = self.max_pad_waste
+        if waste_bound is None:
+            waste_bound = derived_pad_waste(sized[0][1].config(), self.max_lanes)
 
         units: List[_WorkUnit] = []
 
@@ -374,6 +453,7 @@ class SweepRunner:
                     points=None
                     if homogeneous
                     else tuple(p for _, p, _ in chunk),
+                    backend=self.backend,
                 )
             )
 
@@ -383,7 +463,7 @@ class SweepRunner:
             if chunk:
                 slot = chunk[0][2]  # pad target: the chunk's largest lane
                 waste = 1.0 - (filled + atom[2]) / ((len(chunk) + 1) * slot)
-                if len(chunk) >= self.max_lanes or waste > self.max_pad_waste:
+                if len(chunk) >= self.max_lanes or waste > waste_bound:
                     emit(chunk)
                     chunk = []
                     filled = 0
@@ -398,9 +478,22 @@ class SweepRunner:
         points = list(points)
         units = self.plan(points)
         if self.processes > 1 and len(units) > 1:
+            # Padding-aware pool scheduling: dispatch heaviest-first by
+            # *real* agent-steps (LPT). A padded batch's weight is the sum
+            # of its lanes' real populations — lane count alone would let
+            # one worker absorb every large-lane batch while the others
+            # drain small fry; chunksize=1 keeps the greedy assignment.
+            order = sorted(
+                range(len(units)), key=lambda i: (-_unit_cost(units[i]), i)
+            )
             ctx = multiprocessing.get_context(_MP_START_METHOD)
             with ctx.Pool(self.processes) as pool:
-                unit_records = pool.map(_execute_unit, units)
+                dispatched = pool.map(
+                    _execute_unit, [units[i] for i in order], chunksize=1
+                )
+            unit_records: List[List[RunRecord]] = [None] * len(units)
+            for i, records in zip(order, dispatched):
+                unit_records[i] = records
         else:
             unit_records = [_execute_unit(u) for u in units]
 

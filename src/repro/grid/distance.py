@@ -31,6 +31,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..types import Group, N_NEIGHBOR_SLOTS
 from .neighborhood import slot_offsets
 
@@ -58,7 +59,9 @@ class DistanceTable:
     reproduces the paper's evaluated model exactly.
     """
 
-    def __init__(self, height: int, group: Group, scan_range: int = 1) -> None:
+    def __init__(
+        self, height: int, group: Group, scan_range: int = 1, backend=None
+    ) -> None:
         if height < 2:
             raise ValueError(f"height must be >= 2, got {height}")
         if scan_range < 1:
@@ -66,10 +69,15 @@ class DistanceTable:
         self.height = int(height)
         self.group = Group(group)
         self.scan_range = int(scan_range)
+        self.backend = resolve_backend(backend)
         self.target_row = self.group.target_row(self.height)
-        self.table = self._build()
-        # Read-only: this is the constant-memory analogue.
-        self.table.setflags(write=False)
+        # Built on the host (pure setup), then moved to the backend device —
+        # the constant-memory upload.
+        table = self._build()
+        if not self.backend.capabilities.is_gpu:
+            # Read-only: this is the constant-memory analogue.
+            table.setflags(write=False)
+        self.table = self.backend.from_host(table)
 
     def _build(self) -> np.ndarray:
         rows = np.arange(self.height, dtype=np.int64)
@@ -87,7 +95,7 @@ class DistanceTable:
 
     def distances(self, rows) -> np.ndarray:
         """Distances for agents in ``rows``: shape ``(n, 8)``."""
-        return self.table[np.asarray(rows, dtype=np.int64)]
+        return self.table[self.backend.xp.asarray(rows, dtype=np.int64)]
 
     def distance(self, row: int, slot: int) -> float:
         """Distance of 1-based ``slot`` for an agent in ``row``."""
@@ -100,8 +108,11 @@ class DistanceTable:
         return abs(self.target_row - int(row))
 
 
-def build_distance_tables(height: int, scan_range: int = 1) -> Dict[Group, DistanceTable]:
+def build_distance_tables(
+    height: int, scan_range: int = 1, backend=None
+) -> Dict[Group, DistanceTable]:
     """Distance tables for both groups on a grid of ``height`` rows."""
     return {
-        g: DistanceTable(height, g, scan_range) for g in (Group.TOP, Group.BOTTOM)
+        g: DistanceTable(height, g, scan_range, backend=backend)
+        for g in (Group.TOP, Group.BOTTOM)
     }

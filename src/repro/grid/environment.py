@@ -11,23 +11,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..types import CellState, Group
 
 __all__ = ["Environment"]
 
 
 class Environment:
-    """Mutable 2-D cell grid with the paper's ``mat`` / index-matrix pair."""
+    """Mutable 2-D cell grid with the paper's ``mat`` / index-matrix pair.
 
-    def __init__(self, height: int, width: int) -> None:
+    ``backend`` selects the array namespace the matrices live on (host
+    NumPy by default). Placement builds environments on the host; engines
+    move them to their device with :meth:`to_backend` before stepping.
+    """
+
+    def __init__(self, height: int, width: int, backend=None) -> None:
         if height < 1 or width < 1:
             raise ValueError(f"grid dims must be positive, got {height}x{width}")
         self.height = int(height)
         self.width = int(width)
+        self.backend = resolve_backend(backend)
+        xp = self.backend.xp
         #: Cell labels, int8: CellState values.
-        self.mat = np.zeros((self.height, self.width), dtype=np.int8)
+        self.mat = xp.zeros((self.height, self.width), dtype=np.int8)
         #: 1-based agent indices; 0 marks an empty cell.
-        self.index = np.zeros((self.height, self.width), dtype=np.int32)
+        self.index = xp.zeros((self.height, self.width), dtype=np.int32)
 
     # ------------------------------------------------------------------
     # Queries
@@ -52,16 +60,18 @@ class Environment:
 
     def count(self, group: Group) -> int:
         """Number of agents of ``group`` currently on the grid."""
-        return int(np.count_nonzero(self.mat == int(Group(group))))
+        return int(self.backend.xp.count_nonzero(self.mat == int(Group(group))))
 
     def occupied_cells(self) -> np.ndarray:
         """``(n, 2)`` array of (row, col) of occupied cells, row-major order."""
-        rows, cols = np.nonzero(self.mat)
-        return np.stack([rows, cols], axis=1)
+        xp = self.backend.xp
+        rows, cols = xp.nonzero(self.mat)
+        return xp.stack([rows, cols], axis=1)
 
     def cell_lane(self, row, col):
         """Row-major lane id of a cell — the RNG lane for per-cell draws."""
-        return np.asarray(row, dtype=np.uint64) * np.uint64(self.width) + np.asarray(
+        xp = self.backend.xp
+        return xp.asarray(row, dtype=np.uint64) * np.uint64(self.width) + xp.asarray(
             col, dtype=np.uint64
         )
 
@@ -94,18 +104,33 @@ class Environment:
     # Copies / comparison
     # ------------------------------------------------------------------
     def copy(self) -> "Environment":
-        """Deep copy of the environment."""
-        env = Environment(self.height, self.width)
+        """Deep copy of the environment (same backend)."""
+        env = Environment(self.height, self.width, backend=self.backend)
         env.mat[...] = self.mat
         env.index[...] = self.index
         return env
 
+    def to_backend(self, backend) -> "Environment":
+        """The same grid with its matrices on ``backend``.
+
+        Returns ``self`` when the backend already matches (the zero-copy
+        NumPy-to-NumPy path); otherwise a transferred copy.
+        """
+        backend = resolve_backend(backend)
+        if backend is self.backend:
+            return self
+        env = Environment(self.height, self.width, backend=backend)
+        env.mat = backend.from_host(self.backend.to_host(self.mat))
+        env.index = backend.from_host(self.backend.to_host(self.index))
+        return env
+
     def equals(self, other: "Environment") -> bool:
         """Exact equality of both matrices (the engine-equivalence check)."""
+        xp = self.backend.xp
         return (
             self.shape == other.shape
-            and bool(np.array_equal(self.mat, other.mat))
-            and bool(np.array_equal(self.index, other.index))
+            and bool(xp.array_equal(self.mat, other.mat))
+            and bool(xp.array_equal(self.index, other.index))
         )
 
     def add_obstacles(self, mask: np.ndarray) -> None:
@@ -114,12 +139,13 @@ class Environment:
         Obstacle cells read as occupied to every kernel but carry no agent
         index; placing obstacles over agents is rejected.
         """
-        mask = np.asarray(mask, dtype=bool)
+        xp = self.backend.xp
+        mask = self.backend.from_host(np.asarray(mask, dtype=bool))
         if mask.shape != self.shape:
             raise ValueError(
                 f"obstacle mask shape {mask.shape} != grid shape {self.shape}"
             )
-        if np.any((self.mat != CellState.EMPTY) & mask):
+        if bool(xp.any((self.mat != CellState.EMPTY) & mask)):
             raise ValueError("obstacle mask overlaps occupied cells")
         self.mat[mask] = CellState.OBSTACLE
 
@@ -129,17 +155,18 @@ class Environment:
 
     def validate(self) -> None:
         """Check the mat/index consistency invariants; raise on violation."""
+        xp = self.backend.xp
         empty = self.mat == CellState.EMPTY
-        if np.any(self.index[empty] != 0):
+        if bool(xp.any(self.index[empty] != 0)):
             raise AssertionError("index matrix non-zero on an empty cell")
         agents = (self.mat == CellState.TOP) | (self.mat == CellState.BOTTOM)
-        if np.any(self.index[agents] < 1):
+        if bool(xp.any(self.index[agents] < 1)):
             raise AssertionError("agent cell without a valid agent index")
         obstacles = self.mat == CellState.OBSTACLE
-        if np.any(self.index[obstacles] != 0):
+        if bool(xp.any(self.index[obstacles] != 0)):
             raise AssertionError("obstacle cell carries an agent index")
         idx = self.index[agents]
-        if len(np.unique(idx)) != idx.size:
+        if int(xp.unique(idx).size) != int(idx.size):
             raise AssertionError("duplicate agent index in the index matrix")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

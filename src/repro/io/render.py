@@ -65,8 +65,13 @@ def render_density(mat: np.ndarray, out_rows: int = 24, out_cols: int = 72) -> s
 
 
 def render_engine(engine: BaseEngine, max_cells: int = 4000) -> str:
-    """Render an engine's environment, choosing full or density view."""
-    mat = engine.env.mat
+    """Render an engine's environment, choosing full or density view.
+
+    Rendering is a host-side recording boundary: the grid is brought back
+    through the engine's backend first, so device-resident (CuPy) engines
+    render without an implicit-conversion error.
+    """
+    mat = engine.backend.to_host(engine.env.mat)
     if mat.size <= max_cells:
         return render_grid(mat)
     return render_density(mat)

@@ -19,6 +19,23 @@ from ..types import Group
 __all__ = ["detour_factor", "EfficiencyReport", "efficiency_report"]
 
 
+def _detour_from_host(
+    crossed: np.ndarray,
+    crossed_tour: np.ndarray,
+    cfg,
+    group_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Detour factor from host copies of the crossing columns."""
+    mask = crossed.copy()
+    if group_mask is not None:
+        mask &= group_mask
+    mask[0] = False
+    if not np.any(mask):
+        return float("nan")
+    min_distance = max(1.0, cfg.height - cfg.cross_rows - (cfg.band_rows - 1) / 2.0)
+    return float(np.mean(crossed_tour[mask] / min_distance))
+
+
 def detour_factor(engine: BaseEngine, group: Optional[Group] = None) -> float:
     """Mean ratio of tour length *at crossing* to the expected straight path.
 
@@ -29,16 +46,16 @@ def detour_factor(engine: BaseEngine, group: Optional[Group] = None) -> float:
     of ~1.0 means straight least-effort crossings. Returns ``nan`` when
     nothing crossed.
     """
+    # Recording boundary: metrics are host-side, so bring the relevant
+    # property-matrix columns back through the engine's backend first.
+    to_host = engine.backend.to_host
     pop = engine.pop
-    cfg = engine.config
-    mask = pop.crossed.copy()
-    if group is not None:
-        mask &= pop.group_mask(group)
-    mask[0] = False
-    if not np.any(mask):
-        return float("nan")
-    min_distance = max(1.0, cfg.height - cfg.cross_rows - (cfg.band_rows - 1) / 2.0)
-    return float(np.mean(pop.crossed_tour[mask] / min_distance))
+    return _detour_from_host(
+        to_host(pop.crossed),
+        to_host(pop.crossed_tour),
+        engine.config,
+        to_host(pop.group_mask(group)) if group is not None else None,
+    )
 
 
 @dataclass(frozen=True)
@@ -52,14 +69,26 @@ class EfficiencyReport:
 
 
 def efficiency_report(engine: BaseEngine) -> EfficiencyReport:
-    """Build an :class:`EfficiencyReport` from a finished engine."""
+    """Build an :class:`EfficiencyReport` from a finished engine.
+
+    Reads the property matrix through the engine's backend (one host
+    round-trip per column — the recording boundary), so device-resident
+    engines report without relying on implicit array conversion.
+    """
+    to_host = engine.backend.to_host
     pop = engine.pop
-    crossed = pop.crossed.copy()
+    crossed_host = to_host(pop.crossed)
+    crossed_tour_host = to_host(pop.crossed_tour)
+    crossed = crossed_host.copy()
     crossed[0] = False
-    tours = pop.tour[1:]
+    tours = to_host(pop.tour)[1:]
     return EfficiencyReport(
-        mean_tour_crossed=float(pop.crossed_tour[crossed].mean()) if crossed.any() else float("nan"),
+        mean_tour_crossed=float(crossed_tour_host[crossed].mean())
+        if crossed.any()
+        else float("nan"),
         mean_tour_all=float(tours.mean()) if tours.size else float("nan"),
-        detour_factor=detour_factor(engine),
+        detour_factor=_detour_from_host(
+            crossed_host, crossed_tour_host, engine.config
+        ),
         crossed_fraction=pop.crossed_count() / pop.n_agents,
     )

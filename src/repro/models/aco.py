@@ -33,6 +33,7 @@ def aco_numerators(
     tau: np.ndarray,
     alpha: float,
     beta: float,
+    xp=np,
 ) -> np.ndarray:
     """Eq. 2 numerators ``tau^alpha * (1/D)^beta`` for a batch: ``(n, 8)``.
 
@@ -40,9 +41,11 @@ def aco_numerators(
     ``D = inf`` so their heuristic vanishes even before masking.
     """
     with np.errstate(divide="ignore"):
-        eta = 1.0 / np.asarray(dist, dtype=np.float64)
-    value = fast_pow(np.asarray(tau, dtype=np.float64), alpha) * fast_pow(eta, beta)
-    return np.where(candidates, value, 0.0)
+        eta = 1.0 / xp.asarray(dist, dtype=np.float64)
+    value = fast_pow(xp.asarray(tau, dtype=np.float64), alpha, xp=xp) * fast_pow(
+        eta, beta, xp=xp
+    )
+    return xp.where(candidates, value, 0.0)
 
 
 class ACOModel(MovementModel):
@@ -51,8 +54,8 @@ class ACOModel(MovementModel):
     name = "aco"
     uses_pheromone = True
 
-    def __init__(self, params: ACOParams) -> None:
-        super().__init__(params)
+    def __init__(self, params: ACOParams, backend=None) -> None:
+        super().__init__(params, backend)
         self.alpha = float(params.alpha)
         self.beta = float(params.beta)
 
@@ -65,7 +68,7 @@ class ACOModel(MovementModel):
         """The ACO scan matrix stores the eq. 2 numerator per slot."""
         if tau is None:
             raise ValueError("ACO scan requires the pheromone gather (tau)")
-        return aco_numerators(dist, candidates, tau, self.alpha, self.beta)
+        return aco_numerators(dist, candidates, tau, self.alpha, self.beta, xp=self.xp)
 
     def select(
         self,
@@ -80,9 +83,9 @@ class ACOModel(MovementModel):
         (the eq. 2 denominator is its last element); the keyed uniform picks
         the slot by inverse CDF.
         """
-        cumsum = np.cumsum(scan, axis=1)
+        cumsum = self.xp.cumsum(scan, axis=1)
         u = rng.uniform(Stream.ACO_SELECT, step, lanes)
-        return categorical_from_cumsum(cumsum, u)
+        return categorical_from_cumsum(cumsum, u, xp=self.xp)
 
     # ------------------------------------------------------------------
     # Scalar path (sequential engine)

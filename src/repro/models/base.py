@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..rng import PhiloxKeyedRNG, Stream
 from .params import ACOParams, GreedyParams, LEMParams, ModelParams, RandomParams
 
@@ -30,16 +31,23 @@ __all__ = ["MovementModel", "build_model", "tiebreak_slot_keys"]
 
 
 class MovementModel(abc.ABC):
-    """Abstract movement decision model for one agent group."""
+    """Abstract movement decision model for one agent group.
+
+    ``backend`` selects the array namespace the vector kernels run on
+    (host NumPy by default); the engines pass their resolved backend so
+    scan/select math stays on-device end to end.
+    """
 
     #: Registry name, matches ``ModelParams.model_name``.
     name: str = "base"
     #: Whether the engine must maintain pheromone fields for this model.
     uses_pheromone: bool = False
 
-    def __init__(self, params: ModelParams) -> None:
+    def __init__(self, params: ModelParams, backend=None) -> None:
         params.validate()
         self.params = params
+        self.backend = resolve_backend(backend)
+        self.xp = self.backend.xp
 
     @abc.abstractmethod
     def scan_values(
@@ -110,7 +118,7 @@ class MovementModel(abc.ABC):
 
 
 def tiebreak_slot_keys(
-    rng: PhiloxKeyedRNG, step: int, lanes: np.ndarray, n_slots: int = 8
+    rng: PhiloxKeyedRNG, step: int, lanes: np.ndarray, n_slots: int = 8, xp=np
 ) -> np.ndarray:
     """Per-agent slot ordering keys that break score ties without bias.
 
@@ -122,12 +130,16 @@ def tiebreak_slot_keys(
     left/right preference while staying deterministic for a given seed.
     """
     bits = rng.words(Stream.TIEBREAK, step, lanes)[0] & np.uint32(1)
-    slots = np.arange(1, n_slots + 1, dtype=np.int64)
+    slots = xp.arange(1, n_slots + 1, dtype=np.int64)
     return slots[None, :] ^ bits.astype(np.int64)[:, None]
 
 
-def build_model(params: ModelParams) -> MovementModel:
-    """Instantiate the movement model matching a parameter bundle."""
+def build_model(params: ModelParams, backend=None) -> MovementModel:
+    """Instantiate the movement model matching a parameter bundle.
+
+    ``backend`` (name or :class:`~repro.backend.ArrayBackend`) selects the
+    array namespace the model's vector kernels execute on.
+    """
     # Imported here to avoid import cycles (the implementations use the
     # helpers defined above).
     from .aco import ACOModel
@@ -135,11 +147,11 @@ def build_model(params: ModelParams) -> MovementModel:
     from .policies import GreedyModel, RandomModel
 
     if isinstance(params, LEMParams):
-        return LEMModel(params)
+        return LEMModel(params, backend=backend)
     if isinstance(params, ACOParams):
-        return ACOModel(params)
+        return ACOModel(params, backend=backend)
     if isinstance(params, RandomParams):
-        return RandomModel(params)
+        return RandomModel(params, backend=backend)
     if isinstance(params, GreedyParams):
-        return GreedyModel(params)
+        return GreedyModel(params, backend=backend)
     raise TypeError(f"no movement model registered for {type(params)!r}")

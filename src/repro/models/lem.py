@@ -40,17 +40,17 @@ __all__ = ["LEMModel", "lem_scores"]
 _EXCLUDED_KEY = 1 << 30
 
 
-def lem_scores(dist: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+def lem_scores(dist: np.ndarray, candidates: np.ndarray, xp=np) -> np.ndarray:
     """Eq. 1 scores ``C_i`` for a batch: ``(n, 8) -> (n, 8)``.
 
     Non-candidate slots score 0; rows with no candidate are all-zero.
     The best candidate of each row scores exactly 1.0 (D_min / D_min).
     """
-    d = np.where(candidates, dist, np.inf)
+    d = xp.where(candidates, dist, np.inf)
     dmin = d.min(axis=1)
-    has_candidate = np.isfinite(dmin)
-    safe_dmin = np.where(has_candidate, dmin, 1.0)
-    scores = np.where(candidates, safe_dmin[:, None] / d, 0.0)
+    has_candidate = xp.isfinite(dmin)
+    safe_dmin = xp.where(has_candidate, dmin, 1.0)
+    scores = xp.where(candidates, safe_dmin[:, None] / d, 0.0)
     return scores
 
 
@@ -60,8 +60,8 @@ class LEMModel(MovementModel):
     name = "lem"
     uses_pheromone = False
 
-    def __init__(self, params: LEMParams) -> None:
-        super().__init__(params)
+    def __init__(self, params: LEMParams, backend=None) -> None:
+        super().__init__(params, backend)
         self.mu = float(params.mu)
         self.sigma = float(params.sigma)
         self.rule = params.rule
@@ -73,7 +73,7 @@ class LEMModel(MovementModel):
         tau: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """The LEM scan matrix stores the candidate distances (paper IV.b)."""
-        return np.where(candidates, dist, 0.0)
+        return self.xp.where(candidates, dist, 0.0)
 
     def select(
         self,
@@ -83,33 +83,36 @@ class LEMModel(MovementModel):
         lanes: np.ndarray,
     ) -> np.ndarray:
         """Clipped-normal rank selection over the scanned distances."""
+        xp = self.xp
         candidates = scan > 0.0
-        scores = lem_scores(scan, candidates)
+        scores = lem_scores(scan, candidates, xp=xp)
         c_max = scores.max(axis=1)  # 1.0 where any candidate, else 0.0
 
         z = rng.normal12(Stream.LEM_SELECT, step, lanes)
-        x = clip_lem_draw(z, self.mu, self.sigma, c_max)
+        x = clip_lem_draw(z, self.mu, self.sigma, c_max, xp=xp)
 
         if self.rule == "floor":
             # Largest score not exceeding the draw; stay when none qualify.
             eligible = candidates & (scores <= x[:, None])
-            contended = np.where(eligible, scores, -np.inf)
+            contended = xp.where(eligible, scores, -np.inf)
             c_sel = contended.max(axis=1)
-            has_choice = np.isfinite(c_sel) & candidates.any(axis=1)
+            has_choice = xp.isfinite(c_sel) & candidates.any(axis=1)
         else:
             # Smallest score at or above the draw; the best cell (score
             # exactly c_max) always qualifies because x <= c_max.
             eligible = candidates & (scores >= x[:, None])
-            contended = np.where(eligible, scores, np.inf)
+            contended = xp.where(eligible, scores, np.inf)
             c_sel = contended.min(axis=1)
             has_choice = candidates.any(axis=1)
 
         # Among cells tied at the selected score, order by the per-agent
         # randomised slot key to avoid a left/right bias.
         tied = eligible & (contended == c_sel[:, None])
-        keys = np.where(tied, tiebreak_slot_keys(rng, step, lanes), _EXCLUDED_KEY)
+        keys = xp.where(
+            tied, tiebreak_slot_keys(rng, step, lanes, xp=xp), _EXCLUDED_KEY
+        )
         slot = keys.argmin(axis=1).astype(np.int64)
-        return np.where(has_choice, slot, -1)
+        return xp.where(has_choice, slot, -1)
 
     # ------------------------------------------------------------------
     # Scalar path (sequential engine)

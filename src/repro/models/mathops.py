@@ -21,20 +21,21 @@ __all__ = ["fast_pow", "fast_pow_scalar", "MAX_INT_EXPONENT"]
 MAX_INT_EXPONENT = 64
 
 
-def fast_pow(base: np.ndarray, exponent: float) -> np.ndarray:
+def fast_pow(base: np.ndarray, exponent: float, xp=np) -> np.ndarray:
     """``base ** exponent`` with a bit-deterministic integer-exponent path.
 
     For integer ``exponent`` with ``|exponent| <= MAX_INT_EXPONENT`` the
     result is computed by binary exponentiation (multiplications only, fixed
-    association order). Other exponents use ``np.power``.
+    association order) — which also makes it exactly portable across array
+    backends, unlike libm ``pow``. Other exponents use ``xp.power``.
 
     >>> float(fast_pow(np.float64(3.0), 2.0))
     9.0
     """
-    base = np.asarray(base, dtype=np.float64)
+    base = xp.asarray(base, dtype=np.float64)
     p = float(exponent)
     if p == 0.0:
-        return np.ones_like(base)
+        return xp.ones_like(base)
     if p.is_integer() and abs(p) <= MAX_INT_EXPONENT:
         n = int(abs(p))
         result = None
@@ -48,7 +49,7 @@ def fast_pow(base: np.ndarray, exponent: float) -> np.ndarray:
         if p < 0:
             return 1.0 / result
         return result
-    return np.power(base, p)
+    return xp.power(base, p)
 
 
 def fast_pow_scalar(base: float, exponent: float) -> float:

@@ -13,13 +13,14 @@ from typing import Dict
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..types import Group
 from .params import ACOParams
 
 __all__ = ["PheromoneField", "evaporate_field", "deposit_at"]
 
 
-def evaporate_field(field: np.ndarray, params: ACOParams) -> None:
+def evaporate_field(field: np.ndarray, params: ACOParams, xp=np) -> None:
     """Eq. 3 in place: ``tau <- max((1 - rho) * tau, tau_min)``.
 
     Element-wise, so it applies unchanged to a single ``(H, W)`` field or a
@@ -27,28 +28,34 @@ def evaporate_field(field: np.ndarray, params: ACOParams) -> None:
     semantics shared by :class:`PheromoneField` and the batched engine.
     """
     field *= 1.0 - params.rho
-    np.maximum(field, params.tau_min, out=field)
+    xp.maximum(field, params.tau_min, out=field)
 
 
-def deposit_at(field: np.ndarray, index, amounts, params: ACOParams) -> None:
+def deposit_at(field: np.ndarray, index, amounts, params: ACOParams, backend=None) -> None:
     """Eq. 5 in place: scatter-add ``amounts`` at ``index``, clamp at tau_max.
 
     ``index`` is any fancy-index tuple into ``field`` (``(rows, cols)`` for
-    a solo field, ``(lanes, rows, cols)`` for a batched stack).
+    a solo field, ``(lanes, rows, cols)`` for a batched stack). The scatter
+    routes through :meth:`~repro.backend.ArrayBackend.scatter_add` because
+    the unbuffered-add spelling differs per namespace (``np.add.at`` vs
+    ``cupyx.scatter_add``).
     """
-    np.add.at(field, index, amounts)
-    np.minimum(field, params.tau_max, out=field)
+    backend = resolve_backend(backend)
+    backend.scatter_add(field, index, amounts)
+    backend.xp.minimum(field, params.tau_max, out=field)
 
 
 class PheromoneField:
     """Two per-group pheromone matrices with evaporation and deposit."""
 
-    def __init__(self, height: int, width: int, params: ACOParams) -> None:
+    def __init__(self, height: int, width: int, params: ACOParams, backend=None) -> None:
         self.height = int(height)
         self.width = int(width)
         self.params = params
+        self.backend = resolve_backend(backend)
+        xp = self.backend.xp
         self._fields: Dict[Group, np.ndarray] = {
-            g: np.full((height, width), params.tau0, dtype=np.float64)
+            g: xp.full((height, width), params.tau0, dtype=np.float64)
             for g in (Group.TOP, Group.BOTTOM)
         }
 
@@ -69,20 +76,22 @@ class PheromoneField:
     def evaporate(self) -> None:
         """Apply ``tau <- (1 - rho) * tau`` to both fields, then clamp below."""
         for field in self._fields.values():
-            evaporate_field(field, self.params)
+            evaporate_field(field, self.params, xp=self.backend.xp)
 
     def deposit(self, group: Group, rows, cols, amounts) -> None:
         """Add ``amounts`` on cells ``(rows, cols)`` of ``group``'s field.
 
         Destination cells of a movement stage are unique by construction
-        (one winner per cell) but ``np.add.at`` keeps this correct for any
-        caller that passes duplicates.
+        (one winner per cell) but the unbuffered scatter-add keeps this
+        correct for any caller that passes duplicates.
         """
+        xp = self.backend.xp
         deposit_at(
             self._fields[Group(group)],
-            (np.asarray(rows), np.asarray(cols)),
+            (xp.asarray(rows), xp.asarray(cols)),
             amounts,
             self.params,
+            backend=self.backend,
         )
 
     def deposit_scalar(self, group: Group, row: int, col: int, amount: float) -> None:
@@ -95,15 +104,17 @@ class PheromoneField:
     # ------------------------------------------------------------------
     def copy(self) -> "PheromoneField":
         """Deep copy of both fields."""
-        other = PheromoneField(self.height, self.width, self.params)
+        other = PheromoneField(self.height, self.width, self.params, self.backend)
         for g in self._fields:
             other._fields[g][...] = self._fields[g]
         return other
 
     def equals(self, other: "PheromoneField") -> bool:
         """Exact equality of both fields."""
+        xp = self.backend.xp
         return all(
-            np.array_equal(self._fields[g], other._fields[g]) for g in self._fields
+            bool(xp.array_equal(self._fields[g], other._fields[g]))
+            for g in self._fields
         )
 
     def totals(self) -> Dict[Group, float]:

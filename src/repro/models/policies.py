@@ -29,8 +29,8 @@ class RandomModel(MovementModel):
     name = "random"
     uses_pheromone = False
 
-    def __init__(self, params: RandomParams) -> None:
-        super().__init__(params)
+    def __init__(self, params: RandomParams, backend=None) -> None:
+        super().__init__(params, backend)
 
     def scan_values(
         self,
@@ -49,7 +49,7 @@ class RandomModel(MovementModel):
         lanes: np.ndarray,
     ) -> np.ndarray:
         u = rng.uniform(Stream.RANDOM_POLICY, step, lanes)
-        return categorical(scan, u)
+        return categorical(scan, u, xp=self.xp)
 
     # Scalar path -------------------------------------------------------
     def scalar_prepare(self, rng: PhiloxKeyedRNG, step: int, n_agents: int) -> dict:
@@ -82,8 +82,8 @@ class GreedyModel(MovementModel):
     name = "greedy"
     uses_pheromone = False
 
-    def __init__(self, params: GreedyParams) -> None:
-        super().__init__(params)
+    def __init__(self, params: GreedyParams, backend=None) -> None:
+        super().__init__(params, backend)
 
     def scan_values(
         self,
@@ -92,7 +92,7 @@ class GreedyModel(MovementModel):
         tau: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Same scan content as the LEM: candidate distances."""
-        return np.where(candidates, dist, 0.0)
+        return self.xp.where(candidates, dist, 0.0)
 
     def select(
         self,
@@ -101,14 +101,17 @@ class GreedyModel(MovementModel):
         step: int,
         lanes: np.ndarray,
     ) -> np.ndarray:
+        xp = self.xp
         candidates = scan > 0.0
-        scores = lem_scores(scan, candidates)
+        scores = lem_scores(scan, candidates, xp=xp)
         c_max = scores.max(axis=1)
         best = candidates & (scores == c_max[:, None])
-        keys = np.where(best, tiebreak_slot_keys(rng, step, lanes), _EXCLUDED_KEY)
+        keys = xp.where(
+            best, tiebreak_slot_keys(rng, step, lanes, xp=xp), _EXCLUDED_KEY
+        )
         slot = keys.argmin(axis=1).astype(np.int64)
         has_candidate = candidates.any(axis=1)
-        return np.where(has_candidate, slot, -1)
+        return xp.where(has_candidate, slot, -1)
 
     # Scalar path -------------------------------------------------------
     def scalar_prepare(self, rng: PhiloxKeyedRNG, step: int, n_agents: int) -> dict:

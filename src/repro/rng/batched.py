@@ -32,15 +32,21 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backend import resolve_backend
 from .philox import _u32_to_unit_open, irwin_hall_normal12, philox4x32
 
 __all__ = ["BatchedPhiloxRNG", "FlatLaneRNG", "RaggedLaneRNG"]
 
 
 class BatchedPhiloxRNG:
-    """Per-replication keyed random streams sharing one Philox evaluation."""
+    """Per-replication keyed random streams sharing one Philox evaluation.
 
-    def __init__(self, seeds: Sequence[int]) -> None:
+    ``backend`` selects the array namespace (host NumPy by default); the
+    per-lane words are bit-identical on every backend because Philox is
+    pure integer arithmetic.
+    """
+
+    def __init__(self, seeds: Sequence[int], backend=None) -> None:
         seeds = [int(s) for s in seeds]
         if not seeds:
             raise ValueError("need at least one replication seed")
@@ -49,9 +55,13 @@ class BatchedPhiloxRNG:
                 raise ValueError(f"seed must fit in 64 bits, got {s}")
         self.seeds = tuple(seeds)
         self.n_reps = len(seeds)
-        self._key_lo = np.array([s & 0xFFFFFFFF for s in seeds], dtype=np.uint32)
-        self._key_hi_base = np.array(
-            [(s >> 32) & 0xFFFFFFFF for s in seeds], dtype=np.uint32
+        self.backend = resolve_backend(backend)
+        self.xp = self.backend.xp
+        self._key_lo = self.xp.asarray(
+            np.array([s & 0xFFFFFFFF for s in seeds], dtype=np.uint32)
+        )
+        self._key_hi_base = self.xp.asarray(
+            np.array([(s >> 32) & 0xFFFFFFFF for s in seeds], dtype=np.uint32)
         )
 
     # ------------------------------------------------------------------
@@ -64,15 +74,16 @@ class BatchedPhiloxRNG:
         (the same lane vector for every replication — the common case, since
         agent indexing is seed-independent).
         """
-        lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64))
+        xp = self.xp
+        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64))
         if lanes.ndim == 1:
-            lanes = np.broadcast_to(lanes, (self.n_reps, lanes.shape[0]))
+            lanes = xp.broadcast_to(lanes, (self.n_reps, lanes.shape[0]))
         if lanes.ndim != 2 or lanes.shape[0] != self.n_reps:
             raise ValueError(
                 f"lane must have shape (m,) or ({self.n_reps}, m), got {lanes.shape}"
             )
         m = lanes.shape[1]
-        rep = np.repeat(np.arange(self.n_reps, dtype=np.intp), m)
+        rep = xp.repeat(xp.arange(self.n_reps, dtype=np.intp), m)
         out = self._words_flat(stream, step, rep, lanes.ravel(), slot)
         return out.reshape(4, self.n_reps, m)
 
@@ -100,8 +111,8 @@ class BatchedPhiloxRNG:
         self, stream: int, step: int, rep, lane, slot: int = 0
     ) -> np.ndarray:
         """Raw words for scattered ``(rep, lane)`` pairs; shape ``(4, n)``."""
-        rep = np.asarray(rep, dtype=np.intp).ravel()
-        lanes = np.asarray(lane, dtype=np.uint64).ravel()
+        rep = self.xp.asarray(rep, dtype=np.intp).ravel()
+        lanes = self.xp.asarray(lane, dtype=np.uint64).ravel()
         if rep.shape != lanes.shape:
             raise ValueError(
                 f"rep and lane must align, got {rep.shape} vs {lanes.shape}"
@@ -135,18 +146,19 @@ class BatchedPhiloxRNG:
         Counter layout matches :meth:`PhiloxKeyedRNG.words` exactly; the key
         words are gathered per element from the replication seeds.
         """
+        xp = self.xp
         n = lanes.shape[0]
         step = int(step)
-        counter = np.empty((4, n), dtype=np.uint32)
+        counter = xp.empty((4, n), dtype=np.uint32)
         counter[0] = np.uint32(step & 0xFFFFFFFF)
         counter[1] = np.uint32((step >> 32) & 0xFFFFFFFF)
         counter[2] = (lanes & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         counter[3] = np.uint32(int(slot) & 0xFFFFFFFF)
         stream_word = np.uint32(int(stream) & 0xFFFFFFFF)
-        key = np.empty((2, n), dtype=np.uint32)
+        key = xp.empty((2, n), dtype=np.uint32)
         key[0] = self._key_lo[rep]
         key[1] = self._key_hi_base[rep] ^ stream_word
-        return philox4x32(counter, key)
+        return philox4x32(counter, key, xp=xp)
 
 
 class FlatLaneRNG:
@@ -167,6 +179,7 @@ class FlatLaneRNG:
         self._m = int(lanes_per_rep)
 
     def _rep_of(self, lanes: np.ndarray) -> np.ndarray:
+        xp = self._batched.xp
         n = lanes.shape[0]
         expected = self._batched.n_reps * self._m
         if n != expected:
@@ -174,10 +187,11 @@ class FlatLaneRNG:
                 f"expected {expected} flattened lanes "
                 f"({self._batched.n_reps} reps x {self._m}), got {n}"
             )
-        return np.repeat(np.arange(self._batched.n_reps, dtype=np.intp), self._m)
+        return xp.repeat(xp.arange(self._batched.n_reps, dtype=np.intp), self._m)
 
     def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
-        lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64)).ravel()
+        xp = self._batched.xp
+        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64)).ravel()
         return self._batched.words_at(stream, step, self._rep_of(lanes), lanes, slot)
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
@@ -203,11 +217,11 @@ class RaggedLaneRNG:
     """
 
     def __init__(self, batched: BatchedPhiloxRNG, rep) -> None:
-        rep = np.asarray(rep, dtype=np.intp).ravel()
-        if rep.size and (rep.min() < 0 or rep.max() >= batched.n_reps):
+        rep = batched.xp.asarray(rep, dtype=np.intp).ravel()
+        if rep.size and (int(rep.min()) < 0 or int(rep.max()) >= batched.n_reps):
             raise ValueError(
                 f"rep indices must lie in [0, {batched.n_reps}), "
-                f"got range [{rep.min()}, {rep.max()}]"
+                f"got range [{int(rep.min())}, {int(rep.max())}]"
             )
         self._batched = batched
         self._rep = rep
@@ -221,7 +235,8 @@ class RaggedLaneRNG:
         return self._rep
 
     def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
-        lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64)).ravel()
+        xp = self._batched.xp
+        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64)).ravel()
         return self._batched.words_at(stream, step, self._check(lanes), lanes, slot)
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:

@@ -30,18 +30,19 @@ def box_muller(u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
     return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
 
 
-def clip_lem_draw(z, mu: float, sigma: float, c_max) -> np.ndarray:
+def clip_lem_draw(z, mu: float, sigma: float, c_max, xp=np) -> np.ndarray:
     """The paper's LEM draw post-processing.
 
     ``x = mu + sigma * z`` with "negative numbers converted to zeroes and
     the numbers more than the highest C_i rounded off to the highest C_i".
-    ``c_max`` may be a scalar or per-lane array.
+    ``c_max`` may be a scalar or per-lane array. ``xp`` is the array
+    namespace (host NumPy by default).
     """
-    x = mu + sigma * np.asarray(z, dtype=np.float64)
-    return np.clip(x, 0.0, c_max)
+    x = mu + sigma * xp.asarray(z, dtype=np.float64)
+    return xp.clip(x, 0.0, c_max)
 
 
-def categorical_from_cumsum(cumsum: np.ndarray, u: np.ndarray) -> np.ndarray:
+def categorical_from_cumsum(cumsum: np.ndarray, u: np.ndarray, xp=np) -> np.ndarray:
     """Sample indices from per-lane cumulative weights.
 
     Parameters
@@ -68,20 +69,20 @@ def categorical_from_cumsum(cumsum: np.ndarray, u: np.ndarray) -> np.ndarray:
     which is always a positive-weight slot because cumsum is
     non-decreasing.
     """
-    cumsum = np.asarray(cumsum, dtype=np.float64)
+    cumsum = xp.asarray(cumsum, dtype=np.float64)
     if cumsum.ndim != 2:
         raise ValueError(f"cumsum must be 2-D, got shape {cumsum.shape}")
     total = cumsum[:, -1]
-    thresholds = np.asarray(u, dtype=np.float64) * total
+    thresholds = xp.asarray(u, dtype=np.float64) * total
     hit = (cumsum >= thresholds[:, None]) & (cumsum > 0.0)
     idx = hit.argmax(axis=1).astype(np.int64)
     idx[total <= 0.0] = -1
     return idx
 
 
-def categorical(weights: np.ndarray, u: np.ndarray) -> np.ndarray:
+def categorical(weights: np.ndarray, u: np.ndarray, xp=np) -> np.ndarray:
     """Sample indices from per-lane non-negative weights (rows of ``weights``)."""
-    w = np.asarray(weights, dtype=np.float64)
+    w = xp.asarray(weights, dtype=np.float64)
     if w.ndim != 2:
         raise ValueError(f"weights must be 2-D, got shape {w.shape}")
-    return categorical_from_cumsum(np.cumsum(w, axis=1), u)
+    return categorical_from_cumsum(xp.cumsum(w, axis=1), u, xp=xp)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import resolve_backend
+
 __all__ = [
     "philox4x32",
     "philox4x32_scalar",
@@ -52,7 +54,9 @@ def _mulhilo(m: np.uint64, b: np.ndarray) -> tuple:
     return hi, lo
 
 
-def philox4x32(counter: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS) -> np.ndarray:
+def philox4x32(
+    counter: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS, xp=np
+) -> np.ndarray:
     """Apply the Philox4x32 bijection.
 
     Parameters
@@ -65,13 +69,17 @@ def philox4x32(counter: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS
         two key words.
     rounds:
         Number of rounds; 10 is the standard, cryptographically mixed value.
+    xp:
+        Array namespace to execute in (``numpy`` or a GPU namespace). The
+        rounds are pure integer arithmetic, so the output words are
+        bit-identical on every backend.
 
     Returns
     -------
     ``uint32`` array of shape ``(4, n)`` with the output words.
     """
-    counter = np.asarray(counter, dtype=np.uint32)
-    key = np.asarray(key, dtype=np.uint32)
+    counter = xp.asarray(counter, dtype=np.uint32)
+    key = xp.asarray(key, dtype=np.uint32)
     if counter.ndim != 2 or counter.shape[0] != 4:
         raise ValueError(f"counter must have shape (4, n), got {counter.shape}")
     if key.ndim != 2 or key.shape[0] != 2:
@@ -84,8 +92,8 @@ def philox4x32(counter: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS
     c2 = counter[2].copy()
     c3 = counter[3].copy()
     n = c0.shape[0]
-    k0 = np.broadcast_to(key[0], (n,)).copy()
-    k1 = np.broadcast_to(key[1], (n,)).copy()
+    k0 = xp.broadcast_to(key[0], (n,)).copy()
+    k1 = xp.broadcast_to(key[1], (n,)).copy()
 
     with _wrap():
         for _ in range(rounds):
@@ -99,7 +107,7 @@ def philox4x32(counter: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS
             c0, c1, c2, c3 = new0, new1, new2, new3
             k0 = k0 + _W0
             k1 = k1 + _W1
-    return np.stack([c0, c1, c2, c3])
+    return xp.stack([c0, c1, c2, c3])
 
 
 def philox4x32_scalar(counter, key, rounds: int = PHILOX_ROUNDS) -> tuple:
@@ -128,12 +136,19 @@ class PhiloxKeyedRNG:
 
     The master ``seed`` occupies the low key word; the high key word mixes
     the seed's top bits with the stream id.
+
+    ``backend`` selects the array namespace the draws are produced on
+    (default: the host NumPy backend). Philox is pure integer arithmetic,
+    so the words — and every distribution derived from them — are
+    bit-identical across backends.
     """
 
-    def __init__(self, seed: int) -> None:
+    def __init__(self, seed: int, backend=None) -> None:
         if not (0 <= seed < 2**64):
             raise ValueError(f"seed must fit in 64 bits, got {seed}")
         self.seed = int(seed)
+        self.backend = resolve_backend(backend)
+        self.xp = self.backend.xp
         self._key_lo = np.uint32(seed & 0xFFFFFFFF)
         self._key_hi_base = np.uint32((seed >> 32) & 0xFFFFFFFF)
 
@@ -146,18 +161,19 @@ class PhiloxKeyedRNG:
         ``lane`` may be a scalar or any integer array; it is flattened to
         one dimension of lanes.
         """
-        lanes = np.atleast_1d(np.asarray(lane, dtype=np.uint64)).ravel()
+        xp = self.xp
+        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64)).ravel()
         n = lanes.shape[0]
         step = int(step)
-        counter = np.empty((4, n), dtype=np.uint32)
+        counter = xp.empty((4, n), dtype=np.uint32)
         counter[0] = np.uint32(step & 0xFFFFFFFF)
         counter[1] = np.uint32((step >> 32) & 0xFFFFFFFF)
         counter[2] = (lanes & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         counter[3] = np.uint32(int(slot) & 0xFFFFFFFF)
         with _wrap():
             key_hi = self._key_hi_base ^ np.uint32(int(stream) & 0xFFFFFFFF)
-        key = np.array([[self._key_lo], [key_hi]], dtype=np.uint32)
-        return philox4x32(counter, key)
+        key = xp.asarray(np.array([[self._key_lo], [key_hi]], dtype=np.uint32))
+        return philox4x32(counter, key, xp=xp)
 
     # ------------------------------------------------------------------
     # Distribution helpers (all order-independent and engine-agnostic)

@@ -329,3 +329,136 @@ class TestSweepCLI:
         assert main(["sweep", "--scenarios", "1", "--scale", "tiny",
                      "--models", ","]) == 2
         assert "--models selects no runs" in capsys.readouterr().out
+
+
+class TestDerivedPadWaste:
+    """Default max_pad_waste derives from the cost model's dispatch overhead."""
+
+    def test_bound_is_clamped_and_scale_monotone(self):
+        from repro.experiments.sweep import (
+            MAX_PAD_WASTE_CEILING,
+            MIN_PAD_WASTE,
+            derived_pad_waste,
+        )
+
+        tiny = scenario_config(scenario_spec(1), model="lem", scale="tiny")
+        paper = scenario_config(scenario_spec(40), model="lem", scale="standard")
+        w_tiny = derived_pad_waste(tiny, 8)
+        w_paper = derived_pad_waste(paper, 8)
+        assert MIN_PAD_WASTE <= w_paper <= w_tiny <= MAX_PAD_WASTE_CEILING
+        # Tiny grids are dispatch-dominated -> loose bound; paper scale is
+        # compute-dominated -> tight bound.
+        assert w_tiny > w_paper
+
+    def test_default_runner_uses_derived_bound(self):
+        # At the tiny scale the derived bound is looser than the old 0.3
+        # hard-code, so scenario 1 now fuses into the padded batch instead
+        # of falling out solo.
+        runner = SweepRunner(max_lanes=8, pad_lanes=True)
+        points = sweep_grid((1, 2, 3, 4), (0,), models=("lem",), scale="tiny")
+        units = runner.plan(points)
+        assert len(units) == 1 and units[0].points is not None
+
+    def test_explicit_bound_still_wins(self):
+        runner = SweepRunner(max_lanes=8, pad_lanes=True, max_pad_waste=0.0)
+        points = sweep_grid((1, 2), (0,), models=("lem",), scale="tiny")
+        assert all(u.points is None for u in runner.plan(points))
+
+    def test_cli_pad_waste_override(self, capsys):
+        assert main(["sweep", "--scenarios", "1-3", "--seeds", "1",
+                     "--models", "lem", "--scale", "tiny", "--pad-lanes",
+                     "--pad-waste", "0.0"]) == 0
+        capsys.readouterr()
+
+    def test_invalid_explicit_bound_still_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(max_pad_waste=1.0)
+
+
+class TestPaddingAwarePoolScheduling:
+    """Pool dispatch orders units by real agent-steps (LPT), not lane count."""
+
+    def test_unit_cost_counts_real_agents_not_lanes(self):
+        from repro.experiments.sweep import _unit_cost
+
+        runner = SweepRunner(max_lanes=8, pad_lanes=True)
+        points = sweep_grid((1, 2, 3, 4), (0,), models=("lem",), scale="tiny")
+        units = runner.plan(points)
+        for unit in units:
+            lane_points = unit.points or tuple(
+                unit.point for _ in unit.seeds
+            )
+            expected = sum(
+                p.config().total_agents * p.config().steps for p in lane_points
+            )
+            assert _unit_cost(unit) == expected
+
+    def test_heaviest_unit_dispatches_first(self):
+        from repro.experiments.sweep import _unit_cost
+
+        # Many seeds of the smallest scenario vs one seed of the largest:
+        # lane count would rank the small batch first, real agent count
+        # must rank the big scenario first.
+        points = sweep_grid((8,), (0,), models=("lem",), scale="tiny")
+        points += sweep_grid((1,), (0, 1, 2, 3), models=("lem",), scale="tiny")
+        runner = SweepRunner(max_lanes=4)
+        units = runner.plan(points)
+        costs = [_unit_cost(u) for u in units]
+        lanes = [len(u.seeds) for u in units]
+        order = sorted(range(len(units)), key=lambda i: (-costs[i], i))
+        assert lanes[order[0]] == 1  # the single-seed big-scenario unit
+        assert costs[order[0]] == max(costs)
+
+    def test_pool_path_matches_inline_records(self):
+        points = sweep_grid((1, 2, 3, 4), (0, 1), models=("lem",), scale="tiny")
+        pooled = SweepRunner(max_lanes=4, processes=2, pad_lanes=True).run(points)
+        inline = SweepRunner(max_lanes=4, processes=1, pad_lanes=True).run(points)
+        assert [r.throughput for r in pooled] == [r.throughput for r in inline]
+        assert [r.seed for r in pooled] == [r.seed for r in inline]
+
+
+class TestSweepBackendSelection:
+    """SweepRunner(backend=...) threads the array backend to every lane."""
+
+    def test_backend_applied_to_unit_configs(self):
+        from repro.experiments.sweep import _unit_config
+
+        runner = SweepRunner(max_lanes=4, backend="numpy")
+        points = sweep_grid((1,), (0, 1), models=("lem",), scale="tiny")
+        units = runner.plan(points)
+        assert all(u.backend == "numpy" for u in units)
+        cfg = _unit_config(units[0], units[0].point)
+        assert cfg.backend == "numpy"
+
+    @pytest.fixture
+    def cupy_unavailable(self, monkeypatch):
+        """Force the cupy factory down its ImportError path.
+
+        Keeps these tests meaningful even on machines where CuPy *is*
+        installed (e.g. with the repro[gpu] extra).
+        """
+        import repro.backend.core as backend_core
+        import repro.backend.cupy_backend as cupy_backend_module
+
+        def boom():
+            raise ImportError("No module named 'cupy'")
+
+        monkeypatch.setattr(cupy_backend_module, "_import_cupy", boom)
+        cached = backend_core._INSTANCES.pop("cupy", None)
+        yield
+        if cached is not None:
+            backend_core._INSTANCES["cupy"] = cached
+
+    def test_unavailable_backend_fails_fast(self, cupy_unavailable):
+        from repro.errors import BackendUnavailableError
+
+        with pytest.raises(BackendUnavailableError):
+            SweepRunner(backend="cupy")
+
+    def test_cli_backend_flag_exit_codes(self, capsys, cupy_unavailable):
+        assert main(["sweep", "--scenarios", "1", "--seeds", "1",
+                     "--models", "lem", "--scale", "tiny",
+                     "--backend", "numpy"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--smoke", "--backend", "cupy"]) == 2
+        assert "cupy" in capsys.readouterr().out
