@@ -6,6 +6,9 @@ Commands:
 * ``run`` — one simulation with a rendered snapshot and metrics;
 * ``sweep`` — a batched scenario x model x seed grid (``--smoke`` for the
   CI fast path);
+* ``serve`` — long-running simulation service (HTTP, micro-batching,
+  result cache);
+* ``submit`` / ``status`` — clients for a running ``repro serve``;
 * ``figures`` — regenerate the paper's tables/figures into a directory;
 * ``occupancy`` — the CC 2.0 occupancy calculator;
 * ``speedup`` — the modelled Fig 5c curve.
@@ -106,6 +109,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI fast path: tiny grid, 2 scenarios x 2 models x 2 seeds",
     )
+
+    srv_p = sub.add_parser(
+        "serve", help="run the simulation service (micro-batching + cache)"
+    )
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=8177,
+                       help="TCP port (0 binds an ephemeral port)")
+    srv_p.add_argument(
+        "--state-dir",
+        default=".repro-service",
+        help="job log + result cache directory (resumes a prior queue)",
+    )
+    srv_p.add_argument("--lanes", type=int, default=8,
+                       help="max jobs fused per batched launch")
+    srv_p.add_argument(
+        "--no-pad-lanes",
+        action="store_true",
+        help="only fuse jobs with identical configs (padding is on by default)",
+    )
+    srv_p.add_argument(
+        "--pad-waste",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="max padded-slot fraction per fused batch (default: derived "
+        "from the cost model's dispatch-overhead estimate)",
+    )
+    srv_p.add_argument(
+        "--tick",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="micro-batching window: queued jobs are drained every tick",
+    )
+
+    sbm_p = sub.add_parser("submit", help="submit a job to a running service")
+    sbm_p.add_argument("--host", default="127.0.0.1")
+    sbm_p.add_argument("--port", type=int, default=8177)
+    sbm_p.add_argument("--model", default="lem",
+                       choices=["lem", "aco", "random", "greedy"])
+    sbm_p.add_argument("--engine", default="vectorized",
+                       choices=["sequential", "vectorized", "tiled"])
+    sbm_p.add_argument(
+        "--backend",
+        default="numpy",
+        help="array backend: numpy (default) or cupy (GPU; needs repro[gpu])",
+    )
+    sbm_p.add_argument("--height", type=int, default=64)
+    sbm_p.add_argument("--width", type=int, default=64)
+    sbm_p.add_argument("--agents", type=int, default=256, help="agents per side")
+    sbm_p.add_argument("--steps", type=int, default=500)
+    sbm_p.add_argument("--seed", type=int, default=0)
+    sbm_p.add_argument(
+        "--burst",
+        type=int,
+        default=1,
+        metavar="N",
+        help="submit N copies with seeds seed..seed+N-1 in one request "
+        "(lands in a single micro-batch)",
+    )
+    sbm_p.add_argument("--wait", action="store_true",
+                       help="poll until the submitted job(s) finish")
+    sbm_p.add_argument("--timeout", type=float, default=120.0,
+                       help="--wait deadline in seconds")
+
+    sts_p = sub.add_parser("status", help="service stats / job status")
+    sts_p.add_argument("--host", default="127.0.0.1")
+    sts_p.add_argument("--port", type=int, default=8177)
+    sts_p.add_argument("--job", default=None, metavar="JOB_ID",
+                       help="show one job instead of service stats")
+    sts_p.add_argument("--json", action="store_true",
+                       help="print raw JSON (for scripts)")
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
     fig_p.add_argument("--outdir", default="results")
@@ -254,6 +329,151 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """The ``repro serve`` subcommand body."""
+    from .errors import ReproError
+    from .service import ServiceServer, SimulationService
+
+    try:
+        service = SimulationService(
+            args.state_dir,
+            max_lanes=args.lanes,
+            pad_lanes=not args.no_pad_lanes,
+            max_pad_waste=args.pad_waste,
+        )
+        server = ServiceServer(
+            service, host=args.host, port=args.port, tick_interval=args.tick
+        )
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    resumed = service.stats.resumed
+    resumed_note = f", resumed {resumed} queued job(s)" if resumed else ""
+    print(
+        f"repro service on http://{server.host}:{server.port} "
+        f"(state: {args.state_dir}, lanes<={args.lanes}, "
+        f"tick {args.tick:g}s{resumed_note})"
+    )
+    print("endpoints: POST /jobs, GET /jobs, GET /jobs/<id>, GET /stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (queued jobs resume on restart)")
+        server.shutdown()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """The ``repro submit`` subcommand body."""
+    import json
+
+    from .errors import ReproError
+    from .service.client import submit_jobs, wait_for_jobs
+
+    try:
+        if args.burst < 1:
+            print(f"error: --burst must be >= 1, got {args.burst}")
+            return 2
+        base = SimulationConfig(
+            height=args.height,
+            width=args.width,
+            n_per_side=args.agents,
+            steps=args.steps,
+            seed=args.seed,
+            backend=args.backend,
+        ).with_model(args.model)
+        specs = [
+            {
+                "config": base.replace(seed=args.seed + k).to_dict(),
+                "engine": args.engine,
+            }
+            for k in range(args.burst)
+        ]
+        jobs = submit_jobs(specs, host=args.host, port=args.port)
+        for job in jobs:
+            print(f"{job['job_id']} {job['state']} digest={job['digest'][:12]}")
+        if not args.wait:
+            return 0
+        finished = wait_for_jobs(
+            [j["job_id"] for j in jobs],
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    failed = 0
+    for job_id, job in finished.items():
+        if job["state"] == "failed":
+            failed += 1
+            print(f"{job_id} failed: {job.get('error')}")
+        else:
+            result = job.get("result") or {}
+            via = "cache" if job.get("cache_hit") else f"{job.get('lanes', 1)} lane(s)"
+            print(
+                f"{job_id} done: {result.get('throughput_total')} crossed "
+                f"in {result.get('steps_run')} steps (via {via})"
+            )
+    if failed:
+        print(json.dumps({"failed_jobs": failed}))
+        return 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    """The ``repro status`` subcommand body."""
+    import json
+
+    from .errors import ReproError
+    from .service.client import get_job, get_stats
+
+    try:
+        if args.job:
+            payload = get_job(args.job, host=args.host, port=args.port)
+        else:
+            payload = get_stats(host=args.host, port=args.port)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.job:
+        print(f"{payload['job_id']}: {payload['state']}")
+        if payload.get("error"):
+            print(f"  error: {payload['error']}")
+        result = payload.get("result")
+        if result:
+            via = (
+                "cache"
+                if payload.get("cache_hit")
+                else f"{payload.get('lanes', 1)} lane(s)"
+            )
+            print(
+                f"  {result['throughput_total']} crossed in "
+                f"{result['steps_run']} steps (via {via})"
+            )
+        return 0
+    jobs = payload.get("jobs", {})
+    job_note = ", ".join(f"{n} {state}" for state, n in sorted(jobs.items()))
+    print(
+        f"jobs: {payload['submitted']} submitted this run"
+        + (f" ({job_note})" if job_note else "")
+    )
+    print(
+        f"launches: {payload['engine_launches']} "
+        f"({payload['multi_lane_batches']} multi-lane, "
+        f"{payload['padded_batches']} padded, {payload['solo_runs']} solo, "
+        f"largest batch {payload['largest_batch']})"
+    )
+    print(
+        f"cache: {payload['cache_hits']} hits, {payload['coalesced']} "
+        f"coalesced, {payload['cache_entries']} entries on disk"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -307,6 +527,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         return _cmd_sweep(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
+
+    if args.command == "status":
+        return _cmd_status(args)
 
     if args.command == "figures":
         seeds = tuple(range(args.seeds))

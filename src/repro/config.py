@@ -15,7 +15,7 @@ from typing import Optional
 
 from .errors import ConfigurationError
 from .grid.obstacles import ObstacleSpec
-from .models.params import LEMParams, ModelParams, params_from_name
+from .models.params import MODEL_NAMES, LEMParams, ModelParams, params_from_name
 
 __all__ = ["SimulationConfig", "paper_config"]
 
@@ -238,6 +238,103 @@ class SimulationConfig:
             n_per_side=max(1, self.n_per_side // (divisor * divisor)),
             steps=max(1, steps),
         )
+
+    # ------------------------------------------------------------------
+    # Wire format (job specs, result cache keys)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict capturing the full configuration.
+
+        The inverse of :meth:`from_dict`; the serving layer ships job
+        specs through this and the content-addressed result cache hashes
+        it (:func:`repro.io.config_digest`). ``params`` carries its
+        ``model_name`` explicitly (it is a class attribute, not a
+        dataclass field) so the bundle class can be rebuilt.
+        """
+        params = dataclasses.asdict(self.params)
+        params["model_name"] = self.params.model_name
+        out = {
+            "height": self.height,
+            "width": self.width,
+            "n_per_side": self.n_per_side,
+            "steps": self.steps,
+            "seed": self.seed,
+            "params": params,
+            "fill_fraction": self.fill_fraction,
+            "init_rows": self.init_rows,
+            "cross_band": self.cross_band,
+            "forward_priority": self.forward_priority,
+            "slow_fraction": self.slow_fraction,
+            "slow_period": self.slow_period,
+            "obstacles": None,
+            "backend": self.backend,
+        }
+        if self.obstacles is not None:
+            obstacles = dataclasses.asdict(self.obstacles)
+            obstacles["rects"] = [list(r) for r in self.obstacles.rects]
+            out["obstacles"] = obstacles
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output (revalidated).
+
+        Accepts plain JSON-decoded dicts (tuples arrive as lists) and
+        raises :class:`~repro.errors.ConfigurationError` on unknown
+        fields, unknown model names or invalid values — the error class
+        the CLI and HTTP layers already map to clean failures.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"config spec must be a JSON object, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config fields {sorted(unknown)}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        params_spec = payload.pop("params", None)
+        if params_spec is not None:
+            if not isinstance(params_spec, dict):
+                raise ConfigurationError(
+                    f"params must be an object, got {type(params_spec).__name__}"
+                )
+            params_spec = dict(params_spec)
+            name = params_spec.pop("model_name", "lem")
+            try:
+                params_cls = MODEL_NAMES[str(name).strip().lower()]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown model {name!r}; expected one of {sorted(MODEL_NAMES)}"
+                ) from None
+            try:
+                payload["params"] = params_cls(**params_spec)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"bad parameters for model {name!r}: {exc}"
+                ) from None
+        obstacles_spec = payload.pop("obstacles", None)
+        if obstacles_spec is not None:
+            if not isinstance(obstacles_spec, dict):
+                raise ConfigurationError(
+                    f"obstacles must be an object, got {type(obstacles_spec).__name__}"
+                )
+            obstacles_spec = dict(obstacles_spec)
+            obstacles_spec["rects"] = tuple(
+                tuple(int(v) for v in rect)
+                for rect in obstacles_spec.get("rects", ())
+            )
+            try:
+                payload["obstacles"] = ObstacleSpec(**obstacles_spec)
+            except TypeError as exc:
+                raise ConfigurationError(f"bad obstacle spec: {exc}") from None
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad config spec: {exc}") from None
 
     def describe(self) -> str:
         """One-line human-readable description of the configuration."""

@@ -16,6 +16,7 @@ __all__ = [
     "OccupancyError",
     "StatsError",
     "ExperimentError",
+    "ServiceError",
 ]
 
 
@@ -58,3 +59,13 @@ class StatsError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment driver failed or was mis-parameterised."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The simulation service was mis-used or an RPC to it failed.
+
+    Raised by the job store on corrupt state, by the HTTP client on
+    connection/protocol failures, and by :class:`repro.service.service.
+    SimulationService` on unknown job ids. The CLI maps it (like every
+    :class:`ReproError`) to a clean exit code 2.
+    """

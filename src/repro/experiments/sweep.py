@@ -41,9 +41,17 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backend import resolve_backend
-from ..cuda.costmodel import dispatch_overhead_fraction
 from ..engine import run_batched, run_simulation
 from ..errors import ExperimentError
+from ..planner import (
+    BATCHABLE_ENGINES,
+    MAX_PAD_WASTE_CEILING,
+    MIN_PAD_WASTE,
+    LaneRequest,
+    derived_pad_waste,
+    plan_lanes,
+    validate_plan_parameters,
+)
 from .records import RunRecord, SweepReport
 from .scenarios import scenario_config, scenario_spec
 
@@ -52,41 +60,13 @@ __all__ = [
     "SweepRunner",
     "sweep_grid",
     "smoke_sweep_points",
+    # Re-exported from repro.planner (the shared lane packer) for
+    # backwards compatibility with pre-service callers.
+    "BATCHABLE_ENGINES",
+    "MIN_PAD_WASTE",
+    "MAX_PAD_WASTE_CEILING",
     "derived_pad_waste",
 ]
-
-#: Engines whose runs can share a batched launch. The sequential engine is
-#: scalar by construction and the tiled engine carries per-run tile state.
-BATCHABLE_ENGINES = ("vectorized",)
-
-#: Clamp bounds on the derived padded-slot ceiling: never pack so tightly
-#: that padding is effectively forbidden (floor) and never accept a batch
-#: that is mostly dead slots (ceiling).
-MIN_PAD_WASTE = 0.05
-MAX_PAD_WASTE_CEILING = 0.5
-
-
-def derived_pad_waste(config, max_lanes: int) -> float:
-    """Default ``max_pad_waste`` from the cost model's dispatch overhead.
-
-    Fusing ``L`` lanes into one padded batch removes ``(L - 1) / L`` of
-    the per-lane kernel-dispatch overhead, but drags the padded dead slots
-    through every whole-array stage. With ``f`` the modelled
-    dispatch-overhead fraction of one step at this scenario's scale
-    (:func:`repro.cuda.costmodel.dispatch_overhead_fraction`), dead work
-    breaks even with the saved dispatch at a padded-slot fraction of
-    ``(L - 1) / L * f / (1 - f)`` — beyond that the padding costs more
-    than the amortisation saves. Tiny dispatch-dominated scenarios
-    therefore get a loose bound (clamped at 0.5) and paper-scale
-    compute-dominated ones a tight bound (clamped at 0.05).
-    """
-    f = dispatch_overhead_fraction(
-        config.total_agents, config.model_name, (config.height, config.width)
-    )
-    f = min(f, 0.99)
-    lanes = max(2, int(max_lanes))
-    bound = (lanes - 1) / lanes * f / (1.0 - f)
-    return min(MAX_PAD_WASTE_CEILING, max(MIN_PAD_WASTE, bound))
 
 #: Worker-pool start method, chosen explicitly: ``fork`` is deprecated in
 #: the presence of threads on CPython 3.12 and stops being the POSIX
@@ -312,14 +292,9 @@ class SweepRunner:
         max_pad_waste: Optional[float] = None,
         backend: Optional[str] = None,
     ) -> None:
-        if max_lanes < 1:
-            raise ExperimentError(f"max_lanes must be >= 1, got {max_lanes}")
+        validate_plan_parameters(max_lanes, max_pad_waste)
         if processes < 1:
             raise ExperimentError(f"processes must be >= 1, got {processes}")
-        if max_pad_waste is not None and not (0.0 <= max_pad_waste < 1.0):
-            raise ExperimentError(
-                f"max_pad_waste must be in [0, 1), got {max_pad_waste}"
-            )
         self.max_lanes = int(max_lanes)
         self.processes = int(processes)
         self.record_timeline = bool(record_timeline)
@@ -333,143 +308,67 @@ class SweepRunner:
     def plan(self, points: Sequence[SweepPoint]) -> List[_WorkUnit]:
         """Group points into batched / padded / solo work units.
 
-        Points sharing a full batch key on a batchable engine pack into
-        lanes of at most ``max_lanes`` seeds. A seed repeated *within* a
-        key cannot share that key's batch (the batched engine requires
-        distinct (config, seed) lanes), so only the duplicate occurrences
-        fall back to solo runs — the distinct seeds still batch. With
+        The packing decisions live in :func:`repro.planner.plan_lanes`
+        (shared with the serving layer's micro-batching scheduler):
+        points sharing a full batch key on a batchable engine pack into
+        lanes of at most ``max_lanes`` seeds; a seed repeated *within* a
+        key demotes only the duplicate occurrences to solo runs; with
         ``pad_lanes`` enabled, lanes from different scenarios of the same
         ``pad_key`` additionally fuse into padded batches under the
         ``max_pad_waste`` bound.
         """
-        groups: Dict[Tuple, List[Tuple[int, SweepPoint]]] = {}
-        order: List[Tuple] = []
+        points = list(points)
+        requests: List[LaneRequest] = []
+        # Scenario populations repeat across seeds; cache the built config
+        # per (scenario, model, scale, steps) so planning a large grid does
+        # not re-derive the same scaled geometry point by point. Configs
+        # are only consulted for padding accounting and waste derivation
+        # (model included because the derived bound prices the model's
+        # dispatch overhead), so the cached copy's seed being the first
+        # occurrence's is immaterial (and configs are skipped entirely
+        # without ``pad_lanes``).
+        sizing: Dict[Tuple, object] = {}
         for i, p in enumerate(points):
-            key = p.batch_key
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append((i, p))
-
-        units: List[_WorkUnit] = []
-        pools: Dict[Tuple, List[Tuple[int, SweepPoint]]] = {}
-        pool_order: List[Tuple] = []
-
-        def solo(member: Tuple[int, SweepPoint]) -> _WorkUnit:
-            i, p = member
-            return _WorkUnit(
-                point=p,
-                seeds=(p.seed,),
-                batched=False,
-                record_timeline=self.record_timeline,
-                indices=(i,),
-                backend=self.backend,
-            )
-
-        for key in order:
-            members = groups[key]
-            rep = members[0][1]
-            eligible = rep.engine in BATCHABLE_ENGINES and self.max_lanes > 1
-            if not eligible:
-                units.extend(solo(m) for m in members)
-                continue
-            # First occurrence of each seed is batchable; repeats are not.
-            seen: set = set()
-            firsts: List[Tuple[int, SweepPoint]] = []
-            dups: List[Tuple[int, SweepPoint]] = []
-            for member in members:
-                if member[1].seed in seen:
-                    dups.append(member)
-                else:
-                    seen.add(member[1].seed)
-                    firsts.append(member)
+            agents = 0
+            cfg = None
             if self.pad_lanes:
-                pad_key = rep.pad_key
-                if pad_key not in pools:
-                    pools[pad_key] = []
-                    pool_order.append(pad_key)
-                pools[pad_key].extend(firsts)
-            elif len(firsts) >= 2:
-                for start in range(0, len(firsts), self.max_lanes):
-                    chunk = firsts[start : start + self.max_lanes]
-                    units.append(
-                        _WorkUnit(
-                            point=chunk[0][1],
-                            seeds=tuple(p.seed for _, p in chunk),
-                            batched=len(chunk) > 1,
-                            record_timeline=self.record_timeline,
-                            indices=tuple(i for i, _ in chunk),
-                            backend=self.backend,
-                        )
-                    )
-            else:
-                dups = firsts + dups
-            units.extend(solo(m) for m in dups)
-
-        for pad_key in pool_order:
-            units.extend(self._pack_padded(pools[pad_key]))
-        return units
-
-    # ------------------------------------------------------------------
-    def _pack_padded(
-        self, members: List[Tuple[int, SweepPoint]]
-    ) -> List[_WorkUnit]:
-        """Pack one pad-key pool into padded batches under the waste bound.
-
-        Lanes sort largest-population-first (stable by request order), so
-        each greedy chunk pads against its own first lane; the chunk closes
-        when it is full or admitting the next lane would push the padded
-        agent-slot fraction past the waste ceiling. An explicit
-        ``max_pad_waste`` wins; otherwise the ceiling derives from the
-        cost model's dispatch-overhead estimate at the pool's largest
-        scenario (:func:`derived_pad_waste`).
-        """
-        agents_of: Dict[int, int] = {}
-        sized = []
-        for i, p in members:
-            if p.scenario_index not in agents_of:
-                agents_of[p.scenario_index] = p.config().total_agents
-            sized.append((i, p, agents_of[p.scenario_index]))
-        sized.sort(key=lambda t: (-t[2], t[0]))
-
-        waste_bound = self.max_pad_waste
-        if waste_bound is None:
-            waste_bound = derived_pad_waste(sized[0][1].config(), self.max_lanes)
+                size_key = (p.scenario_index, p.model, p.scale, p.steps)
+                if size_key not in sizing:
+                    sizing[size_key] = p.config()
+                cfg = sizing[size_key]
+                agents = cfg.total_agents
+            requests.append(
+                LaneRequest(
+                    index=i,
+                    seed=p.seed,
+                    engine=p.engine,
+                    batch_key=p.batch_key,
+                    pad_key=p.pad_key,
+                    agents=agents,
+                    config=cfg,
+                )
+            )
+        planned = plan_lanes(
+            requests,
+            max_lanes=self.max_lanes,
+            pad_lanes=self.pad_lanes,
+            max_pad_waste=self.max_pad_waste,
+        )
 
         units: List[_WorkUnit] = []
-
-        def emit(chunk: List[Tuple[int, SweepPoint, int]]) -> None:
-            if not chunk:
-                return
-            rep = chunk[0][1]
-            homogeneous = all(p.batch_key == rep.batch_key for _, p, _ in chunk)
+        for batch in planned:
+            lane_points = [points[i] for i in batch.indices]
             units.append(
                 _WorkUnit(
-                    point=rep,
-                    seeds=tuple(p.seed for _, p, _ in chunk),
-                    batched=len(chunk) > 1,
+                    point=lane_points[0],
+                    seeds=tuple(p.seed for p in lane_points),
+                    batched=batch.batched,
                     record_timeline=self.record_timeline,
-                    indices=tuple(i for i, _, _ in chunk),
-                    points=None
-                    if homogeneous
-                    else tuple(p for _, p, _ in chunk),
+                    indices=batch.indices,
+                    points=tuple(lane_points) if batch.mixed else None,
                     backend=self.backend,
                 )
             )
-
-        chunk: List[Tuple[int, SweepPoint, int]] = []
-        filled = 0
-        for atom in sized:
-            if chunk:
-                slot = chunk[0][2]  # pad target: the chunk's largest lane
-                waste = 1.0 - (filled + atom[2]) / ((len(chunk) + 1) * slot)
-                if len(chunk) >= self.max_lanes or waste > waste_bound:
-                    emit(chunk)
-                    chunk = []
-                    filled = 0
-            chunk.append(atom)
-            filled += atom[2]
-        emit(chunk)
         return units
 
     # ------------------------------------------------------------------

@@ -1,6 +1,8 @@
-"""I/O: text-table recording (paper data flow), ASCII plots, grid rendering."""
+"""I/O: text-table recording (paper data flow), ASCII plots, grid
+rendering, canonical content digests and result wire formats."""
 
 from .asciiplot import bar_chart, line_plot
+from .digest import canonical_config_json, config_digest, engine_state_digest
 from .recorder import (
     read_json_record,
     read_text_table,
@@ -8,6 +10,7 @@ from .recorder import (
     write_text_table,
 )
 from .render import render_density, render_engine, render_grid
+from .results import run_result_from_dict, run_result_to_dict
 
 __all__ = [
     "write_text_table",
@@ -19,4 +22,9 @@ __all__ = [
     "render_grid",
     "render_density",
     "render_engine",
+    "canonical_config_json",
+    "config_digest",
+    "engine_state_digest",
+    "run_result_to_dict",
+    "run_result_from_dict",
 ]

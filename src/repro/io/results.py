@@ -1,0 +1,61 @@
+"""Wire format for :class:`~repro.engine.base.RunResult`.
+
+The serving layer persists completed results in the content-addressed
+cache and ships them over HTTP; both need a JSON round trip that
+preserves every field bit-for-bit (timelines included, when recorded).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..engine.base import RunResult
+from ..errors import ConfigurationError
+
+__all__ = ["run_result_to_dict", "run_result_from_dict"]
+
+
+def _timeline_out(arr) -> Optional[list]:
+    return None if arr is None else np.asarray(arr).tolist()
+
+
+def _timeline_in(values) -> Optional[np.ndarray]:
+    return None if values is None else np.asarray(values, dtype=np.int64)
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """JSON-ready dict for a run result (inverse of
+    :func:`run_result_from_dict`)."""
+    return {
+        "platform": result.platform,
+        "seed": int(result.seed),
+        "steps_run": int(result.steps_run),
+        "throughput_total": int(result.throughput_total),
+        "throughput_top": int(result.throughput_top),
+        "throughput_bottom": int(result.throughput_bottom),
+        "moved_per_step": _timeline_out(result.moved_per_step),
+        "crossings_per_step": _timeline_out(result.crossings_per_step),
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` written by :func:`run_result_to_dict`."""
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"result payload must be a JSON object, got {type(data).__name__}"
+        )
+    try:
+        return RunResult(
+            platform=str(data["platform"]),
+            seed=int(data["seed"]),
+            steps_run=int(data["steps_run"]),
+            throughput_total=int(data["throughput_total"]),
+            throughput_top=int(data["throughput_top"]),
+            throughput_bottom=int(data["throughput_bottom"]),
+            moved_per_step=_timeline_in(data.get("moved_per_step")),
+            crossings_per_step=_timeline_in(data.get("crossings_per_step")),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"result payload missing field {exc}") from None

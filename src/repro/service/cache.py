@@ -1,0 +1,62 @@
+"""Content-addressed result cache.
+
+Completed results are stored on disk under the canonical digest of their
+resolved config (:func:`repro.io.config_digest`): two requests with the
+same digest are the same simulation, and the engines' bit-identity
+guarantee (same ``(config, seed)`` → same trajectory on every engine and
+backend) makes serving the stored result exactly as good as re-running.
+Entries record which platform produced them, so a cached answer is
+attributable even when served to a request that named a different
+engine.
+
+Writes are atomic (temp file + ``os.replace``), so a killed server never
+leaves a torn entry — a partially written result simply never becomes
+visible under its digest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """On-disk ``digest → result payload`` map (one JSON file per entry)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.json")
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The cached payload for ``digest``, or None on a miss."""
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # Unreadable entry (e.g. external tampering): treat as a miss;
+            # the fresh result will overwrite it atomically.
+            return None
+
+    def put(self, digest: str, payload: dict) -> None:
+        """Store ``payload`` under ``digest`` atomically."""
+        path = self._path(digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def __len__(self) -> int:
+        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))

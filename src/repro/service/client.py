@@ -1,0 +1,123 @@
+"""Thin stdlib HTTP client for the simulation service.
+
+Used by ``repro submit`` / ``repro status`` and the service smoke tests;
+every transport or protocol failure surfaces as
+:class:`~repro.errors.ServiceError` (exit code 2 at the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ServiceError
+from .http import DEFAULT_PORT
+
+__all__ = [
+    "submit_jobs",
+    "get_job",
+    "list_jobs",
+    "get_stats",
+    "wait_for_jobs",
+]
+
+
+def _request(
+    method: str,
+    host: str,
+    port: int,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 10.0,
+) -> dict:
+    url = f"http://{host}:{port}{path}"
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:
+            detail = ""
+        raise ServiceError(
+            f"{method} {url} failed: HTTP {exc.code}"
+            + (f" ({detail})" if detail else "")
+        ) from None
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"{method} {url} failed: {exc}") from None
+
+
+def submit_jobs(
+    specs: Sequence[dict],
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    timeout: float = 10.0,
+) -> List[dict]:
+    """Submit job specs (``{"config": {...}, "engine": ...}``) in one burst."""
+    out = _request(
+        "POST", host, port, "/jobs", {"jobs": list(specs)}, timeout=timeout
+    )
+    return out.get("jobs", [])
+
+
+def get_job(
+    job_id: str,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    timeout: float = 10.0,
+) -> dict:
+    return _request("GET", host, port, f"/jobs/{job_id}", timeout=timeout)
+
+
+def list_jobs(
+    host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
+) -> List[dict]:
+    return _request("GET", host, port, "/jobs", timeout=timeout).get("jobs", [])
+
+
+def get_stats(
+    host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
+) -> dict:
+    return _request("GET", host, port, "/stats", timeout=timeout)
+
+
+def wait_for_jobs(
+    job_ids: Sequence[str],
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    timeout: float = 120.0,
+    poll_interval: float = 0.1,
+) -> Dict[str, dict]:
+    """Poll until every job id is done/failed; returns ``id → job dict``.
+
+    Raises :class:`ServiceError` if the deadline passes with jobs still
+    pending (listing which).
+    """
+    deadline = time.monotonic() + timeout
+    finished: Dict[str, dict] = {}
+    pending = list(job_ids)
+    while pending:
+        still: List[str] = []
+        for job_id in pending:
+            job = get_job(job_id, host=host, port=port)
+            if job.get("state") in ("done", "failed"):
+                finished[job_id] = job
+            else:
+                still.append(job_id)
+        pending = still
+        if pending:
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for "
+                    f"{len(pending)} job(s): {', '.join(pending[:5])}"
+                )
+            time.sleep(poll_interval)
+    return finished

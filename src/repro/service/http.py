@@ -1,0 +1,211 @@
+"""Stdlib HTTP front end for :class:`~repro.service.service.SimulationService`.
+
+Endpoints (JSON in, JSON out — no dependencies beyond ``http.server``):
+
+* ``POST /jobs`` — submit. Body is either one spec
+  ``{"config": {...}, "engine": "vectorized"}`` or a burst
+  ``{"jobs": [spec, ...]}``; bursts enqueue atomically so they land in a
+  single micro-batch. Returns ``{"jobs": [job, ...]}`` with 202.
+* ``GET /jobs`` — every job (summaries, no config echo).
+* ``GET /jobs/<id>`` — one job, result included when done.
+* ``GET /stats`` — serving counters (launches, cache hits, queue depth).
+* ``GET /healthz`` — liveness probe (``{"ok": true}``).
+
+Request handling runs on :class:`~http.server.ThreadingHTTPServer`
+threads; the micro-batching loop is one background thread draining the
+queue every ``tick_interval`` seconds. The service's own lock reconciles
+the two, with engine work outside it — so submissions and status polls
+stay responsive while a batch executes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple
+
+from ..config import SimulationConfig
+from ..errors import ReproError, ServiceError
+from .service import SimulationService
+
+__all__ = ["ServiceServer", "DEFAULT_PORT"]
+
+#: Default TCP port for ``repro serve`` (no registered meaning; chosen to
+#: stay clear of the common dev-server squat zone around 8000/8080).
+DEFAULT_PORT = 8177
+
+#: Refuse request bodies beyond this size (a config spec is ~1 KB; this
+#: allows bursts of thousands while bounding memory per request).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _parse_specs(payload: dict) -> List[Tuple[SimulationConfig, str]]:
+    """Decode a submit body into ``(config, engine)`` pairs."""
+    if not isinstance(payload, dict):
+        raise ServiceError("submit body must be a JSON object")
+    raw_specs = payload.get("jobs", [payload])
+    if not isinstance(raw_specs, list) or not raw_specs:
+        raise ServiceError('"jobs" must be a non-empty list of job specs')
+    specs: List[Tuple[SimulationConfig, str]] = []
+    for spec in raw_specs:
+        if not isinstance(spec, dict) or "config" not in spec:
+            raise ServiceError('each job spec needs a "config" object')
+        config = SimulationConfig.from_dict(spec["config"])
+        specs.append((config, str(spec.get("engine", "vectorized"))))
+    return specs
+
+
+def _make_handler(service: SimulationService):
+    class Handler(BaseHTTPRequestHandler):
+        # One service instance per server; closed over, not global.
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+            pass  # request logging is the caller's business, not stderr's
+
+        # -- helpers ---------------------------------------------------
+        def _reply(self, code: int, payload: dict) -> None:
+            blob = json.dumps(payload).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+
+        def _error(self, code: int, message: str) -> None:
+            self._reply(code, {"error": message})
+
+        def _read_json(self) -> Optional[dict]:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                length = -1
+            if length < 0 or length > _MAX_BODY_BYTES:
+                self._error(413, "missing or oversized request body")
+                return None
+            try:
+                return json.loads(self.rfile.read(length).decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                self._error(400, f"bad JSON body: {exc}")
+                return None
+
+        # -- routes ----------------------------------------------------
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            if self.path.rstrip("/") != "/jobs":
+                self._error(404, f"no such endpoint: POST {self.path}")
+                return
+            payload = self._read_json()
+            if payload is None:
+                return
+            try:
+                jobs = service.submit_specs(_parse_specs(payload))
+            except ReproError as exc:
+                self._error(400, str(exc))
+                return
+            self._reply(202, {"jobs": jobs})
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._reply(200, {"ok": True})
+            elif path == "/stats":
+                self._reply(200, service.stats_dict())
+            elif path == "/jobs":
+                self._reply(200, {"jobs": service.jobs_payload()})
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/") :]
+                try:
+                    payload = service.job_payload(job_id)
+                except ServiceError as exc:
+                    self._error(404, str(exc))
+                    return
+                self._reply(200, payload)
+            else:
+                self._error(404, f"no such endpoint: GET {path}")
+
+    return Handler
+
+
+class ServiceServer:
+    """HTTP listener plus the micro-batching tick loop.
+
+    ``port=0`` binds an ephemeral port (tests); read :attr:`port` for
+    the bound value. :meth:`start` runs everything on daemon threads
+    (in-process use); :meth:`serve_forever` blocks (the CLI path).
+    """
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        tick_interval: float = 0.05,
+    ) -> None:
+        if tick_interval <= 0:
+            raise ServiceError(
+                f"tick_interval must be positive, got {tick_interval}"
+            )
+        self.service = service
+        self.tick_interval = float(tick_interval)
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (host, int(port)), _make_handler(service)
+            )
+        except OSError as exc:
+            # EADDRINUSE and friends become the clean CLI exit-2 path.
+            raise ServiceError(
+                f"cannot bind http://{host}:{port}: {exc}"
+            ) from None
+        self._httpd.daemon_threads = True
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    # ------------------------------------------------------------------
+    def _tick_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.service.tick()
+            except Exception:  # keep serving; a broken batch is not fatal
+                traceback.print_exc()
+            # Fixed-interval micro-batching: the wait *is* the batching
+            # window in which concurrent submissions accumulate.
+            self._stop.wait(self.tick_interval)
+
+    def _spawn(self, target) -> None:
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def start(self) -> None:
+        """Serve and tick on background threads (non-blocking)."""
+        self._spawn(self._tick_loop)
+        self._spawn(self._httpd.serve_forever)
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (ticks in the background)."""
+        self._spawn(self._tick_loop)
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the tick loop and close the listener (idempotent)."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)

@@ -1,0 +1,114 @@
+"""Job model: a submitted simulation request and its lifecycle.
+
+A job is a :class:`~repro.config.SimulationConfig`-derived spec plus an
+engine name, identified two ways:
+
+* ``job_id`` — the submission handle ("job-000042"), unique per store;
+* ``digest`` — the content address (:func:`repro.io.config_digest` of the
+  resolved config), shared by every submission of the same simulation.
+  The scheduler coalesces queued jobs with equal digests and the result
+  cache serves repeats without re-execution.
+
+States move ``queued → running → done | failed``; a restarted server
+requeues jobs the previous process left ``running`` (the JSONL store
+replays to the last recorded state).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import SimulationConfig
+from ..errors import ServiceError
+from ..io import config_digest
+
+__all__ = ["JobState", "Job", "job_to_dict", "job_from_dict"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submitted simulation request (mutable lifecycle record)."""
+
+    job_id: str
+    config: SimulationConfig = field(repr=False)
+    engine: str
+    #: Content address of the resolved config (cache / coalescing key).
+    digest: str
+    state: JobState = JobState.QUEUED
+    #: Serialised :class:`~repro.engine.base.RunResult` once done
+    #: (:func:`repro.io.run_result_to_dict` format).
+    result: Optional[dict] = field(repr=False, default=None)
+    error: Optional[str] = None
+    #: True when the result came from the cache (disk hit) or was
+    #: coalesced onto another job's execution instead of running.
+    cache_hit: bool = False
+    #: Lanes in the launch that produced the result (1 = solo run,
+    #: 0 = never executed here, e.g. a cache hit).
+    lanes: int = 0
+    #: Amortised wall seconds attributed to this job's lane.
+    wall_seconds: float = 0.0
+
+    @classmethod
+    def create(
+        cls, job_id: str, config: SimulationConfig, engine: str = "vectorized"
+    ) -> "Job":
+        """Build a queued job, deriving the content digest."""
+        return cls(
+            job_id=job_id,
+            config=config,
+            engine=str(engine),
+            digest=config_digest(config),
+        )
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+
+def job_to_dict(job: Job, with_config: bool = True) -> dict:
+    """JSON-ready dict for a job (HTTP payloads and the JSONL store)."""
+    out = {
+        "job_id": job.job_id,
+        "engine": job.engine,
+        "digest": job.digest,
+        "state": job.state.value,
+        "result": job.result,
+        "error": job.error,
+        "cache_hit": job.cache_hit,
+        "lanes": job.lanes,
+        "wall_seconds": job.wall_seconds,
+    }
+    if with_config:
+        out["config"] = job.config.to_dict()
+    return out
+
+
+def job_from_dict(data: dict) -> Job:
+    """Rebuild a job from :func:`job_to_dict` output."""
+    try:
+        state = JobState(data.get("state", "queued"))
+        return Job(
+            job_id=str(data["job_id"]),
+            config=SimulationConfig.from_dict(data["config"]),
+            engine=str(data["engine"]),
+            digest=str(data["digest"]),
+            state=state,
+            result=data.get("result"),
+            error=data.get("error"),
+            cache_hit=bool(data.get("cache_hit", False)),
+            lanes=int(data.get("lanes", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ServiceError(f"malformed job record: {exc}") from None

@@ -1,0 +1,199 @@
+"""Micro-batching scheduler: pack queued jobs into batched launches.
+
+Whatever jobs are queued when a service tick fires are handed to
+:func:`repro.planner.plan_lanes` — the same packer the sweep runner uses
+offline — and executed with the fewest engine launches the compatibility
+rules allow:
+
+* jobs whose configs differ only in their seed stack into same-shape
+  :func:`~repro.engine.run_batched` lanes;
+* with ``pad_lanes`` (the serving default), jobs that agree on what the
+  batched engine requires lanes to share — movement-model parameters,
+  step budget, array backend, engine — fuse into *padded* heterogeneous
+  batches under the cost-model waste ceiling, populations and grid
+  shapes padded to the largest lane;
+* everything else (sequential/tiled engines, waste-bound overflow) falls
+  back to solo :func:`~repro.engine.run_simulation` calls.
+
+Every lane is bit-identical to a solo run of its config (the batched
+engine's core guarantee), so serving from a batch is invisible to the
+requester except in latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..engine import run_batched, run_simulation
+from ..engine.base import RunResult
+from ..errors import ReproError
+from ..planner import (
+    LaneRequest,
+    PlannedBatch,
+    plan_lanes,
+    validate_plan_parameters,
+)
+
+__all__ = ["BatchScheduler", "SchedulerStats", "ExecutionOutcome"]
+
+
+@dataclass
+class SchedulerStats:
+    """Launch accounting for one or more scheduler passes.
+
+    ``engine_launches`` counts actual engine invocations (batched or
+    solo); a burst of N compatible jobs served in fewer than N launches
+    is the whole point of the scheduler, and ``multi_lane_batches``
+    proves it happened.
+    """
+
+    engine_launches: int = 0
+    #: Launches that fused more than one job.
+    multi_lane_batches: int = 0
+    #: Multi-lane launches whose lanes spanned different configs (padded).
+    padded_batches: int = 0
+    lanes_executed: int = 0
+    solo_runs: int = 0
+    largest_batch: int = 0
+    failed_launches: int = 0
+
+    def merge(self, other: "SchedulerStats") -> None:
+        self.engine_launches += other.engine_launches
+        self.multi_lane_batches += other.multi_lane_batches
+        self.padded_batches += other.padded_batches
+        self.lanes_executed += other.lanes_executed
+        self.solo_runs += other.solo_runs
+        self.largest_batch = max(self.largest_batch, other.largest_batch)
+        self.failed_launches += other.failed_launches
+
+    def to_dict(self) -> dict:
+        return {
+            "engine_launches": self.engine_launches,
+            "multi_lane_batches": self.multi_lane_batches,
+            "padded_batches": self.padded_batches,
+            "lanes_executed": self.lanes_executed,
+            "solo_runs": self.solo_runs,
+            "largest_batch": self.largest_batch,
+            "failed_launches": self.failed_launches,
+        }
+
+
+@dataclass
+class ExecutionOutcome:
+    """What happened to one job in a scheduler pass."""
+
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    #: Lanes in the launch that carried this job (1 = solo).
+    lanes: int = 1
+    #: Amortised wall seconds attributed to this job's lane.
+    wall_seconds: float = 0.0
+
+
+class BatchScheduler:
+    """Plan and execute a drained queue of jobs in batched launches."""
+
+    def __init__(
+        self,
+        max_lanes: int = 8,
+        pad_lanes: bool = True,
+        max_pad_waste: Optional[float] = None,
+        record_timeline: bool = False,
+    ) -> None:
+        validate_plan_parameters(max_lanes, max_pad_waste)
+        self.max_lanes = int(max_lanes)
+        self.pad_lanes = bool(pad_lanes)
+        self.max_pad_waste = None if max_pad_waste is None else float(max_pad_waste)
+        self.record_timeline = bool(record_timeline)
+
+    # ------------------------------------------------------------------
+    def plan(self, jobs: Sequence) -> List[PlannedBatch]:
+        """Plan a job list into launches (indices into ``jobs``)."""
+        requests = []
+        for i, job in enumerate(jobs):
+            cfg = job.config
+            requests.append(
+                LaneRequest(
+                    index=i,
+                    seed=cfg.seed,
+                    engine=job.engine,
+                    # Same batch key <=> same launch geometry and model;
+                    # the config is hashable, so the config-minus-seed
+                    # itself is the key.
+                    batch_key=(job.engine, cfg.replace(seed=0)),
+                    # Pad-fusable <=> agreement on what BatchedEngine
+                    # requires lanes to share (params, steps, backend) on
+                    # the same engine.
+                    pad_key=(job.engine, cfg.params, cfg.steps, cfg.backend),
+                    agents=cfg.total_agents,
+                    config=cfg,
+                )
+            )
+        return plan_lanes(
+            requests,
+            max_lanes=self.max_lanes,
+            pad_lanes=self.pad_lanes,
+            max_pad_waste=self.max_pad_waste,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, jobs: Sequence) -> Tuple[List[ExecutionOutcome], SchedulerStats]:
+        """Run every job; outcomes align with ``jobs`` by position.
+
+        A launch that raises (engine/build errors) fails only its own
+        lanes — the remaining launches still run.
+        """
+        outcomes: List[Optional[ExecutionOutcome]] = [None] * len(jobs)
+        stats = SchedulerStats()
+        for batch in self.plan(jobs):
+            lane_jobs = [jobs[i] for i in batch.indices]
+            n = len(lane_jobs)
+            try:
+                if batch.batched:
+                    out = run_batched(
+                        [j.config for j in lane_jobs],
+                        [j.config.seed for j in lane_jobs],
+                        record_timeline=self.record_timeline,
+                    )
+                    stats.engine_launches += 1
+                    stats.multi_lane_batches += 1
+                    stats.padded_batches += 1 if batch.mixed else 0
+                    stats.lanes_executed += n
+                    stats.largest_batch = max(stats.largest_batch, n)
+                    per_lane_wall = out.wall_seconds_per_lane
+                    for i, result in zip(batch.indices, out.results):
+                        outcomes[i] = ExecutionOutcome(
+                            result=result, lanes=n, wall_seconds=per_lane_wall
+                        )
+                else:
+                    job = lane_jobs[0]
+                    timed = run_simulation(
+                        job.config,
+                        engine=job.engine,
+                        record_timeline=self.record_timeline,
+                    )
+                    stats.engine_launches += 1
+                    stats.solo_runs += 1
+                    stats.lanes_executed += 1
+                    stats.largest_batch = max(stats.largest_batch, 1)
+                    outcomes[batch.indices[0]] = ExecutionOutcome(
+                        result=timed.result,
+                        lanes=1,
+                        wall_seconds=timed.wall_seconds,
+                    )
+            except Exception as exc:  # noqa: BLE001 - a launch must never
+                # strand its jobs: anything an engine throws (ReproError,
+                # numpy shape/memory errors, bugs) becomes a per-job
+                # failure the service can report, not a lost tick.
+                stats.failed_launches += 1
+                for i in batch.indices:
+                    outcomes[i] = ExecutionOutcome(error=str(exc), lanes=n)
+        # plan_lanes covers every index exactly once, so no slot is None;
+        # guard anyway so a planner regression surfaces loudly here.
+        missing = [i for i, o in enumerate(outcomes) if o is None]
+        if missing:
+            raise ReproError(
+                f"scheduler lost jobs at positions {missing}"
+            )  # pragma: no cover - planner invariant
+        return outcomes, stats

@@ -1,0 +1,309 @@
+"""`SimulationService`: jobs in, batched launches out, answers remembered.
+
+The in-process facade composing the serving subsystem::
+
+    svc = SimulationService("state/")          # resumes a prior queue
+    job = svc.submit(SimulationConfig(...))    # queued
+    svc.run_until_idle()                       # micro-batched execution
+    svc.job(job.job_id).result                 # RunResult wire dict
+
+Each :meth:`tick` is one micro-batch: drain the queue, answer what the
+content-addressed cache already knows, coalesce duplicate digests onto
+one execution, pack the rest into batched launches via the shared lane
+planner, persist everything as it happens. The HTTP front end
+(:mod:`repro.service.http`) just calls :meth:`submit` and :meth:`tick`
+from different threads; the internal lock makes that safe, and the
+engine work itself runs outside the lock so submissions never block on a
+running batch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import SimulationConfig
+from ..errors import ServiceError
+from ..io import run_result_to_dict
+from .cache import ResultCache
+from .jobs import Job, JobState, job_to_dict
+from .scheduler import BatchScheduler, SchedulerStats
+from .store import JobStore
+
+__all__ = ["SimulationService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Process-lifetime serving counters (reported by ``repro status``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Jobs answered from the on-disk result cache without any execution.
+    cache_hits: int = 0
+    #: Jobs coalesced onto an identical in-flight job within one tick.
+    coalesced: int = 0
+    #: Jobs requeued from the store at startup (previous process died).
+    resumed: int = 0
+    ticks: int = 0
+    launches: SchedulerStats = field(default_factory=SchedulerStats)
+
+    def to_dict(self) -> dict:
+        out = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "resumed": self.resumed,
+            "ticks": self.ticks,
+        }
+        out.update(self.launches.to_dict())
+        return out
+
+
+class SimulationService:
+    """Long-running simulation-as-a-service over one state directory.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory holding the JSONL job log (``jobs.jsonl``) and the
+        content-addressed result cache (``cache/``). Created on demand;
+        an existing log is replayed so a restarted service resumes its
+        queue (jobs a dead process left running are requeued).
+    max_lanes, pad_lanes, max_pad_waste, record_timeline:
+        Forwarded to :class:`~repro.service.scheduler.BatchScheduler`.
+        Padded packing defaults *on* for serving: independent requests
+        rarely share a population, so padding is what makes continuous
+        batching pay.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        max_lanes: int = 8,
+        pad_lanes: bool = True,
+        max_pad_waste: Optional[float] = None,
+        record_timeline: bool = False,
+    ) -> None:
+        self.state_dir = str(state_dir)
+        self.scheduler = BatchScheduler(
+            max_lanes=max_lanes,
+            pad_lanes=pad_lanes,
+            max_pad_waste=max_pad_waste,
+            record_timeline=record_timeline,
+        )
+        self.store = JobStore(os.path.join(self.state_dir, "jobs.jsonl"))
+        self.cache = ResultCache(os.path.join(self.state_dir, "cache"))
+        self.stats = ServiceStats(resumed=self.store.resumed_jobs)
+        #: Guards store/cache/stats mutation; engine work runs outside it.
+        self._lock = threading.RLock()
+        #: Serialises ticks (the drain→execute→commit cycle is one batch).
+        self._tick_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Submission / inspection
+    # ------------------------------------------------------------------
+    def submit(
+        self, config: SimulationConfig, engine: str = "vectorized"
+    ) -> Job:
+        """Queue one simulation request; returns its job handle."""
+        with self._lock:
+            job = Job.create(self.store.next_job_id(), config, engine)
+            self.store.submit(job)
+            self.stats.submitted += 1
+            return job
+
+    def submit_many(
+        self, specs: List[tuple]
+    ) -> List[Job]:
+        """Queue ``(config, engine)`` pairs atomically (one burst).
+
+        Holding the lock across the whole burst guarantees a concurrent
+        tick sees either none or all of it — which is what lets a client
+        burst land in a single micro-batch. The store persists the burst
+        as one append (one fsync), so a large burst does not stall
+        status reads behind a per-job fsync train.
+        """
+        with self._lock:
+            jobs = [
+                Job.create(self.store.next_job_id(), cfg, engine)
+                for cfg, engine in specs
+            ]
+            self.store.submit_all(jobs)
+            self.stats.submitted += len(jobs)
+            return jobs
+
+    def job(self, job_id: str) -> Job:
+        """The job for ``job_id`` (raises :class:`ServiceError` if unknown)."""
+        with self._lock:
+            job = self.store.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job id {job_id!r}")
+            return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return self.store.jobs()
+
+    # -- lock-held dict snapshots (what the HTTP handlers serve) --------
+    # Jobs are mutable and the tick loop updates them under the lock, so
+    # serialising outside it could observe a half-committed transition;
+    # these helpers snapshot while holding the lock.
+    def submit_specs(self, specs: List[tuple]) -> List[dict]:
+        with self._lock:
+            return [job_to_dict(j) for j in self.submit_many(specs)]
+
+    def job_payload(self, job_id: str) -> dict:
+        with self._lock:
+            return job_to_dict(self.job(job_id))
+
+    def jobs_payload(self) -> List[dict]:
+        with self._lock:
+            return [job_to_dict(j, with_config=False) for j in self.jobs()]
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            out = self.stats.to_dict()
+            states: Dict[str, int] = {}
+            for job in self.store.jobs():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+            out["jobs"] = states
+            out["queued"] = states.get("queued", 0)
+            out["cache_entries"] = len(self.cache)
+            return out
+
+    # ------------------------------------------------------------------
+    # Micro-batching
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Run one micro-batch over the currently queued jobs.
+
+        Returns the number of jobs that reached a terminal state. Safe to
+        call concurrently with :meth:`submit`; concurrent ticks serialise.
+        """
+        with self._tick_lock:
+            with self._lock:
+                queued = self.store.queued()
+                if not queued:
+                    return 0
+                reps: List[Job] = []
+                followers: Dict[str, List[Job]] = {}
+                # Coalescing keys on (digest, engine), not digest alone:
+                # sharing a *success* across engines is sound (bit
+                # identity) and the disk cache does it, but a failure is
+                # engine-specific (e.g. the tiled engine rejecting a
+                # grid), so a job must never inherit a failure from a
+                # rep that ran a different engine.
+                by_key: Dict[tuple, Job] = {}
+                dirty: List[Job] = []
+                done = 0
+                for job in queued:
+                    cached = self.cache.get(job.digest)
+                    if cached is not None:
+                        self._finish_from_payload(job, cached, disk_hit=True)
+                        dirty.append(job)
+                        done += 1
+                        continue
+                    job.state = JobState.RUNNING
+                    dirty.append(job)
+                    rep = by_key.get((job.digest, job.engine))
+                    if rep is None:
+                        by_key[(job.digest, job.engine)] = job
+                        reps.append(job)
+                    else:
+                        followers.setdefault(rep.job_id, []).append(job)
+                self.store.update_all(dirty)
+                self.stats.ticks += 1
+
+            # Engine work happens outside the lock: submissions (and
+            # status reads) stay responsive while a batch executes.
+            outcomes, launch_stats = (
+                self.scheduler.execute(reps) if reps else ([], SchedulerStats())
+            )
+
+            with self._lock:
+                self.stats.launches.merge(launch_stats)
+                dirty = []
+                for job, outcome in zip(reps, outcomes):
+                    if outcome.error is not None:
+                        self._fail(job, outcome.error)
+                        dirty.append(job)
+                        done += 1
+                        for follower in followers.get(job.job_id, ()):
+                            self._fail(follower, outcome.error, coalesced=True)
+                            dirty.append(follower)
+                            done += 1
+                        continue
+                    payload = {
+                        "digest": job.digest,
+                        "config": job.config.to_dict(),
+                        "engine": job.engine,
+                        "result": run_result_to_dict(outcome.result),
+                        "lanes": outcome.lanes,
+                        "wall_seconds": outcome.wall_seconds,
+                    }
+                    self.cache.put(job.digest, payload)
+                    # Result fields land before the state flips to DONE,
+                    # so even a reader that skipped the lock could never
+                    # see a "done" job without its result.
+                    job.result = payload["result"]
+                    job.lanes = outcome.lanes
+                    job.wall_seconds = outcome.wall_seconds
+                    job.state = JobState.DONE
+                    dirty.append(job)
+                    self.stats.completed += 1
+                    done += 1
+                    for follower in followers.get(job.job_id, ()):
+                        self._finish_from_payload(follower, payload, disk_hit=False)
+                        dirty.append(follower)
+                        done += 1
+                # One durable append for the whole commit phase; the cache
+                # writes above already landed, so a crash here just means
+                # these jobs replay as queued and hit the cache next time.
+                self.store.update_all(dirty)
+                return done
+
+    def run_until_idle(self, max_ticks: int = 10_000) -> int:
+        """Tick until the queue drains; returns finished-job count."""
+        total = 0
+        for _ in range(max_ticks):
+            finished = self.tick()
+            total += finished
+            with self._lock:
+                if not self.store.queued():
+                    return total
+        raise ServiceError(
+            f"queue failed to drain within {max_ticks} ticks"
+        )  # pragma: no cover - defensive bound
+
+    # ------------------------------------------------------------------
+    def _finish_from_payload(
+        self, job: Job, payload: dict, disk_hit: bool
+    ) -> None:
+        """Complete ``job`` from a cached/coalesced result payload.
+
+        Mutates the job and counters only; the caller batches the
+        durable store append for its whole tick phase.
+        """
+        job.result = payload.get("result")
+        job.cache_hit = True
+        job.lanes = 0
+        job.wall_seconds = 0.0
+        job.state = JobState.DONE
+        self.stats.completed += 1
+        if disk_hit:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.coalesced += 1
+
+    def _fail(self, job: Job, error: str, coalesced: bool = False) -> None:
+        """Mark ``job`` failed (caller persists, like `_finish_from_payload`)."""
+        job.error = error
+        job.cache_hit = coalesced
+        job.state = JobState.FAILED
+        self.stats.failed += 1

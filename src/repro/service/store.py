@@ -1,0 +1,188 @@
+"""JSONL-backed job store: submit/update events, replayed on restart.
+
+The store is an append-only event log — one JSON object per line —
+because a serving process can die at any point and the queue must
+survive it:
+
+* ``{"event": "submit", "job": {...}}`` — a new job entered the queue
+  (the job dict carries the full config spec);
+* ``{"event": "state", "job_id": ..., "state": ..., ...}`` — a
+  lifecycle transition, with result/error payloads on completion.
+
+Loading replays the log in order and keeps the *last* state per job.
+Jobs the previous process left ``running`` were in flight when it died;
+they are requeued (their submit event still holds the full spec, so
+nothing is lost). A torn final line — the classic kill-mid-write
+artifact — is ignored; every complete line before it replays normally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..errors import ServiceError
+from .jobs import Job, JobState, job_from_dict, job_to_dict
+
+__all__ = ["JobStore"]
+
+
+class JobStore:
+    """Durable job registry over one JSONL file.
+
+    The store is synchronous and single-writer: the owning service
+    serialises access (it holds its lock across mutations), so the store
+    itself needs no locking.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._next_seq = 1
+        self.resumed_jobs = 0
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._replay()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn trailing line means the writer died mid-append;
+                    # anything after it cannot exist, so stop replaying.
+                    break
+                self._apply(event, lineno)
+        for job in self._jobs.values():
+            if job.state is JobState.RUNNING:
+                job.state = JobState.QUEUED
+                self.resumed_jobs += 1
+
+    def _apply(self, event: dict, lineno: int) -> None:
+        kind = event.get("event")
+        if kind == "submit":
+            job = job_from_dict(event.get("job", {}))
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            seq = _job_seq(job.job_id)
+            if seq is not None:
+                self._next_seq = max(self._next_seq, seq + 1)
+        elif kind == "state":
+            job = self._jobs.get(str(event.get("job_id")))
+            if job is None:
+                raise ServiceError(
+                    f"{self.path}:{lineno}: state event for unknown job "
+                    f"{event.get('job_id')!r}"
+                )
+            job.state = JobState(event.get("state", "queued"))
+            job.result = event.get("result", job.result)
+            job.error = event.get("error", job.error)
+            job.cache_hit = bool(event.get("cache_hit", job.cache_hit))
+            job.lanes = int(event.get("lanes", job.lanes))
+            job.wall_seconds = float(event.get("wall_seconds", job.wall_seconds))
+        else:
+            raise ServiceError(
+                f"{self.path}:{lineno}: unknown event kind {kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _append(self, *events: dict) -> None:
+        # One write + one fsync per call: callers batching many events
+        # (burst submission) pay the durability cost once, not per event.
+        blob = "".join(json.dumps(e, sort_keys=True) + "\n" for e in events)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def next_job_id(self) -> str:
+        """The next submission handle ("job-000001", monotonic per store)."""
+        job_id = f"job-{self._next_seq:06d}"
+        self._next_seq += 1
+        return job_id
+
+    def submit(self, job: Job) -> None:
+        """Register and persist a new queued job."""
+        self.submit_all([job])
+
+    def submit_all(self, jobs: List[Job]) -> None:
+        """Register a burst of jobs with a single durable append."""
+        for job in jobs:
+            if job.job_id in self._jobs:
+                raise ServiceError(f"duplicate job id {job.job_id!r}")
+        for job in jobs:
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        if jobs:
+            self._append(
+                *({"event": "submit", "job": job_to_dict(j)} for j in jobs)
+            )
+
+    def update(self, job: Job) -> None:
+        """Persist a job's current lifecycle state (and payloads)."""
+        self.update_all([job])
+
+    def update_all(self, jobs: List[Job]) -> None:
+        """Persist many jobs' states with a single durable append.
+
+        The tick loop transitions whole micro-batches at once; batching
+        the state events keeps that to one fsync per phase instead of a
+        per-job fsync train under the service lock.
+        """
+        for job in jobs:
+            if job.job_id not in self._jobs:
+                raise ServiceError(f"update for unknown job {job.job_id!r}")
+        if jobs:
+            self._append(
+                *(
+                    {
+                        "event": "state",
+                        "job_id": job.job_id,
+                        "state": job.state.value,
+                        "result": job.result,
+                        "error": job.error,
+                        "cache_hit": job.cache_hit,
+                        "lanes": job.lanes,
+                        "wall_seconds": job.wall_seconds,
+                    }
+                    for job in jobs
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every job, in submission order."""
+        return [self._jobs[i] for i in self._order]
+
+    def queued(self) -> List[Job]:
+        """Jobs waiting to run, in submission order."""
+        return [j for j in self.jobs() if j.state is JobState.QUEUED]
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+
+def _job_seq(job_id: str) -> Optional[int]:
+    """Parse the numeric suffix of a "job-NNNNNN" handle (None if foreign)."""
+    prefix, _, suffix = job_id.partition("-")
+    if prefix == "job" and suffix.isdigit():
+        return int(suffix)
+    return None

@@ -1,0 +1,72 @@
+"""Real-CuPy parity: the GPU path must match NumPy bit for bit.
+
+Opt-in hardware leg (``pytest -m cupy``): every test here skips cleanly
+unless CuPy imports *and* a CUDA device answers, so the module is inert
+on CPU-only runners and in the default suite. The mocked-cupy dispatch
+tests (``test_backend_cupy_mock.py``) cover the code path GPU-less;
+this file is where the bit-identity guarantee meets real silicon.
+"""
+
+import pytest
+
+from repro import SimulationConfig, build_engine, run_batched, run_simulation
+from repro.io import engine_state_digest
+
+pytestmark = pytest.mark.cupy
+
+
+def _gpu_available() -> bool:
+    try:
+        import cupy
+
+        return cupy.cuda.runtime.getDeviceCount() > 0
+    except Exception:
+        return False
+
+
+requires_gpu = pytest.mark.skipif(
+    not _gpu_available(), reason="needs CuPy with a visible CUDA device"
+)
+
+
+def _cfg(model="lem", seed=0):
+    return SimulationConfig(
+        height=32, width=32, n_per_side=48, steps=40, seed=seed
+    ).with_model(model)
+
+
+@requires_gpu
+@pytest.mark.parametrize("model", ["lem", "aco", "random", "greedy"])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_cupy_state_matches_numpy(model, seed):
+    """Same (config, seed): identical final state across backends."""
+    cpu = build_engine(_cfg(model, seed), backend="numpy")
+    gpu = build_engine(_cfg(model, seed), backend="cupy")
+    cpu_result = cpu.run(record_timeline=False)
+    gpu_result = gpu.run(record_timeline=False)
+    assert gpu_result.throughput_total == cpu_result.throughput_total
+    assert engine_state_digest(gpu) == engine_state_digest(cpu)
+
+
+@requires_gpu
+def test_cupy_batched_lanes_match_numpy(seeds=(0, 1, 2)):
+    cpu = run_batched(_cfg("aco"), seeds, record_timeline=True)
+    gpu = run_batched(
+        _cfg("aco").replace(backend="cupy"), seeds, record_timeline=True
+    )
+    for cpu_lane, gpu_lane in zip(cpu.results, gpu.results):
+        assert gpu_lane.throughput_total == cpu_lane.throughput_total
+        assert (
+            gpu_lane.moved_per_step.tolist() == cpu_lane.moved_per_step.tolist()
+        )
+
+
+@requires_gpu
+def test_cupy_run_simulation_timeline(seed=1):
+    cfg = _cfg("lem", seed)
+    cpu = run_simulation(cfg, record_timeline=True)
+    gpu = run_simulation(cfg.replace(backend="cupy"), record_timeline=True)
+    assert (
+        gpu.result.crossings_per_step.tolist()
+        == cpu.result.crossings_per_step.tolist()
+    )

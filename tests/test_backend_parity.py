@@ -8,12 +8,11 @@ the final property matrix (ids/rows/cols/tour/crossed/crossed_step) and
 trajectory — exactly what this suite is here to catch.
 """
 
-import hashlib
-
 import numpy as np
 import pytest
 
 from repro import SimulationConfig, build_engine, run_batched
+from repro.io import engine_state_digest
 
 #: (model, engine, seed) -> (throughput_total, state digest) captured from
 #: the pre-backend seed engines (32x32 grid, 48 agents/side, 40 steps).
@@ -51,16 +50,6 @@ def _config(model: str, seed: int) -> SimulationConfig:
     ).with_model(model)
 
 
-def _state_digest(engine) -> str:
-    h = hashlib.sha256()
-    to_host = engine.backend.to_host
-    pop = engine.pop
-    for arr in (pop.ids, pop.rows, pop.cols, pop.tour, pop.crossed, pop.crossed_step):
-        h.update(np.ascontiguousarray(to_host(arr)).tobytes())
-    h.update(np.ascontiguousarray(to_host(engine.env.mat)).tobytes())
-    return h.hexdigest()[:16]
-
-
 @pytest.mark.parametrize(("model", "engine", "seed"), sorted(GOLDEN))
 def test_numpy_dispatch_matches_seed_engines(model, engine, seed):
     """Every engine x model x seed reproduces the pre-backend trajectory."""
@@ -68,7 +57,7 @@ def test_numpy_dispatch_matches_seed_engines(model, engine, seed):
     result = eng.run(record_timeline=False)
     expected_tp, expected_digest = GOLDEN[(model, engine, seed)]
     assert result.throughput_total == expected_tp
-    assert _state_digest(eng) == expected_digest
+    assert engine_state_digest(eng) == expected_digest
 
 
 @pytest.mark.parametrize("model", ["lem", "aco"])
@@ -90,7 +79,7 @@ def test_default_backend_equals_explicit_numpy():
     implicit.run(record_timeline=False)
     explicit.run(record_timeline=False)
     assert implicit.state_equals(explicit)
-    assert _state_digest(implicit) == _state_digest(explicit)
+    assert engine_state_digest(implicit) == engine_state_digest(explicit)
 
 
 def test_engine_backend_is_resolved_from_config():

@@ -125,3 +125,66 @@ class TestPaperConfig:
     def test_rejects_odd_total(self):
         with pytest.raises(ConfigurationError):
             paper_config(2561)
+
+
+class TestWireFormat:
+    """to_dict/from_dict: the job-spec round trip the serving layer ships."""
+
+    def _roundtrip(self, cfg):
+        import json
+
+        return SimulationConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+
+    def test_default_roundtrip(self):
+        cfg = SimulationConfig(height=24, width=24, n_per_side=16, steps=50)
+        assert self._roundtrip(cfg) == cfg
+
+    def test_roundtrip_preserves_model_params(self):
+        cfg = SimulationConfig(
+            height=24, width=24, n_per_side=16, steps=50,
+            params=ACOParams(alpha=2.0, rho=0.1),
+        )
+        back = self._roundtrip(cfg)
+        assert back == cfg
+        assert back.params.model_name == "aco"
+        assert back.params.alpha == 2.0
+
+    def test_roundtrip_preserves_obstacles(self):
+        from repro import ObstacleSpec
+
+        cfg = SimulationConfig(
+            height=32, width=32, n_per_side=16, steps=50,
+            obstacles=ObstacleSpec(kind="rects", rects=((10, 4, 12, 9),)),
+        )
+        back = self._roundtrip(cfg)
+        assert back == cfg
+        assert back.obstacles.rects == ((10, 4, 12, 9),)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.from_dict({"height": 24, "warp_factor": 9})
+
+    def test_from_dict_rejects_unknown_model(self):
+        spec = SimulationConfig(height=24, width=24, n_per_side=8,
+                                steps=10).to_dict()
+        spec["params"] = {"model_name": "boids"}
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.from_dict(spec)
+
+    def test_from_dict_rejects_bad_param_fields(self):
+        spec = SimulationConfig(height=24, width=24, n_per_side=8,
+                                steps=10).to_dict()
+        spec["params"] = {"model_name": "lem", "sigma": 1.0, "warp": 1}
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.from_dict(spec)
+
+    def test_from_dict_revalidates(self):
+        spec = SimulationConfig(height=24, width=24, n_per_side=8,
+                                steps=10).to_dict()
+        spec["n_per_side"] = -3
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.from_dict(spec)
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.from_dict([1, 2, 3])

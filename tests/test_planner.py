@@ -1,0 +1,188 @@
+"""Shared lane planner: grouping, duplicate demotion, padded packing.
+
+The planner is consumed by both the sweep runner (offline grids) and the
+service scheduler (online micro-batches); these tests pin its semantics
+directly on :class:`LaneRequest` lists, independent of either caller.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ExperimentError
+from repro.planner import (
+    BATCHABLE_ENGINES,
+    MAX_PAD_WASTE_CEILING,
+    MIN_PAD_WASTE,
+    LaneRequest,
+    derived_pad_waste,
+    plan_lanes,
+    validate_plan_parameters,
+)
+
+
+def _cfg(n_per_side=16, **kw):
+    kw.setdefault("height", 24)
+    kw.setdefault("width", 24)
+    kw.setdefault("steps", 50)
+    return SimulationConfig(n_per_side=n_per_side, **kw)
+
+
+def _req(index, seed=0, engine="vectorized", batch="a", pad="p", agents=32,
+         config=None):
+    return LaneRequest(
+        index=index,
+        seed=seed,
+        engine=engine,
+        batch_key=(batch,),
+        pad_key=(pad,),
+        agents=agents,
+        config=config,
+    )
+
+
+def _covered(batches):
+    return sorted(i for b in batches for i in b.indices)
+
+
+class TestSameKeyBatching:
+    def test_shared_key_stacks_into_one_batch(self):
+        reqs = [_req(i, seed=i) for i in range(3)]
+        batches = plan_lanes(reqs, max_lanes=8)
+        assert len(batches) == 1
+        assert batches[0].batched and not batches[0].mixed
+        assert batches[0].indices == (0, 1, 2)
+
+    def test_max_lanes_chunks(self):
+        reqs = [_req(i, seed=i) for i in range(5)]
+        batches = plan_lanes(reqs, max_lanes=2)
+        assert [b.indices for b in batches] == [(0, 1), (2, 3), (4,)]
+        assert [b.batched for b in batches] == [True, True, False]
+
+    def test_max_lanes_one_disables_batching(self):
+        reqs = [_req(i, seed=i) for i in range(3)]
+        assert all(
+            not b.batched and b.n_lanes == 1
+            for b in plan_lanes(reqs, max_lanes=1)
+        )
+
+    def test_unbatchable_engine_goes_solo(self):
+        reqs = [_req(i, seed=i, engine="sequential") for i in range(3)]
+        assert all(not b.batched for b in plan_lanes(reqs, max_lanes=8))
+        assert "sequential" not in BATCHABLE_ENGINES
+
+    def test_duplicate_seeds_demote_only_the_repeats(self):
+        seeds = (0, 1, 0, 2, 1)
+        reqs = [_req(i, seed=s) for i, s in enumerate(seeds)]
+        batches = plan_lanes(reqs, max_lanes=8)
+        assert [b.indices for b in batches] == [(0, 1, 3), (2,), (4,)]
+        assert [b.batched for b in batches] == [True, False, False]
+        assert _covered(batches) == list(range(5))
+
+    def test_distinct_keys_never_share_a_batch(self):
+        reqs = [
+            _req(0, seed=0, batch="a"),
+            _req(1, seed=1, batch="b"),
+            _req(2, seed=1, batch="a"),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8)
+        assert [b.indices for b in batches] == [(0, 2), (1,)]
+
+
+class TestPaddedPacking:
+    def test_mixed_keys_fuse_largest_first(self):
+        reqs = [
+            _req(0, batch="a", agents=8),
+            _req(1, batch="b", agents=16),
+            _req(2, batch="c", agents=12),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True,
+                             max_pad_waste=0.5)
+        assert len(batches) == 1
+        assert batches[0].mixed and batches[0].batched
+        assert batches[0].indices == (1, 2, 0)  # largest population first
+
+    def test_waste_bound_splits(self):
+        reqs = [
+            _req(0, batch="a", agents=100),
+            _req(1, batch="b", agents=96),
+            _req(2, batch="c", agents=10),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True,
+                             max_pad_waste=0.1)
+        assert [b.indices for b in batches] == [(0, 1), (2,)]
+        assert batches[0].mixed and not batches[1].batched
+
+    def test_zero_waste_only_fuses_equal_sizes(self):
+        reqs = [
+            _req(0, batch="a", agents=64),
+            _req(1, batch="b", agents=64),
+            _req(2, batch="c", agents=32),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True,
+                             max_pad_waste=0.0)
+        assert [b.indices for b in batches] == [(0, 1), (2,)]
+
+    def test_same_key_lanes_in_pad_mode_are_not_mixed(self):
+        reqs = [_req(i, seed=i, agents=32) for i in range(3)]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True,
+                             max_pad_waste=0.5)
+        assert len(batches) == 1
+        assert batches[0].batched and not batches[0].mixed
+
+    def test_pools_respect_pad_key(self):
+        reqs = [
+            _req(0, batch="a", pad="p", agents=32),
+            _req(1, batch="b", pad="q", agents=32),
+            _req(2, batch="c", pad="p", agents=32),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True,
+                             max_pad_waste=0.5)
+        assert [b.indices for b in batches] == [(0, 2), (1,)]
+
+    def test_derived_bound_needs_a_config(self):
+        reqs = [
+            _req(0, batch="a", agents=32),
+            _req(1, batch="b", agents=16),
+        ]
+        with pytest.raises(ExperimentError):
+            plan_lanes(reqs, max_lanes=8, pad_lanes=True)
+
+    def test_derived_bound_from_config(self):
+        cfg = _cfg()
+        reqs = [
+            _req(0, batch="a", agents=32, config=cfg),
+            _req(1, batch="b", agents=16, config=_cfg(n_per_side=8)),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True)
+        # The tiny config is dispatch-dominated, so the derived ceiling is
+        # loose and the two lanes fuse.
+        assert len(batches) == 1 and batches[0].mixed
+
+
+class TestDerivedWaste:
+    def test_clamped_to_documented_bounds(self):
+        w = derived_pad_waste(_cfg(), 8)
+        assert MIN_PAD_WASTE <= w <= MAX_PAD_WASTE_CEILING
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        with pytest.raises(ExperimentError):
+            validate_plan_parameters(0, None)
+        with pytest.raises(ExperimentError):
+            validate_plan_parameters(4, 1.0)
+        with pytest.raises(ExperimentError):
+            validate_plan_parameters(4, -0.1)
+        validate_plan_parameters(4, 0.0)
+
+    def test_every_index_covered_exactly_once(self):
+        reqs = [
+            _req(i, seed=i % 3, batch="ab"[i % 2], agents=16 + 8 * (i % 4))
+            for i in range(12)
+        ]
+        for kwargs in (
+            {"max_lanes": 3},
+            {"max_lanes": 3, "pad_lanes": True, "max_pad_waste": 0.3},
+            {"max_lanes": 1},
+        ):
+            assert _covered(plan_lanes(reqs, **kwargs)) == list(range(12))

@@ -1,0 +1,129 @@
+"""HTTP front end: submit/status/stats endpoints, bursts, error mapping."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import SimulationConfig
+from repro.errors import ServiceError
+from repro.service import (
+    ServiceServer,
+    SimulationService,
+    get_job,
+    get_stats,
+    list_jobs,
+    submit_jobs,
+    wait_for_jobs,
+)
+
+
+def _spec(seed=0, n_per_side=16, steps=30):
+    cfg = SimulationConfig(
+        height=24, width=24, n_per_side=n_per_side, steps=steps, seed=seed
+    )
+    return {"config": cfg.to_dict(), "engine": "vectorized"}
+
+
+@pytest.fixture
+def server(tmp_path):
+    svc = SimulationService(str(tmp_path))
+    srv = ServiceServer(svc, port=0, tick_interval=0.02)
+    srv.start()
+    yield srv
+    srv.shutdown()
+
+
+class TestEndpoints:
+    def test_submit_burst_runs_in_one_batch(self, server):
+        port = server.port
+        jobs = submit_jobs([_spec(seed=s) for s in range(4)], port=port)
+        assert len(jobs) == 4
+        assert all(j["state"] == "queued" for j in jobs)
+        done = wait_for_jobs([j["job_id"] for j in jobs], port=port, timeout=60)
+        assert all(j["state"] == "done" for j in done.values())
+        assert all(
+            j["result"]["throughput_total"] >= 0 for j in done.values()
+        )
+        stats = get_stats(port=port)
+        assert stats["engine_launches"] < 4
+        assert stats["multi_lane_batches"] >= 1
+
+    def test_duplicate_submission_is_cache_hit(self, server):
+        port = server.port
+        (first,) = submit_jobs([_spec(seed=9)], port=port)
+        wait_for_jobs([first["job_id"]], port=port, timeout=60)
+        (second,) = submit_jobs([_spec(seed=9)], port=port)
+        assert second["digest"] == first["digest"]
+        done = wait_for_jobs([second["job_id"]], port=port, timeout=60)
+        job = done[second["job_id"]]
+        assert job["cache_hit"] is True
+        assert get_stats(port=port)["cache_hits"] >= 1
+
+    def test_job_listing_and_lookup(self, server):
+        port = server.port
+        (job,) = submit_jobs([_spec(seed=2)], port=port)
+        listed = list_jobs(port=port)
+        assert any(j["job_id"] == job["job_id"] for j in listed)
+        wait_for_jobs([job["job_id"]], port=port, timeout=60)
+        back = get_job(job["job_id"], port=port)
+        assert back["state"] == "done"
+        assert back["config"]["seed"] == 2
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(ServiceError, match="404"):
+            get_job("job-424242", port=server.port)
+
+    def test_bad_config_is_400(self, server):
+        with pytest.raises(ServiceError, match="400"):
+            submit_jobs(
+                [{"config": {"height": 24, "nonsense_field": 1}}],
+                port=server.port,
+            )
+
+    def test_bad_json_body_is_400(self, server):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/jobs",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_healthz_and_unknown_route(self, server):
+        port = server.port
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz", timeout=5
+        ) as resp:
+            assert json.loads(resp.read()) == {"ok": True}
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/nope", timeout=5)
+        assert excinfo.value.code == 404
+
+    def test_connection_refused_maps_to_service_error(self):
+        with pytest.raises(ServiceError):
+            get_stats(port=1, timeout=1)
+
+
+class TestShutdown:
+    def test_shutdown_is_idempotent(self, tmp_path):
+        svc = SimulationService(str(tmp_path))
+        srv = ServiceServer(svc, port=0, tick_interval=0.02)
+        srv.start()
+        srv.shutdown()
+        srv.shutdown()
+
+    def test_rejects_nonpositive_tick(self, tmp_path):
+        svc = SimulationService(str(tmp_path))
+        with pytest.raises(ServiceError):
+            ServiceServer(svc, port=0, tick_interval=0.0)
+
+    def test_taken_port_raises_service_error(self, tmp_path, server):
+        # Binding the port the fixture server already holds must surface
+        # as the clean ServiceError path (CLI exit 2), not a raw OSError.
+        svc = SimulationService(str(tmp_path / "other"))
+        with pytest.raises(ServiceError, match="cannot bind"):
+            ServiceServer(svc, port=server.port)
