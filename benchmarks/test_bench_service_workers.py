@@ -1,0 +1,108 @@
+"""Multi-worker service burst vs the serial tick path.
+
+A burst of mutually *incompatible* jobs (distinct step budgets, so no
+two share a pad key) cannot be fused by the micro-batching planner — it
+degrades to one engine launch per job. On the serial path those
+launches run back to back on the tick thread; with ``workers=2`` the
+tick submits them all to the persistent :class:`repro.exec.ExecutorPool`
+and two run at any moment. This benchmark pins down that the 2-worker
+service beats ``workers=1`` on such a >= 4-scenario burst while
+returning bit-identical results.
+
+Needs >= 2 usable cores: with a single core the pool still *overlaps*
+launches (concurrency is asserted in tests/test_service.py) but cannot
+finish them faster, so the wall-clock claim would be vacuous.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import SimulationConfig
+from repro.service import SimulationService
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+pytestmark = pytest.mark.skipif(
+    _usable_cpus() < 2,
+    reason="parallel speedup needs at least 2 usable cores",
+)
+
+#: Four "scenarios": same grid, distinct step budgets => four pad keys,
+#: so the planner cannot fuse any pair and the burst is 4 launches.
+BURST_STEPS = (300, 310, 320, 330)
+WARMUP_STEPS = 40
+
+
+def _burst_configs(seed_base: int):
+    """A 4-scenario burst; ``seed_base`` keeps repeat rounds cache-cold."""
+    return [
+        SimulationConfig(
+            height=48, width=48, n_per_side=200, steps=steps,
+            seed=seed_base + k,
+        )
+        for k, steps in enumerate(BURST_STEPS)
+    ]
+
+
+def _run_burst(svc, seed_base: int):
+    """Submit one burst and drain it; returns (throughputs, wall)."""
+    jobs = [svc.submit(cfg) for cfg in _burst_configs(seed_base)]
+    start = time.perf_counter()
+    svc.run_until_idle()
+    wall = time.perf_counter() - start
+    throughputs = [
+        svc.job(j.job_id).result["throughput_total"] for j in jobs
+    ]
+    return throughputs, wall
+
+
+def _service(tmp_path, name, workers):
+    svc = SimulationService(str(tmp_path / name), workers=workers)
+    # Warm up outside the timed region: spawn pool workers, resolve the
+    # backend, touch the store — the persistent pool is the steady state
+    # being measured, not its cold start.
+    svc.submit(
+        SimulationConfig(height=24, width=24, n_per_side=16, steps=WARMUP_STEPS)
+    )
+    svc.run_until_idle()
+    return svc
+
+
+def test_bench_two_worker_burst_beats_serial(benchmark, tmp_path):
+    serial = _service(tmp_path, "serial", workers=1)
+    multi = _service(tmp_path, "multi", workers=2)
+    try:
+        # Best-of-2 per side filters one-off scheduler spikes; every
+        # round uses fresh seeds so no burst is answered from the cache.
+        walls = {"serial": float("inf"), "multi": float("inf")}
+        results = {}
+        for round_index in range(2):
+            seed_base = 100 * round_index
+            for name, svc in (("serial", serial), ("multi", multi)):
+                throughputs, wall = _run_burst(svc, seed_base)
+                walls[name] = min(walls[name], wall)
+                results[name] = throughputs
+        assert results["serial"] == results["multi"]  # bit-identity
+
+        stats = multi.stats_dict()
+        assert stats["peak_concurrent_launches"] >= 2
+        assert stats["failed"] == 0
+
+        benchmark.pedantic(
+            _run_burst, args=(multi, 1000), rounds=1, iterations=1
+        )
+        # The 2-worker burst must beat the serial tick path. ~1.7x is
+        # observed on idle 2-core machines; demand 1.25x locally and
+        # parity on CI, where shared-runner noise is out of our hands.
+        margin = 1.0 if os.environ.get("CI") else 1.25
+        assert walls["multi"] * margin < walls["serial"], walls
+    finally:
+        serial.close()
+        multi.close()

@@ -50,7 +50,9 @@ from .errors import (
     PlacementError,
     ReproError,
     StatsError,
+    WorkerCrashError,
 )
+from .exec import ExecutorPool
 from .models import (
     ACOModel,
     ACOParams,
@@ -90,6 +92,8 @@ __all__ = [
     "StepReport",
     "TimedRunResult",
     "BatchedTimedResult",
+    # execution layer
+    "ExecutorPool",
     # models
     "ModelParams",
     "LEMParams",
@@ -119,4 +123,5 @@ __all__ = [
     "OccupancyError",
     "StatsError",
     "ExperimentError",
+    "WorkerCrashError",
 ]

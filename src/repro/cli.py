@@ -29,6 +29,42 @@ from .metrics import efficiency_report, lane_order_parameter
 __all__ = ["main", "build_parser"]
 
 
+def _cache_size(value: str):
+    """argparse type for ``--cache-size``: entries or suffixed bytes.
+
+    A bare integer is an entry budget ("500" = 500 results); a value
+    with a byte suffix is a byte budget ("64MB", "2gb", "512kb"). Both
+    return a ``(kind, amount)`` pair the serve command maps onto
+    :class:`~repro.service.cache.ResultCache` budgets.
+    """
+    spec = value.strip().lower()
+    units = {"gb": 1024**3, "mb": 1024**2, "kb": 1024, "b": 1}
+    for suffix, mult in units.items():  # longest suffixes first
+        if spec.endswith(suffix):
+            try:
+                amount = int(float(spec[: -len(suffix)].strip()) * mult)
+            except ValueError:
+                amount = 0
+            if amount < 1:
+                raise argparse.ArgumentTypeError(
+                    f"bad --cache-size {value!r} (expected e.g. '500' "
+                    f"entries or '64MB' bytes)"
+                )
+            return ("bytes", amount)
+    try:
+        amount = int(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --cache-size {value!r} (expected e.g. '500' entries or "
+            f"'64MB' bytes)"
+        ) from None
+    if amount < 1:
+        raise argparse.ArgumentTypeError(
+            f"--cache-size must be positive, got {value!r}"
+        )
+    return ("entries", amount)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -143,6 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="micro-batching window: queued jobs are drained every tick",
     )
+    srv_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine worker processes: 1 runs launches serially on the "
+        "tick thread, N>1 executes each tick's launches concurrently on "
+        "a persistent pool (results stay bit-identical)",
+    )
+    srv_p.add_argument(
+        "--cache-size",
+        type=_cache_size,
+        default=None,
+        metavar="N|BYTES",
+        help="result-cache budget with LRU eviction: an entry count "
+        "('500') or a byte budget with suffix ('64MB', '2gb'); "
+        "default: unbounded",
+    )
 
     sbm_p = sub.add_parser("submit", help="submit a job to a running service")
     sbm_p.add_argument("--host", default="127.0.0.1")
@@ -168,6 +222,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="submit N copies with seeds seed..seed+N-1 in one request "
         "(lands in a single micro-batch)",
+    )
+    sbm_p.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="P",
+        help="scheduling priority (higher drains first; the planner "
+        "packs high-priority lanes before fill lanes)",
+    )
+    sbm_p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="optional urgency hint: among equal priorities, sooner "
+        "deadlines drain first",
     )
     sbm_p.add_argument("--wait", action="store_true",
                        help="poll until the submitted job(s) finish")
@@ -241,6 +311,7 @@ def _cmd_sweep(args) -> int:
     # --pad-waste overrides; None lets the runner derive the ceiling from
     # the cost model's dispatch-overhead estimate.
     pad_waste = args.pad_waste
+    executor = None
     try:
         if args.smoke:
             points = smoke_sweep_points()
@@ -277,10 +348,25 @@ def _cmd_sweep(args) -> int:
                 max_pad_waste=pad_waste,
                 backend=args.backend,
             )
+            if args.processes > 1:
+                # One persistent pool shared across every chunk of the
+                # grid (workers stay warm between launches); created
+                # after the runner so a bad backend fails fast first.
+                from .exec import ExecutorPool, warm_backend
+
+                executor = ExecutorPool(
+                    args.processes,
+                    initializer=warm_backend,
+                    initargs=(args.backend,),
+                )
+                runner.executor = executor
         report = runner.run_report(points)
     except ReproError as exc:
         print(f"error: {exc}")
         return 2
+    finally:
+        if executor is not None:
+            executor.close()
 
     packing = ", padded lanes" if report.pad_lanes else ""
     print(
@@ -334,12 +420,22 @@ def _cmd_serve(args) -> int:
     from .errors import ReproError
     from .service import ServiceServer, SimulationService
 
+    cache_entries = cache_bytes = None
+    if args.cache_size is not None:
+        kind, amount = args.cache_size
+        if kind == "entries":
+            cache_entries = amount
+        else:
+            cache_bytes = amount
     try:
         service = SimulationService(
             args.state_dir,
             max_lanes=args.lanes,
             pad_lanes=not args.no_pad_lanes,
             max_pad_waste=args.pad_waste,
+            workers=args.workers,
+            cache_entries=cache_entries,
+            cache_bytes=cache_bytes,
         )
         server = ServiceServer(
             service, host=args.host, port=args.port, tick_interval=args.tick
@@ -352,7 +448,7 @@ def _cmd_serve(args) -> int:
     print(
         f"repro service on http://{server.host}:{server.port} "
         f"(state: {args.state_dir}, lanes<={args.lanes}, "
-        f"tick {args.tick:g}s{resumed_note})"
+        f"workers={args.workers}, tick {args.tick:g}s{resumed_note})"
     )
     print("endpoints: POST /jobs, GET /jobs, GET /jobs/<id>, GET /stats")
     try:
@@ -386,6 +482,8 @@ def _cmd_submit(args) -> int:
             {
                 "config": base.replace(seed=args.seed + k).to_dict(),
                 "engine": args.engine,
+                "priority": args.priority,
+                "deadline_s": args.deadline,
             }
             for k in range(args.burst)
         ]
@@ -465,11 +563,15 @@ def _cmd_status(args) -> int:
         f"launches: {payload['engine_launches']} "
         f"({payload['multi_lane_batches']} multi-lane, "
         f"{payload['padded_batches']} padded, {payload['solo_runs']} solo, "
-        f"largest batch {payload['largest_batch']})"
+        f"largest batch {payload['largest_batch']}, "
+        f"peak concurrency {payload.get('peak_concurrent_launches', 0)} "
+        f"on {payload.get('workers', 1)} worker(s))"
     )
     print(
         f"cache: {payload['cache_hits']} hits, {payload['coalesced']} "
-        f"coalesced, {payload['cache_entries']} entries on disk"
+        f"coalesced, {payload['cache_entries']} entries "
+        f"({payload.get('cache_bytes', 0)} bytes, "
+        f"{payload.get('cache_evictions', 0)} evicted) on disk"
     )
     return 0
 

@@ -17,6 +17,7 @@ __all__ = [
     "StatsError",
     "ExperimentError",
     "ServiceError",
+    "WorkerCrashError",
 ]
 
 
@@ -59,6 +60,16 @@ class StatsError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment driver failed or was mis-parameterised."""
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A pool worker process died while executing a launch.
+
+    Raised from the future of the batch the worker was running (OOM
+    kills, segfaults, SIGKILL). The :class:`repro.exec.ExecutorPool`
+    respawns the worker, so sibling batches and subsequent submissions
+    are unaffected — the crash costs exactly one batch.
+    """
 
 
 class ServiceError(ReproError, RuntimeError):

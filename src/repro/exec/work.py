@@ -1,0 +1,115 @@
+"""The unit of pool work: one engine launch, described declaratively.
+
+Both dispatch layers — the sweep runner's offline grids and the service
+scheduler's online micro-batches — reduce their planned
+:class:`~repro.planner.PlannedBatch` groups to the same executable
+payload: a tuple of per-lane :class:`~repro.config.SimulationConfig`
+(seeds included) plus how to launch them. :class:`LaunchWork` is that
+payload, :func:`execute_launch` runs it (in-process or inside an
+:class:`~repro.exec.pool.ExecutorPool` worker), and
+:func:`launch_cost` prices it for LPT scheduling.
+
+Because a work item is nothing but configs, results inherit the batched
+engine's bit-identity guarantee unchanged: the same ``LaunchWork``
+produces the same trajectories whether it runs on the caller's thread,
+a pool worker, or is split differently across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..backend import resolve_backend
+from ..config import SimulationConfig
+from ..engine import run_batched, run_simulation
+from ..engine.base import RunResult
+
+__all__ = ["LaunchWork", "LaunchOutcome", "execute_launch", "launch_cost", "warm_backend"]
+
+
+@dataclass(frozen=True)
+class LaunchWork:
+    """One engine launch: per-lane configs plus launch shape.
+
+    ``configs`` carries one fully-resolved config per lane — each lane's
+    seed lives in its config, so the item is self-contained and pickles
+    into a pool worker without side channels.
+
+    ``batched`` selects :func:`~repro.engine.run_batched` (requires
+    >= 2 lanes); ``mixed`` passes the whole per-lane config list to the
+    batched engine (padded heterogeneous lanes) instead of one shared
+    config plus a seed stack. Non-batched work runs each config through
+    a solo :func:`~repro.engine.run_simulation` on ``engine``.
+    """
+
+    configs: Tuple[SimulationConfig, ...]
+    engine: str = "vectorized"
+    batched: bool = False
+    mixed: bool = False
+    record_timeline: bool = False
+
+
+@dataclass(frozen=True)
+class LaunchOutcome:
+    """Per-lane results of one executed :class:`LaunchWork`.
+
+    ``wall_seconds`` aligns with ``results``: for a batched launch every
+    lane reports the amortised batch wall (total / lanes); for solo runs
+    each lane reports its own isolated wall.
+    """
+
+    results: Tuple[RunResult, ...]
+    lanes: int
+    wall_seconds: Tuple[float, ...]
+
+
+def launch_cost(work: LaunchWork) -> int:
+    """Real work of a launch in agent-steps (padding slots excluded).
+
+    The LPT scheduling weight: a padded batch is priced by the sum of
+    its lanes' *real* populations, not ``lane count x pad target``, so a
+    worker that drew the large-lane batch is charged accordingly.
+    """
+    return sum(c.total_agents * c.steps for c in work.configs)
+
+
+def warm_backend(name: str) -> None:
+    """Worker initializer: resolve (and cache) an array backend up front.
+
+    :func:`repro.backend.resolve_backend` memoises instances per process,
+    so a persistent worker pays backend construction once — on the first
+    launch without this, or at spawn with it. Passing this as an
+    :class:`~repro.exec.pool.ExecutorPool` initializer just moves that
+    cost off the first batch's critical path.
+    """
+    resolve_backend(name)
+
+
+def execute_launch(work: LaunchWork) -> LaunchOutcome:
+    """Run one work item; lane results return in ``work.configs`` order."""
+    configs = list(work.configs)
+    if work.batched and len(configs) > 1:
+        seeds = [c.seed for c in configs]
+        out = run_batched(
+            configs if work.mixed else configs[0],
+            seeds,
+            record_timeline=work.record_timeline,
+        )
+        per_lane_wall = out.wall_seconds_per_lane
+        return LaunchOutcome(
+            results=tuple(out.results),
+            lanes=len(configs),
+            wall_seconds=(per_lane_wall,) * len(configs),
+        )
+    results = []
+    walls = []
+    for cfg in configs:
+        timed = run_simulation(
+            cfg, engine=work.engine, record_timeline=work.record_timeline
+        )
+        results.append(timed.result)
+        walls.append(timed.wall_seconds)
+    return LaunchOutcome(
+        results=tuple(results), lanes=1, wall_seconds=tuple(walls)
+    )

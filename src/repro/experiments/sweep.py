@@ -1,5 +1,5 @@
 """Parallel sweep runner: map a (scenario x seed x engine x model) grid
-onto batched replication lanes and a process pool.
+onto batched replication lanes and the shared executor pool.
 
 The paper's evaluation is a population sweep with repeated seeds per
 point. Two orthogonal axes of parallelism apply:
@@ -7,8 +7,9 @@ point. Two orthogonal axes of parallelism apply:
 * **replication batching** — runs that share everything except the seed
   stack into one :class:`~repro.engine.batched.BatchedEngine` launch
   (bit-identical per lane, so sweep results match solo runs exactly);
-* **process parallelism** — points the batch planner leaves solo fan out
-  over a ``multiprocessing`` pool instead.
+* **process parallelism** — heterogeneous work units fan out over a
+  :class:`repro.exec.ExecutorPool` (the same persistent worker pool the
+  serving layer dispatches through).
 
 With ``pad_lanes=True`` the planner additionally fuses points that differ
 *only* in their scenario (same model/engine/scale/steps) into padded
@@ -35,14 +36,20 @@ Timing studies that need isolated per-run walls (Figure 5) should use
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backend import resolve_backend
-from ..engine import run_batched, run_simulation
 from ..errors import ExperimentError
+from ..exec import (
+    MP_START_METHOD,
+    ExecutorPool,
+    LaunchWork,
+    execute_launch,
+    launch_cost,
+    warm_backend,
+)
 from ..planner import (
     BATCHABLE_ENGINES,
     MAX_PAD_WASTE_CEILING,
@@ -68,16 +75,10 @@ __all__ = [
     "derived_pad_waste",
 ]
 
-#: Worker-pool start method, chosen explicitly: ``fork`` is deprecated in
-#: the presence of threads on CPython 3.12 and stops being the POSIX
-#: default in 3.14, so relying on the platform default is a time bomb.
-#: ``forkserver`` (the new POSIX default) where available, ``spawn``
-#: elsewhere — both work because the work units pickle cleanly.
-_MP_START_METHOD = (
-    "forkserver"
-    if "forkserver" in multiprocessing.get_all_start_methods()
-    else "spawn"
-)
+#: Backwards-compatible alias: the start-method choice moved into the
+#: shared execution layer (:data:`repro.exec.MP_START_METHOD`) when the
+#: transient per-sweep pool was replaced by the persistent executor.
+_MP_START_METHOD = MP_START_METHOD
 
 
 @dataclass(frozen=True)
@@ -159,7 +160,7 @@ def smoke_sweep_points() -> List[SweepPoint]:
 
 
 # ----------------------------------------------------------------------
-# Work units (module-level so they pickle into pool workers)
+# Work units (planned groups, lowered to repro.exec.LaunchWork to run)
 # ----------------------------------------------------------------------
 
 
@@ -181,20 +182,6 @@ class _WorkUnit:
     backend: Optional[str] = None
 
 
-def _unit_cost(unit: _WorkUnit) -> int:
-    """Real work of a unit in agent-steps (padding slots excluded).
-
-    This is the pool-scheduling weight: a padded batch's cost is the sum
-    of its lanes' *real* populations, not ``lane count x pad target``, so
-    a worker that drew the large-lane batch is charged accordingly.
-    """
-    if unit.points is not None:
-        configs = [p.config() for p in unit.points]
-    else:
-        configs = [unit.point.config()] * len(unit.seeds)
-    return sum(c.total_agents * c.steps for c in configs)
-
-
 def _record_from(point: SweepPoint, cfg, seed: int, result, wall: float) -> RunRecord:
     return RunRecord(
         scenario_index=point.scenario_index,
@@ -208,46 +195,40 @@ def _record_from(point: SweepPoint, cfg, seed: int, result, wall: float) -> RunR
     )
 
 
-def _unit_config(unit: _WorkUnit, point: SweepPoint):
-    """A point's config with the unit's backend override applied."""
-    cfg = point.config()
-    if unit.backend is not None:
-        cfg = cfg.replace(backend=unit.backend)
-    return cfg
-
-
-def _execute_unit(unit: _WorkUnit) -> List[RunRecord]:
-    """Run one work unit; one record per lane, in ``unit.seeds`` order."""
-    records: List[RunRecord] = []
+def _unit_lanes(unit: _WorkUnit) -> Tuple[List[SweepPoint], List]:
+    """Per-lane points and fully-resolved configs (seed + backend applied)."""
     if unit.points is not None:
-        # Padded heterogeneous batch: one config per lane.
-        configs = [_unit_config(unit, p) for p in unit.points]
-        out = run_batched(configs, unit.seeds, record_timeline=unit.record_timeline)
-        per_lane_wall = out.wall_seconds_per_lane
-        for point, cfg, seed, result in zip(
-            unit.points, configs, unit.seeds, out.results
-        ):
-            records.append(_record_from(point, cfg, seed, result, per_lane_wall))
-    elif unit.batched and len(unit.seeds) > 1:
-        point = unit.point
-        cfg = _unit_config(unit, point)
-        out = run_batched(cfg, unit.seeds, record_timeline=unit.record_timeline)
-        per_lane_wall = out.wall_seconds_per_lane
-        for seed, result in zip(unit.seeds, out.results):
-            records.append(_record_from(point, cfg, seed, result, per_lane_wall))
+        # Padded heterogeneous batch: one config per lane, seeds embedded.
+        points = list(unit.points)
+        configs = [p.config() for p in points]
     else:
-        point = unit.point
-        cfg = _unit_config(unit, point)
-        for seed in unit.seeds:
-            out = run_simulation(
-                cfg.replace(seed=seed),
-                engine=point.engine,
-                record_timeline=unit.record_timeline,
-            )
-            records.append(
-                _record_from(point, cfg, seed, out.result, out.wall_seconds)
-            )
-    return records
+        points = [unit.point] * len(unit.seeds)
+        base = unit.point.config()
+        configs = [base.replace(seed=s) for s in unit.seeds]
+    if unit.backend is not None:
+        configs = [c.replace(backend=unit.backend) for c in configs]
+    return points, configs
+
+
+def _unit_work(unit: _WorkUnit, configs: List) -> LaunchWork:
+    """Lower a planned unit to the executable :class:`LaunchWork` payload."""
+    return LaunchWork(
+        configs=tuple(configs),
+        engine=unit.point.engine,
+        batched=unit.batched and len(configs) > 1,
+        mixed=unit.points is not None,
+        record_timeline=unit.record_timeline,
+    )
+
+
+def _unit_records(unit: _WorkUnit, points, configs, outcome) -> List[RunRecord]:
+    """One record per lane, in ``unit.seeds`` order."""
+    return [
+        _record_from(point, cfg, seed, result, wall)
+        for point, cfg, seed, result, wall in zip(
+            points, configs, unit.seeds, outcome.results, outcome.wall_seconds
+        )
+    ]
 
 
 class SweepRunner:
@@ -260,9 +241,16 @@ class SweepRunner:
         batching entirely (every run is a solo engine — use for timing).
     processes:
         Worker processes for heterogeneous work units. ``1`` (default)
-        executes inline; larger values use a ``multiprocessing`` pool
-        (explicitly started via the forward-compatible
-        ``forkserver``/``spawn`` method, never the deprecated ``fork``).
+        executes inline; larger values dispatch through a transient
+        :class:`repro.exec.ExecutorPool` (persistent workers started via
+        the forward-compatible ``forkserver``/``spawn`` method, never
+        the deprecated ``fork``) that lives for one :meth:`run` call.
+    executor:
+        An existing :class:`repro.exec.ExecutorPool` to dispatch through
+        instead of creating one — pass it to keep workers warm across
+        several :meth:`run` calls (grid chunks) or to share one pool
+        with the serving layer. The caller keeps ownership: the runner
+        never closes a pool it was handed.
     record_timeline:
         Forwarded to the engines; sweeps usually only need totals.
     pad_lanes:
@@ -291,6 +279,7 @@ class SweepRunner:
         pad_lanes: bool = False,
         max_pad_waste: Optional[float] = None,
         backend: Optional[str] = None,
+        executor: Optional[ExecutorPool] = None,
     ) -> None:
         validate_plan_parameters(max_lanes, max_pad_waste)
         if processes < 1:
@@ -301,6 +290,7 @@ class SweepRunner:
         self.pad_lanes = bool(pad_lanes)
         self.max_pad_waste = None if max_pad_waste is None else float(max_pad_waste)
         self.backend = None if backend is None else str(backend)
+        self.executor = executor
         if self.backend is not None:
             resolve_backend(self.backend)
 
@@ -376,30 +366,49 @@ class SweepRunner:
         """Execute every point; records return in the requested order."""
         points = list(points)
         units = self.plan(points)
-        if self.processes > 1 and len(units) > 1:
-            # Padding-aware pool scheduling: dispatch heaviest-first by
-            # *real* agent-steps (LPT). A padded batch's weight is the sum
-            # of its lanes' real populations — lane count alone would let
-            # one worker absorb every large-lane batch while the others
-            # drain small fry; chunksize=1 keeps the greedy assignment.
-            order = sorted(
-                range(len(units)), key=lambda i: (-_unit_cost(units[i]), i)
+        lanes = [_unit_lanes(u) for u in units]
+        works = [
+            _unit_work(u, configs) for u, (_, configs) in zip(units, lanes)
+        ]
+
+        pool = self.executor
+        transient: Optional[ExecutorPool] = None
+        use_pool = len(units) > 1 and (pool is not None or self.processes > 1)
+        if use_pool and pool is None:
+            # A transient pool for this grid only. Workers pre-resolve the
+            # runner's backend so the first launch is not the one paying
+            # backend construction.
+            initializer = None if self.backend is None else warm_backend
+            initargs = () if self.backend is None else (self.backend,)
+            transient = pool = ExecutorPool(
+                self.processes, initializer=initializer, initargs=initargs
             )
-            ctx = multiprocessing.get_context(_MP_START_METHOD)
-            with ctx.Pool(self.processes) as pool:
-                dispatched = pool.map(
-                    _execute_unit, [units[i] for i in order], chunksize=1
-                )
-            unit_records: List[List[RunRecord]] = [None] * len(units)
-            for i, records in zip(order, dispatched):
-                unit_records[i] = records
-        else:
-            unit_records = [_execute_unit(u) for u in units]
+        try:
+            if use_pool:
+                # Padding-aware LPT dispatch: submit heaviest-first by
+                # *real* agent-steps. A padded batch's weight is the sum
+                # of its lanes' real populations — lane count alone would
+                # let one worker absorb every large-lane batch while the
+                # others drain small fry. The pool's pending heap keeps
+                # the greedy heaviest-first assignment as workers free up.
+                costs = [launch_cost(w) for w in works]
+                order = sorted(range(len(units)), key=lambda i: (-costs[i], i))
+                futures = {
+                    i: pool.submit(execute_launch, works[i], cost=costs[i])
+                    for i in order
+                }
+                outcomes = [futures[i].result() for i in range(len(units))]
+            else:
+                outcomes = [execute_launch(w) for w in works]
+        finally:
+            if transient is not None:
+                transient.close()
 
         # Key by request position, not by (batch_key, seed): duplicated
         # points each keep their own record and wall time.
         by_index: Dict[int, RunRecord] = {}
-        for unit, records in zip(units, unit_records):
+        for unit, (unit_points, configs), outcome in zip(units, lanes, outcomes):
+            records = _unit_records(unit, unit_points, configs, outcome)
             for idx, record in zip(unit.indices, records):
                 by_index[idx] = record
         if len(by_index) != len(points):

@@ -104,6 +104,9 @@ class LaneRequest:
     agent count (padding accounting) and ``config`` the run's resolved
     :class:`~repro.config.SimulationConfig` — only consulted to derive a
     waste bound, so callers planning without ``pad_lanes`` may omit both.
+    ``priority`` (higher first) makes padded packing anchor urgent lanes
+    before fill lanes: a high-priority run is never the one squeezed out
+    of a batch by the waste bound.
     """
 
     index: int
@@ -113,6 +116,7 @@ class LaneRequest:
     pad_key: Tuple
     agents: int = 0
     config: object = None
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -213,24 +217,26 @@ def _pack_padded(
 ) -> List[PlannedBatch]:
     """Pack one pad-key pool into padded batches under the waste bound.
 
-    Lanes sort largest-population-first (stable by request order), so
-    each greedy chunk pads against its own first lane; the chunk closes
-    when it is full or admitting the next lane would push the padded
-    agent-slot fraction past the waste ceiling. An explicit
+    Lanes sort priority-first, then largest-population-first (stable by
+    request order), so high-priority lanes anchor the earliest chunks
+    and each greedy chunk pads against its own first lane; the chunk
+    closes when it is full or admitting the next lane would push the
+    padded agent-slot fraction past the waste ceiling. An explicit
     ``max_pad_waste`` wins; otherwise the ceiling derives from the cost
     model's dispatch-overhead estimate at the pool's largest scenario
     (:func:`derived_pad_waste`).
     """
-    sized = sorted(members, key=lambda r: (-r.agents, r.index))
+    sized = sorted(members, key=lambda r: (-r.priority, -r.agents, r.index))
 
     waste_bound = max_pad_waste
     if waste_bound is None:
-        if sized[0].config is None:
+        largest = max(sized, key=lambda r: r.agents)
+        if largest.config is None:
             raise ExperimentError(
                 "deriving a pad-waste bound needs the largest lane's config; "
                 "pass max_pad_waste explicitly or set LaneRequest.config"
             )
-        waste_bound = derived_pad_waste(sized[0].config, max_lanes)
+        waste_bound = derived_pad_waste(largest.config, max_lanes)
 
     batches: List[PlannedBatch] = []
 
@@ -248,15 +254,19 @@ def _pack_padded(
 
     chunk: List[LaneRequest] = []
     filled = 0
+    slot = 0  # pad target: the chunk's largest lane (priority ordering
+    # means that is not necessarily the chunk's *first* lane)
     for req in sized:
         if chunk:
-            slot = chunk[0].agents  # pad target: the chunk's largest lane
-            waste = 1.0 - (filled + req.agents) / ((len(chunk) + 1) * slot)
+            new_slot = max(slot, req.agents)
+            waste = 1.0 - (filled + req.agents) / ((len(chunk) + 1) * new_slot)
             if len(chunk) >= max_lanes or waste > waste_bound:
                 emit(chunk)
                 chunk = []
                 filled = 0
+                slot = 0
         chunk.append(req)
         filled += req.agents
+        slot = max(slot, req.agents)
     emit(chunk)
     return batches

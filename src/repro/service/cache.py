@@ -1,4 +1,4 @@
-"""Content-addressed result cache.
+"""Content-addressed result cache with LRU eviction budgets.
 
 Completed results are stored on disk under the canonical digest of their
 resolved config (:func:`repro.io.config_digest`): two requests with the
@@ -12,51 +12,168 @@ engine.
 Writes are atomic (temp file + ``os.replace``), so a killed server never
 leaves a torn entry — a partially written result simply never becomes
 visible under its digest.
+
+Growth is bounded: the cache accepts an entry-count budget and/or a
+byte budget and evicts **least-recently-used** entries beyond either.
+Recency survives restarts because hits touch the entry file's mtime —
+the in-memory LRU index is rebuilt mtime-ordered when a service starts
+over an existing cache directory (and a budget that shrank between runs
+is enforced immediately). A byte budget smaller than a single entry
+still keeps the most recent entry: evicting the result that was just
+computed would turn the cache into pure overhead.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections import OrderedDict
 from typing import Optional
+
+from ..errors import ServiceError
 
 __all__ = ["ResultCache"]
 
 
 class ResultCache:
-    """On-disk ``digest → result payload`` map (one JSON file per entry)."""
+    """On-disk ``digest → result payload`` map (one JSON file per entry).
 
-    def __init__(self, root: str) -> None:
+    Parameters
+    ----------
+    root:
+        Cache directory, created on demand. Existing entries are indexed
+        oldest-access-first (file mtime) so eviction order persists
+        across restarts.
+    max_entries:
+        Keep at most this many entries (>= 1); ``None`` = unbounded.
+    max_bytes:
+        Keep at most this many payload bytes (> 0); ``None`` =
+        unbounded. The most recently written entry is always retained
+        even if it alone exceeds the budget.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ServiceError(
+                f"cache max_entries must be >= 1, got {max_entries}"
+            )
+        if max_bytes is not None and max_bytes < 1:
+            raise ServiceError(f"cache max_bytes must be >= 1, got {max_bytes}")
         self.root = str(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        #: Entries evicted over this cache's lifetime (stats surface).
+        self.evictions = 0
         os.makedirs(self.root, exist_ok=True)
+        #: digest → payload bytes, ordered least- to most-recently used.
+        self._index: "OrderedDict[str, int]" = OrderedDict()
+        self._total_bytes = 0
+        self._load_index()
+        self._evict()
+
+    # ------------------------------------------------------------------
+    def _load_index(self) -> None:
+        entries = []
+        for name in os.listdir(self.root):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                stat = os.stat(path)
+            except OSError:  # pragma: no cover - raced external delete
+                continue
+            entries.append((stat.st_mtime, name[: -len(".json")], stat.st_size))
+        for _, digest, size in sorted(entries):
+            self._index[digest] = size
+            self._total_bytes += size
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.root, f"{digest}.json")
 
+    def _drop(self, digest: str) -> None:
+        size = self._index.pop(digest, None)
+        if size is not None:
+            self._total_bytes -= size
+
+    def _evict(self) -> None:
+        """Remove least-recently-used entries beyond either budget."""
+
+        def over() -> bool:
+            if self.max_entries is not None and len(self._index) > self.max_entries:
+                return True
+            return (
+                self.max_bytes is not None
+                and self._total_bytes > self.max_bytes
+                # Never evict the sole (most recent) entry on byte
+                # pressure; max_entries >= 1 can't ask for it either.
+                and len(self._index) > 1
+            )
+
+        while over():
+            digest = next(iter(self._index))  # LRU end
+            self._drop(digest)
+            try:
+                os.remove(self._path(digest))
+            except FileNotFoundError:  # pragma: no cover - raced delete
+                pass
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
     def get(self, digest: str) -> Optional[dict]:
-        """The cached payload for ``digest``, or None on a miss."""
+        """The cached payload for ``digest``, or None on a miss.
+
+        A hit refreshes the entry's recency, both in the index and on
+        disk (mtime), so LRU order survives a restart.
+        """
         path = self._path(digest)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
+                payload = json.load(fh)
         except FileNotFoundError:
+            self._drop(digest)
             return None
         except json.JSONDecodeError:
             # Unreadable entry (e.g. external tampering): treat as a miss;
             # the fresh result will overwrite it atomically.
             return None
+        if digest in self._index:
+            self._index.move_to_end(digest)
+        else:  # written by an external process; adopt it
+            self._index[digest] = os.path.getsize(path)
+            self._total_bytes += self._index[digest]
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced external delete
+            pass
+        return payload
 
     def put(self, digest: str, payload: dict) -> None:
-        """Store ``payload`` under ``digest`` atomically."""
+        """Store ``payload`` under ``digest`` atomically, then evict LRU."""
         path = self._path(digest)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, sort_keys=True)
             fh.write("\n")
+        size = os.path.getsize(tmp)
         os.replace(tmp, path)
+        self._drop(digest)  # overwrite: retire the old size
+        self._index[digest] = size  # MRU end
+        self._total_bytes += size
+        self._evict()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes currently held (what ``max_bytes`` bounds)."""
+        return self._total_bytes
 
     def __contains__(self, digest: str) -> bool:
-        return os.path.exists(self._path(digest))
+        return digest in self._index
 
     def __len__(self) -> int:
-        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+        return len(self._index)

@@ -41,19 +41,33 @@ DEFAULT_PORT = 8177
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
-def _parse_specs(payload: dict) -> List[Tuple[SimulationConfig, str]]:
-    """Decode a submit body into ``(config, engine)`` pairs."""
+def _parse_specs(
+    payload: dict,
+) -> List[Tuple[SimulationConfig, str, int, Optional[float]]]:
+    """Decode a submit body into ``(config, engine, priority, deadline_s)``."""
     if not isinstance(payload, dict):
         raise ServiceError("submit body must be a JSON object")
     raw_specs = payload.get("jobs", [payload])
     if not isinstance(raw_specs, list) or not raw_specs:
         raise ServiceError('"jobs" must be a non-empty list of job specs')
-    specs: List[Tuple[SimulationConfig, str]] = []
+    specs: List[Tuple[SimulationConfig, str, int, Optional[float]]] = []
     for spec in raw_specs:
         if not isinstance(spec, dict) or "config" not in spec:
             raise ServiceError('each job spec needs a "config" object')
         config = SimulationConfig.from_dict(spec["config"])
-        specs.append((config, str(spec.get("engine", "vectorized"))))
+        priority = spec.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError(f'"priority" must be an integer, got {priority!r}')
+        deadline = spec.get("deadline_s")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+                raise ServiceError(
+                    f'"deadline_s" must be a number, got {deadline!r}'
+                )
+            deadline = float(deadline)
+        specs.append(
+            (config, str(spec.get("engine", "vectorized")), priority, deadline)
+        )
     return specs
 
 
@@ -200,7 +214,8 @@ class ServiceServer:
             self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop the tick loop and close the listener (idempotent)."""
+        """Stop the tick loop, close the listener and the worker pool
+        (idempotent)."""
         if self._stop.is_set():
             return
         self._stop.set()
@@ -209,3 +224,6 @@ class ServiceServer:
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=5.0)
+        # The server owns the service's lifecycle on the CLI path, so a
+        # stopped server also releases the service's worker processes.
+        self.service.close()

@@ -46,6 +46,14 @@ class Job:
     #: Content address of the resolved config (cache / coalescing key).
     digest: str
     state: JobState = JobState.QUEUED
+    #: Scheduling priority (higher first). The scheduler drains queues
+    #: priority-first and the planner packs high-priority lanes before
+    #: fill lanes; equal priorities keep submission order.
+    priority: int = 0
+    #: Optional urgency hint in seconds (client-relative): among equal
+    #: priorities, jobs with sooner deadlines are drained first. Purely
+    #: an ordering hint — jobs are never dropped for missing it.
+    deadline_s: Optional[float] = None
     #: Serialised :class:`~repro.engine.base.RunResult` once done
     #: (:func:`repro.io.run_result_to_dict` format).
     result: Optional[dict] = field(repr=False, default=None)
@@ -61,7 +69,12 @@ class Job:
 
     @classmethod
     def create(
-        cls, job_id: str, config: SimulationConfig, engine: str = "vectorized"
+        cls,
+        job_id: str,
+        config: SimulationConfig,
+        engine: str = "vectorized",
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> "Job":
         """Build a queued job, deriving the content digest."""
         return cls(
@@ -69,6 +82,8 @@ class Job:
             config=config,
             engine=str(engine),
             digest=config_digest(config),
+            priority=int(priority),
+            deadline_s=None if deadline_s is None else float(deadline_s),
         )
 
     @property
@@ -83,6 +98,8 @@ def job_to_dict(job: Job, with_config: bool = True) -> dict:
         "engine": job.engine,
         "digest": job.digest,
         "state": job.state.value,
+        "priority": job.priority,
+        "deadline_s": job.deadline_s,
         "result": job.result,
         "error": job.error,
         "cache_hit": job.cache_hit,
@@ -98,12 +115,16 @@ def job_from_dict(data: dict) -> Job:
     """Rebuild a job from :func:`job_to_dict` output."""
     try:
         state = JobState(data.get("state", "queued"))
+        deadline = data.get("deadline_s")
         return Job(
             job_id=str(data["job_id"]),
             config=SimulationConfig.from_dict(data["config"]),
             engine=str(data["engine"]),
             digest=str(data["digest"]),
             state=state,
+            # Defaulted for logs written before priorities existed.
+            priority=int(data.get("priority", 0)),
+            deadline_s=None if deadline is None else float(deadline),
             result=data.get("result"),
             error=data.get("error"),
             cache_hit=bool(data.get("cache_hit", False)),

@@ -15,19 +15,31 @@ rules allow:
 * everything else (sequential/tiled engines, waste-bound overflow) falls
   back to solo :func:`~repro.engine.run_simulation` calls.
 
+Execution goes through the shared :class:`repro.exec.LaunchWork` payload
+either way. Serially (the default) launches run on the calling thread in
+plan order — priority-first, because the service drains its queue in
+priority order and the planner preserves it. With an
+:class:`~repro.exec.ExecutorPool` attached, every launch of the tick is
+submitted to the pool at once (priority, then heaviest-first by real
+agent-steps) and completed batches surface *as they finish*, so a
+multi-worker service resolves independent jobs concurrently instead of
+strictly one launch at a time.
+
 Every lane is bit-identical to a solo run of its config (the batched
-engine's core guarantee), so serving from a batch is invisible to the
-requester except in latency.
+engine's core guarantee) and a launch computes the same trajectories
+wherever it runs, so serving from a batch, a pool worker, or both is
+invisible to the requester except in latency.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..engine import run_batched, run_simulation
 from ..engine.base import RunResult
 from ..errors import ReproError
+from ..exec import ExecutorPool, LaunchWork, execute_launch, launch_cost
 from ..planner import (
     LaneRequest,
     PlannedBatch,
@@ -45,7 +57,9 @@ class SchedulerStats:
     ``engine_launches`` counts actual engine invocations (batched or
     solo); a burst of N compatible jobs served in fewer than N launches
     is the whole point of the scheduler, and ``multi_lane_batches``
-    proves it happened.
+    proves it happened. ``peak_concurrent_launches`` is the high-water
+    mark of launches in flight at once — 1 on the serial path, up to
+    ``workers`` when an executor pool is attached.
     """
 
     engine_launches: int = 0
@@ -57,6 +71,7 @@ class SchedulerStats:
     solo_runs: int = 0
     largest_batch: int = 0
     failed_launches: int = 0
+    peak_concurrent_launches: int = 0
 
     def merge(self, other: "SchedulerStats") -> None:
         self.engine_launches += other.engine_launches
@@ -66,6 +81,9 @@ class SchedulerStats:
         self.solo_runs += other.solo_runs
         self.largest_batch = max(self.largest_batch, other.largest_batch)
         self.failed_launches += other.failed_launches
+        self.peak_concurrent_launches = max(
+            self.peak_concurrent_launches, other.peak_concurrent_launches
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -76,6 +94,7 @@ class SchedulerStats:
             "solo_runs": self.solo_runs,
             "largest_batch": self.largest_batch,
             "failed_launches": self.failed_launches,
+            "peak_concurrent_launches": self.peak_concurrent_launches,
         }
 
 
@@ -92,7 +111,20 @@ class ExecutionOutcome:
 
 
 class BatchScheduler:
-    """Plan and execute a drained queue of jobs in batched launches."""
+    """Plan and execute a drained queue of jobs in batched launches.
+
+    Parameters
+    ----------
+    max_lanes, pad_lanes, max_pad_waste, record_timeline:
+        Packing knobs, shared with the sweep runner via the planner.
+    executor:
+        Optional :class:`repro.exec.ExecutorPool`. When set, each pass
+        submits all its launches to the pool concurrently and yields
+        batches as they complete; when ``None``, launches run serially
+        on the calling thread. Results are bit-identical either way.
+        The scheduler does not own the pool — the service (or other
+        caller) that created it closes it.
+    """
 
     def __init__(
         self,
@@ -100,12 +132,14 @@ class BatchScheduler:
         pad_lanes: bool = True,
         max_pad_waste: Optional[float] = None,
         record_timeline: bool = False,
+        executor: Optional[ExecutorPool] = None,
     ) -> None:
         validate_plan_parameters(max_lanes, max_pad_waste)
         self.max_lanes = int(max_lanes)
         self.pad_lanes = bool(pad_lanes)
         self.max_pad_waste = None if max_pad_waste is None else float(max_pad_waste)
         self.record_timeline = bool(record_timeline)
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def plan(self, jobs: Sequence) -> List[PlannedBatch]:
@@ -128,6 +162,7 @@ class BatchScheduler:
                     pad_key=(job.engine, cfg.params, cfg.steps, cfg.backend),
                     agents=cfg.total_agents,
                     config=cfg,
+                    priority=getattr(job, "priority", 0),
                 )
             )
         return plan_lanes(
@@ -138,57 +173,127 @@ class BatchScheduler:
         )
 
     # ------------------------------------------------------------------
-    def execute(self, jobs: Sequence) -> Tuple[List[ExecutionOutcome], SchedulerStats]:
-        """Run every job; outcomes align with ``jobs`` by position.
+    def _work_for(self, batch: PlannedBatch, lane_jobs: Sequence) -> LaunchWork:
+        """Lower one planned batch to the shared launch payload."""
+        return LaunchWork(
+            configs=tuple(j.config for j in lane_jobs),
+            engine=lane_jobs[0].engine,
+            # Service batches always ship per-lane config lists (the
+            # coalescing pass guarantees distinct digests, so lanes are
+            # heterogeneous-or-seed-distinct either way).
+            batched=batch.batched,
+            mixed=batch.batched,
+            record_timeline=self.record_timeline,
+        )
 
-        A launch that raises (engine/build errors) fails only its own
-        lanes — the remaining launches still run.
+    def _score(self, batch: PlannedBatch, stats: SchedulerStats) -> None:
+        n = batch.n_lanes
+        stats.engine_launches += 1
+        stats.lanes_executed += n
+        stats.largest_batch = max(stats.largest_batch, n)
+        if batch.batched:
+            stats.multi_lane_batches += 1
+            stats.padded_batches += 1 if batch.mixed else 0
+        else:
+            stats.solo_runs += 1
+
+    def _resolve(self, batch: PlannedBatch, outcome) -> List[ExecutionOutcome]:
+        n = batch.n_lanes
+        return [
+            ExecutionOutcome(result=result, lanes=n, wall_seconds=wall)
+            for result, wall in zip(outcome.results, outcome.wall_seconds)
+        ]
+
+    def _fail(self, batch: PlannedBatch, exc: BaseException) -> List[ExecutionOutcome]:
+        return [
+            ExecutionOutcome(error=str(exc), lanes=batch.n_lanes)
+            for _ in batch.indices
+        ]
+
+    # ------------------------------------------------------------------
+    def execute_iter(
+        self, jobs: Sequence, stats: SchedulerStats
+    ) -> Iterator[Tuple[PlannedBatch, List[ExecutionOutcome]]]:
+        """Run every job, yielding ``(batch, outcomes)`` per launch.
+
+        Outcomes align with ``batch.indices`` (positions in ``jobs``).
+        ``stats`` is mutated as launches complete so a caller consuming
+        incrementally always sees current counters. A launch that raises
+        (engine/build errors, or a crashed pool worker) fails only its
+        own lanes — the remaining launches still run.
+
+        Serially, launches yield in plan order (priority-first). With an
+        executor attached and more than one launch, all launches are
+        submitted up front — priority first, then heaviest by real
+        agent-steps — and yield in *completion* order, so the caller can
+        resolve finished jobs while siblings are still running.
         """
-        outcomes: List[Optional[ExecutionOutcome]] = [None] * len(jobs)
-        stats = SchedulerStats()
-        for batch in self.plan(jobs):
+        plan = self.plan(jobs)
+        entries = []
+        for batch in plan:
             lane_jobs = [jobs[i] for i in batch.indices]
-            n = len(lane_jobs)
+            work = self._work_for(batch, lane_jobs)
+            priority = max(getattr(j, "priority", 0) for j in lane_jobs)
+            entries.append((batch, work, priority))
+
+        pool = self.executor
+        if pool is not None and len(entries) > 1:
+            order = sorted(
+                range(len(entries)),
+                key=lambda i: (-entries[i][2], -launch_cost(entries[i][1]), i),
+            )
+            futures = {}
+            for i in order:
+                batch, work, priority = entries[i]
+                future = pool.submit(
+                    execute_launch,
+                    work,
+                    cost=launch_cost(work),
+                    priority=priority,
+                )
+                futures[future] = batch
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    batch = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        stats.failed_launches += 1
+                        outcomes = self._fail(batch, exc)
+                    else:
+                        self._score(batch, stats)
+                        outcomes = self._resolve(batch, future.result())
+                    stats.peak_concurrent_launches = max(
+                        stats.peak_concurrent_launches, pool.peak_busy
+                    )
+                    yield batch, outcomes
+            return
+
+        for batch, work, _ in entries:
             try:
-                if batch.batched:
-                    out = run_batched(
-                        [j.config for j in lane_jobs],
-                        [j.config.seed for j in lane_jobs],
-                        record_timeline=self.record_timeline,
-                    )
-                    stats.engine_launches += 1
-                    stats.multi_lane_batches += 1
-                    stats.padded_batches += 1 if batch.mixed else 0
-                    stats.lanes_executed += n
-                    stats.largest_batch = max(stats.largest_batch, n)
-                    per_lane_wall = out.wall_seconds_per_lane
-                    for i, result in zip(batch.indices, out.results):
-                        outcomes[i] = ExecutionOutcome(
-                            result=result, lanes=n, wall_seconds=per_lane_wall
-                        )
-                else:
-                    job = lane_jobs[0]
-                    timed = run_simulation(
-                        job.config,
-                        engine=job.engine,
-                        record_timeline=self.record_timeline,
-                    )
-                    stats.engine_launches += 1
-                    stats.solo_runs += 1
-                    stats.lanes_executed += 1
-                    stats.largest_batch = max(stats.largest_batch, 1)
-                    outcomes[batch.indices[0]] = ExecutionOutcome(
-                        result=timed.result,
-                        lanes=1,
-                        wall_seconds=timed.wall_seconds,
-                    )
+                outcome = execute_launch(work)
             except Exception as exc:  # noqa: BLE001 - a launch must never
                 # strand its jobs: anything an engine throws (ReproError,
                 # numpy shape/memory errors, bugs) becomes a per-job
                 # failure the service can report, not a lost tick.
                 stats.failed_launches += 1
-                for i in batch.indices:
-                    outcomes[i] = ExecutionOutcome(error=str(exc), lanes=n)
+                yield batch, self._fail(batch, exc)
+                continue
+            self._score(batch, stats)
+            stats.peak_concurrent_launches = max(
+                stats.peak_concurrent_launches, 1
+            )
+            yield batch, self._resolve(batch, outcome)
+
+    # ------------------------------------------------------------------
+    def execute(self, jobs: Sequence) -> Tuple[List[ExecutionOutcome], SchedulerStats]:
+        """Run every job; outcomes align with ``jobs`` by position."""
+        outcomes: List[Optional[ExecutionOutcome]] = [None] * len(jobs)
+        stats = SchedulerStats()
+        for batch, batch_outcomes in self.execute_iter(jobs, stats):
+            for i, outcome in zip(batch.indices, batch_outcomes):
+                outcomes[i] = outcome
         # plan_lanes covers every index exactly once, so no slot is None;
         # guard anyway so a planner regression surfaces loudly here.
         missing = [i for i, o in enumerate(outcomes) if o is None]

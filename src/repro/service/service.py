@@ -7,14 +7,18 @@ The in-process facade composing the serving subsystem::
     svc.run_until_idle()                       # micro-batched execution
     svc.job(job.job_id).result                 # RunResult wire dict
 
-Each :meth:`tick` is one micro-batch: drain the queue, answer what the
-content-addressed cache already knows, coalesce duplicate digests onto
-one execution, pack the rest into batched launches via the shared lane
-planner, persist everything as it happens. The HTTP front end
-(:mod:`repro.service.http`) just calls :meth:`submit` and :meth:`tick`
-from different threads; the internal lock makes that safe, and the
-engine work itself runs outside the lock so submissions never block on a
-running batch.
+Each :meth:`tick` is one micro-batch: drain the queue priority-first,
+answer what the content-addressed cache already knows, coalesce
+duplicate digests onto one execution, pack the rest into batched
+launches via the shared lane planner, persist everything as it happens.
+With ``workers > 1`` the tick submits every planned launch to a
+persistent :class:`repro.exec.ExecutorPool` at once and commits each
+batch — job states, cache entries, durable log — as it completes, so
+finished jobs become visible while siblings are still running. The HTTP
+front end (:mod:`repro.service.http`) just calls :meth:`submit` and
+:meth:`tick` from different threads; the internal lock makes that safe,
+and the engine work itself runs outside the lock so submissions never
+block on a running batch.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from typing import Dict, List, Optional
 
 from ..config import SimulationConfig
 from ..errors import ServiceError
+from ..exec import ExecutorPool
 from ..io import run_result_to_dict
 from .cache import ResultCache
 from .jobs import Job, JobState, job_to_dict
@@ -80,6 +85,17 @@ class SimulationService:
         Padded packing defaults *on* for serving: independent requests
         rarely share a population, so padding is what makes continuous
         batching pay.
+    workers:
+        Engine worker processes. ``1`` (default) executes launches
+        serially on the tick thread; larger values attach a persistent
+        :class:`repro.exec.ExecutorPool` so independent launches of one
+        tick run concurrently (results stay bit-identical — only
+        latency changes). The pool spawns lazily on the first busy tick
+        and is released by :meth:`close`.
+    cache_entries, cache_bytes:
+        Result-cache budgets forwarded to
+        :class:`~repro.service.cache.ResultCache`; least-recently-used
+        entries are evicted beyond either bound (``None`` = unbounded).
     """
 
     def __init__(
@@ -89,16 +105,30 @@ class SimulationService:
         pad_lanes: bool = True,
         max_pad_waste: Optional[float] = None,
         record_timeline: bool = False,
+        workers: int = 1,
+        cache_entries: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
     ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
         self.state_dir = str(state_dir)
+        self.workers = int(workers)
+        self._pool: Optional[ExecutorPool] = (
+            ExecutorPool(self.workers) if self.workers > 1 else None
+        )
         self.scheduler = BatchScheduler(
             max_lanes=max_lanes,
             pad_lanes=pad_lanes,
             max_pad_waste=max_pad_waste,
             record_timeline=record_timeline,
+            executor=self._pool,
         )
         self.store = JobStore(os.path.join(self.state_dir, "jobs.jsonl"))
-        self.cache = ResultCache(os.path.join(self.state_dir, "cache"))
+        self.cache = ResultCache(
+            os.path.join(self.state_dir, "cache"),
+            max_entries=cache_entries,
+            max_bytes=cache_bytes,
+        )
         self.stats = ServiceStats(resumed=self.store.resumed_jobs)
         #: Guards store/cache/stats mutation; engine work runs outside it.
         self._lock = threading.RLock()
@@ -106,14 +136,32 @@ class SimulationService:
         self._tick_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool, if any (idempotent).
+
+        Queued jobs stay durable in the store; a new service over the
+        same state directory resumes them.
+        """
+        pool, self._pool = self._pool, None
+        self.scheduler.executor = None
+        if pool is not None:
+            pool.close()
+
+    # ------------------------------------------------------------------
     # Submission / inspection
     # ------------------------------------------------------------------
     def submit(
-        self, config: SimulationConfig, engine: str = "vectorized"
+        self,
+        config: SimulationConfig,
+        engine: str = "vectorized",
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> Job:
         """Queue one simulation request; returns its job handle."""
         with self._lock:
-            job = Job.create(self.store.next_job_id(), config, engine)
+            job = Job.create(
+                self.store.next_job_id(), config, engine, priority, deadline_s
+            )
             self.store.submit(job)
             self.stats.submitted += 1
             return job
@@ -121,7 +169,8 @@ class SimulationService:
     def submit_many(
         self, specs: List[tuple]
     ) -> List[Job]:
-        """Queue ``(config, engine)`` pairs atomically (one burst).
+        """Queue ``(config, engine[, priority[, deadline_s]])`` tuples
+        atomically (one burst).
 
         Holding the lock across the whole burst guarantees a concurrent
         tick sees either none or all of it — which is what lets a client
@@ -131,8 +180,8 @@ class SimulationService:
         """
         with self._lock:
             jobs = [
-                Job.create(self.store.next_job_id(), cfg, engine)
-                for cfg, engine in specs
+                Job.create(self.store.next_job_id(), cfg, engine, *rest)
+                for cfg, engine, *rest in specs
             ]
             self.store.submit_all(jobs)
             self.stats.submitted += len(jobs)
@@ -174,17 +223,41 @@ class SimulationService:
                 states[job.state.value] = states.get(job.state.value, 0) + 1
             out["jobs"] = states
             out["queued"] = states.get("queued", 0)
+            out["workers"] = self.workers
             out["cache_entries"] = len(self.cache)
+            out["cache_bytes"] = self.cache.total_bytes
+            out["cache_evictions"] = self.cache.evictions
             return out
 
     # ------------------------------------------------------------------
     # Micro-batching
     # ------------------------------------------------------------------
+    @staticmethod
+    def _drain_order(queued: List[Job]) -> List[Job]:
+        """Queue drain order: priority desc, sooner deadlines, then FIFO.
+
+        The sort is stable over the store's submission order, so equal
+        urgency keeps first-come-first-served; the planner preserves
+        this order, which is how high-priority lanes anchor batches and
+        high-priority launches execute (or dispatch to the pool) first.
+        """
+        inf = float("inf")
+        return sorted(
+            queued,
+            key=lambda j: (
+                -j.priority,
+                inf if j.deadline_s is None else j.deadline_s,
+            ),
+        )
+
     def tick(self) -> int:
         """Run one micro-batch over the currently queued jobs.
 
         Returns the number of jobs that reached a terminal state. Safe to
         call concurrently with :meth:`submit`; concurrent ticks serialise.
+        Each launch commits as it completes — with a worker pool attached,
+        jobs from a fast batch turn DONE (durably) while slower sibling
+        batches are still executing.
         """
         with self._tick_lock:
             with self._lock:
@@ -202,7 +275,7 @@ class SimulationService:
                 by_key: Dict[tuple, Job] = {}
                 dirty: List[Job] = []
                 done = 0
-                for job in queued:
+                for job in self._drain_order(queued):
                     cached = self.cache.get(job.digest)
                     if cached is not None:
                         self._finish_from_payload(job, cached, disk_hit=True)
@@ -221,52 +294,75 @@ class SimulationService:
                 self.stats.ticks += 1
 
             # Engine work happens outside the lock: submissions (and
-            # status reads) stay responsive while a batch executes.
-            outcomes, launch_stats = (
-                self.scheduler.execute(reps) if reps else ([], SchedulerStats())
-            )
+            # status reads) stay responsive while a batch executes. The
+            # scheduler yields launches as they finish; each one commits
+            # under the lock while the rest keep running.
+            launch_stats = SchedulerStats()
+            if reps:
+                for batch, outcomes in self.scheduler.execute_iter(
+                    reps, launch_stats
+                ):
+                    with self._lock:
+                        done += self._commit_batch(
+                            [reps[i] for i in batch.indices],
+                            outcomes,
+                            followers,
+                        )
 
             with self._lock:
                 self.stats.launches.merge(launch_stats)
-                dirty = []
-                for job, outcome in zip(reps, outcomes):
-                    if outcome.error is not None:
-                        self._fail(job, outcome.error)
-                        dirty.append(job)
-                        done += 1
-                        for follower in followers.get(job.job_id, ()):
-                            self._fail(follower, outcome.error, coalesced=True)
-                            dirty.append(follower)
-                            done += 1
-                        continue
-                    payload = {
-                        "digest": job.digest,
-                        "config": job.config.to_dict(),
-                        "engine": job.engine,
-                        "result": run_result_to_dict(outcome.result),
-                        "lanes": outcome.lanes,
-                        "wall_seconds": outcome.wall_seconds,
-                    }
-                    self.cache.put(job.digest, payload)
-                    # Result fields land before the state flips to DONE,
-                    # so even a reader that skipped the lock could never
-                    # see a "done" job without its result.
-                    job.result = payload["result"]
-                    job.lanes = outcome.lanes
-                    job.wall_seconds = outcome.wall_seconds
-                    job.state = JobState.DONE
-                    dirty.append(job)
-                    self.stats.completed += 1
-                    done += 1
-                    for follower in followers.get(job.job_id, ()):
-                        self._finish_from_payload(follower, payload, disk_hit=False)
-                        dirty.append(follower)
-                        done += 1
-                # One durable append for the whole commit phase; the cache
-                # writes above already landed, so a crash here just means
-                # these jobs replay as queued and hit the cache next time.
-                self.store.update_all(dirty)
                 return done
+
+    def _commit_batch(
+        self,
+        jobs: List[Job],
+        outcomes,
+        followers: Dict[str, List[Job]],
+    ) -> int:
+        """Finalise one completed launch (caller holds the lock).
+
+        Returns the number of jobs (reps + coalesced followers) that
+        reached a terminal state. One durable append per launch; the
+        cache writes land first, so a crash mid-commit just means these
+        jobs replay as queued and hit the cache next time.
+        """
+        dirty: List[Job] = []
+        done = 0
+        for job, outcome in zip(jobs, outcomes):
+            if outcome.error is not None:
+                self._fail(job, outcome.error)
+                dirty.append(job)
+                done += 1
+                for follower in followers.get(job.job_id, ()):
+                    self._fail(follower, outcome.error, coalesced=True)
+                    dirty.append(follower)
+                    done += 1
+                continue
+            payload = {
+                "digest": job.digest,
+                "config": job.config.to_dict(),
+                "engine": job.engine,
+                "result": run_result_to_dict(outcome.result),
+                "lanes": outcome.lanes,
+                "wall_seconds": outcome.wall_seconds,
+            }
+            self.cache.put(job.digest, payload)
+            # Result fields land before the state flips to DONE, so even
+            # a reader that skipped the lock could never see a "done"
+            # job without its result.
+            job.result = payload["result"]
+            job.lanes = outcome.lanes
+            job.wall_seconds = outcome.wall_seconds
+            job.state = JobState.DONE
+            dirty.append(job)
+            self.stats.completed += 1
+            done += 1
+            for follower in followers.get(job.job_id, ()):
+                self._finish_from_payload(follower, payload, disk_hit=False)
+                dirty.append(follower)
+                done += 1
+        self.store.update_all(dirty)
+        return done
 
     def run_until_idle(self, max_ticks: int = 10_000) -> int:
         """Tick until the queue drains; returns finished-job count."""

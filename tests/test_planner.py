@@ -28,7 +28,7 @@ def _cfg(n_per_side=16, **kw):
 
 
 def _req(index, seed=0, engine="vectorized", batch="a", pad="p", agents=32,
-         config=None):
+         config=None, priority=0):
     return LaneRequest(
         index=index,
         seed=seed,
@@ -37,6 +37,7 @@ def _req(index, seed=0, engine="vectorized", batch="a", pad="p", agents=32,
         pad_key=(pad,),
         agents=agents,
         config=config,
+        priority=priority,
     )
 
 
@@ -157,6 +158,56 @@ class TestPaddedPacking:
         # The tiny config is dispatch-dominated, so the derived ceiling is
         # loose and the two lanes fuse.
         assert len(batches) == 1 and batches[0].mixed
+
+    def test_waste_bound_prices_the_chunk_max_not_its_first_lane(self):
+        # A high-priority small lane opens the chunk; admitting a large
+        # lane must price padding against the *larger* lane (the real
+        # pad target), not the small opener — otherwise the waste
+        # fraction goes negative and the ceiling never triggers.
+        reqs = [
+            _req(0, batch="a", agents=10, priority=1),
+            _req(1, batch="b", agents=100),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True,
+                             max_pad_waste=0.3)
+        # True waste of fusing is 1 - 110/200 = 45% > 30%: no fusion.
+        assert [b.indices for b in batches] == [(0,), (1,)]
+        assert all(not b.batched for b in batches)
+
+    def test_high_priority_lanes_anchor_the_first_batch(self):
+        # Without priorities, the largest lanes open the first chunk; a
+        # high-priority small lane must overtake them so it is never the
+        # one squeezed out by the waste bound.
+        reqs = [
+            _req(0, batch="a", agents=100),
+            _req(1, batch="b", agents=96),
+            _req(2, batch="c", agents=90, priority=2),
+            _req(3, batch="d", agents=10, priority=2),
+        ]
+        batches = plan_lanes(reqs, max_lanes=2, pad_lanes=True,
+                             max_pad_waste=0.5)
+        assert batches[0].indices == (2, 3)  # priority pair packs first
+        assert batches[1].indices == (0, 1)
+
+    def test_equal_priority_keeps_largest_first_order(self):
+        reqs = [
+            _req(0, batch="a", agents=8, priority=1),
+            _req(1, batch="b", agents=16, priority=1),
+            _req(2, batch="c", agents=12, priority=1),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True,
+                             max_pad_waste=0.5)
+        assert batches[0].indices == (1, 2, 0)
+
+    def test_derived_bound_uses_largest_lane_not_highest_priority(self):
+        # The derived ceiling prices the pool's largest scenario even
+        # when a smaller, higher-priority lane sorts first.
+        reqs = [
+            _req(0, batch="a", agents=16, config=None, priority=9),
+            _req(1, batch="b", agents=32, config=_cfg(), priority=0),
+        ]
+        batches = plan_lanes(reqs, max_lanes=8, pad_lanes=True)
+        assert _covered(batches) == [0, 1]
 
 
 class TestDerivedWaste:

@@ -2,19 +2,22 @@
 
 Pins the acceptance properties of the serving layer: a burst of N
 compatible jobs takes fewer than N engine launches, every job's result
-is bit-identical to a solo ``run_simulation`` of the same config, a
-duplicate submission is answered from the content-addressed cache
-without re-execution, and a killed-and-restarted server resumes its
+is bit-identical to a solo ``run_simulation`` of the same config
+(serially *and* on a multi-worker pool), a duplicate submission is
+answered from the content-addressed cache without re-execution (bounded
+by the LRU budgets), and a killed-and-restarted server resumes its
 queue from the JSONL store.
 """
 
 import json
 import os
+import signal
 
 import pytest
 
 from repro import SimulationConfig, run_simulation
 from repro.errors import ServiceError
+from repro.exec import execute_launch
 from repro.io import config_digest, run_result_from_dict, run_result_to_dict
 from repro.service import (
     Job,
@@ -33,6 +36,21 @@ def _cfg(seed=0, n_per_side=16, steps=40, **kw):
 
 def _solo(cfg, engine="vectorized"):
     return run_simulation(cfg, engine=engine, record_timeline=False)
+
+
+#: Step marker that makes `_crashing_execute_launch` SIGKILL its worker.
+_CRASH_STEPS = 13
+
+
+def _crashing_execute_launch(work):
+    """Launch executor that dies mid-launch for marked configs.
+
+    Module-level so pool workers can import it by reference; every
+    non-marked launch delegates to the real implementation.
+    """
+    if any(c.steps == _CRASH_STEPS for c in work.configs):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return execute_launch(work)
 
 
 class TestJobStore:
@@ -314,13 +332,14 @@ class TestFailurePaths:
     ):
         # A launch raising something outside the ReproError hierarchy
         # (library error, bug) must fail its own jobs, not strand them
-        # RUNNING forever while the tick loop keeps spinning.
-        import repro.service.scheduler as scheduler_mod
+        # RUNNING forever while the tick loop keeps spinning. The solo
+        # engine entry point now lives in the shared execution layer.
+        import repro.exec.work as exec_work
 
         def boom(*args, **kwargs):
             raise ValueError("engine exploded mid-launch")
 
-        monkeypatch.setattr(scheduler_mod, "run_simulation", boom)
+        monkeypatch.setattr(exec_work, "run_simulation", boom)
         svc = SimulationService(str(tmp_path))
         job = svc.submit(_cfg(), engine="sequential")
         svc.run_until_idle()
@@ -340,3 +359,200 @@ class TestBurstSubmission:
         assert [j.job_id for j in resumed.store.queued()] == [
             j.job_id for j in jobs
         ]
+
+    def test_submit_many_accepts_priority_and_deadline(self, tmp_path):
+        svc = SimulationService(str(tmp_path))
+        jobs = svc.submit_many(
+            [
+                (_cfg(seed=0), "vectorized"),
+                (_cfg(seed=1), "vectorized", 3),
+                (_cfg(seed=2), "vectorized", 7, 1.5),
+            ]
+        )
+        assert [j.priority for j in jobs] == [0, 3, 7]
+        assert [j.deadline_s for j in jobs] == [None, None, 1.5]
+
+
+class TestMultiWorkerService:
+    """`workers=N`: concurrent launches, same answers, isolated crashes."""
+
+    def _mixed_configs(self):
+        # A burst the planner cannot fuse into one launch: two models
+        # plus one off-step-budget config => >= 3 separate launches.
+        return (
+            [_cfg(seed=s) for s in range(2)]
+            + [_cfg(seed=s).with_model("aco") for s in range(2)]
+            + [_cfg(seed=0, steps=60)]
+        )
+
+    def test_results_bit_identical_to_serial_path(self, tmp_path):
+        configs = self._mixed_configs()
+        serial = SimulationService(str(tmp_path / "serial"))
+        serial_jobs = [serial.submit(c) for c in configs]
+        serial.run_until_idle()
+
+        multi = SimulationService(str(tmp_path / "multi"), workers=2)
+        try:
+            multi_jobs = [multi.submit(c) for c in configs]
+            multi.run_until_idle()
+            for cfg, s_job, m_job in zip(configs, serial_jobs, multi_jobs):
+                served = dict(multi.job(m_job.job_id).result)
+                expected = dict(serial.job(s_job.job_id).result)
+                served.pop("platform")
+                expected.pop("platform")
+                assert served == expected
+                assert (
+                    served["throughput_total"]
+                    == _solo(cfg).result.throughput_total
+                )
+        finally:
+            multi.close()
+
+    def test_launches_overlap_on_two_workers(self, tmp_path):
+        svc = SimulationService(str(tmp_path), workers=2)
+        try:
+            for c in self._mixed_configs():
+                svc.submit(c)
+            svc.run_until_idle()
+            stats = svc.stats_dict()
+            assert stats["workers"] == 2
+            assert stats["peak_concurrent_launches"] >= 2
+            assert stats["failed"] == 0
+            assert stats["engine_launches"] >= 3
+        finally:
+            svc.close()
+
+    def test_worker_crash_fails_only_its_job(self, tmp_path, monkeypatch):
+        import repro.service.scheduler as scheduler_mod
+
+        monkeypatch.setattr(
+            scheduler_mod, "execute_launch", _crashing_execute_launch
+        )
+        svc = SimulationService(str(tmp_path), workers=2)
+        try:
+            doomed = svc.submit(_cfg(seed=0, steps=_CRASH_STEPS))
+            siblings = [
+                svc.submit(_cfg(seed=s).with_model("aco")) for s in range(2)
+            ]
+            svc.run_until_idle()
+            assert svc.job(doomed.job_id).state is JobState.FAILED
+            assert "died mid-launch" in svc.job(doomed.job_id).error
+            for job in siblings:
+                assert svc.job(job.job_id).state is JobState.DONE
+            # The respawned worker serves subsequent ticks normally.
+            after = svc.submit(_cfg(seed=5))
+            later = svc.submit(_cfg(seed=6, steps=60))
+            svc.run_until_idle()
+            assert svc.job(after.job_id).state is JobState.DONE
+            assert svc.job(later.job_id).state is JobState.DONE
+            assert svc.stats_dict()["failed"] == 1
+        finally:
+            svc.close()
+
+    def test_close_is_idempotent_and_keeps_queue_durable(self, tmp_path):
+        svc = SimulationService(str(tmp_path), workers=2)
+        queued = svc.submit(_cfg(seed=4))
+        svc.close()
+        svc.close()
+        resumed = SimulationService(str(tmp_path))
+        assert [j.job_id for j in resumed.store.queued()] == [queued.job_id]
+        resumed.run_until_idle()
+        assert resumed.job(queued.job_id).state is JobState.DONE
+
+    def test_invalid_worker_count(self, tmp_path):
+        with pytest.raises(ServiceError):
+            SimulationService(str(tmp_path), workers=0)
+
+
+class TestPriorityScheduling:
+    def test_drain_order_priority_then_deadline_then_fifo(self, tmp_path):
+        svc = SimulationService(str(tmp_path))
+        fifo_a = svc.submit(_cfg(seed=0))
+        late = svc.submit(_cfg(seed=1), priority=1, deadline_s=9.0)
+        soon = svc.submit(_cfg(seed=2), priority=1, deadline_s=2.0)
+        fifo_b = svc.submit(_cfg(seed=3))
+        urgent = svc.submit(_cfg(seed=4), priority=5)
+        order = svc._drain_order(svc.store.queued())
+        assert [j.job_id for j in order] == [
+            urgent.job_id,
+            soon.job_id,
+            late.job_id,
+            fifo_a.job_id,
+            fifo_b.job_id,
+        ]
+
+    def test_priority_jobs_complete_with_correct_results(self, tmp_path):
+        svc = SimulationService(str(tmp_path))
+        cfg = _cfg(seed=8)
+        job = svc.submit(cfg, priority=9, deadline_s=0.5)
+        svc.run_until_idle()
+        got = svc.job(job.job_id)
+        assert got.state is JobState.DONE
+        assert (
+            got.result["throughput_total"]
+            == _solo(cfg).result.throughput_total
+        )
+
+    def test_priority_survives_the_jsonl_store(self, tmp_path):
+        svc = SimulationService(str(tmp_path))
+        job = svc.submit(_cfg(seed=3), priority=4, deadline_s=7.0)
+        resumed = SimulationService(str(tmp_path))
+        back = resumed.store.get(job.job_id)
+        assert back.priority == 4
+        assert back.deadline_s == 7.0
+
+
+class TestCacheEviction:
+    def _payload(self, k, pad=0):
+        return {"result": {"throughput_total": k}, "pad": "x" * pad}
+
+    def test_entry_budget_evicts_least_recently_used(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), max_entries=2)
+        cache.put("aa", self._payload(1))
+        cache.put("bb", self._payload(2))
+        assert cache.get("aa") is not None  # refresh: bb becomes LRU
+        cache.put("cc", self._payload(3))
+        assert cache.get("bb") is None
+        assert cache.get("aa") is not None and cache.get("cc") is not None
+        assert len(cache) == 2 and cache.evictions == 1
+
+    def test_byte_budget_evicts_but_keeps_newest(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=300)
+        cache.put("aa", self._payload(1, pad=200))
+        cache.put("bb", self._payload(2, pad=200))
+        # Budget fits one padded entry: the older one must be gone.
+        assert cache.get("aa") is None
+        assert cache.get("bb") is not None
+        # A single entry above the budget is still retained.
+        cache.put("cc", self._payload(3, pad=1000))
+        assert cache.get("cc") is not None
+        assert len(cache) == 1
+
+    def test_recency_persists_across_restarts(self, tmp_path):
+        root = str(tmp_path / "c")
+        cache = ResultCache(root)
+        cache.put("aa", self._payload(1))
+        cache.put("bb", self._payload(2))
+        os.utime(  # make the access gap visible to mtime ordering
+            os.path.join(root, "aa.json"), (0, 0)
+        )
+        reopened = ResultCache(root, max_entries=1)
+        assert reopened.get("aa") is None  # stale entry evicted at init
+        assert reopened.get("bb") is not None
+        assert reopened.evictions == 1
+
+    def test_budgets_reported_by_service_stats(self, tmp_path):
+        svc = SimulationService(str(tmp_path), cache_entries=1)
+        svc.submit(_cfg(seed=0))
+        svc.submit(_cfg(seed=1, n_per_side=8))
+        svc.run_until_idle()
+        stats = svc.stats_dict()
+        assert stats["cache_entries"] == 1
+        assert stats["cache_evictions"] >= 1
+        assert stats["cache_bytes"] > 0
+
+    def test_invalid_budgets_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            ResultCache(str(tmp_path / "c"), max_entries=0)
+        with pytest.raises(ServiceError):
+            ResultCache(str(tmp_path / "c"), max_bytes=0)

@@ -107,6 +107,58 @@ class TestEndpoints:
         with pytest.raises(ServiceError):
             get_stats(port=1, timeout=1)
 
+    def test_priority_and_deadline_travel_the_wire(self, server):
+        port = server.port
+        spec = dict(_spec(seed=5), priority=3, deadline_s=2.5)
+        (job,) = submit_jobs([spec], port=port)
+        assert job["priority"] == 3
+        assert job["deadline_s"] == 2.5
+        done = wait_for_jobs([job["job_id"]], port=port, timeout=60)
+        assert done[job["job_id"]]["priority"] == 3
+
+    def test_bad_priority_is_400(self, server):
+        with pytest.raises(ServiceError, match="400"):
+            submit_jobs(
+                [dict(_spec(seed=1), priority="high")], port=server.port
+            )
+        with pytest.raises(ServiceError, match="400"):
+            submit_jobs(
+                [dict(_spec(seed=1), deadline_s="soon")], port=server.port
+            )
+
+    def test_stats_report_workers_and_cache_budget_fields(self, server):
+        stats = get_stats(port=server.port)
+        assert stats["workers"] == 1
+        assert "peak_concurrent_launches" in stats
+        assert "cache_bytes" in stats and "cache_evictions" in stats
+
+
+class TestMultiWorkerServer:
+    def test_mixed_burst_resolves_concurrently(self, tmp_path):
+        svc = SimulationService(str(tmp_path), workers=2)
+        srv = ServiceServer(svc, port=0, tick_interval=0.02)
+        srv.start()
+        try:
+            port = srv.port
+            # One atomic POST whose specs cannot fuse into one launch
+            # (two models): the tick dispatches >= 2 launches onto the
+            # 2-worker pool at once.
+            specs = [_spec(seed=s) for s in range(2)]
+            aco = SimulationConfig(
+                height=24, width=24, n_per_side=16, steps=30, seed=0
+            ).with_model("aco")
+            specs.append({"config": aco.to_dict(), "engine": "vectorized"})
+            jobs = submit_jobs(specs, port=port)
+            done = wait_for_jobs(
+                [j["job_id"] for j in jobs], port=port, timeout=120
+            )
+            assert all(j["state"] == "done" for j in done.values())
+            stats = get_stats(port=port)
+            assert stats["workers"] == 2
+            assert stats["peak_concurrent_launches"] >= 2
+        finally:
+            srv.shutdown()
+
 
 class TestShutdown:
     def test_shutdown_is_idempotent(self, tmp_path):

@@ -378,9 +378,14 @@ class TestDerivedPadWaste:
 class TestPaddingAwarePoolScheduling:
     """Pool dispatch orders units by real agent-steps (LPT), not lane count."""
 
-    def test_unit_cost_counts_real_agents_not_lanes(self):
-        from repro.experiments.sweep import _unit_cost
+    def _unit_cost(self, unit):
+        from repro.exec import launch_cost
+        from repro.experiments.sweep import _unit_lanes, _unit_work
 
+        _, configs = _unit_lanes(unit)
+        return launch_cost(_unit_work(unit, configs))
+
+    def test_unit_cost_counts_real_agents_not_lanes(self):
         runner = SweepRunner(max_lanes=8, pad_lanes=True)
         points = sweep_grid((1, 2, 3, 4), (0,), models=("lem",), scale="tiny")
         units = runner.plan(points)
@@ -391,11 +396,9 @@ class TestPaddingAwarePoolScheduling:
             expected = sum(
                 p.config().total_agents * p.config().steps for p in lane_points
             )
-            assert _unit_cost(unit) == expected
+            assert self._unit_cost(unit) == expected
 
     def test_heaviest_unit_dispatches_first(self):
-        from repro.experiments.sweep import _unit_cost
-
         # Many seeds of the smallest scenario vs one seed of the largest:
         # lane count would rank the small batch first, real agent count
         # must rank the big scenario first.
@@ -403,7 +406,7 @@ class TestPaddingAwarePoolScheduling:
         points += sweep_grid((1,), (0, 1, 2, 3), models=("lem",), scale="tiny")
         runner = SweepRunner(max_lanes=4)
         units = runner.plan(points)
-        costs = [_unit_cost(u) for u in units]
+        costs = [self._unit_cost(u) for u in units]
         lanes = [len(u.seeds) for u in units]
         order = sorted(range(len(units)), key=lambda i: (-costs[i], i))
         assert lanes[order[0]] == 1  # the single-seed big-scenario unit
@@ -421,14 +424,14 @@ class TestSweepBackendSelection:
     """SweepRunner(backend=...) threads the array backend to every lane."""
 
     def test_backend_applied_to_unit_configs(self):
-        from repro.experiments.sweep import _unit_config
+        from repro.experiments.sweep import _unit_lanes
 
         runner = SweepRunner(max_lanes=4, backend="numpy")
         points = sweep_grid((1,), (0, 1), models=("lem",), scale="tiny")
         units = runner.plan(points)
         assert all(u.backend == "numpy" for u in units)
-        cfg = _unit_config(units[0], units[0].point)
-        assert cfg.backend == "numpy"
+        _, configs = _unit_lanes(units[0])
+        assert all(cfg.backend == "numpy" for cfg in configs)
 
     @pytest.fixture
     def cupy_unavailable(self, monkeypatch):
