@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from ._version import __version__
+from .analytics import MetricStreamSpec, RunStore, scenario_key
 from .backend import (
     ArrayBackend,
     BackendCapabilities,
@@ -41,6 +42,7 @@ from .engine import (
     run_simulation,
 )
 from .errors import (
+    AnalyticsError,
     BackendUnavailableError,
     ConfigurationError,
     EngineError,
@@ -94,6 +96,10 @@ __all__ = [
     "BatchedTimedResult",
     # execution layer
     "ExecutorPool",
+    # analytics
+    "RunStore",
+    "MetricStreamSpec",
+    "scenario_key",
     # models
     "ModelParams",
     "LEMParams",
@@ -115,6 +121,7 @@ __all__ = [
     "EMPTY",
     # errors
     "ReproError",
+    "AnalyticsError",
     "BackendUnavailableError",
     "ConfigurationError",
     "PlacementError",

@@ -1,0 +1,23 @@
+"""Analytics: persistent run store + live per-step metric streaming.
+
+The layer that turns the service from a batch executor into something a
+dashboard can sit on: engines emit per-step
+:class:`~repro.metrics.stream.StepMetrics` records through a
+:class:`MetricStream` (threaded into launches via
+:class:`MetricStreamSpec` on :class:`~repro.exec.work.LaunchWork`), and
+a SQLite-backed :class:`RunStore` persists run records, the metric
+streams and completion summaries as jobs execute — queryable mid-run
+(``GET /jobs/<id>/stream``) and across runs
+(``GET /analytics/fundamental-diagram``, ``repro analytics``).
+"""
+
+from .sink import MetricStream, MetricStreamSpec
+from .store import SCHEMA_VERSION, RunStore, scenario_key
+
+__all__ = [
+    "RunStore",
+    "SCHEMA_VERSION",
+    "scenario_key",
+    "MetricStream",
+    "MetricStreamSpec",
+]

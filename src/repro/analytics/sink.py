@@ -1,0 +1,162 @@
+"""Metric sinks: stream per-step records out of a running launch.
+
+The execution layer is deliberately launch-shaped — a
+:class:`~repro.exec.work.LaunchWork` pickles into a pool worker and
+returns one :class:`~repro.exec.work.LaunchOutcome` at the end — so a
+live metrics stream cannot ride the result channel. Instead the work
+item carries a :class:`MetricStreamSpec`: a picklable *description* of
+where the stream should land (the analytics SQLite file plus one run id
+per lane). :func:`~repro.exec.work.execute_launch` builds a
+:class:`MetricStream` from it wherever the launch actually runs — the
+caller's thread or a forkserver worker — and the engines' per-step
+callbacks push records through it. SQLite in WAL mode is the
+rendezvous: workers append metric batches while the service process
+reads them back out for the SSE endpoint, with no extra IPC channel.
+
+Metric computation is read-only over engine state, so a streamed launch
+stays bit-identical to an unstreamed one — the core guarantee every
+layer above relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..metrics.stream import StepMetrics, step_metrics
+from .store import RunStore
+
+__all__ = ["MetricStreamSpec", "MetricStream"]
+
+
+@dataclass(frozen=True)
+class MetricStreamSpec:
+    """Picklable description of a launch's metric stream.
+
+    ``run_ids`` aligns with the launch's ``configs`` (one stream per
+    lane). ``flush_every`` bounds buffered records per lane before a
+    batched store write; ``lane_index_every`` thins the (host-side,
+    O(H·W)) lane-order computation — ``1`` samples every step, ``0``
+    disables it, ``k`` samples every k-th step.
+    """
+
+    db_path: str
+    run_ids: Tuple[str, ...]
+    flush_every: int = 32
+    lane_index_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flush_every < 1:
+            raise ValueError(
+                f"flush_every must be >= 1, got {self.flush_every}"
+            )
+        if self.lane_index_every < 0:
+            raise ValueError(
+                f"lane_index_every must be >= 0, got {self.lane_index_every}"
+            )
+
+
+class MetricStream:
+    """Per-launch emitter: engine callbacks in, batched store writes out.
+
+    One instance covers every lane of a launch. Use
+    :meth:`solo_callback` with :func:`~repro.engine.run_simulation` and
+    :meth:`batched_callback` with :func:`~repro.engine.run_batched`;
+    call :meth:`close` when the launch finishes (flushes the tail).
+    """
+
+    def __init__(self, spec: MetricStreamSpec, configs: Sequence) -> None:
+        if len(spec.run_ids) != len(configs):
+            raise ValueError(
+                f"need one run id per lane, got {len(spec.run_ids)} ids "
+                f"for {len(configs)} lanes"
+            )
+        self.spec = spec
+        self.configs = tuple(configs)
+        self._agents = [c.total_agents for c in configs]
+        self._crossed = [0] * len(configs)
+        self._buffer: List[StepMetrics] = []
+        #: Opened lazily on first flush so building the stream (and
+        #: pickling the spec) costs nothing when a launch fails early.
+        self._store: Optional[RunStore] = None
+        self.records_emitted = 0
+
+    # ------------------------------------------------------------------
+    def _sample_lanes(self, step: int) -> bool:
+        every = self.spec.lane_index_every
+        return every > 0 and step % every == 0
+
+    def _emit(self, record: StepMetrics) -> None:
+        self._buffer.append(record)
+        self.records_emitted += 1
+        if len(self._buffer) >= self.spec.flush_every * len(self.configs):
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered records to the store (one transaction)."""
+        if not self._buffer:
+            return
+        if self._store is None:
+            self._store = RunStore(self.spec.db_path)
+        self._store.append_metrics(self._buffer)
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush the tail and release the store connection (idempotent)."""
+        self.flush()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    # ------------------------------------------------------------------
+    # Engine callbacks
+    # ------------------------------------------------------------------
+    def solo_callback(self, lane: int) -> Callable:
+        """A ``callback(engine, report)`` for one solo-run lane."""
+        run_id = self.spec.run_ids[lane]
+        agents = self._agents[lane]
+
+        def _on_step(engine, report) -> None:
+            self._crossed[lane] += report.new_crossings
+            mat = (
+                engine.backend.to_host(engine.env.mat)
+                if self._sample_lanes(report.step)
+                else None
+            )
+            self._emit(
+                step_metrics(
+                    run_id,
+                    report.step,
+                    report.moved,
+                    report.new_crossings,
+                    self._crossed[lane],
+                    agents,
+                    mat=mat,
+                )
+            )
+
+        return _on_step
+
+    def batched_callback(self, engine, report) -> None:
+        """``callback(engine, report)`` for a batched launch (all lanes)."""
+        to_host = engine.backend.to_host
+        moved = to_host(report.moved)
+        crossings = to_host(report.new_crossings)
+        sample = self._sample_lanes(report.step)
+        for b, run_id in enumerate(self.spec.run_ids):
+            self._crossed[b] += int(crossings[b])
+            mat = None
+            if sample:
+                cfg = self.configs[b]
+                mat = to_host(engine.mats[b, : cfg.height, : cfg.width])
+            self._emit(
+                step_metrics(
+                    run_id,
+                    report.step,
+                    int(moved[b]),
+                    int(crossings[b]),
+                    self._crossed[b],
+                    self._agents[b],
+                    mat=mat,
+                )
+            )

@@ -1,0 +1,383 @@
+"""SQLite-backed run store: persistent, queryable cross-run analytics.
+
+The serving layer's result cache answers "give me this exact run again";
+the run store answers the *analytical* questions the paper's figures
+ask — how does flow vary with density, when does a scenario gridlock,
+how fast do lanes form — across every run the service has ever
+executed. One SQLite file holds two tables:
+
+* ``runs`` — one row per executed run: config summary (geometry,
+  population, model, engine, backend, seed), lifecycle status, and the
+  completion summary (throughput, wall seconds, density, mean flow);
+* ``metrics`` — the per-step stream: one row per
+  :class:`~repro.metrics.stream.StepMetrics` record.
+
+The store follows the initialize → execute-with-incremental-persistence
+→ report lifecycle: :meth:`begin_run` registers a run before its first
+step, :meth:`append_metrics` lands per-step batches *while the engine
+runs* (one transaction per batch — the batched-write path), and
+:meth:`finish_run` seals the summary. WAL journaling lets the service's
+SSE readers and the CLI query mid-run without blocking the writers, and
+lets pool *worker processes* append metrics concurrently with the
+service process updating run rows.
+
+The schema is versioned through ``PRAGMA user_version``; opening an
+older database migrates it forward in one transaction, opening a newer
+one refuses loudly (:class:`~repro.errors.AnalyticsError`) rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import AnalyticsError
+from ..metrics.stream import StepMetrics
+
+__all__ = ["RunStore", "SCHEMA_VERSION"]
+
+#: Current schema version (``PRAGMA user_version`` of a fresh store).
+SCHEMA_VERSION = 2
+
+_RUNS_DDL = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id            TEXT PRIMARY KEY,
+    digest            TEXT NOT NULL,
+    scenario          TEXT NOT NULL,
+    model             TEXT NOT NULL,
+    engine            TEXT NOT NULL,
+    backend           TEXT NOT NULL DEFAULT 'numpy',
+    height            INTEGER NOT NULL,
+    width             INTEGER NOT NULL,
+    agents            INTEGER NOT NULL,
+    steps             INTEGER NOT NULL,
+    seed              INTEGER NOT NULL,
+    status            TEXT NOT NULL DEFAULT 'running',
+    throughput_total  INTEGER,
+    wall_seconds      REAL,
+    density           REAL NOT NULL,
+    flow              REAL,
+    created_s         REAL NOT NULL
+)
+"""
+
+_METRICS_DDL = """
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id            TEXT NOT NULL,
+    step              INTEGER NOT NULL,
+    moved             INTEGER NOT NULL,
+    new_crossings     INTEGER NOT NULL,
+    crossed_total     INTEGER NOT NULL,
+    gridlock_fraction REAL NOT NULL,
+    lane_index        REAL,
+    PRIMARY KEY (run_id, step)
+)
+"""
+
+_RUN_COLUMNS = (
+    "run_id", "digest", "scenario", "model", "engine", "backend",
+    "height", "width", "agents", "steps", "seed", "status",
+    "throughput_total", "wall_seconds", "density", "flow", "created_s",
+)
+
+_METRIC_COLUMNS = (
+    "run_id", "step", "moved", "new_crossings", "crossed_total",
+    "gridlock_fraction", "lane_index",
+)
+
+
+def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
+    """v1 predates the array-backend column on runs; default it."""
+    conn.execute(
+        "ALTER TABLE runs ADD COLUMN backend TEXT NOT NULL DEFAULT 'numpy'"
+    )
+
+
+#: from-version -> migration; applied in sequence up to SCHEMA_VERSION.
+_MIGRATIONS = {1: _migrate_1_to_2}
+
+
+def scenario_key(height: int, width: int) -> str:
+    """Grid-geometry scenario label ("64x64").
+
+    The fundamental diagram plots flow against density *on one
+    geometry*; keying scenarios by geometry makes runs of different
+    populations on the same grid comparable — exactly the paper's
+    population-sweep axis.
+    """
+    return f"{int(height)}x{int(width)}"
+
+
+class RunStore:
+    """Persistent run + per-step-metrics store over one SQLite file.
+
+    Thread-safe within a process (one connection guarded by a lock) and
+    multi-process-safe across processes (WAL + busy timeout): the
+    service process owns run rows while pool workers append metric
+    batches to the same file.
+    """
+
+    def __init__(self, path: str, timeout: float = 10.0) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._lock = threading.RLock()
+        try:
+            self._conn = sqlite3.connect(
+                self.path, timeout=timeout, check_same_thread=False
+            )
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+            self._init_schema()
+        except sqlite3.DatabaseError as exc:
+            raise AnalyticsError(
+                f"cannot open analytics store {self.path!r}: {exc}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Schema lifecycle
+    # ------------------------------------------------------------------
+    def _init_schema(self) -> None:
+        with self._lock, self._conn:
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                # Fresh file (or pre-versioning empty db): create at head.
+                self._conn.execute(_RUNS_DDL)
+                self._conn.execute(_METRICS_DDL)
+                self._conn.execute(
+                    "CREATE INDEX IF NOT EXISTS idx_runs_scenario "
+                    "ON runs(scenario)"
+                )
+                self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+                return
+            if version > SCHEMA_VERSION:
+                raise AnalyticsError(
+                    f"{self.path}: schema version {version} is newer than "
+                    f"this build understands (max {SCHEMA_VERSION}); "
+                    "refusing to touch it"
+                )
+            while version < SCHEMA_VERSION:
+                _MIGRATIONS[version](self._conn)
+                version += 1
+                self._conn.execute(f"PRAGMA user_version={version}")
+
+    @property
+    def schema_version(self) -> int:
+        with self._lock:
+            return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
+
+    def close(self) -> None:
+        """Close the connection (idempotent); the file stays queryable."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # ------------------------------------------------------------------
+    # Writes (the initialize → incremental-persist → report lifecycle)
+    # ------------------------------------------------------------------
+    def begin_run(self, run_id: str, config, engine: str, digest: str) -> None:
+        """Register a run as running, before its first step executes."""
+        self.begin_runs([(run_id, config, engine, digest)])
+
+    def begin_runs(self, entries: Iterable[tuple]) -> None:
+        """Register many ``(run_id, config, engine, digest)`` at once.
+
+        Re-registering a run id (a requeued job re-executing after a
+        crash) resets its row *and clears its stale metric rows*, so a
+        torn previous attempt can never mix steps into the new one.
+        """
+        rows = []
+        ids = []
+        now = time.time()
+        for run_id, config, engine, digest in entries:
+            ids.append((str(run_id),))
+            rows.append(
+                (
+                    str(run_id),
+                    str(digest),
+                    scenario_key(config.height, config.width),
+                    config.model_name,
+                    str(engine),
+                    config.backend,
+                    config.height,
+                    config.width,
+                    config.total_agents,
+                    config.steps,
+                    config.seed,
+                    "running",
+                    None,
+                    None,
+                    config.density,
+                    None,
+                    now,
+                )
+            )
+        if not rows:
+            return
+        with self._lock, self._conn:
+            self._conn.executemany("DELETE FROM metrics WHERE run_id=?", ids)
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO runs "
+                f"({', '.join(_RUN_COLUMNS)}) VALUES "
+                f"({', '.join('?' * len(_RUN_COLUMNS))})",
+                rows,
+            )
+
+    def append_metrics(self, records: Iterable[StepMetrics]) -> int:
+        """Persist a batch of per-step records in one transaction.
+
+        This is the streaming hot path: emitters buffer records and
+        flush batches here, so the per-step cost is an in-memory append
+        and the database pays one commit per batch.
+        """
+        rows = [r.to_row() for r in records]
+        if not rows:
+            return 0
+        with self._lock, self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO metrics "
+                f"({', '.join(_METRIC_COLUMNS)}) VALUES "
+                f"({', '.join('?' * len(_METRIC_COLUMNS))})",
+                rows,
+            )
+        return len(rows)
+
+    def finish_run(
+        self,
+        run_id: str,
+        status: str,
+        throughput_total: Optional[int] = None,
+        wall_seconds: Optional[float] = None,
+    ) -> None:
+        """Seal a run's summary row ("done" or "failed").
+
+        Mean flow — the fundamental diagram's y-axis — is derived here
+        as crossings per step (``throughput_total / steps``).
+        """
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT steps FROM runs WHERE run_id=?", (str(run_id),)
+            ).fetchone()
+            if row is None:
+                raise AnalyticsError(f"finish_run for unknown run {run_id!r}")
+            steps = int(row["steps"])
+            flow = (
+                None
+                if throughput_total is None
+                else throughput_total / max(1, steps)
+            )
+            self._conn.execute(
+                "UPDATE runs SET status=?, throughput_total=?, "
+                "wall_seconds=?, flow=? WHERE run_id=?",
+                (str(status), throughput_total, wall_seconds, flow, str(run_id)),
+            )
+
+    # ------------------------------------------------------------------
+    # Queries (what the /analytics endpoints and the CLI serve)
+    # ------------------------------------------------------------------
+    def run(self, run_id: str) -> Optional[dict]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE run_id=?", (str(run_id),)
+            ).fetchone()
+        return None if row is None else dict(row)
+
+    def runs(
+        self, scenario: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[dict]:
+        """Run rows, newest first, optionally filtered by scenario."""
+        sql = "SELECT * FROM runs"
+        args: list = []
+        if scenario is not None:
+            sql += " WHERE scenario=?"
+            args.append(str(scenario))
+        sql += " ORDER BY created_s DESC, run_id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            args.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        return [dict(r) for r in rows]
+
+    def metrics(self, run_id: str, after_step: int = -1) -> List[dict]:
+        """Per-step records of one run with ``step > after_step``.
+
+        The SSE streamer's incremental read: each poll passes the last
+        step it shipped and receives only the new tail.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM metrics WHERE run_id=? AND step>? "
+                "ORDER BY step",
+                (str(run_id), int(after_step)),
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def fundamental_diagram(
+        self, scenario: Optional[str] = None
+    ) -> List[dict]:
+        """Density/flow points across completed runs (the paper's FD view).
+
+        One point per finished run: the run's global density
+        (agents per cell) against its mean flow (crossings per step).
+        Filtered to one grid geometry via ``scenario``, the points trace
+        the fundamental diagram as population sweeps upward — flow rises
+        with density until congestion, then collapses toward gridlock.
+        """
+        sql = (
+            "SELECT run_id, scenario, model, engine, agents, density, flow, "
+            "throughput_total, steps FROM runs "
+            "WHERE status='done' AND flow IS NOT NULL"
+        )
+        args: list = []
+        if scenario is not None:
+            sql += " AND scenario=?"
+            args.append(str(scenario))
+        sql += " ORDER BY density, run_id"
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        return [dict(r) for r in rows]
+
+    def scenarios(self) -> List[str]:
+        """Distinct scenario keys with at least one run."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT scenario FROM runs ORDER BY scenario"
+            ).fetchall()
+        return [r["scenario"] for r in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Row counts per runs status plus the metrics total (for /stats)."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for row in self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM runs GROUP BY status"
+            ):
+                out[f"runs_{row['status']}"] = int(row["n"])
+            out["metric_rows"] = int(
+                self._conn.execute("SELECT COUNT(*) FROM metrics").fetchone()[0]
+            )
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human summary (used by ``repro analytics``)."""
+        counts = self.counts()
+        return (
+            f"{self.path}: {len(self)} runs "
+            f"({json.dumps(counts, sort_keys=True)})"
+        )

@@ -7,8 +7,10 @@ Commands:
 * ``sweep`` — a batched scenario x model x seed grid (``--smoke`` for the
   CI fast path);
 * ``serve`` — long-running simulation service (HTTP, micro-batching,
-  result cache);
+  result cache, optional ``--analytics-db`` run persistence);
 * ``submit`` / ``status`` — clients for a running ``repro serve``;
+* ``analytics`` — query a run store (live service or SQLite file):
+  run listings and ASCII fundamental diagrams;
 * ``figures`` — regenerate the paper's tables/figures into a directory;
 * ``occupancy`` — the CC 2.0 occupancy calculator;
 * ``speedup`` — the modelled Fig 5c curve.
@@ -197,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         "('500') or a byte budget with suffix ('64MB', '2gb'); "
         "default: unbounded",
     )
+    srv_p.add_argument(
+        "--analytics-db",
+        default=None,
+        metavar="PATH",
+        help="SQLite run store: persist every executed job, stream "
+        "per-step metrics (GET /jobs/<id>/stream) and serve the "
+        "/analytics endpoints; default: disabled",
+    )
 
     sbm_p = sub.add_parser("submit", help="submit a job to a running service")
     sbm_p.add_argument("--host", default="127.0.0.1")
@@ -249,7 +259,40 @@ def build_parser() -> argparse.ArgumentParser:
     sts_p.add_argument("--port", type=int, default=8177)
     sts_p.add_argument("--job", default=None, metavar="JOB_ID",
                        help="show one job instead of service stats")
+    sts_p.add_argument(
+        "--follow",
+        default=None,
+        metavar="JOB_ID",
+        help="stream a job's per-step metrics live (needs a service "
+        "running with --analytics-db)",
+    )
     sts_p.add_argument("--json", action="store_true",
+                       help="print raw JSON (for scripts)")
+
+    ana_p = sub.add_parser(
+        "analytics", help="query persisted runs and fundamental diagrams"
+    )
+    ana_src = ana_p.add_mutually_exclusive_group()
+    ana_src.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="query a SQLite run store file directly (offline)",
+    )
+    ana_src.add_argument("--host", default=None,
+                         help="query a running service instead of a file")
+    ana_p.add_argument("--port", type=int, default=8177)
+    ana_p.add_argument("--scenario", default=None, metavar="HxW",
+                       help="restrict to one grid geometry, e.g. '64x64'")
+    ana_p.add_argument("--limit", type=int, default=20,
+                       help="max run rows to list (default 20)")
+    ana_p.add_argument(
+        "--diagram",
+        action="store_true",
+        help="render the fundamental diagram (density vs mean flow) as "
+        "an ASCII plot instead of listing runs",
+    )
+    ana_p.add_argument("--json", action="store_true",
                        help="print raw JSON (for scripts)")
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -436,6 +479,7 @@ def _cmd_serve(args) -> int:
             workers=args.workers,
             cache_entries=cache_entries,
             cache_bytes=cache_bytes,
+            analytics_db=args.analytics_db,
         )
         server = ServiceServer(
             service, host=args.host, port=args.port, tick_interval=args.tick
@@ -445,12 +489,21 @@ def _cmd_serve(args) -> int:
         return 2
     resumed = service.stats.resumed
     resumed_note = f", resumed {resumed} queued job(s)" if resumed else ""
+    analytics_note = (
+        f", analytics: {args.analytics_db}" if args.analytics_db else ""
+    )
     print(
         f"repro service on http://{server.host}:{server.port} "
         f"(state: {args.state_dir}, lanes<={args.lanes}, "
-        f"workers={args.workers}, tick {args.tick:g}s{resumed_note})"
+        f"workers={args.workers}, tick {args.tick:g}s"
+        f"{resumed_note}{analytics_note})"
     )
-    print("endpoints: POST /jobs, GET /jobs, GET /jobs/<id>, GET /stats")
+    from .service.http import ROUTES
+
+    print(
+        "endpoints: "
+        + ", ".join(f"{method} {path}" for method, path, _ in ROUTES)
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -524,7 +577,34 @@ def _cmd_status(args) -> int:
     import json
 
     from .errors import ReproError
-    from .service.client import get_job, get_stats
+    from .service.client import get_job, get_stats, iter_job_stream
+
+    if args.follow:
+        try:
+            for event, payload in iter_job_stream(
+                args.follow, host=args.host, port=args.port
+            ):
+                if args.json:
+                    print(json.dumps({"event": event, **payload}))
+                elif event == "metrics":
+                    lane = payload.get("lane_index")
+                    lane_note = "" if lane is None else f" lanes {lane:.3f}"
+                    print(
+                        f"step {payload['step']:>5d}: "
+                        f"{payload['moved']} moved, "
+                        f"{payload['crossed_total']} crossed, "
+                        f"gridlock {payload['gridlock_fraction']:.3f}"
+                        f"{lane_note}"
+                    )
+                else:
+                    print(
+                        f"{payload['job_id']} {payload['state']} "
+                        f"({payload['steps_streamed']} steps streamed)"
+                    )
+        except ReproError as exc:
+            print(f"error: {exc}")
+            return 2
+        return 0
 
     try:
         if args.job:
@@ -573,6 +653,107 @@ def _cmd_status(args) -> int:
         f"({payload.get('cache_bytes', 0)} bytes, "
         f"{payload.get('cache_evictions', 0)} evicted) on disk"
     )
+    return 0
+
+
+def _fd_ascii(points: List[dict], scenario: Optional[str]) -> str:
+    """ASCII fundamental diagram from /analytics/fundamental-diagram rows."""
+    from .io.asciiplot import line_plot
+
+    # One series per movement model so LEM/ACO separate visually, the
+    # paper's Fig 6a contrast.
+    by_model: dict = {}
+    for p in points:
+        by_model.setdefault(p["model"], []).append(p)
+    xs = [p["density"] for p in points]
+    series = {}
+    for model, rows in sorted(by_model.items()):
+        dens = {round(p["density"], 12): p["flow"] for p in rows}
+        series[model] = [dens.get(round(x, 12), float("nan")) for x in xs]
+    label = f" ({scenario})" if scenario else ""
+    return line_plot(
+        series,
+        x=xs,
+        title=f"fundamental diagram{label}: mean flow vs density",
+        xlabel="density (agents/cell)",
+        ylabel="flow (crossings/step)",
+    )
+
+
+def _cmd_analytics(args) -> int:
+    """The ``repro analytics`` subcommand body."""
+    import json
+
+    from .errors import ReproError
+
+    try:
+        if args.host is not None:
+            from .service.client import (
+                get_analytics_runs,
+                get_fundamental_diagram,
+            )
+
+            runs_payload = get_analytics_runs(
+                host=args.host,
+                port=args.port,
+                scenario=args.scenario,
+                limit=args.limit,
+            )
+            runs = runs_payload.get("runs", [])
+            scenarios = runs_payload.get("scenarios", [])
+            points = get_fundamental_diagram(
+                host=args.host, port=args.port, scenario=args.scenario
+            )
+        else:
+            db = args.db or ".repro-service/analytics.sqlite"
+            import os
+
+            if not os.path.exists(db):
+                print(f"error: no analytics store at {db!r} (see --db)")
+                return 2
+            from .analytics import RunStore
+
+            store = RunStore(db)
+            try:
+                runs = store.runs(scenario=args.scenario, limit=args.limit)
+                scenarios = store.scenarios()
+                points = store.fundamental_diagram(scenario=args.scenario)
+            finally:
+                store.close()
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.json:
+        print(
+            json.dumps(
+                {"runs": runs, "scenarios": scenarios, "points": points},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    if args.diagram:
+        if not points:
+            print("no completed runs to plot (submit jobs to a service "
+                  "running with --analytics-db first)")
+            return 1
+        print(_fd_ascii(points, args.scenario))
+        print(f"{len(points)} completed run(s) plotted")
+        return 0
+
+    scope = f" in {args.scenario}" if args.scenario else ""
+    print(f"{len(runs)} run(s){scope}; scenarios: "
+          + (", ".join(scenarios) if scenarios else "none"))
+    for r in runs:
+        flow = r.get("flow")
+        flow_note = "" if flow is None else f" flow {flow:.2f}/step"
+        print(
+            f"  {r['run_id']:>12s} {r['scenario']:>9s} {r['model']:>6s}"
+            f"/{r['engine']} agents={r['agents']} status={r['status']}"
+            f"{flow_note}"
+        )
     return 0
 
 
@@ -638,6 +819,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "status":
         return _cmd_status(args)
+
+    if args.command == "analytics":
+        return _cmd_analytics(args)
 
     if args.command == "figures":
         seeds = tuple(range(args.seeds))

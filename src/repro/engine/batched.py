@@ -546,7 +546,10 @@ class BatchedEngine:
         )
 
     def run(
-        self, steps: Optional[int] = None, record_timeline: bool = True
+        self,
+        steps: Optional[int] = None,
+        record_timeline: bool = True,
+        callback=None,
     ) -> List[RunResult]:
         """Run all lanes for ``steps`` steps; one :class:`RunResult` per lane.
 
@@ -557,6 +560,13 @@ class BatchedEngine:
         round-trip when the results are assembled — the recording
         boundary. ``record_timeline=False`` skips the buffers entirely;
         sweeps that only need totals should use it.
+
+        ``callback(engine, report)`` is invoked after every step with the
+        :class:`BatchedStepReport` (per-lane count arrays) — the hook the
+        metric-streaming layer attaches to. Callbacks must treat engine
+        state as read-only (the bit-identity guarantee assumes it); on a
+        GPU backend a callback that reads the report's arrays forces a
+        per-step device sync, so leave it unset on hot paths.
         """
         n = self.config.steps if steps is None else int(steps)
         xp = self.xp
@@ -570,6 +580,8 @@ class BatchedEngine:
             if moved_buf is not None:
                 moved_buf[i] = report.moved
                 cross_buf[i] = report.new_crossings
+            if callback is not None:
+                callback(self, report)
         if moved_buf is not None:
             moved_mat = self.backend.to_host(moved_buf).T  # (B, steps)
             cross_mat = self.backend.to_host(cross_buf).T
@@ -685,15 +697,19 @@ def run_batched(
     seeds: Sequence[int],
     steps: Optional[int] = None,
     record_timeline: bool = True,
+    callback=None,
 ) -> BatchedTimedResult:
     """Build a :class:`BatchedEngine`, run it, and time the whole batch.
 
     ``config`` may be one shared config or a per-lane sequence aligned with
-    ``seeds`` (padded heterogeneous batching).
+    ``seeds`` (padded heterogeneous batching). ``callback`` is forwarded
+    to :meth:`BatchedEngine.run` (per-step metrics hooks).
     """
     eng = BatchedEngine(config, seeds)
     start = time.perf_counter()
-    results = eng.run(steps=steps, record_timeline=record_timeline)
+    results = eng.run(
+        steps=steps, record_timeline=record_timeline, callback=callback
+    )
     # Fence queued device work so the wall time covers execution, not just
     # kernel launches (no-op on the CPU backend).
     eng.backend.synchronize()

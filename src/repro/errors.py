@@ -18,6 +18,7 @@ __all__ = [
     "ExperimentError",
     "ServiceError",
     "WorkerCrashError",
+    "AnalyticsError",
 ]
 
 
@@ -69,6 +70,16 @@ class WorkerCrashError(ReproError, RuntimeError):
     kills, segfaults, SIGKILL). The :class:`repro.exec.ExecutorPool`
     respawns the worker, so sibling batches and subsequent submissions
     are unaffected — the crash costs exactly one batch.
+    """
+
+
+class AnalyticsError(ReproError, RuntimeError):
+    """The analytics store is unusable or was driven incorrectly.
+
+    Raised by :class:`repro.analytics.RunStore` on corrupt database
+    files, schema versions newer than this build understands, and
+    queries against unknown runs. The CLI maps it (like every
+    :class:`ReproError`) to a clean exit code 2.
     """
 
 

@@ -18,8 +18,9 @@ a pool worker, or is split differently across workers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
+from ..analytics import MetricStream, MetricStreamSpec
 from ..backend import resolve_backend
 from ..config import SimulationConfig
 from ..engine import run_batched, run_simulation
@@ -41,6 +42,14 @@ class LaunchWork:
     batched engine (padded heterogeneous lanes) instead of one shared
     config plus a seed stack. Non-batched work runs each config through
     a solo :func:`~repro.engine.run_simulation` on ``engine``.
+
+    ``metrics`` optionally names a per-step metric stream (a picklable
+    :class:`~repro.analytics.MetricStreamSpec`, one run id per lane).
+    When set, the launch emits :class:`~repro.metrics.StepMetrics`
+    records into the spec's analytics store *as steps execute* —
+    wherever the launch runs, pool worker included. Metric emission is
+    read-only over engine state, so results stay bit-identical to an
+    unstreamed launch.
     """
 
     configs: Tuple[SimulationConfig, ...]
@@ -48,6 +57,7 @@ class LaunchWork:
     batched: bool = False
     mixed: bool = False
     record_timeline: bool = False
+    metrics: Optional[MetricStreamSpec] = None
 
 
 @dataclass(frozen=True)
@@ -87,29 +97,48 @@ def warm_backend(name: str) -> None:
 
 
 def execute_launch(work: LaunchWork) -> LaunchOutcome:
-    """Run one work item; lane results return in ``work.configs`` order."""
+    """Run one work item; lane results return in ``work.configs`` order.
+
+    With ``work.metrics`` set, a :class:`~repro.analytics.MetricStream`
+    is built *here* — in whichever process the launch landed — and the
+    engines' per-step callbacks stream records through it into the
+    analytics store while the launch runs. The stream is closed (tail
+    flushed) even when the launch raises, so a failed run keeps the
+    steps it completed.
+    """
     configs = list(work.configs)
-    if work.batched and len(configs) > 1:
-        seeds = [c.seed for c in configs]
-        out = run_batched(
-            configs if work.mixed else configs[0],
-            seeds,
-            record_timeline=work.record_timeline,
-        )
-        per_lane_wall = out.wall_seconds_per_lane
-        return LaunchOutcome(
-            results=tuple(out.results),
-            lanes=len(configs),
-            wall_seconds=(per_lane_wall,) * len(configs),
-        )
-    results = []
-    walls = []
-    for cfg in configs:
-        timed = run_simulation(
-            cfg, engine=work.engine, record_timeline=work.record_timeline
-        )
-        results.append(timed.result)
-        walls.append(timed.wall_seconds)
-    return LaunchOutcome(
-        results=tuple(results), lanes=1, wall_seconds=tuple(walls)
+    stream = (
+        MetricStream(work.metrics, configs) if work.metrics is not None else None
     )
+    try:
+        if work.batched and len(configs) > 1:
+            seeds = [c.seed for c in configs]
+            out = run_batched(
+                configs if work.mixed else configs[0],
+                seeds,
+                record_timeline=work.record_timeline,
+                callback=stream.batched_callback if stream is not None else None,
+            )
+            per_lane_wall = out.wall_seconds_per_lane
+            return LaunchOutcome(
+                results=tuple(out.results),
+                lanes=len(configs),
+                wall_seconds=(per_lane_wall,) * len(configs),
+            )
+        results = []
+        walls = []
+        for i, cfg in enumerate(configs):
+            timed = run_simulation(
+                cfg,
+                engine=work.engine,
+                record_timeline=work.record_timeline,
+                callback=stream.solo_callback(i) if stream is not None else None,
+            )
+            results.append(timed.result)
+            walls.append(timed.wall_seconds)
+        return LaunchOutcome(
+            results=tuple(results), lanes=1, wall_seconds=tuple(walls)
+        )
+    finally:
+        if stream is not None:
+            stream.close()

@@ -4,6 +4,7 @@ from .efficiency import EfficiencyReport, detour_factor, efficiency_report
 from .flow import FlowRecorder, midline_flux, row_density_profile
 from .gridlock import GridlockDetector, is_gridlocked
 from .lanes import band_segregation, column_occupancies, lane_order_parameter
+from .stream import StepMetrics, gridlock_fraction, step_metrics
 from .throughput import ThroughputSummary, ThroughputTracker
 
 __all__ = [
@@ -20,4 +21,7 @@ __all__ = [
     "detour_factor",
     "EfficiencyReport",
     "efficiency_report",
+    "StepMetrics",
+    "gridlock_fraction",
+    "step_metrics",
 ]

@@ -1,0 +1,112 @@
+"""Per-step metric records — the unit the streaming layer ships.
+
+The paper's headline artifacts are flow curves: throughput over time
+(Fig. 5/6) and the density/flow relationship across populations. A
+:class:`StepMetrics` record carries one step of one run's contribution
+to those curves — movement counts, crossing counts, the gridlock
+fraction and the lane-formation order parameter — in a flat,
+JSON-ready shape that the analytics store persists and the service
+streams over SSE while the engine is still running.
+
+Every field is *derived from* engine state and never written back, so
+attaching a metrics stream to a run cannot perturb its trajectory: the
+streamed ``moved``/``new_crossings`` columns are bit-identical to the
+``moved_per_step``/``crossings_per_step`` timelines a non-streaming run
+records at completion (``tests/test_metric_stream.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .lanes import lane_order_parameter
+
+__all__ = ["StepMetrics", "gridlock_fraction", "step_metrics"]
+
+
+def gridlock_fraction(moved: int, total_agents: int) -> float:
+    """Fraction of the population that did *not* move this step.
+
+    1.0 is total gridlock (nobody moved — the paper's ">51,200 agents"
+    regime), 0.0 is free flow. Complements the movement *rate* used by
+    :class:`~repro.metrics.gridlock.GridlockDetector`.
+    """
+    if total_agents <= 0:
+        return 0.0
+    return 1.0 - moved / total_agents
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """One step of one run, as streamed and persisted.
+
+    ``run_id`` names the run in the analytics store (the service uses
+    the job id). ``lane_index`` is the column-segregation order
+    parameter (:func:`~repro.metrics.lanes.lane_order_parameter`);
+    ``None`` when lane-index sampling was disabled or skipped at this
+    step.
+    """
+
+    run_id: str
+    step: int
+    #: Agents that moved this step (gather winners).
+    moved: int
+    #: Agents newly entering the opposite band this step.
+    new_crossings: int
+    #: Cumulative crossings up to and including this step.
+    crossed_total: int
+    #: Fraction of the population that did not move this step.
+    gridlock_fraction: float
+    #: Lane-formation order parameter in [0, 1] (None = not sampled).
+    lane_index: Optional[float] = None
+
+    def to_row(self) -> tuple:
+        """The analytics store's column order (see ``RunStore``)."""
+        return (
+            self.run_id,
+            self.step,
+            self.moved,
+            self.new_crossings,
+            self.crossed_total,
+            self.gridlock_fraction,
+            self.lane_index,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the SSE wire shape)."""
+        return {
+            "run_id": self.run_id,
+            "step": self.step,
+            "moved": self.moved,
+            "new_crossings": self.new_crossings,
+            "crossed_total": self.crossed_total,
+            "gridlock_fraction": self.gridlock_fraction,
+            "lane_index": self.lane_index,
+        }
+
+
+def step_metrics(
+    run_id: str,
+    step: int,
+    moved: int,
+    new_crossings: int,
+    crossed_total: int,
+    total_agents: int,
+    mat=None,
+) -> StepMetrics:
+    """Assemble one record from raw per-step counters.
+
+    ``mat`` is an optional *host* grid matrix; when given, the
+    lane-formation index is computed from it (the only metric that
+    needs grid state rather than counters).
+    """
+    return StepMetrics(
+        run_id=run_id,
+        step=int(step),
+        moved=int(moved),
+        new_crossings=int(new_crossings),
+        crossed_total=int(crossed_total),
+        gridlock_fraction=gridlock_fraction(int(moved), int(total_agents)),
+        lane_index=None if mat is None else lane_order_parameter(mat),
+    )

@@ -23,8 +23,17 @@ Or over HTTP: ``repro serve`` / ``repro submit`` / ``repro status``.
 """
 
 from .cache import ResultCache
-from .client import get_job, get_stats, list_jobs, submit_jobs, wait_for_jobs
-from .http import DEFAULT_PORT, ServiceServer
+from .client import (
+    get_analytics_runs,
+    get_fundamental_diagram,
+    get_job,
+    get_stats,
+    iter_job_stream,
+    list_jobs,
+    submit_jobs,
+    wait_for_jobs,
+)
+from .http import DEFAULT_PORT, ROUTES, ServiceServer
 from .jobs import Job, JobState, job_from_dict, job_to_dict
 from .scheduler import BatchScheduler, ExecutionOutcome, SchedulerStats
 from .service import ServiceStats, SimulationService
@@ -44,9 +53,13 @@ __all__ = [
     "ResultCache",
     "ServiceServer",
     "DEFAULT_PORT",
+    "ROUTES",
     "submit_jobs",
     "get_job",
     "list_jobs",
     "get_stats",
     "wait_for_jobs",
+    "iter_job_stream",
+    "get_analytics_runs",
+    "get_fundamental_diagram",
 ]

@@ -10,8 +10,9 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ServiceError
 from .http import DEFAULT_PORT
@@ -22,6 +23,9 @@ __all__ = [
     "list_jobs",
     "get_stats",
     "wait_for_jobs",
+    "iter_job_stream",
+    "get_analytics_runs",
+    "get_fundamental_diagram",
 ]
 
 
@@ -87,6 +91,90 @@ def get_stats(
     host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
 ) -> dict:
     return _request("GET", host, port, "/stats", timeout=timeout)
+
+
+def iter_job_stream(
+    job_id: str,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    timeout: float = 120.0,
+) -> Iterator[Tuple[str, dict]]:
+    """Follow ``GET /jobs/<id>/stream``, yielding ``(event, payload)``.
+
+    Yields one ``("metrics", row)`` per step record as the server ships
+    it and finally one ``("done", summary)``, then returns. ``timeout``
+    bounds the *idle gap between events*, not the whole stream — a
+    healthy long run streams indefinitely. Server-side errors (unknown
+    job, analytics disabled) raise :class:`ServiceError` up front.
+    """
+    url = f"http://{host}:{port}/jobs/{job_id}/stream"
+    req = urllib.request.Request(url, method="GET")
+    try:
+        resp = urllib.request.urlopen(req, timeout=timeout)
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:
+            detail = ""
+        raise ServiceError(
+            f"GET {url} failed: HTTP {exc.code}"
+            + (f" ({detail})" if detail else "")
+        ) from None
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceError(f"GET {url} failed: {exc}") from None
+    # urllib decodes the chunked transfer; what remains is SSE framing:
+    # "event: <name>\ndata: <json>\n\n" per event.
+    event: Optional[str] = None
+    try:
+        for raw in resp:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("event: "):
+                event = line[len("event: ") :]
+            elif line.startswith("data: ") and event is not None:
+                try:
+                    payload = json.loads(line[len("data: ") :])
+                except json.JSONDecodeError as exc:
+                    raise ServiceError(f"bad stream frame: {exc}") from None
+                yield event, payload
+                if event == "done":
+                    return
+                event = None
+    except OSError as exc:
+        raise ServiceError(f"stream from {url} broke: {exc}") from None
+    finally:
+        resp.close()
+
+
+def get_analytics_runs(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    scenario: Optional[str] = None,
+    limit: Optional[int] = None,
+    timeout: float = 10.0,
+) -> dict:
+    """``GET /analytics/runs`` — ``{"runs": [...], "scenarios": [...]}``."""
+    params = {}
+    if scenario is not None:
+        params["scenario"] = scenario
+    if limit is not None:
+        params["limit"] = str(limit)
+    path = "/analytics/runs"
+    if params:
+        path += "?" + urllib.parse.urlencode(params)
+    return _request("GET", host, port, path, timeout=timeout)
+
+
+def get_fundamental_diagram(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    scenario: Optional[str] = None,
+    timeout: float = 10.0,
+) -> List[dict]:
+    """``GET /analytics/fundamental-diagram`` — density/flow points."""
+    path = "/analytics/fundamental-diagram"
+    if scenario is not None:
+        path += "?" + urllib.parse.urlencode({"scenario": scenario})
+    return _request("GET", host, port, path, timeout=timeout).get("points", [])
 
 
 def wait_for_jobs(

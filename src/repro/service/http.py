@@ -1,28 +1,30 @@
 """Stdlib HTTP front end for :class:`~repro.service.service.SimulationService`.
 
-Endpoints (JSON in, JSON out — no dependencies beyond ``http.server``):
-
-* ``POST /jobs`` — submit. Body is either one spec
-  ``{"config": {...}, "engine": "vectorized"}`` or a burst
-  ``{"jobs": [spec, ...]}``; bursts enqueue atomically so they land in a
-  single micro-batch. Returns ``{"jobs": [job, ...]}`` with 202.
-* ``GET /jobs`` — every job (summaries, no config echo).
-* ``GET /jobs/<id>`` — one job, result included when done.
-* ``GET /stats`` — serving counters (launches, cache hits, queue depth).
-* ``GET /healthz`` — liveness probe (``{"ok": true}``).
+The wire surface is enumerated in :data:`ROUTES` (the table
+``docs/API.md`` is asserted against — see ``tests/test_docs.py``) and
+documented endpoint-by-endpoint there. In short: ``POST /jobs``
+submits (single spec or atomic burst), ``GET /jobs[/<id>]`` inspects,
+``GET /jobs/<id>/stream`` serves a live Server-Sent-Events feed of
+per-step metrics while a job runs (requires ``--analytics-db``),
+``GET /analytics/runs`` and ``GET /analytics/fundamental-diagram``
+query the persistent run store, and ``GET /stats`` / ``GET /healthz``
+report counters and liveness. JSON in, JSON out (SSE for the stream) —
+no dependencies beyond ``http.server``.
 
 Request handling runs on :class:`~http.server.ThreadingHTTPServer`
 threads; the micro-batching loop is one background thread draining the
 queue every ``tick_interval`` seconds. The service's own lock reconciles
-the two, with engine work outside it — so submissions and status polls
-stay responsive while a batch executes.
+the two, with engine work outside it — so submissions, status polls and
+metric streams stay responsive while a batch executes.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 import traceback
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple
 
@@ -30,7 +32,7 @@ from ..config import SimulationConfig
 from ..errors import ReproError, ServiceError
 from .service import SimulationService
 
-__all__ = ["ServiceServer", "DEFAULT_PORT"]
+__all__ = ["ServiceServer", "DEFAULT_PORT", "ROUTES"]
 
 #: Default TCP port for ``repro serve`` (no registered meaning; chosen to
 #: stay clear of the common dev-server squat zone around 8000/8080).
@@ -39,6 +41,32 @@ DEFAULT_PORT = 8177
 #: Refuse request bodies beyond this size (a config spec is ~1 KB; this
 #: allows bursts of thousands while bounding memory per request).
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: The complete wire surface: ``(method, path template, summary)``.
+#: ``docs/API.md`` documents exactly these routes (a test diffs the two),
+#: and the handler's dispatch covers exactly these paths.
+ROUTES: Tuple[Tuple[str, str, str], ...] = (
+    ("POST", "/jobs", "submit one job spec or an atomic burst"),
+    ("GET", "/jobs", "list every job (summaries, no config echo)"),
+    ("GET", "/jobs/<id>", "one job, result included when done"),
+    (
+        "GET",
+        "/jobs/<id>/stream",
+        "live SSE feed of per-step metrics (needs analytics)",
+    ),
+    ("GET", "/stats", "serving counters, queue depth, analytics counts"),
+    ("GET", "/healthz", "liveness probe"),
+    ("GET", "/analytics/runs", "persisted run records, newest first"),
+    (
+        "GET",
+        "/analytics/fundamental-diagram",
+        "density/flow points across completed runs",
+    ),
+)
+
+#: SSE stream poll cadence: how often the streamer checks the analytics
+#: store for new metric rows and the job for a terminal state.
+_STREAM_POLL_S = 0.05
 
 
 def _parse_specs(
@@ -121,13 +149,21 @@ def _make_handler(service: SimulationService):
             self._reply(202, {"jobs": jobs})
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            raw_path, _, query = self.path.partition("?")
+            path = raw_path.rstrip("/") or "/"
+            params = urllib.parse.parse_qs(query)
             if path == "/healthz":
                 self._reply(200, {"ok": True})
             elif path == "/stats":
                 self._reply(200, service.stats_dict())
             elif path == "/jobs":
                 self._reply(200, {"jobs": service.jobs_payload()})
+            elif path == "/analytics/runs":
+                self._analytics_runs(params)
+            elif path == "/analytics/fundamental-diagram":
+                self._analytics_diagram(params)
+            elif path.startswith("/jobs/") and path.endswith("/stream"):
+                self._stream_job(path[len("/jobs/") : -len("/stream")])
             elif path.startswith("/jobs/"):
                 job_id = path[len("/jobs/") :]
                 try:
@@ -138,6 +174,104 @@ def _make_handler(service: SimulationService):
                 self._reply(200, payload)
             else:
                 self._error(404, f"no such endpoint: GET {path}")
+
+        # -- analytics ---------------------------------------------------
+        def _need_analytics(self) -> bool:
+            """409 unless the service was started with an analytics DB."""
+            if service.analytics is None:
+                self._error(
+                    409,
+                    "analytics disabled: start the service with "
+                    "--analytics-db to enable run persistence and streams",
+                )
+                return False
+            return True
+
+        def _analytics_runs(self, params: dict) -> None:
+            if not self._need_analytics():
+                return
+            scenario = params.get("scenario", [None])[0]
+            try:
+                limit = int(params.get("limit", [0])[0]) or None
+            except ValueError:
+                self._error(400, '"limit" must be an integer')
+                return
+            runs = service.analytics.runs(scenario=scenario, limit=limit)
+            self._reply(
+                200,
+                {
+                    "runs": runs,
+                    "scenarios": service.analytics.scenarios(),
+                },
+            )
+
+        def _analytics_diagram(self, params: dict) -> None:
+            if not self._need_analytics():
+                return
+            scenario = params.get("scenario", [None])[0]
+            points = service.analytics.fundamental_diagram(scenario=scenario)
+            self._reply(200, {"scenario": scenario, "points": points})
+
+        # -- live metric stream (SSE over chunked transfer) --------------
+        def _chunk(self, data: bytes) -> None:
+            self.wfile.write(b"%X\r\n" % len(data) + data + b"\r\n")
+            self.wfile.flush()
+
+        def _sse_event(self, event: str, payload: dict) -> None:
+            blob = json.dumps(payload)
+            self._chunk(f"event: {event}\ndata: {blob}\n\n".encode("utf-8"))
+
+        def _stream_job(self, job_id: str) -> None:
+            """``GET /jobs/<id>/stream``: follow a job's per-step metrics.
+
+            Server-Sent Events over chunked transfer: one
+            ``event: metrics`` frame per new store row (in step order),
+            closed by a single ``event: done`` frame carrying the job's
+            terminal state. The tail is never lost: the loop snapshots
+            the job's terminal-ness *before* fetching rows, so rows that
+            land between a fetch and the terminal transition are picked
+            up by one more fetch.
+            """
+            try:
+                service.job(job_id)
+            except ServiceError as exc:
+                self._error(404, str(exc))
+                return
+            if not self._need_analytics():
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            last_step = -1
+            try:
+                while True:
+                    # Order matters: read terminal-ness, THEN fetch rows.
+                    job = service.job(job_id)
+                    final = job.finished
+                    store = service.analytics
+                    if store is None:  # service closed mid-stream
+                        break
+                    for row in store.metrics(job_id, after_step=last_step):
+                        last_step = row["step"]
+                        self._sse_event("metrics", row)
+                    if final:
+                        self._sse_event(
+                            "done",
+                            {
+                                "job_id": job_id,
+                                "state": job.state.value,
+                                "steps_streamed": last_step + 1,
+                                "cache_hit": job.cache_hit,
+                            },
+                        )
+                        break
+                    time.sleep(_STREAM_POLL_S)
+                self._chunk(b"")  # terminal zero-length chunk
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-stream; nothing to clean up
+            self.close_connection = True
 
     return Handler
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..engine.base import RunResult
 from ..errors import ReproError
@@ -124,6 +124,13 @@ class BatchScheduler:
         on the calling thread. Results are bit-identical either way.
         The scheduler does not own the pool — the service (or other
         caller) that created it closes it.
+    metrics_for:
+        Optional callable mapping one launch's lane jobs to a
+        :class:`~repro.analytics.MetricStreamSpec` (or ``None``). When
+        set, each :class:`~repro.exec.LaunchWork` carries the returned
+        spec, so launches stream per-step metrics into the analytics
+        store as they execute. The service supplies this when started
+        with an analytics database.
     """
 
     def __init__(
@@ -133,6 +140,7 @@ class BatchScheduler:
         max_pad_waste: Optional[float] = None,
         record_timeline: bool = False,
         executor: Optional[ExecutorPool] = None,
+        metrics_for: Optional[Callable[[Sequence], Optional[object]]] = None,
     ) -> None:
         validate_plan_parameters(max_lanes, max_pad_waste)
         self.max_lanes = int(max_lanes)
@@ -140,6 +148,7 @@ class BatchScheduler:
         self.max_pad_waste = None if max_pad_waste is None else float(max_pad_waste)
         self.record_timeline = bool(record_timeline)
         self.executor = executor
+        self.metrics_for = metrics_for
 
     # ------------------------------------------------------------------
     def plan(self, jobs: Sequence) -> List[PlannedBatch]:
@@ -184,6 +193,7 @@ class BatchScheduler:
             batched=batch.batched,
             mixed=batch.batched,
             record_timeline=self.record_timeline,
+            metrics=self.metrics_for(lane_jobs) if self.metrics_for else None,
         )
 
     def _score(self, batch: PlannedBatch, stats: SchedulerStats) -> None:

@@ -28,6 +28,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..analytics import MetricStreamSpec, RunStore
 from ..config import SimulationConfig
 from ..errors import ServiceError
 from ..exec import ExecutorPool
@@ -96,6 +97,21 @@ class SimulationService:
         Result-cache budgets forwarded to
         :class:`~repro.service.cache.ResultCache`; least-recently-used
         entries are evicted beyond either bound (``None`` = unbounded).
+    analytics_db:
+        Optional path to a SQLite analytics store
+        (:class:`~repro.analytics.RunStore`). When set, every executed
+        job becomes a persistent run record, launches stream per-step
+        metrics into the store while they run (``GET /jobs/<id>/stream``
+        reads them live), and the ``/analytics/*`` endpoints answer
+        cross-run queries. ``None`` (default) disables all of it — no
+        per-step overhead.
+    executor:
+        Optional *shared* :class:`repro.exec.ExecutorPool`. When given,
+        the service dispatches its launches to the caller's pool instead
+        of owning one — the same pool can simultaneously serve an
+        in-process :class:`~repro.experiments.SweepRunner` — and
+        :meth:`close` leaves it running (the caller owns its lifecycle).
+        Mutually exclusive with ``workers > 1``.
     """
 
     def __init__(
@@ -108,13 +124,26 @@ class SimulationService:
         workers: int = 1,
         cache_entries: Optional[int] = None,
         cache_bytes: Optional[int] = None,
+        analytics_db: Optional[str] = None,
+        executor: Optional[ExecutorPool] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
+        if executor is not None and workers > 1:
+            raise ServiceError(
+                "pass either workers > 1 (service-owned pool) or a shared "
+                "executor, not both"
+            )
         self.state_dir = str(state_dir)
         self.workers = int(workers)
+        self._owns_pool = executor is None
         self._pool: Optional[ExecutorPool] = (
-            ExecutorPool(self.workers) if self.workers > 1 else None
+            executor
+            if executor is not None
+            else (ExecutorPool(self.workers) if self.workers > 1 else None)
+        )
+        self.analytics: Optional[RunStore] = (
+            RunStore(analytics_db) if analytics_db else None
         )
         self.scheduler = BatchScheduler(
             max_lanes=max_lanes,
@@ -122,6 +151,12 @@ class SimulationService:
             max_pad_waste=max_pad_waste,
             record_timeline=record_timeline,
             executor=self._pool,
+            # `is not None`, not truthiness: RunStore.__len__ makes an
+            # empty (brand-new) store falsy, which must not disable
+            # metric streaming.
+            metrics_for=(
+                self._metrics_spec if self.analytics is not None else None
+            ),
         )
         self.store = JobStore(os.path.join(self.state_dir, "jobs.jsonl"))
         self.cache = ResultCache(
@@ -137,15 +172,34 @@ class SimulationService:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the worker pool, if any (idempotent).
+        """Release the worker pool (if owned) and the analytics store
+        (idempotent).
 
         Queued jobs stay durable in the store; a new service over the
-        same state directory resumes them.
+        same state directory resumes them. A *shared* executor passed in
+        at construction is detached but left running — its owner closes
+        it.
         """
         pool, self._pool = self._pool, None
         self.scheduler.executor = None
-        if pool is not None:
+        if pool is not None and self._owns_pool:
             pool.close()
+        analytics, self.analytics = self.analytics, None
+        if analytics is not None:
+            analytics.close()
+
+    # ------------------------------------------------------------------
+    def _metrics_spec(self, lane_jobs) -> MetricStreamSpec:
+        """The per-launch metric stream: one run per lane, keyed by job id.
+
+        Bound as the scheduler's ``metrics_for`` hook only when
+        analytics is enabled; reads ``self.analytics.path`` (not the
+        store object) because the spec must pickle into pool workers.
+        """
+        return MetricStreamSpec(
+            db_path=self.analytics.path,
+            run_ids=tuple(j.job_id for j in lane_jobs),
+        )
 
     # ------------------------------------------------------------------
     # Submission / inspection
@@ -227,6 +281,11 @@ class SimulationService:
             out["cache_entries"] = len(self.cache)
             out["cache_bytes"] = self.cache.total_bytes
             out["cache_evictions"] = self.cache.evictions
+            if self.analytics is not None:
+                out["analytics_db"] = self.analytics.path
+                out.update(self.analytics.counts())
+            else:
+                out["analytics_db"] = None
             return out
 
     # ------------------------------------------------------------------
@@ -293,6 +352,15 @@ class SimulationService:
                 self.store.update_all(dirty)
                 self.stats.ticks += 1
 
+            # Register analytics runs before the first step executes, so
+            # `/jobs/<id>/stream` and `/analytics/runs` can see a job the
+            # moment it starts producing metrics. Outside the service
+            # lock — the run store has its own.
+            if self.analytics is not None and reps:
+                self.analytics.begin_runs(
+                    [(j.job_id, j.config, j.engine, j.digest) for j in reps]
+                )
+
             # Engine work happens outside the lock: submissions (and
             # status reads) stay responsive while a batch executes. The
             # scheduler yields launches as they finish; each one commits
@@ -331,6 +399,8 @@ class SimulationService:
         for job, outcome in zip(jobs, outcomes):
             if outcome.error is not None:
                 self._fail(job, outcome.error)
+                if self.analytics is not None:
+                    self.analytics.finish_run(job.job_id, "failed")
                 dirty.append(job)
                 done += 1
                 for follower in followers.get(job.job_id, ()):
@@ -354,6 +424,16 @@ class SimulationService:
             job.lanes = outcome.lanes
             job.wall_seconds = outcome.wall_seconds
             job.state = JobState.DONE
+            if self.analytics is not None:
+                # Seals the run row (status, throughput, mean flow) the
+                # /analytics queries aggregate; the per-step rows were
+                # streamed in by the launch itself.
+                self.analytics.finish_run(
+                    job.job_id,
+                    "done",
+                    throughput_total=outcome.result.throughput_total,
+                    wall_seconds=outcome.wall_seconds,
+                )
             dirty.append(job)
             self.stats.completed += 1
             done += 1

@@ -1,0 +1,230 @@
+"""RunStore: schema lifecycle, migrations, restart safety, queries."""
+
+import sqlite3
+
+import pytest
+
+from repro.analytics import SCHEMA_VERSION, RunStore, scenario_key
+from repro.config import SimulationConfig
+from repro.errors import AnalyticsError, ReproError
+from repro.metrics import step_metrics
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return str(tmp_path / "analytics.sqlite")
+
+
+@pytest.fixture()
+def store(db_path):
+    s = RunStore(db_path)
+    yield s
+    s.close()
+
+
+def _records(run_id, steps, agents=40):
+    crossed = 0
+    out = []
+    for step in range(steps):
+        crossed += step % 3
+        out.append(
+            step_metrics(run_id, step, agents - step, step % 3, crossed, agents)
+        )
+    return out
+
+
+class TestSchema:
+    def test_fresh_store_is_at_head_version(self, store):
+        assert store.schema_version == SCHEMA_VERSION
+
+    def test_wal_journaling(self, store):
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_newer_schema_refused(self, db_path):
+        conn = sqlite3.connect(db_path)
+        conn.execute(f"PRAGMA user_version={SCHEMA_VERSION + 1}")
+        conn.close()
+        with pytest.raises(AnalyticsError, match="newer"):
+            RunStore(db_path)
+
+    def test_corrupt_file_raises_analytics_error(self, db_path):
+        with open(db_path, "wb") as fh:
+            fh.write(b"this is not a sqlite database, not even close\n" * 20)
+        with pytest.raises(AnalyticsError):
+            RunStore(db_path)
+
+    def test_analytics_error_is_repro_error(self):
+        assert issubclass(AnalyticsError, ReproError)
+
+    def test_v1_to_v2_migration(self, db_path, tiny_config):
+        # A hand-built v1 database: the runs table before the backend
+        # column existed.
+        conn = sqlite3.connect(db_path)
+        conn.execute(
+            """CREATE TABLE runs (
+                run_id TEXT PRIMARY KEY, digest TEXT NOT NULL,
+                scenario TEXT NOT NULL, model TEXT NOT NULL,
+                engine TEXT NOT NULL, height INTEGER NOT NULL,
+                width INTEGER NOT NULL, agents INTEGER NOT NULL,
+                steps INTEGER NOT NULL, seed INTEGER NOT NULL,
+                status TEXT NOT NULL DEFAULT 'running',
+                throughput_total INTEGER, wall_seconds REAL,
+                density REAL NOT NULL, flow REAL, created_s REAL NOT NULL
+            )"""
+        )
+        conn.execute(
+            """CREATE TABLE metrics (
+                run_id TEXT NOT NULL, step INTEGER NOT NULL,
+                moved INTEGER NOT NULL, new_crossings INTEGER NOT NULL,
+                crossed_total INTEGER NOT NULL,
+                gridlock_fraction REAL NOT NULL, lane_index REAL,
+                PRIMARY KEY (run_id, step)
+            )"""
+        )
+        conn.execute(
+            "INSERT INTO runs (run_id, digest, scenario, model, engine, "
+            "height, width, agents, steps, seed, status, density, created_s) "
+            "VALUES ('old-run', 'd', '16x16', 'lem', 'vectorized', 16, 16, "
+            "24, 20, 3, 'done', 0.09, 1.0)"
+        )
+        conn.execute("PRAGMA user_version=1")
+        conn.commit()
+        conn.close()
+
+        store = RunStore(db_path)
+        try:
+            assert store.schema_version == SCHEMA_VERSION
+            old = store.run("old-run")
+            assert old["backend"] == "numpy"  # migration default
+            # And the migrated store accepts new writes with the column.
+            store.begin_run("new-run", tiny_config, "vectorized", "d2")
+            assert store.run("new-run")["backend"] == tiny_config.backend
+        finally:
+            store.close()
+
+
+class TestLifecycle:
+    def test_begin_append_finish(self, store, tiny_config):
+        store.begin_run("r1", tiny_config, "vectorized", "digest-1")
+        row = store.run("r1")
+        assert row["status"] == "running"
+        assert row["scenario"] == scenario_key(
+            tiny_config.height, tiny_config.width
+        )
+        assert row["agents"] == tiny_config.total_agents
+        assert row["flow"] is None
+
+        assert store.append_metrics(_records("r1", 5)) == 5
+        assert [m["step"] for m in store.metrics("r1")] == list(range(5))
+
+        store.finish_run("r1", "done", throughput_total=10, wall_seconds=0.5)
+        row = store.run("r1")
+        assert row["status"] == "done"
+        assert row["flow"] == pytest.approx(10 / tiny_config.steps)
+
+    def test_metrics_after_step_returns_only_tail(self, store, tiny_config):
+        store.begin_run("r1", tiny_config, "vectorized", "d")
+        store.append_metrics(_records("r1", 8))
+        tail = store.metrics("r1", after_step=5)
+        assert [m["step"] for m in tail] == [6, 7]
+
+    def test_finish_unknown_run_raises(self, store):
+        with pytest.raises(AnalyticsError, match="unknown run"):
+            store.finish_run("nope", "done")
+
+    def test_failed_run_keeps_partial_metrics(self, store, tiny_config):
+        store.begin_run("r1", tiny_config, "vectorized", "d")
+        store.append_metrics(_records("r1", 3))
+        store.finish_run("r1", "failed")
+        assert store.run("r1")["status"] == "failed"
+        assert len(store.metrics("r1")) == 3
+        # Failed runs never contribute fundamental-diagram points.
+        assert store.fundamental_diagram() == []
+
+    def test_rebegin_clears_stale_metrics(self, store, tiny_config):
+        # A requeued job re-executes under the same run id after a crash
+        # mid-stream; its torn rows must not mix into the new attempt.
+        store.begin_run("r1", tiny_config, "vectorized", "d")
+        store.append_metrics(_records("r1", 7))
+        store.begin_run("r1", tiny_config, "vectorized", "d")
+        assert store.metrics("r1") == []
+        assert store.run("r1")["status"] == "running"
+
+    def test_survives_restart(self, db_path, tiny_config):
+        store = RunStore(db_path)
+        store.begin_run("r1", tiny_config, "vectorized", "d")
+        store.append_metrics(_records("r1", 4))
+        store.finish_run("r1", "done", throughput_total=6)
+        store.close()
+
+        reopened = RunStore(db_path)
+        try:
+            assert reopened.run("r1")["status"] == "done"
+            assert len(reopened.metrics("r1")) == 4
+        finally:
+            reopened.close()
+
+    def test_close_is_idempotent(self, store):
+        store.close()
+        store.close()
+
+
+class TestQueries:
+    @pytest.fixture()
+    def populated(self, store, tiny_config, small_config):
+        # Two scenarios (16x16 and 32x32), three finished runs plus one
+        # still running and one failed.
+        for i, (cfg, tp) in enumerate(
+            [(tiny_config, 6), (tiny_config.replace(seed=9), 8), (small_config, 30)]
+        ):
+            rid = f"done-{i}"
+            store.begin_run(rid, cfg, "vectorized", f"d{i}")
+            store.append_metrics(_records(rid, 3, agents=cfg.total_agents))
+            store.finish_run(rid, "done", throughput_total=tp, wall_seconds=0.1)
+        store.begin_run("running-0", small_config.replace(seed=1), "vectorized", "dr")
+        store.begin_run("failed-0", tiny_config.replace(seed=2), "vectorized", "df")
+        store.finish_run("failed-0", "failed")
+        return store
+
+    def test_len_and_counts(self, populated):
+        assert len(populated) == 5
+        counts = populated.counts()
+        assert counts["runs_done"] == 3
+        assert counts["runs_running"] == 1
+        assert counts["runs_failed"] == 1
+        assert counts["metric_rows"] == 9
+
+    def test_scenarios_spans_both_geometries(self, populated):
+        assert populated.scenarios() == ["16x16", "32x32"]
+
+    def test_runs_filter_by_scenario(self, populated):
+        small = populated.runs(scenario="32x32")
+        assert {r["run_id"] for r in small} == {"done-2", "running-0"}
+        assert all(r["scenario"] == "32x32" for r in small)
+
+    def test_runs_limit_newest_first(self, populated):
+        rows = populated.runs(limit=2)
+        assert len(rows) == 2
+        # Newest-first: the last two begun runs come back.
+        assert rows[0]["run_id"] in ("running-0", "failed-0")
+
+    def test_fundamental_diagram_across_scenarios(self, populated):
+        points = populated.fundamental_diagram()
+        assert {p["run_id"] for p in points} == {"done-0", "done-1", "done-2"}
+        assert {p["scenario"] for p in points} == {"16x16", "32x32"}
+        densities = [p["density"] for p in points]
+        assert densities == sorted(densities)
+        for p in points:
+            assert p["flow"] == pytest.approx(
+                p["throughput_total"] / p["steps"]
+            )
+
+    def test_fundamental_diagram_scenario_filter(self, populated):
+        points = populated.fundamental_diagram(scenario="16x16")
+        assert {p["run_id"] for p in points} == {"done-0", "done-1"}
+
+    def test_describe_mentions_path_and_counts(self, populated):
+        text = populated.describe()
+        assert populated.path in text
+        assert "runs_done" in text

@@ -31,6 +31,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--model", "boids"])
 
+    def test_serve_analytics_db_option(self):
+        args = build_parser().parse_args(
+            ["serve", "--analytics-db", "runs.sqlite"]
+        )
+        assert args.analytics_db == "runs.sqlite"
+        assert build_parser().parse_args(["serve"]).analytics_db is None
+
+    def test_analytics_options(self):
+        args = build_parser().parse_args(
+            ["analytics", "--db", "runs.sqlite", "--scenario", "64x64",
+             "--diagram"]
+        )
+        assert args.db == "runs.sqlite"
+        assert args.scenario == "64x64" and args.diagram
+
+    def test_analytics_db_and_host_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analytics", "--db", "a.sqlite", "--host", "localhost"]
+            )
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -82,3 +103,54 @@ class TestCommands:
         assert (tmp_path / "res" / "report.json").exists()
         assert (tmp_path / "res" / "fig6a_throughput.txt").exists()
         assert (tmp_path / "res" / "table1_hardware.txt").exists()
+
+
+class TestAnalyticsCommand:
+    @pytest.fixture()
+    def db(self, tmp_path, tiny_config):
+        # Two completed runs on different geometries, written the same
+        # way the service writes them.
+        from repro.analytics import RunStore
+
+        path = str(tmp_path / "runs.sqlite")
+        store = RunStore(path)
+        for i, cfg in enumerate(
+            (tiny_config, tiny_config.replace(height=24, width=24, seed=5))
+        ):
+            rid = f"job-{i:06d}"
+            store.begin_run(rid, cfg, "vectorized", f"d{i}")
+            store.finish_run(
+                rid, "done", throughput_total=12 + i, wall_seconds=0.1
+            )
+        store.close()
+        return path
+
+    def test_offline_listing(self, db, capsys):
+        assert main(["analytics", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "16x16" in out and "24x24" in out
+
+    def test_offline_diagram(self, db, capsys):
+        assert main(["analytics", "--db", db, "--diagram"]) == 0
+        out = capsys.readouterr().out
+        assert "fundamental diagram" in out
+        assert "2 completed run(s) plotted" in out
+
+    def test_offline_json(self, db, capsys):
+        import json
+
+        assert main(["analytics", "--db", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 2
+        assert len(payload["points"]) == 2
+        assert payload["scenarios"] == ["16x16", "24x24"]
+
+    def test_scenario_filter(self, db, capsys):
+        assert main(["analytics", "--db", db, "--scenario", "24x24"]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s) in 24x24" in out
+
+    def test_missing_db_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["analytics", "--db", str(tmp_path / "nope.sqlite")]) == 2
+        assert "no analytics store" in capsys.readouterr().out

@@ -1,0 +1,282 @@
+"""Service streaming surface: SSE endpoint, analytics routes, parity."""
+
+import http.client
+import json
+import os
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ServiceError
+from repro.service import ServiceServer, SimulationService
+from repro.service.client import (
+    get_analytics_runs,
+    get_fundamental_diagram,
+    get_job,
+    get_stats,
+    iter_job_stream,
+    submit_jobs,
+    wait_for_jobs,
+)
+
+
+@pytest.fixture()
+def analytics_server(tmp_path):
+    service = SimulationService(
+        str(tmp_path / "state"),
+        analytics_db=str(tmp_path / "analytics.sqlite"),
+    )
+    server = ServiceServer(service, port=0, tick_interval=0.02)
+    server.start()
+    yield server
+    server.shutdown()
+
+
+def _submit(server, configs, engine="vectorized"):
+    jobs = submit_jobs(
+        [{"config": c.to_dict(), "engine": engine} for c in configs],
+        host=server.host,
+        port=server.port,
+    )
+    return [j["job_id"] for j in jobs]
+
+
+class TestStreamEndpoint:
+    def test_stream_ships_every_step_then_done(
+        self, analytics_server, tiny_config
+    ):
+        (job_id,) = _submit(analytics_server, [tiny_config])
+        events = list(
+            iter_job_stream(
+                job_id, host=analytics_server.host, port=analytics_server.port
+            )
+        )
+        kinds = [e for e, _ in events]
+        assert kinds.count("metrics") == tiny_config.steps
+        assert kinds[-1] == "done"
+        steps = [p["step"] for e, p in events if e == "metrics"]
+        assert steps == list(range(tiny_config.steps))
+        done = events[-1][1]
+        assert done == {
+            "job_id": job_id,
+            "state": "done",
+            "steps_streamed": tiny_config.steps,
+            "cache_hit": False,
+        }
+
+    def test_metrics_observable_before_job_completes(
+        self, analytics_server, tiny_config
+    ):
+        # The acceptance criterion: a long job's metrics must be visible
+        # on the stream while the job is still running.
+        long_cfg = tiny_config.replace(steps=600)
+        (job_id,) = _submit(analytics_server, [long_cfg])
+        seen_running = False
+        metrics_seen = 0
+        for event, payload in iter_job_stream(
+            job_id, host=analytics_server.host, port=analytics_server.port
+        ):
+            if event != "metrics":
+                break
+            metrics_seen += 1
+            if not seen_running:
+                state = get_job(
+                    job_id,
+                    host=analytics_server.host,
+                    port=analytics_server.port,
+                )["state"]
+                seen_running = state == "running"
+        assert metrics_seen == long_cfg.steps
+        assert seen_running, "no metrics event arrived while the job ran"
+
+    def test_sse_wire_framing(self, analytics_server, tiny_config):
+        # Below the client helper: the raw bytes must be real SSE over
+        # chunked transfer encoding.
+        (job_id,) = _submit(analytics_server, [tiny_config])
+        wait_for_jobs(
+            [job_id], host=analytics_server.host, port=analytics_server.port
+        )
+        conn = http.client.HTTPConnection(
+            analytics_server.host, analytics_server.port, timeout=30
+        )
+        conn.request("GET", f"/jobs/{job_id}/stream")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type") == "text/event-stream"
+        assert resp.getheader("Transfer-Encoding") == "chunked"
+        body = resp.read().decode("utf-8")
+        conn.close()
+        frames = [f for f in body.split("\n\n") if f.strip()]
+        assert len(frames) == tiny_config.steps + 1
+        for frame in frames[:-1]:
+            event_line, data_line = frame.split("\n")
+            assert event_line == "event: metrics"
+            payload = json.loads(data_line[len("data: ") :])
+            assert payload["run_id"] == job_id
+        assert frames[-1].startswith("event: done")
+
+    def test_client_disconnect_mid_stream_leaves_server_healthy(
+        self, analytics_server, tiny_config
+    ):
+        long_cfg = tiny_config.replace(steps=800, seed=21)
+        (job_id,) = _submit(analytics_server, [long_cfg])
+        stream = iter_job_stream(
+            job_id, host=analytics_server.host, port=analytics_server.port
+        )
+        # Read a handful of frames, then hang up mid-run.
+        for _ in range(3):
+            next(stream)
+        stream.close()
+        # The server must shrug it off: the job finishes and every other
+        # route keeps answering.
+        wait_for_jobs(
+            [job_id],
+            host=analytics_server.host,
+            port=analytics_server.port,
+            timeout=60,
+        )
+        stats = get_stats(
+            host=analytics_server.host, port=analytics_server.port
+        )
+        assert stats["completed"] >= 1
+        assert stats["metric_rows"] == long_cfg.steps
+
+    def test_unknown_job_404(self, analytics_server):
+        with pytest.raises(ServiceError, match="404"):
+            list(
+                iter_job_stream(
+                    "job-424242",
+                    host=analytics_server.host,
+                    port=analytics_server.port,
+                )
+            )
+
+    def test_cached_job_streams_replayed_metrics(
+        self, analytics_server, tiny_config
+    ):
+        # Second submission of the same config is served from the cache
+        # without executing. Metric rows are keyed per job id, so the
+        # cached job's stream has no rows of its own — it must still
+        # terminate promptly with a done frame flagging the cache hit.
+        (first,) = _submit(analytics_server, [tiny_config])
+        wait_for_jobs(
+            [first], host=analytics_server.host, port=analytics_server.port
+        )
+        (second,) = _submit(analytics_server, [tiny_config])
+        events = list(
+            iter_job_stream(
+                second, host=analytics_server.host, port=analytics_server.port
+            )
+        )
+        assert events[-1][1]["cache_hit"] is True
+
+
+class TestAnalyticsEndpoints:
+    def test_runs_and_diagram_across_two_scenarios(
+        self, analytics_server, tiny_config
+    ):
+        other = SimulationConfig(
+            height=24, width=24, n_per_side=20, steps=tiny_config.steps, seed=4
+        )
+        ids = _submit(
+            analytics_server,
+            [tiny_config, tiny_config.replace(seed=8), other],
+        )
+        wait_for_jobs(
+            ids, host=analytics_server.host, port=analytics_server.port
+        )
+        payload = get_analytics_runs(
+            host=analytics_server.host, port=analytics_server.port
+        )
+        assert {r["run_id"] for r in payload["runs"]} == set(ids)
+        assert len(payload["scenarios"]) == 2
+
+        # Scenario filter narrows the listing.
+        scoped = get_analytics_runs(
+            host=analytics_server.host,
+            port=analytics_server.port,
+            scenario="24x24",
+        )
+        assert {r["scenario"] for r in scoped["runs"]} == {"24x24"}
+
+        # The acceptance criterion: density/flow points spanning >= 2
+        # persisted runs, flow consistent with the job results.
+        points = get_fundamental_diagram(
+            host=analytics_server.host, port=analytics_server.port
+        )
+        assert len(points) == 3
+        assert {p["scenario"] for p in points} == {"16x16", "24x24"}
+        for p in points:
+            job = get_job(
+                p["run_id"],
+                host=analytics_server.host,
+                port=analytics_server.port,
+            )
+            assert p["throughput_total"] == job["result"]["throughput_total"]
+            assert p["flow"] == pytest.approx(
+                p["throughput_total"] / p["steps"]
+            )
+
+    def test_stats_merges_analytics_counts(self, analytics_server, tiny_config):
+        ids = _submit(analytics_server, [tiny_config])
+        wait_for_jobs(
+            ids, host=analytics_server.host, port=analytics_server.port
+        )
+        stats = get_stats(
+            host=analytics_server.host, port=analytics_server.port
+        )
+        assert stats["analytics_db"].endswith("analytics.sqlite")
+        assert stats["runs_done"] == 1
+        assert stats["metric_rows"] == tiny_config.steps
+
+    def test_analytics_disabled_409(self, tmp_path, tiny_config):
+        service = SimulationService(str(tmp_path / "plain-state"))
+        server = ServiceServer(service, port=0, tick_interval=0.02)
+        server.start()
+        try:
+            (job_id,) = _submit(server, [tiny_config])
+            for call in (
+                lambda: list(
+                    iter_job_stream(job_id, host=server.host, port=server.port)
+                ),
+                lambda: get_analytics_runs(host=server.host, port=server.port),
+                lambda: get_fundamental_diagram(
+                    host=server.host, port=server.port
+                ),
+            ):
+                with pytest.raises(ServiceError, match="409"):
+                    call()
+            assert get_stats(host=server.host, port=server.port)[
+                "analytics_db"
+            ] is None
+        finally:
+            server.shutdown()
+
+
+class TestStreamingParity:
+    def test_streamed_service_results_match_plain_service(
+        self, tmp_path, tiny_config
+    ):
+        # Final acceptance criterion: results through the streaming path
+        # are bit-identical to the non-streaming path.
+        configs = [tiny_config, tiny_config.replace(seed=13)]
+
+        def run(state, analytics):
+            service = SimulationService(
+                os.path.join(str(tmp_path), state),
+                analytics_db=(
+                    os.path.join(str(tmp_path), state + ".sqlite")
+                    if analytics
+                    else None
+                ),
+            )
+            try:
+                jobs = [service.submit(c) for c in configs]
+                service.run_until_idle()
+                return [service.job(j.job_id).result for j in jobs]
+            finally:
+                service.close()
+
+        streamed = run("with-analytics", True)
+        plain = run("without-analytics", False)
+        assert streamed == plain

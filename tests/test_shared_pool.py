@@ -1,0 +1,83 @@
+"""One ExecutorPool shared between the service and an in-process sweep.
+
+`SimulationService(executor=pool)` borrows a caller-owned pool instead
+of owning one: the same warm workers serve HTTP jobs and a concurrent
+`SweepRunner`, and closing the service (or shutting down its server)
+must leave the borrowed pool running for the sweep.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.exec import ExecutorPool, LaunchWork, execute_launch
+from repro.experiments.sweep import SweepRunner, sweep_grid
+from repro.service import ServiceServer, SimulationService
+from repro.service.client import submit_jobs, wait_for_jobs
+
+
+@pytest.fixture()
+def pool():
+    p = ExecutorPool(2)
+    yield p
+    p.close()
+
+
+def test_executor_and_workers_are_mutually_exclusive(tmp_path, pool):
+    with pytest.raises(ServiceError, match="not both"):
+        SimulationService(str(tmp_path / "s"), workers=2, executor=pool)
+
+
+def test_service_and_sweep_share_one_pool(tmp_path, tiny_config, pool):
+    service = SimulationService(str(tmp_path / "state"), executor=pool)
+    server = ServiceServer(service, port=0, tick_interval=0.02)
+    server.start()
+
+    # Kick both subsystems onto the same pool: an HTTP burst of jobs
+    # that cannot fuse with each other, and an in-process sweep grid.
+    specs = [
+        {"config": tiny_config.replace(seed=s).to_dict(), "engine": "vectorized"}
+        for s in range(3)
+    ] + [
+        {
+            "config": tiny_config.replace(n_per_side=20, seed=9).to_dict(),
+            "engine": "vectorized",
+        }
+    ]
+    jobs = submit_jobs(specs, host=server.host, port=server.port)
+
+    runner = SweepRunner(max_lanes=2, executor=pool)
+    points = sweep_grid(
+        scenario_indices=(1, 2), seeds=(0, 1), models=("lem",), scale="tiny"
+    )
+    report = runner.run_report(points)
+
+    finished = wait_for_jobs(
+        [j["job_id"] for j in jobs],
+        host=server.host,
+        port=server.port,
+        timeout=120,
+    )
+
+    # Both customers completed everything on the shared workers.
+    assert report.n_points == len(points)
+    assert all(r.throughput >= 0 for r in report.records)
+    assert {j["state"] for j in finished.values()} == {"done"}
+    assert pool.peak_busy >= 1
+
+    # Shutting the service down detaches but does NOT close the
+    # borrowed pool: the sweep (and raw launches) keep working.
+    server.shutdown()
+    future = pool.submit(execute_launch, LaunchWork(configs=(tiny_config,)))
+    assert future.result().results[0].steps_run == tiny_config.steps
+    report2 = SweepRunner(max_lanes=2, executor=pool).run_report(points[:2])
+    assert report2.n_points == 2
+
+
+def test_owned_pool_still_closed_by_service(tmp_path):
+    # The workers>1 path must keep its original lifecycle: the service
+    # owns that pool and close() releases it.
+    service = SimulationService(str(tmp_path / "owned"), workers=2)
+    owned = service._pool
+    assert owned is not None and service._owns_pool
+    service.close()
+    assert service._pool is None
