@@ -26,6 +26,19 @@ from .backend import (
     register_backend,
     resolve_backend,
 )
+from .components import (
+    MODEL_PARAMS,
+    Registry,
+    register_model,
+    register_model_params,
+)
+from .components.hooks import HOOKS, PanicHook, StepHook, register_hook
+from .components.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    expand_scenarios,
+    register_scenario,
+)
 from .config import SimulationConfig, paper_config
 from .engine import (
     BaseEngine,
@@ -75,6 +88,19 @@ __all__ = [
     # configuration
     "SimulationConfig",
     "paper_config",
+    # component framework
+    "Registry",
+    "MODEL_PARAMS",
+    "HOOKS",
+    "SCENARIOS",
+    "register_model",
+    "register_model_params",
+    "register_hook",
+    "register_scenario",
+    "StepHook",
+    "PanicHook",
+    "build_scenario",
+    "expand_scenarios",
     # backends
     "ArrayBackend",
     "BackendCapabilities",

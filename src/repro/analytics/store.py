@@ -108,7 +108,10 @@ def scenario_key(height: int, width: int) -> str:
     The fundamental diagram plots flow against density *on one
     geometry*; keying scenarios by geometry makes runs of different
     populations on the same grid comparable — exactly the paper's
-    population-sweep axis.
+    population-sweep axis. Configs built from a *named* scenario
+    (``config.scenario``, e.g. "boarding:30x7") keep that name as the
+    label instead, so workload families stay distinguishable even when
+    they happen to share a geometry.
     """
     return f"{int(height)}x{int(width)}"
 
@@ -203,7 +206,8 @@ class RunStore:
                 (
                     str(run_id),
                     str(digest),
-                    scenario_key(config.height, config.width),
+                    config.scenario
+                    or scenario_key(config.height, config.width),
                     config.model_name,
                     str(engine),
                     config.backend,

@@ -95,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--agents", type=int, default=256, help="agents per side")
     run_p.add_argument("--steps", type=int, default=500)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="named scenario ('paper:2', 'boarding:30x7', 'crossing:40x40'); "
+        "overrides --height/--width/--agents/--steps",
+    )
+    run_p.add_argument(
+        "--scale",
+        default="quick",
+        choices=sorted(SCALES),
+        help="step-budget scale for --scenario runs",
+    )
     run_p.add_argument("--render", action="store_true", help="print the final grid")
 
     swp_p = sub.add_parser(
@@ -104,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenarios",
         default="1-4",
         help="scenario indices: comma list and/or ranges, e.g. '1,3,5-8'",
+    )
+    swp_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAMES",
+        help="named scenarios instead of --scenarios indices: comma list, "
+        "'family:*' wildcards allowed (e.g. 'boarding:30x7,crossing:*')",
     )
     swp_p.add_argument("--seeds", type=int, default=4, help="seeds per point (0..N-1)")
     swp_p.add_argument(
@@ -226,6 +246,19 @@ def build_parser() -> argparse.ArgumentParser:
     sbm_p.add_argument("--steps", type=int, default=500)
     sbm_p.add_argument("--seed", type=int, default=0)
     sbm_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="named scenario ('paper:2', 'boarding:30x7', 'crossing:40x40'); "
+        "overrides --height/--width/--agents/--steps",
+    )
+    sbm_p.add_argument(
+        "--scale",
+        default="quick",
+        choices=sorted(SCALES),
+        help="step-budget scale for --scenario submissions",
+    )
+    sbm_p.add_argument(
         "--burst",
         type=int,
         default=1,
@@ -282,8 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
     ana_src.add_argument("--host", default=None,
                          help="query a running service instead of a file")
     ana_p.add_argument("--port", type=int, default=8177)
-    ana_p.add_argument("--scenario", default=None, metavar="HxW",
-                       help="restrict to one grid geometry, e.g. '64x64'")
+    ana_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="LABEL",
+        help="restrict to one scenario label: a named scenario "
+        "('boarding:30x7') or an HxW grid geometry ('64x64')",
+    )
     ana_p.add_argument("--limit", type=int, default=20,
                        help="max run rows to list (default 20)")
     ana_p.add_argument(
@@ -346,6 +384,7 @@ def _cmd_sweep(args) -> int:
     from .errors import ReproError
     from .experiments.sweep import (
         SweepRunner,
+        named_sweep_points,
         smoke_sweep_points,
         sweep_grid,
     )
@@ -357,7 +396,13 @@ def _cmd_sweep(args) -> int:
     executor = None
     try:
         if args.smoke:
-            points = smoke_sweep_points()
+            if args.scenario:
+                # Named smoke leg: the requested families at tiny scale.
+                points = named_sweep_points(
+                    args.scenario, seeds=(0, 1), models=("lem",), scale="tiny"
+                )
+            else:
+                points = smoke_sweep_points()
             runner = SweepRunner(
                 max_lanes=2,
                 processes=1,
@@ -377,13 +422,22 @@ def _cmd_sweep(args) -> int:
                 if not values:
                     print(f"error: {label} selects no runs")
                     return 2
-            points = sweep_grid(
-                scenario_indices=_parse_scenarios(args.scenarios),
-                seeds=seeds,
-                models=models,
-                engines=engines,
-                scale=args.scale,
-            )
+            if args.scenario:
+                points = named_sweep_points(
+                    args.scenario,
+                    seeds=seeds,
+                    models=models,
+                    engines=engines,
+                    scale=args.scale,
+                )
+            else:
+                points = sweep_grid(
+                    scenario_indices=_parse_scenarios(args.scenarios),
+                    seeds=seeds,
+                    models=models,
+                    engines=engines,
+                    scale=args.scale,
+                )
             runner = SweepRunner(
                 max_lanes=args.lanes,
                 processes=args.processes,
@@ -418,20 +472,27 @@ def _cmd_sweep(args) -> int:
     )
     by_point = {}
     for r in report.records:
-        key = (r.scenario_index, r.model, r.engine)
+        key = (r.scenario or r.scenario_index, r.model, r.engine)
         by_point.setdefault(key, []).append(r)
-    for (k, model, engine), recs in sorted(by_point.items()):
+    for (k, model, engine), recs in sorted(
+        by_point.items(), key=lambda item: (str(item[0][0]),) + item[0][1:]
+    ):
         mean_tp = sum(r.throughput for r in recs) / len(recs)
         print(
-            f"  scenario {k:>2d} {model:>6s}/{engine}: "
+            f"  scenario {str(k):>14s} {model:>6s}/{engine}: "
             f"mean throughput {mean_tp:8.1f} over {len(recs)} seeds"
         )
     if report.n_points and report.total_throughput == 0:
         print("warning: no agent crossed in any run (grid too short?)")
 
-    if args.smoke and report.total_throughput == 0:
+    if args.smoke and not args.scenario and report.total_throughput == 0:
         # The smoke grid is sized so agents always cross; zero means the
-        # pipeline is broken, so fail the CI job loudly.
+        # pipeline is broken, so fail the CI job loudly. Named families
+        # are exempt: a congested workload (a 1-cell boarding aisle) can
+        # legitimately finish its tiny step budget with zero crossings.
+        return 1
+    if args.smoke and args.scenario and not report.records:
+        print("error: named smoke sweep produced no records")
         return 1
 
     if args.out:
@@ -523,14 +584,24 @@ def _cmd_submit(args) -> int:
         if args.burst < 1:
             print(f"error: --burst must be >= 1, got {args.burst}")
             return 2
-        base = SimulationConfig(
-            height=args.height,
-            width=args.width,
-            n_per_side=args.agents,
-            steps=args.steps,
-            seed=args.seed,
-            backend=args.backend,
-        ).with_model(args.model)
+        if args.scenario:
+            from .components.scenarios import build_scenario
+
+            base = build_scenario(
+                args.scenario,
+                model=args.model,
+                scale=args.scale,
+                seed=args.seed,
+            ).replace(backend=args.backend)
+        else:
+            base = SimulationConfig(
+                height=args.height,
+                width=args.width,
+                n_per_side=args.agents,
+                steps=args.steps,
+                seed=args.seed,
+                backend=args.backend,
+            ).with_model(args.model)
         specs = [
             {
                 "config": base.replace(seed=args.seed + k).to_dict(),
@@ -778,14 +849,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .errors import ReproError
 
         try:
-            cfg = SimulationConfig(
-                height=args.height,
-                width=args.width,
-                n_per_side=args.agents,
-                steps=args.steps,
-                seed=args.seed,
-                backend=args.backend,
-            ).with_model(args.model)
+            if args.scenario:
+                from .components.scenarios import build_scenario
+
+                cfg = build_scenario(
+                    args.scenario,
+                    model=args.model,
+                    scale=args.scale,
+                    seed=args.seed,
+                ).replace(backend=args.backend)
+            else:
+                cfg = SimulationConfig(
+                    height=args.height,
+                    width=args.width,
+                    n_per_side=args.agents,
+                    steps=args.steps,
+                    seed=args.seed,
+                    backend=args.backend,
+                ).with_model(args.model)
             print(cfg.describe())
             eng = build_engine(cfg, engine=args.engine)
             start = time.perf_counter()

@@ -1,0 +1,78 @@
+"""Composable component framework: registries for models, scenarios, hooks.
+
+Every extension point is a :class:`~repro.components.registry.Registry`
+(duplicate names refused, unknown names listed in the error):
+
+* movement models — :data:`MODEL_PARAMS` / :data:`MODEL_CLASSES`, fed by
+  :func:`register_model_params` / :func:`register_model`, consumed by
+  :func:`repro.models.base.build_model`;
+* scenario families — :data:`SCENARIOS`, fed by
+  :func:`register_scenario`, consumed by :func:`build_scenario`
+  (``repro run/sweep/submit --scenario family:arg``);
+* step-hooks — :data:`HOOKS`, fed by :func:`register_hook`, carried in
+  ``SimulationConfig.hooks`` and honoured by every engine, including
+  per-lane inside :class:`~repro.engine.batched.BatchedEngine`.
+
+Registered components travel by *name* through the config wire format,
+the content-addressed result cache and the analytics store, so plugging
+in a model, scenario or hook requires no edits to the execution layer.
+
+Import note: ``repro.config`` and ``repro.models.params`` import parts
+of this package, so only the dependency-free modules load eagerly here;
+hook and scenario names re-export lazily (PEP 562) to keep those cycles
+unwound.
+"""
+
+from __future__ import annotations
+
+from .models import (
+    MODEL_CLASSES,
+    MODEL_PARAMS,
+    register_model,
+    register_model_params,
+    resolve_model_class,
+)
+from .registry import Registry
+
+#: Lazily re-exported names → submodule (PEP 562). ``hooks`` pulls in
+#: ``repro.models.params`` and ``scenarios`` pulls in ``repro.config``;
+#: both would cycle if imported while those modules initialise.
+_LAZY = {
+    "HOOKS": "hooks",
+    "StepHook": "hooks",
+    "PanicHook": "hooks",
+    "register_hook": "hooks",
+    "hook_from_dict": "hooks",
+    "hooks_from_specs": "hooks",
+    "panic_variant": "hooks",
+    "SCENARIOS": "scenarios",
+    "ScenarioBuilder": "scenarios",
+    "register_scenario": "scenarios",
+    "parse_scenario_name": "scenarios",
+    "build_scenario": "scenarios",
+    "expand_scenarios": "scenarios",
+    "scenario_steps": "scenarios",
+}
+
+__all__ = [
+    "Registry",
+    "MODEL_PARAMS",
+    "MODEL_CLASSES",
+    "register_model",
+    "register_model_params",
+    "resolve_model_class",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)
+
+
+def __dir__():
+    return sorted(__all__)

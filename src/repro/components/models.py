@@ -1,0 +1,77 @@
+"""Movement-model registries: params bundles and model implementations.
+
+Two registries share the key space of ``ModelParams.model_name``:
+
+* :data:`MODEL_PARAMS` — parameter-bundle classes, consulted by
+  :func:`repro.models.params.params_from_name` and
+  :meth:`repro.config.SimulationConfig.from_dict` to rebuild a bundle
+  from its serialized name;
+* :data:`MODEL_CLASSES` — :class:`~repro.models.base.MovementModel`
+  implementations, consulted by :func:`repro.models.base.build_model`.
+
+Third-party models plug in without touching ``repro/models``::
+
+    from repro.components import register_model, register_model_params
+    from repro.models import ModelParams, MovementModel
+
+    @register_model_params
+    class SwarmParams(ModelParams):
+        model_name = "swarm"
+
+    @register_model("swarm")
+    class SwarmModel(MovementModel):
+        name = "swarm"
+        ...
+
+Once registered, ``"swarm"`` works everywhere a model name travels: the
+CLI's ``--model``, config dicts on the service wire,
+:func:`~repro.io.config_digest` cache keys and the analytics store.
+"""
+
+from __future__ import annotations
+
+from .registry import Registry
+
+__all__ = [
+    "MODEL_PARAMS",
+    "MODEL_CLASSES",
+    "register_model",
+    "register_model_params",
+    "resolve_model_class",
+]
+
+#: ``model_name`` → :class:`~repro.models.params.ModelParams` subclass.
+MODEL_PARAMS = Registry("model")
+
+#: ``model_name`` → :class:`~repro.models.base.MovementModel` subclass.
+MODEL_CLASSES = Registry("movement model")
+
+
+def register_model_params(cls):
+    """Class decorator: register a params bundle under its ``model_name``."""
+    MODEL_PARAMS.register(getattr(cls, "model_name", ""), cls)
+    return cls
+
+
+def register_model(name: str):
+    """Class decorator: register a movement model under ``name``.
+
+    ``name`` must match the ``model_name`` of the params bundle the model
+    consumes — that is the key :func:`~repro.models.base.build_model`
+    resolves from ``config.params``.
+    """
+
+    def deco(cls):
+        MODEL_CLASSES.register(name, cls)
+        return cls
+
+    return deco
+
+
+def resolve_model_class(name: str):
+    """The registered movement-model class for ``name``.
+
+    Raises :class:`~repro.errors.ConfigurationError` listing the
+    registered names when ``name`` is unknown.
+    """
+    return MODEL_CLASSES.get(name)

@@ -1,0 +1,92 @@
+"""Generic name → component registry.
+
+One small mechanism backs every extension point of the component
+framework (movement models, parameter bundles, scenario families,
+step-hooks): a mapping from a normalised name to a registered object,
+with loud, uniform failure modes —
+
+* registering a name twice raises :class:`ConfigurationError` (silent
+  shadowing of a built-in is a debugging nightmare);
+* looking up an unknown name raises :class:`ConfigurationError` and the
+  message lists every registered name, so a typo in a CLI flag or a wire
+  payload tells the caller what *would* have worked.
+
+Registries behave like read-only mappings (``in``, ``len``, iteration,
+``sorted(...)``) so existing call sites written against plain dicts keep
+working when a dict is replaced by a registry view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from ..errors import ConfigurationError
+
+__all__ = ["Registry"]
+
+
+def _normalise(name: Any) -> str:
+    return str(name).strip().lower()
+
+
+class Registry:
+    """A named component table with duplicate refusal and listing errors.
+
+    ``kind`` is the human label used in error messages ("movement
+    model", "scenario family", ...). ``entries`` is the live backing
+    dict — exposed so legacy module-level tables (e.g.
+    ``repro.models.params.MODEL_NAMES``) can alias it and stay in sync
+    with late registrations.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = str(kind)
+        self.entries: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: Any) -> Any:
+        """Register ``obj`` under ``name``; returns ``obj`` (decorator use)."""
+        key = _normalise(name)
+        if not key:
+            raise ConfigurationError(
+                f"{self.kind} name must be a non-empty string, got {name!r}"
+            )
+        if key in self.entries:
+            raise ConfigurationError(
+                f"{self.kind} {key!r} is already registered "
+                f"({self.entries[key]!r}); pick a different name"
+            )
+        self.entries[key] = obj
+        return obj
+
+    def get(self, name: str) -> Any:
+        """Look up a registered component; unknown names list what exists."""
+        key = _normalise(name)
+        try:
+            return self.entries[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted registered names (stable error-message order)."""
+        return sorted(self.entries)
+
+    # ------------------------------------------------------------------
+    # Read-only mapping surface (drop-in for plain-dict call sites)
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return _normalise(name) in self.entries
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {self.names()})"

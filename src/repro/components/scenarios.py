@@ -1,0 +1,348 @@
+"""Named scenario families: ``family:arg`` → :class:`SimulationConfig`.
+
+The paper's population sweep (``paper:<i>``) is one *family* of
+scenarios; this module turns the family into a registry so new workloads
+compose from the existing grid/obstacle/group machinery instead of
+editing core files. A scenario name is ``family:arg`` — the family
+selects a registered :class:`ScenarioBuilder`, the argument parametrises
+it (an index, a geometry) — and the built config carries the canonical
+name in ``config.scenario``, so it flows through the sweep, the padded
+planner, the result cache's digest, the service wire format and
+``/analytics/runs?scenario=`` without any of those layers knowing the
+family exists.
+
+Built-in families (see ``docs/SCENARIOS.md`` for geometry sketches):
+
+* ``paper:<i>`` — the paper's 1-based population sweep, verbatim
+  (delegates to :func:`repro.experiments.scenarios.scenario_config`).
+* ``boarding:<rows>x<cols>`` — CALM-style single-aisle linear movement:
+  alternating seat-row obstacles leave one free aisle column and free
+  passing-bay rows; the two groups board/deplane through the aisle in
+  counterflow.
+* ``crossing:<h>x<w>`` — two counterflows forced through a central
+  junction by four corner blocks (a crossing of corridors).
+
+Registering a custom family::
+
+    from repro.components import ScenarioBuilder, register_scenario
+
+    @register_scenario("atrium")
+    class AtriumScenario(ScenarioBuilder):
+        family = "atrium"
+        def build(self, arg, *, model="lem", scale="standard", seed=0):
+            ...return a SimulationConfig with scenario=f"atrium:{arg}"
+
+Afterwards ``repro run/sweep/submit --scenario atrium:...`` just works.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..experiments.scenarios import SCALES, scenario_config, scenario_spec
+from ..grid.obstacles import ObstacleSpec
+from .registry import Registry
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioBuilder",
+    "register_scenario",
+    "parse_scenario_name",
+    "build_scenario",
+    "expand_scenarios",
+    "scenario_steps",
+]
+
+#: ``family`` → :class:`ScenarioBuilder` instance.
+SCENARIOS = Registry("scenario family")
+
+
+def register_scenario(family: str):
+    """Class decorator: register a scenario family under ``family``.
+
+    The class is instantiated once; the instance serves every build.
+    """
+
+    def deco(cls):
+        SCENARIOS.register(family, cls())
+        return cls
+
+    return deco
+
+
+def parse_scenario_name(name: str) -> Tuple[str, str]:
+    """Split ``"family:arg"`` into ``(family, arg)``, normalised.
+
+    The family is case-insensitive; the argument is passed to the
+    builder verbatim (stripped).
+    """
+    text = str(name).strip()
+    if not text:
+        raise ConfigurationError("scenario name must be a non-empty string")
+    family, sep, arg = text.partition(":")
+    family = family.strip().lower()
+    if not family:
+        raise ConfigurationError(
+            f"scenario name {name!r} has no family; expected 'family:arg' "
+            f"with family one of {SCENARIOS.names()}"
+        )
+    return family, arg.strip() if sep else ""
+
+
+def build_scenario(
+    name: str,
+    *,
+    model: str = "lem",
+    scale: str = "standard",
+    seed: int = 0,
+) -> SimulationConfig:
+    """Build the config for a named scenario, labelled with its name.
+
+    The returned config's ``scenario`` field is the canonical name (as
+    the builder spells it), which is what the analytics store and the
+    ``/analytics/runs?scenario=`` filter key on.
+    """
+    family, arg = parse_scenario_name(name)
+    builder = SCENARIOS.get(family)
+    config = builder.build(arg, model=model, scale=scale, seed=seed)
+    if config.scenario is None:
+        config = config.replace(scenario=f"{family}:{arg}" if arg else family)
+    return config
+
+
+def expand_scenarios(patterns) -> List[str]:
+    """Expand scenario patterns into concrete names, order-preserving.
+
+    ``patterns`` is an iterable of names; ``family:*`` expands to the
+    family's representative variants (:meth:`ScenarioBuilder.variants`).
+    Duplicates are dropped, first occurrence wins.
+    """
+    if isinstance(patterns, str):
+        patterns = [p for p in patterns.split(",") if p.strip()]
+    out: List[str] = []
+    seen = set()
+    for pattern in patterns:
+        family, arg = parse_scenario_name(pattern)
+        if arg == "*":
+            names = SCENARIOS.get(family).variants()
+            if not names:
+                raise ConfigurationError(
+                    f"scenario family {family!r} declares no variants; "
+                    f"name one explicitly instead of {family}:*"
+                )
+        else:
+            names = [str(pattern).strip()]
+        for n in names:
+            if n not in seen:
+                seen.add(n)
+                out.append(n)
+    if not out:
+        raise ConfigurationError("no scenarios named; expected 'family:arg'")
+    return out
+
+
+def _scale_divisor(scale: str) -> int:
+    try:
+        return SCALES[scale].divisor
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+        ) from None
+
+
+def scenario_steps(height: int, scale: str) -> int:
+    """Step budget for a named-geometry scenario at a measurement scale.
+
+    Named families size their own grids, so the paper's fixed 25,000-step
+    budget does not apply; instead the budget is proportional to the
+    grid height (~10 traversal lengths) divided by the scale's linear
+    divisor, floored so even ``tiny`` runs produce a usable metric
+    stream.
+    """
+    return max(48, (10 * int(height)) // _scale_divisor(scale))
+
+
+def _parse_dims(arg: str, family: str, what: str) -> Tuple[int, int]:
+    """Parse an ``"<a>x<b>"`` geometry argument."""
+    parts = str(arg).lower().split("x")
+    if len(parts) != 2:
+        raise ConfigurationError(
+            f"{family} scenario argument must be '{what}', got {arg!r} "
+            f"(e.g. '{family}:{'30x7' if family == 'boarding' else '40x40'}')"
+        )
+    try:
+        a, b = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ConfigurationError(
+            f"{family} scenario argument must be '{what}' with integer "
+            f"dimensions, got {arg!r}"
+        ) from None
+    return a, b
+
+
+class ScenarioBuilder:
+    """Protocol for scenario families.
+
+    Subclasses set ``family`` and implement :meth:`build`; override
+    :meth:`variants` to support the ``family:*`` wildcard (smoke legs,
+    demo sweeps). ``build`` must return a config whose ``scenario``
+    field is the canonical name so repeated spellings of the same
+    geometry share one cache digest and one analytics label.
+    """
+
+    family = "base"
+
+    def build(
+        self,
+        arg: str,
+        *,
+        model: str = "lem",
+        scale: str = "standard",
+        seed: int = 0,
+    ) -> SimulationConfig:
+        raise NotImplementedError
+
+    def variants(self) -> List[str]:
+        """Representative concrete names for ``family:*`` (may be empty)."""
+        return []
+
+
+@register_scenario("paper")
+class PaperScenario(ScenarioBuilder):
+    """The paper's population sweep, by 1-based index (``paper:<i>``).
+
+    Identical to the legacy integer-index path
+    (:func:`repro.experiments.scenarios.scenario_config`) except that the
+    built config is labelled ``paper:<i>`` — index-driven sweeps remain
+    unlabelled, so their cache digests are unchanged.
+    """
+
+    family = "paper"
+
+    def build(self, arg, *, model="lem", scale="standard", seed=0):
+        try:
+            index = int(str(arg))
+        except ValueError:
+            raise ConfigurationError(
+                f"paper scenario argument must be a 1-based index, got {arg!r}"
+            ) from None
+        spec = scenario_spec(index)
+        cfg = scenario_config(spec, model=model, scale=scale, seed=seed)
+        return cfg.replace(scenario=f"paper:{index}")
+
+    def variants(self):
+        return ["paper:1", "paper:2"]
+
+
+@register_scenario("boarding")
+class BoardingScenario(ScenarioBuilder):
+    """Single-aisle boarding/deplaning (``boarding:<rows>x<cols>``).
+
+    A cabin of ``rows`` seat rows and ``cols`` columns with one free
+    aisle at the centre column: every second cabin row is blocked left
+    and right of the aisle (seat rows), the rows between stay free
+    (passing bays). The two groups start in clear bands fore and aft of
+    the cabin and traverse it in counterflow — the CALM-style linear
+    movement constraint: lateral freedom only in the bays, single-file
+    in the aisle.
+    """
+
+    family = "boarding"
+
+    MIN_ROWS, MIN_COLS = 6, 5
+
+    def geometry(self, arg: str):
+        """Resolve ``(rows, cols, aisle, n_per_side, band, height, rects)``."""
+        rows, cols = _parse_dims(arg, self.family, "<rows>x<cols>")
+        if rows < self.MIN_ROWS or cols < self.MIN_COLS:
+            raise ConfigurationError(
+                f"boarding cabin must be at least "
+                f"{self.MIN_ROWS}x{self.MIN_COLS} (rows x cols), "
+                f"got {rows}x{cols}"
+            )
+        aisle = cols // 2
+        n_per_side = max(2, (rows * 2) // 3)
+        band = max(2, math.ceil(n_per_side / (cols * 0.8)))
+        height = rows + 2 * band
+        rects = []
+        for r in range(0, rows, 2):
+            row = band + r
+            rects.append((row, 0, row + 1, aisle))
+            rects.append((row, aisle + 1, row + 1, cols))
+        return rows, cols, aisle, n_per_side, band, height, tuple(rects)
+
+    def build(self, arg, *, model="lem", scale="standard", seed=0):
+        rows, cols, _aisle, n_per_side, band, height, rects = self.geometry(arg)
+        cfg = SimulationConfig(
+            height=height,
+            width=cols,
+            n_per_side=n_per_side,
+            steps=scenario_steps(height, scale),
+            seed=seed,
+            init_rows=band,
+            obstacles=ObstacleSpec(kind="rects", rects=rects),
+            scenario=f"{self.family}:{rows}x{cols}",
+        )
+        return cfg.with_model(model)
+
+    def variants(self):
+        return ["boarding:12x5", "boarding:30x7"]
+
+
+@register_scenario("crossing")
+class CrossingScenario(ScenarioBuilder):
+    """Orthogonal corridors sharing a junction (``crossing:<h>x<w>``).
+
+    Four corner blocks carve a plus-shaped free region out of an
+    ``h`` x ``w`` grid: a vertical corridor (width ~``w/3``) crossed by
+    a horizontal one (height ~``h/3``). The two groups traverse the
+    vertical corridor in counterflow and contest the central junction,
+    with the horizontal arms as lateral relief — the multi-directional
+    crossing workload of arXiv:1705.03569 realised with two groups.
+    """
+
+    family = "crossing"
+
+    MIN_DIM = 12
+
+    def geometry(self, arg: str):
+        """Resolve ``(h, w, corridor_w, corridor_h, n_per_side, band, rects)``."""
+        h, w = _parse_dims(arg, self.family, "<h>x<w>")
+        if h < self.MIN_DIM or w < self.MIN_DIM:
+            raise ConfigurationError(
+                f"crossing grid must be at least {self.MIN_DIM}x"
+                f"{self.MIN_DIM}, got {h}x{w}"
+            )
+        cw = max(2, w // 3)
+        ch = max(2, h // 3)
+        c0 = (w - cw) // 2
+        r0 = (h - ch) // 2
+        rects = (
+            (0, 0, r0, c0),
+            (0, c0 + cw, r0, w),
+            (r0 + ch, 0, h, c0),
+            (r0 + ch, c0 + cw, h, w),
+        )
+        band = max(2, h // 8)
+        n_per_side = max(4, (band * cw) // 2)
+        return h, w, cw, ch, n_per_side, band, rects
+
+    def build(self, arg, *, model="lem", scale="standard", seed=0):
+        h, w, _cw, _ch, n_per_side, band, rects = self.geometry(arg)
+        cfg = SimulationConfig(
+            height=h,
+            width=w,
+            n_per_side=n_per_side,
+            steps=scenario_steps(h, scale),
+            seed=seed,
+            init_rows=band,
+            obstacles=ObstacleSpec(kind="rects", rects=rects),
+            scenario=f"{self.family}:{h}x{w}",
+        )
+        return cfg.with_model(model)
+
+    def variants(self):
+        return ["crossing:12x12", "crossing:16x16"]

@@ -13,9 +13,16 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .components.hooks import StepHook, hooks_from_specs
 from .errors import ConfigurationError
 from .grid.obstacles import ObstacleSpec
-from .models.params import MODEL_NAMES, LEMParams, ModelParams, params_from_name
+from .models.params import (
+    LEMParams,
+    ModelParams,
+    params_from_dict,
+    params_from_name,
+    params_to_dict,
+)
 
 __all__ = ["SimulationConfig", "paper_config"]
 
@@ -84,6 +91,16 @@ class SimulationConfig:
     obstacles: Optional[ObstacleSpec] = None
     #: Array backend the engines run on ("numpy" | "cupy" | registered name).
     backend: str = "numpy"
+    #: Optional named-scenario label ("family:arg", see
+    #: :mod:`repro.components.scenarios`). Part of the wire format and the
+    #: cache digest when set; ``None`` (legacy index-driven configs) keeps
+    #: pre-existing digests unchanged.
+    scenario: Optional[str] = None
+    #: Scheduled engine mutations (:class:`repro.components.hooks.StepHook`),
+    #: applied deterministically before their firing step by every engine,
+    #: per-lane in the batched engine. Empty for plain runs (and then
+    #: omitted from the wire format, keeping pre-existing digests).
+    hooks: tuple = ()
 
     def __post_init__(self) -> None:
         if self.height < 4 or self.width < 4:
@@ -139,6 +156,22 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"backend must be a non-empty backend name, got {self.backend!r}"
             )
+        if self.scenario is not None:
+            if not isinstance(self.scenario, str) or not self.scenario.strip():
+                raise ConfigurationError(
+                    f"scenario must be a non-empty name or None, "
+                    f"got {self.scenario!r}"
+                )
+        if not isinstance(self.hooks, tuple):
+            # Lists arrive from callers assembling hooks incrementally;
+            # coerce so the config stays hashable (cache/pad keys).
+            object.__setattr__(self, "hooks", tuple(self.hooks))
+        for hook in self.hooks:
+            if not isinstance(hook, StepHook):
+                raise ConfigurationError(
+                    f"hooks must contain StepHook components, got {hook!r}"
+                )
+            hook.validate()
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -249,10 +282,11 @@ class SimulationConfig:
         specs through this and the content-addressed result cache hashes
         it (:func:`repro.io.config_digest`). ``params`` carries its
         ``model_name`` explicitly (it is a class attribute, not a
-        dataclass field) so the bundle class can be rebuilt.
+        dataclass field) so the bundle class can be rebuilt. ``scenario``
+        and ``hooks`` are emitted only when set — configs without them
+        serialize (and therefore digest) exactly as before they existed.
         """
-        params = dataclasses.asdict(self.params)
-        params["model_name"] = self.params.model_name
+        params = params_to_dict(self.params)
         out = {
             "height": self.height,
             "width": self.width,
@@ -273,6 +307,10 @@ class SimulationConfig:
             obstacles = dataclasses.asdict(self.obstacles)
             obstacles["rects"] = [list(r) for r in self.obstacles.rects]
             out["obstacles"] = obstacles
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        if self.hooks:
+            out["hooks"] = [hook.to_dict() for hook in self.hooks]
         return out
 
     @classmethod
@@ -298,24 +336,10 @@ class SimulationConfig:
             )
         params_spec = payload.pop("params", None)
         if params_spec is not None:
-            if not isinstance(params_spec, dict):
-                raise ConfigurationError(
-                    f"params must be an object, got {type(params_spec).__name__}"
-                )
-            params_spec = dict(params_spec)
-            name = params_spec.pop("model_name", "lem")
-            try:
-                params_cls = MODEL_NAMES[str(name).strip().lower()]
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown model {name!r}; expected one of {sorted(MODEL_NAMES)}"
-                ) from None
-            try:
-                payload["params"] = params_cls(**params_spec)
-            except TypeError as exc:
-                raise ConfigurationError(
-                    f"bad parameters for model {name!r}: {exc}"
-                ) from None
+            payload["params"] = params_from_dict(params_spec)
+        hooks_spec = payload.pop("hooks", None)
+        if hooks_spec is not None:
+            payload["hooks"] = hooks_from_specs(hooks_spec)
         obstacles_spec = payload.pop("obstacles", None)
         if obstacles_spec is not None:
             if not isinstance(obstacles_spec, dict):

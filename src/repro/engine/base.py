@@ -173,6 +173,21 @@ class BaseEngine(abc.ABC):
         # The mask is static; the host flag spares a per-step device sync.
         self._any_slow = bool(self._slow_mask.any())
 
+        # Step-hook schedule (components framework): hooks fire once,
+        # before their firing step executes, in (fire_step, config-order)
+        # order — a pure function of the step counter, so hooked runs are
+        # bit-identical across engines.
+        self._pending_hooks = sorted(
+            ((hook.fire_step(), idx, hook) for idx, hook in enumerate(config.hooks)),
+            key=lambda entry: entry[:2],
+        )
+
+    def _apply_due_hooks(self, t: int) -> None:
+        """Fire every scheduled hook whose firing step has arrived."""
+        while self._pending_hooks and self._pending_hooks[0][0] <= t:
+            _, _, hook = self._pending_hooks.pop(0)
+            hook.apply(self)
+
     # ------------------------------------------------------------------
     # Extensions
     # ------------------------------------------------------------------
@@ -226,6 +241,8 @@ class BaseEngine(abc.ABC):
     def step(self) -> StepReport:
         """Run one synchronous simulation step (all four stages)."""
         t = self.t
+        if self._pending_hooks:
+            self._apply_due_hooks(t)
         self._stage_scan(t)
         decided = self._stage_select(t)
         moved = self._stage_move(t)

@@ -116,6 +116,18 @@ class _BatchedPheromone:
         for f in self.fields.values():
             evaporate_field(f, self.params, xp=self.backend.xp)
 
+    def evaporate_lanes(self, lanes, params) -> None:
+        """Eq. 3 on one parameter group's lane block only.
+
+        Element-wise, so running it on a fancy-indexed copy and writing
+        back is bit-identical to evaporating those lanes in place.
+        """
+        xp = self.backend.xp
+        for f in self.fields.values():
+            sub = f[lanes]
+            evaporate_field(sub, params, xp=xp)
+            f[lanes] = sub
+
     def deposit(self, group: Group, lanes, rows, cols, amounts) -> None:
         xp = self.backend.xp
         deposit_at(
@@ -125,6 +137,28 @@ class _BatchedPheromone:
             self.params,
             backend=self.backend,
         )
+
+    def deposit_raw(self, group: Group, lanes, rows, cols, amounts) -> None:
+        """Eq. 5 scatter without the tau_max clamp (heterogeneous path).
+
+        Lanes own disjoint ``(lane, row, col)`` cells, so one scatter over
+        the full stack is exact; the caller clamps each parameter group's
+        lane block afterwards with its own ``tau_max``.
+        """
+        xp = self.backend.xp
+        self.backend.scatter_add(
+            self.fields[Group(group)],
+            (xp.asarray(lanes), xp.asarray(rows), xp.asarray(cols)),
+            amounts,
+        )
+
+    def clamp_max(self, lanes, tau_max: float) -> None:
+        """Apply one group's upper clamp to its lane block (both fields)."""
+        xp = self.backend.xp
+        for f in self.fields.values():
+            sub = f[lanes]
+            xp.minimum(sub, tau_max, out=sub)
+            f[lanes] = sub
 
 
 class BatchedEngine:
@@ -351,6 +385,110 @@ class BatchedEngine:
                 u < self.backend.from_host(slow_fractions)[:, None]
             ) & self.active
 
+        # Per-lane movement-model partitioning (step-hook support). Lanes
+        # start homogeneous (the constructor enforces shared params); a
+        # hook's swap_lane_model may split them into parameter groups,
+        # after which each stage runs the shared fast path per group over
+        # that group's rows — bit-identical because every model kernel is
+        # row-independent and the ragged RNG keys each row by its own
+        # lane.
+        self._scan_range = int(scan_range)
+        self._lane_params: List = [c.params for c in configs]
+        self._models = {rep_cfg.params: self.model}
+        self._refresh_param_groups()
+
+        # Step-hook schedule: (fire_step, lane, config-order) — each hook
+        # mutates only its own lane, so cross-lane order is immaterial and
+        # per-lane order matches the solo engine's.
+        self._pending_hooks = sorted(
+            ((hook.fire_step(), lane, idx, hook)
+             for lane, cfg in enumerate(configs)
+             for idx, hook in enumerate(cfg.hooks)),
+            key=lambda entry: entry[:3],
+        )
+
+    def _refresh_param_groups(self) -> None:
+        """Rebuild the params → lanes partition after a lane swap."""
+        groups: List[Tuple] = []  # (params, model, host lane list)
+        order: Dict = {}
+        lane_gid = np.zeros(self.n_lanes, dtype=np.int64)
+        for lane, params in enumerate(self._lane_params):
+            gid = order.get(params)
+            if gid is None:
+                gid = order[params] = len(groups)
+                groups.append((params, self._models[params], []))
+            groups[gid][2].append(lane)
+            lane_gid[lane] = gid
+        self._param_groups = [
+            (params, model, self.backend.from_host(np.array(lanes, dtype=np.intp)))
+            for params, model, lanes in groups
+        ]
+        self._lane_pg = self.backend.from_host(lane_gid)
+        self._homogeneous = len(groups) == 1
+        if self._homogeneous:
+            # All lanes share one bundle again (possibly after every lane
+            # swapped to the same variant): restore the single-model fast
+            # path exactly as the constructor set it up.
+            params, model, _ = self._param_groups[0]
+            self.model = model
+            if self.pher is not None:
+                self.pher.params = params
+        if self.pher is not None:
+            self._deposit_q = self.backend.from_host(
+                np.array(
+                    [getattr(p, "deposit_q", 0.0) for p in self._lane_params],
+                    dtype=np.float64,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Step hooks
+    # ------------------------------------------------------------------
+    def _apply_due_hooks(self, t: int) -> None:
+        """Fire every scheduled hook whose firing step has arrived."""
+        while self._pending_hooks and self._pending_hooks[0][0] <= t:
+            _, lane, _, hook = self._pending_hooks.pop(0)
+            hook.apply_lane(self, lane)
+
+    def swap_lane_model(self, lane: int, params) -> None:
+        """Swap one lane's movement model mid-run (panic-alarm extension).
+
+        The batched counterpart of :meth:`BaseEngine.swap_model`,
+        restricted to swaps that keep the batch's shared state valid: the
+        new bundle must keep the constructor's ``scan_range`` (the
+        distance stacks are shared) and the engine's pheromone mode (the
+        ``(B, H, W)`` stacks exist for every lane or none). The default
+        :func:`~repro.components.hooks.panic_variant` bundles satisfy
+        both.
+        """
+        lane = int(lane)
+        if not (0 <= lane < self.n_lanes):
+            raise EngineError(
+                f"lane must be in [0, {self.n_lanes}), got {lane}"
+            )
+        params.validate()
+        if params == self._lane_params[lane]:
+            return
+        if int(getattr(params, "scan_range", 1)) != self._scan_range:
+            raise EngineError(
+                "batched lanes cannot change scan_range mid-run "
+                f"(batch built with {self._scan_range}, swap wants "
+                f"{getattr(params, 'scan_range', 1)})"
+            )
+        model = self._models.get(params)
+        if model is None:
+            model = build_model(params, backend=self.backend)
+            self._models[params] = model
+        if model.uses_pheromone != (self.pher is not None):
+            raise EngineError(
+                "batched lanes cannot change pheromone use mid-run "
+                f"(swap to {model.name!r} on a "
+                f"{'pheromone' if self.pher is not None else 'pheromone-free'} "
+                "batch)"
+            )
+        self._lane_params[lane] = params
+        self._refresh_param_groups()
+
     # ------------------------------------------------------------------
     # Extensions
     # ------------------------------------------------------------------
@@ -389,7 +527,23 @@ class BatchedEngine:
             tau = None
             if self.pher is not None:
                 tau = self.pher.fields[group][rcol, nrc, ncc]
-            values = self.model.scan_values(dist, candidates, tau)
+            if self._homogeneous:
+                values = self.model.scan_values(dist, candidates, tau)
+            else:
+                # Partition the concatenated rows by parameter group;
+                # scan_values is row-independent, so per-group calls over
+                # row subsets are bit-identical to one shared call.
+                values = xp.empty(dist.shape, dtype=np.float64)
+                pg = self._lane_pg[rep]
+                for gid, (_params, model, _lanes) in enumerate(self._param_groups):
+                    sel = pg == gid
+                    if not bool(xp.any(sel)):
+                        continue
+                    values[sel] = model.scan_values(
+                        dist[sel],
+                        candidates[sel],
+                        tau[sel] if tau is not None else None,
+                    )
             self.scan[rep, agent, :] = values
             self.front_empty[rep, agent] = candidates[:, 0]
 
@@ -409,7 +563,23 @@ class BatchedEngine:
             # The model's vector select runs unmodified: the ragged RNG view
             # keys element i with replication rep[i], so each lane's rows
             # see exactly the solo engine's draws.
-            slots = self.model.select(scan_rows, self._ragged_rng[group], t, agent)
+            if self._homogeneous:
+                slots = self.model.select(
+                    scan_rows, self._ragged_rng[group], t, agent
+                )
+            else:
+                # Per-group select over row subsets: the subset ragged RNG
+                # still keys row i by rep[i], so every agent draws the
+                # same variates as in the shared call (and the solo run).
+                slots = xp.full(rep.size, -1, dtype=np.int64)
+                pg = self._lane_pg[rep]
+                for gid, (_params, model, _lanes) in enumerate(self._param_groups):
+                    sel = pg == gid
+                    if not bool(xp.any(sel)):
+                        continue
+                    slots[sel] = model.select(
+                        scan_rows[sel], self.rng.ragged(rep[sel]), t, agent[sel]
+                    )
             if self._any_forward_priority:
                 fwd = self.front_empty[rep, agent] & self._forward_priority[rep]
                 slots = xp.where(fwd, 0, slots)
@@ -431,7 +601,11 @@ class BatchedEngine:
         moved = xp.zeros(self.n_lanes, dtype=np.int64)
 
         if self.pher is not None:
-            self.pher.evaporate()
+            if self._homogeneous:
+                self.pher.evaporate()
+            else:
+                for _params, _model, lanes in self._param_groups:
+                    self.pher.evaporate_lanes(lanes, _params)
 
         # Padding cells are never empty (obstacle sentinel), so neither the
         # destination set nor the candidate gathers can leave a lane's real
@@ -496,14 +670,32 @@ class BatchedEngine:
         self.tour[bs, winners] += move_cost
 
         if self.pher is not None:
-            amounts = self.pher.params.deposit_q / self.tour[bs, winners]
             winner_ids = self.ids[bs, winners]
-            for group in (Group.TOP, Group.BOTTOM):
-                gmask = winner_ids == int(group)
-                if bool(xp.any(gmask)):
-                    self.pher.deposit(
-                        group, bs[gmask], dst_r[gmask], dst_c[gmask], amounts[gmask]
-                    )
+            if self._homogeneous:
+                amounts = self.pher.params.deposit_q / self.tour[bs, winners]
+                for group in (Group.TOP, Group.BOTTOM):
+                    gmask = winner_ids == int(group)
+                    if bool(xp.any(gmask)):
+                        self.pher.deposit(
+                            group, bs[gmask], dst_r[gmask], dst_c[gmask],
+                            amounts[gmask],
+                        )
+            else:
+                # Per-lane deposit scale, raw scatter (lanes own disjoint
+                # cells), then each parameter group's own tau_max clamp on
+                # its lane block — values only exceed tau_max through
+                # deposits, so clamping after the scatter matches the
+                # homogeneous (and solo) clamp-per-deposit behaviour.
+                amounts = self._deposit_q[bs] / self.tour[bs, winners]
+                for group in (Group.TOP, Group.BOTTOM):
+                    gmask = winner_ids == int(group)
+                    if bool(xp.any(gmask)):
+                        self.pher.deposit_raw(
+                            group, bs[gmask], dst_r[gmask], dst_c[gmask],
+                            amounts[gmask],
+                        )
+                for _params, _model, lanes in self._param_groups:
+                    self.pher.clamp_max(lanes, _params.tau_max)
         self.backend.scatter_add(moved, bs, 1)
         return moved
 
@@ -535,6 +727,8 @@ class BatchedEngine:
     def step(self) -> BatchedStepReport:
         """Advance every lane one synchronous step (all four stages)."""
         t = self.t
+        if self._pending_hooks:
+            self._apply_due_hooks(t)
         self._stage_scan(t)
         decided = self._stage_select(t)
         moved = self._stage_move(t)

@@ -28,7 +28,13 @@ from .records import (
     SweepReport,
 )
 from .runner import run_all
-from .sweep import SweepPoint, SweepRunner, smoke_sweep_points, sweep_grid
+from .sweep import (
+    SweepPoint,
+    SweepRunner,
+    named_sweep_points,
+    smoke_sweep_points,
+    sweep_grid,
+)
 from .scenarios import (
     AGENT_INCREMENT,
     FIG6A_SCENARIOS,
@@ -62,6 +68,7 @@ __all__ = [
     "SweepPoint",
     "SweepRunner",
     "sweep_grid",
+    "named_sweep_points",
     "smoke_sweep_points",
     "ScenarioSpec",
     "ScaleSpec",

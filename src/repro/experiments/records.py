@@ -27,6 +27,9 @@ class RunRecord:
     steps: int
     throughput: int
     wall_seconds: float
+    #: Named-scenario label ("family:arg"); ``None`` for the paper's
+    #: index-driven sweep points (``scenario_index`` identifies those).
+    scenario: Optional[str] = None
 
     @property
     def fraction(self) -> float:

@@ -66,6 +66,7 @@ __all__ = [
     "SweepPoint",
     "SweepRunner",
     "sweep_grid",
+    "named_sweep_points",
     "smoke_sweep_points",
     # Re-exported from repro.planner (the shared lane packer) for
     # backwards compatibility with pre-service callers.
@@ -83,18 +84,34 @@ _MP_START_METHOD = MP_START_METHOD
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One requested run of the sweep grid."""
+    """One requested run of the sweep grid.
 
-    scenario_index: int
+    A point is either one of the paper's index-driven scenarios
+    (``scenario_index`` >= 1, the legacy form) or a *named* scenario from
+    the component registry (``scenario="family:arg"``, e.g.
+    ``"boarding:30x7"``); exactly one of the two selects the geometry.
+    """
+
+    scenario_index: int = 0
     model: str = "lem"
     engine: str = "vectorized"
     seed: int = 0
     scale: str = "standard"
     #: Optional step-budget override (timing studies shorten runs).
     steps: Optional[int] = None
+    #: Named scenario ("family:arg"), resolved through
+    #: :func:`repro.components.scenarios.build_scenario`.
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.scenario_index < 1:
+        if self.scenario is not None:
+            if self.scenario_index:
+                raise ExperimentError(
+                    f"a sweep point names either a scenario_index or a "
+                    f"scenario, not both (got index {self.scenario_index} "
+                    f"and {self.scenario!r})"
+                )
+        elif self.scenario_index < 1:
             raise ExperimentError(
                 f"scenario_index must be >= 1 (the paper's scenarios are "
                 f"1-based), got {self.scenario_index}"
@@ -103,21 +120,49 @@ class SweepPoint:
     @property
     def batch_key(self) -> Tuple:
         """Runs sharing this key differ only in their seed."""
-        return (self.scenario_index, self.model, self.engine, self.scale, self.steps)
+        return (
+            self.scenario or self.scenario_index,
+            self.model,
+            self.engine,
+            self.scale,
+            self.steps,
+        )
 
     @property
     def pad_key(self) -> Tuple:
-        """Runs sharing this key can fuse into one *padded* batch."""
-        return (self.model, self.engine, self.scale, self.steps)
+        """Runs sharing this key can fuse into one *padded* batch.
+
+        Named scenarios size their own step budget from their geometry,
+        so their pad key carries the *resolved* steps — lanes of a padded
+        batch must share the budget, which the legacy points guarantee
+        per scale but named families do not.
+        """
+        if self.scenario is None:
+            return (self.model, self.engine, self.scale, self.steps)
+        steps = self.steps if self.steps is not None else self.config().steps
+        return (self.model, self.engine, self.scale, int(steps))
 
     def config(self):
         """The scaled :class:`~repro.config.SimulationConfig` for this point."""
-        cfg = scenario_config(
-            scenario_spec(self.scenario_index),
-            model=self.model,
-            scale=self.scale,
-            seed=self.seed,
-        )
+        if self.scenario is not None:
+            # Lazy: repro.components.scenarios itself imports the paper's
+            # scale table from this package, so a module-level import
+            # here would be circular when components loads first.
+            from ..components.scenarios import build_scenario
+
+            cfg = build_scenario(
+                self.scenario,
+                model=self.model,
+                scale=self.scale,
+                seed=self.seed,
+            )
+        else:
+            cfg = scenario_config(
+                scenario_spec(self.scenario_index),
+                model=self.model,
+                scale=self.scale,
+                seed=self.seed,
+            )
         if self.steps is not None:
             cfg = cfg.replace(steps=int(self.steps))
         return cfg
@@ -142,6 +187,38 @@ def sweep_grid(
             steps=steps,
         )
         for k in scenario_indices
+        for model in models
+        for engine in engines
+        for seed in seeds
+    ]
+
+
+def named_sweep_points(
+    scenarios: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    models: Sequence[str] = ("lem",),
+    engines: Sequence[str] = ("vectorized",),
+    scale: str = "standard",
+    steps: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Expand a grid over *named* scenarios (``family:arg`` spellings).
+
+    ``scenarios`` accepts concrete names and ``family:*`` wildcards
+    (expanded through :func:`repro.components.scenarios.expand_scenarios`),
+    scenario-major like :func:`sweep_grid`.
+    """
+    from ..components.scenarios import expand_scenarios
+
+    return [
+        SweepPoint(
+            scenario=name,
+            model=model,
+            engine=engine,
+            seed=seed,
+            scale=scale,
+            steps=steps,
+        )
+        for name in expand_scenarios(scenarios)
         for model in models
         for engine in engines
         for seed in seeds
@@ -192,6 +269,7 @@ def _record_from(point: SweepPoint, cfg, seed: int, result, wall: float) -> RunR
         steps=result.steps_run,
         throughput=result.throughput_total,
         wall_seconds=wall,
+        scenario=point.scenario,
     )
 
 
@@ -322,7 +400,9 @@ class SweepRunner:
             agents = 0
             cfg = None
             if self.pad_lanes:
-                size_key = (p.scenario_index, p.model, p.scale, p.steps)
+                size_key = (
+                    p.scenario or p.scenario_index, p.model, p.scale, p.steps,
+                )
                 if size_key not in sizing:
                     sizing[size_key] = p.config()
                 cfg = sizing[size_key]
@@ -336,6 +416,7 @@ class SweepRunner:
                     pad_key=p.pad_key,
                     agents=agents,
                     config=cfg,
+                    scenario=p.scenario,
                 )
             )
         planned = plan_lanes(

@@ -1,11 +1,17 @@
 """Panic alarm — the paper's Section VII crisis extension.
 
 "Another objective is to introduce a panic alarm to emulate some sort of
-crisis situation." This module implements it as a scheduled model swap: at
-the trigger step every agent switches to "panicked" movement parameters.
-The panicked LEM stops waiting (the ``ceil`` always-move rule with an
-aggressive draw); the panicked ACO weighs the goal heuristic harder and
-lets trails evaporate faster (stampedes break lane discipline).
+crisis situation." The scheduled model swap itself now lives in the
+component framework as :class:`repro.components.hooks.PanicHook` — a
+frozen config component every engine honours, including per-lane inside
+:class:`~repro.engine.batched.BatchedEngine` and padded sweeps. Prefer
+``config.replace(hooks=(PanicHook(trigger_step=...),))`` for new code.
+
+This module keeps the legacy callback form, :class:`PanicAlarm`: a
+mutable run callback attached via ``engine.run(callback=...)``. It only
+reaches the solo engines (the batched engine's callback receives per-lane
+count arrays, not a swappable engine), which is exactly the gap the hook
+component closes.
 
 Because the swap is a deterministic function of the step, the engine
 equivalence invariant is preserved: sequential and vectorized engines with
@@ -17,28 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..components.hooks import panic_variant
 from ..engine.base import BaseEngine, StepReport
 from ..errors import ConfigurationError
-from ..models.params import ACOParams, LEMParams, ModelParams
+from ..models.params import ModelParams
 
 __all__ = ["PanicAlarm", "panic_variant"]
-
-
-def panic_variant(params: ModelParams) -> ModelParams:
-    """Default "panicked" counterpart of a parameter bundle.
-
-    * LEM: the waiting behaviour disappears — agents always take the best
-      reachable cell (``ceil`` rule, draw pinned near the top score);
-    * ACO: goal-seeking dominates the trail (beta up) and trails decay
-      fast (rho up) — panicking crowds stop following predecessors.
-    """
-    if isinstance(params, LEMParams):
-        return params.replace(rule="ceil", mu=1.0, sigma=0.25)
-    if isinstance(params, ACOParams):
-        return params.replace(beta=max(3.0, params.beta), rho=min(1.0, params.rho * 5))
-    raise ConfigurationError(
-        f"no default panic variant for {type(params).__name__}; pass one explicitly"
-    )
 
 
 @dataclass
@@ -50,7 +40,9 @@ class PanicAlarm:
 
     ``panic_params`` defaults to :func:`panic_variant` of the engine's
     configured parameters at trigger time. Compose with other callbacks by
-    calling each in your own hook.
+    calling each in your own hook. For batched engines and padded sweeps
+    use :class:`repro.components.hooks.PanicHook` instead — this callback
+    form never sees a swappable engine there.
     """
 
     trigger_step: int

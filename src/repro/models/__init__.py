@@ -11,7 +11,9 @@ from .params import (
     MODEL_NAMES,
     ModelParams,
     RandomParams,
+    params_from_dict,
     params_from_name,
+    params_to_dict,
 )
 from .pheromone import PheromoneField
 from .policies import GreedyModel, RandomModel
@@ -34,5 +36,7 @@ __all__ = [
     "RandomParams",
     "GreedyParams",
     "params_from_name",
+    "params_from_dict",
+    "params_to_dict",
     "MODEL_NAMES",
 ]

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..components.models import register_model
 from ..rng import PhiloxKeyedRNG, Stream, categorical_from_cumsum
 from .base import MovementModel
 from .mathops import fast_pow, fast_pow_scalar
@@ -48,6 +49,7 @@ def aco_numerators(
     return xp.where(candidates, value, 0.0)
 
 
+@register_model("aco")
 class ACOModel(MovementModel):
     """Modified Ant System decision kernel for pedestrian movement."""
 

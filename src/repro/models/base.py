@@ -25,7 +25,7 @@ import numpy as np
 
 from ..backend import resolve_backend
 from ..rng import PhiloxKeyedRNG, Stream
-from .params import ACOParams, GreedyParams, LEMParams, ModelParams, RandomParams
+from .params import ModelParams
 
 __all__ = ["MovementModel", "build_model", "tiebreak_slot_keys"]
 
@@ -135,23 +135,21 @@ def tiebreak_slot_keys(
 
 
 def build_model(params: ModelParams, backend=None) -> MovementModel:
-    """Instantiate the movement model matching a parameter bundle.
+    """Instantiate the movement model registered for a parameter bundle.
 
-    ``backend`` (name or :class:`~repro.backend.ArrayBackend`) selects the
-    array namespace the model's vector kernels execute on.
+    The bundle's ``model_name`` is the registry key
+    (:data:`repro.components.models.MODEL_CLASSES`); unknown names raise
+    :class:`~repro.errors.ConfigurationError` listing the registered
+    models, so a bad config exits the CLI with the uniform code 2
+    instead of a traceback. ``backend`` (name or
+    :class:`~repro.backend.ArrayBackend`) selects the array namespace
+    the model's vector kernels execute on.
     """
     # Imported here to avoid import cycles (the implementations use the
-    # helpers defined above).
-    from .aco import ACOModel
-    from .lem import LEMModel
-    from .policies import GreedyModel, RandomModel
+    # helpers defined above); importing them runs their @register_model
+    # decorators, so the built-ins are registered before lookup.
+    from . import aco, lem, policies  # noqa: F401
+    from ..components.models import resolve_model_class
 
-    if isinstance(params, LEMParams):
-        return LEMModel(params, backend=backend)
-    if isinstance(params, ACOParams):
-        return ACOModel(params, backend=backend)
-    if isinstance(params, RandomParams):
-        return RandomModel(params, backend=backend)
-    if isinstance(params, GreedyParams):
-        return GreedyModel(params, backend=backend)
-    raise TypeError(f"no movement model registered for {type(params)!r}")
+    cls = resolve_model_class(getattr(params, "model_name", ""))
+    return cls(params, backend=backend)

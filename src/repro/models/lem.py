@@ -30,6 +30,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..components.models import register_model
 from ..rng import PhiloxKeyedRNG, Stream, clip_lem_draw
 from .base import MovementModel, tiebreak_slot_keys
 from .params import LEMParams
@@ -54,6 +55,7 @@ def lem_scores(dist: np.ndarray, candidates: np.ndarray, xp=np) -> np.ndarray:
     return scores
 
 
+@register_model("lem")
 class LEMModel(MovementModel):
     """Least Effort Model decision kernel."""
 

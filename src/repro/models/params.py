@@ -2,6 +2,13 @@
 
 Kept dependency-free so that :mod:`repro.config` can import them without
 pulling in the model implementations (which need the grid substrate).
+
+The built-in bundles register into
+:data:`repro.components.models.MODEL_PARAMS` under their ``model_name``;
+:data:`MODEL_NAMES` is a live alias of that registry's backing dict, so
+third-party bundles registered via
+:func:`repro.components.register_model_params` appear everywhere the
+legacy table is consulted.
 """
 
 from __future__ import annotations
@@ -10,6 +17,7 @@ import dataclasses
 import math
 from dataclasses import dataclass
 
+from ..components.models import MODEL_PARAMS, register_model_params
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -19,6 +27,8 @@ __all__ = [
     "RandomParams",
     "GreedyParams",
     "params_from_name",
+    "params_from_dict",
+    "params_to_dict",
     "MODEL_NAMES",
 ]
 
@@ -43,6 +53,7 @@ class ModelParams:
         return new
 
 
+@register_model_params
 @dataclass(frozen=True)
 class LEMParams(ModelParams):
     """Least Effort Model parameters (paper eq. 1 plus the selection draw).
@@ -99,6 +110,7 @@ class LEMParams(ModelParams):
             )
 
 
+@register_model_params
 @dataclass(frozen=True)
 class ACOParams(ModelParams):
     """Modified Ant System parameters (paper eq. 2-5).
@@ -154,6 +166,7 @@ class ACOParams(ModelParams):
             )
 
 
+@register_model_params
 @dataclass(frozen=True)
 class RandomParams(ModelParams):
     """Null baseline: uniform choice among empty neighbour cells."""
@@ -161,6 +174,7 @@ class RandomParams(ModelParams):
     model_name = "random"
 
 
+@register_model_params
 @dataclass(frozen=True)
 class GreedyParams(ModelParams):
     """Deterministic ablation of the LEM: always the nearest empty cell.
@@ -172,27 +186,56 @@ class GreedyParams(ModelParams):
     model_name = "greedy"
 
 
-#: Registry of known model names to their default parameter bundles.
-MODEL_NAMES = {
-    "lem": LEMParams,
-    "aco": ACOParams,
-    "random": RandomParams,
-    "greedy": GreedyParams,
-}
+#: Known model names → parameter-bundle classes. A live view of the
+#: component registry's backing dict: third-party registrations appear
+#: here automatically.
+MODEL_NAMES = MODEL_PARAMS.entries
 
 
 def params_from_name(name: str) -> ModelParams:
-    """Return default parameters for a model name.
+    """Return default parameters for a registered model name.
 
     >>> params_from_name("lem").model_name
     'lem'
     """
-    try:
-        cls = MODEL_NAMES[name.strip().lower()]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown model {name!r}; expected one of {sorted(MODEL_NAMES)}"
-        ) from None
+    cls = MODEL_PARAMS.get(name)
     params = cls()
+    params.validate()
+    return params
+
+
+def params_to_dict(params: ModelParams) -> dict:
+    """JSON-ready dict for a parameter bundle (inverse of
+    :func:`params_from_dict`).
+
+    ``model_name`` is a class attribute, not a dataclass field, so it is
+    injected explicitly — it is the registry key the receiving side uses
+    to rebuild the bundle class.
+    """
+    out = dataclasses.asdict(params)
+    out["model_name"] = params.model_name
+    return out
+
+
+def params_from_dict(spec: dict) -> ModelParams:
+    """Rebuild a parameter bundle from its :func:`params_to_dict` form.
+
+    Raises :class:`~repro.errors.ConfigurationError` on non-dict specs,
+    unknown model names (listing the registered ones) and field
+    mismatches.
+    """
+    if not isinstance(spec, dict):
+        raise ConfigurationError(
+            f"params must be an object, got {type(spec).__name__}"
+        )
+    spec = dict(spec)
+    name = spec.pop("model_name", "lem")
+    cls = MODEL_PARAMS.get(name)
+    try:
+        params = cls(**spec)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for model {name!r}: {exc}"
+        ) from None
     params.validate()
     return params

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..components.models import register_model
 from ..rng import PhiloxKeyedRNG, Stream, categorical
 from .base import MovementModel, tiebreak_slot_keys
 from .lem import lem_scores, _EXCLUDED_KEY
@@ -23,6 +24,7 @@ from .params import GreedyParams, RandomParams
 __all__ = ["RandomModel", "GreedyModel"]
 
 
+@register_model("random")
 class RandomModel(MovementModel):
     """Uniform random choice among the empty neighbour cells."""
 
@@ -76,6 +78,7 @@ class RandomModel(MovementModel):
         return 7  # unreachable: final acc equals total >= threshold
 
 
+@register_model("greedy")
 class GreedyModel(MovementModel):
     """Deterministic nearest-cell choice (LEM with the randomness removed)."""
 

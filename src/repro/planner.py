@@ -106,7 +106,10 @@ class LaneRequest:
     waste bound, so callers planning without ``pad_lanes`` may omit both.
     ``priority`` (higher first) makes padded packing anchor urgent lanes
     before fill lanes: a high-priority run is never the one squeezed out
-    of a batch by the waste bound.
+    of a batch by the waste bound. ``scenario`` is an optional named-
+    scenario label carried along for observability (progress lines, plan
+    dumps); the planner itself keys only on ``batch_key``/``pad_key``,
+    which already embed it.
     """
 
     index: int
@@ -117,6 +120,7 @@ class LaneRequest:
     agents: int = 0
     config: object = None
     priority: int = 0
+    scenario: Optional[str] = None
 
 
 @dataclass(frozen=True)

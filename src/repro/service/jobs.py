@@ -105,6 +105,7 @@ def job_to_dict(job: Job, with_config: bool = True) -> dict:
         "cache_hit": job.cache_hit,
         "lanes": job.lanes,
         "wall_seconds": job.wall_seconds,
+        "scenario": job.config.scenario,
     }
     if with_config:
         out["config"] = job.config.to_dict()

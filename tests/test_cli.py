@@ -69,6 +69,38 @@ class TestCommands:
         assert "crossed" in out
         assert "lane order" in out
 
+    def test_run_named_scenario(self, capsys):
+        code = main(
+            ["run", "--scenario", "crossing:12x12", "--scale", "tiny"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "12x12" in out and "crossed" in out
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        assert main(["run", "--scenario", "metro:9"]) == 2
+        out = capsys.readouterr().out
+        assert "error:" in out and "registered" in out
+
+    def test_sweep_named_scenarios_smoke(self, capsys):
+        code = main(["sweep", "--scenario", "crossing:*", "--smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossing:12x12" in out and "crossing:16x16" in out
+
+    def test_sweep_named_scenarios(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "boarding:12x5", "--scale", "tiny",
+             "--seeds", "2", "--models", "lem"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "boarding:12x5" in out
+
+    def test_sweep_bad_named_scenario_exits_2(self, capsys):
+        assert main(["sweep", "--scenario", "boarding:2x2"]) == 2
+        assert "error:" in capsys.readouterr().out
+
     def test_run_render(self, capsys):
         code = main(
             ["run", "--height", "16", "--width", "16", "--agents", "10",

@@ -82,6 +82,31 @@ class TestEndpoints:
                 port=server.port,
             )
 
+    def test_unknown_model_is_400_not_500(self, server):
+        # The registry turns the old bare TypeError into a
+        # ConfigurationError, which the HTTP layer maps to a client error.
+        spec = _spec(seed=3)
+        spec["config"]["params"]["model_name"] = "boids"
+        with pytest.raises(ServiceError, match="400") as excinfo:
+            submit_jobs([spec], port=server.port)
+        assert "boids" in str(excinfo.value)
+
+    def test_scenario_travels_the_job_wire(self, server):
+        from repro.components.scenarios import build_scenario
+
+        cfg = build_scenario("crossing:12x12", scale="tiny")
+        (job,) = submit_jobs(
+            [{"config": cfg.to_dict(), "engine": "vectorized"}],
+            port=server.port,
+        )
+        assert job["scenario"] == "crossing:12x12"
+        done = wait_for_jobs([job["job_id"]], port=server.port, timeout=60)
+        back = done[job["job_id"]]
+        assert back["scenario"] == "crossing:12x12"
+        assert back["config"]["scenario"] == "crossing:12x12"
+        plain = submit_jobs([_spec(seed=8)], port=server.port)
+        assert plain[0]["scenario"] is None
+
     def test_bad_json_body_is_400(self, server):
         req = urllib.request.Request(
             f"http://127.0.0.1:{server.port}/jobs",

@@ -280,3 +280,47 @@ class TestStreamingParity:
         streamed = run("with-analytics", True)
         plain = run("without-analytics", False)
         assert streamed == plain
+
+
+class TestNamedScenarioEndToEnd:
+    def test_boarding_and_crossing_through_service_sse_analytics(
+        self, analytics_server
+    ):
+        # Full wire tour for the named families: submit → batch → SSE
+        # stream → analytics rows keyed by the scenario label.
+        from repro.components.scenarios import build_scenario
+
+        host, port = analytics_server.host, analytics_server.port
+        configs = [
+            build_scenario("boarding:12x5", scale="tiny"),
+            build_scenario("crossing:12x12", scale="tiny"),
+        ]
+        ids = _submit(analytics_server, configs)
+        done = wait_for_jobs(ids, host=host, port=port, timeout=60)
+        assert all(j["state"] == "done" for j in done.values())
+        assert [done[i]["scenario"] for i in ids] == [
+            "boarding:12x5",
+            "crossing:12x12",
+        ]
+
+        # The SSE stream serves the named job like any other.
+        events = list(iter_job_stream(ids[1], host=host, port=port))
+        kinds = [e for e, _ in events]
+        assert kinds.count("metrics") == configs[1].steps
+        assert kinds[-1] == "done"
+
+        payload = get_analytics_runs(host=host, port=port)
+        assert set(payload["scenarios"]) == {
+            "boarding:12x5",
+            "crossing:12x12",
+        }
+        scoped = get_analytics_runs(
+            host=host, port=port, scenario="crossing:12x12"
+        )
+        assert [r["run_id"] for r in scoped["runs"]] == [ids[1]]
+        points = get_fundamental_diagram(
+            host=host, port=port, scenario="boarding:12x5"
+        )
+        assert points and all(
+            p["scenario"] == "boarding:12x5" for p in points
+        )
