@@ -75,6 +75,9 @@ class MetricStream:
         self.configs = tuple(configs)
         self._agents = [c.total_agents for c in configs]
         self._crossed = [0] * len(configs)
+        #: Last-seen cumulative op count per engine (id-keyed): per-step
+        #: dispatch deltas for runs on a counting backend.
+        self._ops_marks: dict = {}
         self._buffer: List[StepMetrics] = []
         #: Opened lazily on first flush so building the stream (and
         #: pickling the spec) costs nothing when a launch fails early.
@@ -108,6 +111,23 @@ class MetricStream:
             self._store.close()
             self._store = None
 
+    def _dispatch_ops(self, engine) -> Optional[int]:
+        """This step's namespace-dispatch delta, on counting backends.
+
+        ``None`` on ordinary backends (no ``ops`` counter — zero
+        overhead). On a :class:`~repro.backend.ProfilingBackend` the
+        delta is exact from the run's first step because
+        :func:`~repro.engine.run_simulation` / ``run_batched`` reset the
+        counters at the run-loop boundary.
+        """
+        ops = getattr(engine.backend, "ops", None)
+        if ops is None:
+            return None
+        key = id(engine)
+        prev = self._ops_marks.get(key, 0)
+        self._ops_marks[key] = ops
+        return int(ops) - prev
+
     # ------------------------------------------------------------------
     # Engine callbacks
     # ------------------------------------------------------------------
@@ -117,6 +137,7 @@ class MetricStream:
         agents = self._agents[lane]
 
         def _on_step(engine, report) -> None:
+            ops = self._dispatch_ops(engine)
             self._crossed[lane] += report.new_crossings
             mat = (
                 engine.backend.to_host(engine.env.mat)
@@ -132,13 +153,20 @@ class MetricStream:
                     self._crossed[lane],
                     agents,
                     mat=mat,
+                    dispatch_ops=ops,
                 )
             )
 
         return _on_step
 
     def batched_callback(self, engine, report) -> None:
-        """``callback(engine, report)`` for a batched launch (all lanes)."""
+        """``callback(engine, report)`` for a batched launch (all lanes).
+
+        On a counting backend every lane's record carries the *batch's*
+        per-step dispatch count — lanes share one fused dispatch
+        sequence, which is exactly the quantity batching optimises.
+        """
+        ops = self._dispatch_ops(engine)
         to_host = engine.backend.to_host
         moved = to_host(report.moved)
         crossings = to_host(report.new_crossings)
@@ -158,5 +186,6 @@ class MetricStream:
                     self._crossed[b],
                     self._agents[b],
                     mat=mat,
+                    dispatch_ops=ops,
                 )
             )

@@ -42,7 +42,7 @@ from ..metrics.stream import StepMetrics
 __all__ = ["RunStore", "SCHEMA_VERSION"]
 
 #: Current schema version (``PRAGMA user_version`` of a fresh store).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _RUNS_DDL = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -75,6 +75,7 @@ CREATE TABLE IF NOT EXISTS metrics (
     crossed_total     INTEGER NOT NULL,
     gridlock_fraction REAL NOT NULL,
     lane_index        REAL,
+    dispatch_ops      INTEGER,
     PRIMARY KEY (run_id, step)
 )
 """
@@ -87,7 +88,7 @@ _RUN_COLUMNS = (
 
 _METRIC_COLUMNS = (
     "run_id", "step", "moved", "new_crossings", "crossed_total",
-    "gridlock_fraction", "lane_index",
+    "gridlock_fraction", "lane_index", "dispatch_ops",
 )
 
 
@@ -98,8 +99,18 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     )
 
 
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """v2 predates the per-step dispatch-count column on metrics.
+
+    NULL for every pre-existing row (and for runs without a profiling
+    backend) — the column only carries data when a counting backend is
+    attached to the run.
+    """
+    conn.execute("ALTER TABLE metrics ADD COLUMN dispatch_ops INTEGER")
+
+
 #: from-version -> migration; applied in sequence up to SCHEMA_VERSION.
-_MIGRATIONS = {1: _migrate_1_to_2}
+_MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3}
 
 
 def scenario_key(height: int, width: int) -> str:

@@ -24,6 +24,13 @@ from .core import (
 )
 from .cupy_backend import CupyBackend, make_cupy_backend
 from .numpy_backend import NumpyBackend
+from .profiling import (
+    PROFILE_PREFIX,
+    DispatchCounts,
+    DispatchProfile,
+    ProfilingBackend,
+    make_profiling_backend,
+)
 
 # replace=True keeps the package body idempotent (importlib.reload, or the
 # package reached under two sys.path spellings, re-runs these lines).
@@ -36,6 +43,11 @@ __all__ = [
     "NumpyBackend",
     "CupyBackend",
     "make_cupy_backend",
+    "DispatchCounts",
+    "DispatchProfile",
+    "PROFILE_PREFIX",
+    "ProfilingBackend",
+    "make_profiling_backend",
     "DEFAULT_BACKEND",
     "available_backends",
     "register_backend",

@@ -68,6 +68,14 @@ class BackendCapabilities:
     #: CUDA CuPy). Engines refuse backends without it: the eq.1/eq.2
     #: decision arithmetic needs exact double precision for bit-identity.
     supports_float64: bool = True
+    #: Page-locked host staging buffers are available for device->host
+    #: copies (CuPy's ``cupyx.empty_pinned``); pinned staging lets the DMA
+    #: engine copy without a bounce buffer.
+    pinned_memory: bool = False
+    #: Device->host copies can be enqueued on a side stream and overlapped
+    #: (``arr.get(stream=...)``); implies :meth:`ArrayBackend.to_host_many`
+    #: batches its copies behind one fence instead of N.
+    supports_streams: bool = False
 
     @property
     def is_gpu(self) -> bool:
@@ -104,6 +112,17 @@ class ArrayBackend:
     def to_host(self, arr) -> np.ndarray:
         """Bring a device array back to a host ``numpy.ndarray``."""
         return np.asarray(arr)
+
+    def to_host_many(self, arrays) -> List[np.ndarray]:
+        """Bring several device arrays back in one recording-boundary call.
+
+        The base implementation is a plain loop over :meth:`to_host`;
+        backends with ``capabilities.supports_streams`` override it to
+        enqueue all copies on one side stream into pinned staging buffers
+        and pay a single fence instead of one synchronizing copy per
+        array (the batched-timeline transfer in ``BatchedEngine.run``).
+        """
+        return [self.to_host(arr) for arr in arrays]
 
     # ------------------------------------------------------------------
     # Namespace-divergent operations
@@ -150,6 +169,9 @@ def register_backend(
         raise ValueError(f"backend {name!r} is already registered")
     _FACTORIES[name] = factory
     _INSTANCES.pop(name, None)
+    # A cached profiling wrapper holds the *old* inner instance; drop it
+    # so "profile:<name>" re-resolves against the new registration.
+    _INSTANCES.pop(f"profile:{name}", None)
 
 
 def registered_backends() -> List[str]:
@@ -185,6 +207,16 @@ def resolve_backend(
     if cached is not None:
         return cached
     factory = _FACTORIES.get(name)
+    if factory is None and (name == "profile" or name.startswith("profile:")):
+        # "profile" / "profile:<inner>" wraps the inner backend in a
+        # dispatch-counting proxy (repro.backend.profiling). Resolved here
+        # rather than pre-registered so the profiler composes with any
+        # backend added later; the import is local because profiling
+        # imports this module.
+        from .profiling import make_profiling_backend
+
+        inner = name.partition(":")[2] or None
+        factory = lambda: make_profiling_backend(inner)  # noqa: E731
     if factory is None:
         raise BackendUnavailableError(
             f"unknown array backend {name!r}; registered backends: "

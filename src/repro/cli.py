@@ -109,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="step-budget scale for --scenario runs",
     )
     run_p.add_argument("--render", action="store_true", help="print the final grid")
+    run_p.add_argument(
+        "--profile-dispatch",
+        action="store_true",
+        help="count array-namespace dispatches (kernel-launch analogue) "
+        "through a profiling backend and print the per-step profile; "
+        "the trajectory is unchanged",
+    )
 
     swp_p = sub.add_parser(
         "sweep", help="batched scenario x model x seed sweep"
@@ -845,9 +852,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         import time
 
+        from .backend import resolve_backend
+        from .backend.profiling import (
+            PROFILE_PREFIX,
+            DispatchProfile,
+            ProfilingBackend,
+        )
         from .engine import build_engine
         from .errors import ReproError
 
+        backend_name = args.backend
+        if args.profile_dispatch and not backend_name.startswith(PROFILE_PREFIX):
+            backend_name = f"{PROFILE_PREFIX}:{backend_name}"
         try:
             if args.scenario:
                 from .components.scenarios import build_scenario
@@ -857,7 +873,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     model=args.model,
                     scale=args.scale,
                     seed=args.seed,
-                ).replace(backend=args.backend)
+                ).replace(backend=backend_name)
             else:
                 cfg = SimulationConfig(
                     height=args.height,
@@ -865,13 +881,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                     n_per_side=args.agents,
                     steps=args.steps,
                     seed=args.seed,
-                    backend=args.backend,
+                    backend=backend_name,
                 ).with_model(args.model)
             print(cfg.describe())
+            if args.profile_dispatch:
+                # The instance is cached per name; zero stale counters so
+                # the setup snapshot covers only this engine's construction.
+                resolve_backend(backend_name).reset()
             eng = build_engine(cfg, engine=args.engine)
+            setup = None
+            if isinstance(eng.backend, ProfilingBackend):
+                setup = eng.backend.snapshot()
+                eng.backend.reset()
             start = time.perf_counter()
             res = eng.run(record_timeline=False)
             wall = time.perf_counter() - start
+            profile = None
+            if isinstance(eng.backend, ProfilingBackend):
+                profile = DispatchProfile(
+                    counts=eng.backend.snapshot(),
+                    steps=res.steps_run,
+                    setup=setup,
+                )
         except ReproError as exc:
             print(f"error: {exc}")
             return 2
@@ -885,6 +916,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"lane order {lane_order_parameter(eng.backend.to_host(eng.env.mat)):.3f}, "
             f"mean crossed tour {eff.mean_tour_crossed:.1f}"
         )
+        if profile is not None:
+            print()
+            print(profile.describe())
         if args.render:
             print(render_engine(eng))
         return 0

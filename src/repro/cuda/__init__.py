@@ -54,6 +54,7 @@ from .memory import (
 )
 from .occupancy import OccupancyResult, occupancy
 from .report import KernelNote, implementation_notes, implementation_report
+from .batched_tiled import BatchedTiledEngine
 from .tiled_engine import TiledEngine
 from .tiling import DEFAULT_TILE, OUT_OF_GRID, Tile, TileDecomposition
 from .timers import CudaEvent, Stopwatch, event_elapsed_ms
@@ -102,6 +103,7 @@ __all__ = [
     "implementation_notes",
     "implementation_report",
     "TiledEngine",
+    "BatchedTiledEngine",
     "CudaEvent",
     "event_elapsed_ms",
     "Stopwatch",

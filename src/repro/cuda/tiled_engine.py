@@ -66,30 +66,37 @@ class TiledEngine(VectorizedEngine):
             shared_tau = None
             if self.pher is not None:
                 # The paper loads both group fields into one 36x18 local
-                # array; two stacked (tile+2)^2 images are equivalent.
-                shared_tau = {
-                    g: tile.load_shared(self.pher.field(g), fill=0.0, xp=xp)
-                    for g in (Group.TOP, Group.BOTTOM)
-                }
-            interior = shared_idx[1:-1, 1:-1]
-            for group in (Group.TOP, Group.BOTTOM):
-                sel = shared_mat[1:-1, 1:-1] == int(group)
-                if not bool(xp.any(sel)):
-                    continue
-                lr, lc = xp.nonzero(sel)
-                idx = interior[lr, lc].astype(np.int64)
-                # Local coordinates within the shared image.
-                slr = lr + 1
-                slc = lc + 1
-                off = self._offsets[group]
-                nr = slr[:, None] + off[:, 0][None, :]
-                nc = slc[:, None] + off[:, 1][None, :]
-                candidates = shared_mat[nr, nc] == 0
-                rows = pop.rows[idx]
-                dist = self.dist[group].distances(rows)
-                tau = shared_tau[group][nr, nc] if shared_tau is not None else None
-                self.scan[idx] = self.model.scan_values(dist, candidates, tau)
-                pop.front_empty[idx] = candidates[:, 0]
+                # array; the (2, tile+2, tile+2) stack cut is equivalent.
+                shared_tau = tile.load_shared(self.pher.stack, fill=0.0, xp=xp)
+            # Fused per-tile scan: both groups' agents in one launch.
+            # gslot follows the pheromone-stack slot order (TOP=0,
+            # BOTTOM=1); the scan rows are disjoint per agent, so the
+            # fused write order matches the per-group passes bit for bit.
+            interior_mat = shared_mat[1:-1, 1:-1]
+            sel = (interior_mat == int(Group.TOP)) | (
+                interior_mat == int(Group.BOTTOM)
+            )
+            lr, lc = xp.nonzero(sel)
+            if lr.size == 0:
+                continue
+            gslot = (interior_mat[lr, lc] == int(Group.BOTTOM)).astype(np.int64)
+            idx = shared_idx[1:-1, 1:-1][lr, lc].astype(np.int64)
+            # Local coordinates within the shared image.
+            slr = lr + 1
+            slc = lc + 1
+            off = self._offsets_stack[gslot]  # (n, 8, 2)
+            nr = slr[:, None] + off[:, :, 0]
+            nc = slc[:, None] + off[:, :, 1]
+            candidates = shared_mat[nr, nc] == 0
+            rows = pop.rows[idx]
+            dist = self._dist_stack[gslot, rows]
+            tau = (
+                shared_tau[gslot[:, None], nr, nc]
+                if shared_tau is not None
+                else None
+            )
+            self.scan[idx] = self.model.scan_values(dist, candidates, tau)
+            pop.front_empty[idx] = candidates[:, 0]
 
     # ------------------------------------------------------------------
     # Stage 3: per-tile movement
@@ -140,11 +147,13 @@ class TiledEngine(VectorizedEngine):
             for d in range(8):
                 m = matches[d][rr, cc]
                 hit = m & (cum == pick)
-                if bool(xp.any(hit)):
-                    drr, dcc = ABSOLUTE_OFFSETS[d]
-                    src = shared_idx[1 + rr[hit] + drr, 1 + cc[hit] + dcc]
-                    winners[hit] = src
-                    windir[hit] = d
+                # Unconditional where-select: each contested cell hits in
+                # exactly one direction, so this equals the masked write —
+                # without a per-direction any() host sync.
+                drr, dcc = ABSOLUTE_OFFSETS[d]
+                src = shared_idx[1 + rr + drr, 1 + cc + dcc]
+                winners = xp.where(hit, src, winners)
+                windir = xp.where(hit, d, windir)
                 cum += m
             agents = winners
             costs = self._step_costs[windir]
@@ -158,12 +167,10 @@ class TiledEngine(VectorizedEngine):
             pop.cols[agents] = dst_c
             pop.tour[agents] += costs
             if self.pher is not None:
+                # Fused deposit (see VectorizedEngine._stage_move): one
+                # scatter into the (2, H, W) stack for both groups.
                 amounts = self.params_deposit(agents)
-                for group in (Group.TOP, Group.BOTTOM):
-                    gmask = pop.ids[agents] == int(group)
-                    if bool(xp.any(gmask)):
-                        self.pher.deposit(
-                            group, dst_r[gmask], dst_c[gmask], amounts[gmask]
-                        )
+                gslot = (pop.ids[agents] == int(Group.BOTTOM)).astype(np.int64)
+                self.pher.deposit_stacked(gslot, dst_r, dst_c, amounts)
             moved += int(agents.size)
         return moved

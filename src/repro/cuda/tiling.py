@@ -76,16 +76,21 @@ class Tile:
         sentinel so border agents see the outside world as unavailable,
         exactly like the bounds checks of the global engine). ``xp`` is the
         array namespace of ``arr`` (the shared image stays on its device).
+
+        ``arr`` may carry leading axes (``(..., H, W)``): the tile cut
+        applies to the trailing two, so one call loads e.g. the fused
+        ``(2, H, W)`` pheromone stack — or a batched ``(2, B, H, W)``
+        stack — as a single shared image per tile.
         """
         ts = self.tile_size
-        shared = xp.full((ts + 2, ts + 2), fill, dtype=arr.dtype)
+        shared = xp.full(arr.shape[:-2] + (ts + 2, ts + 2), fill, dtype=arr.dtype)
         r_lo, r_hi, c_lo, c_hi = self.halo_bounds
         gr_lo, gr_hi = max(r_lo, 0), min(r_hi, self.grid_height)
         gc_lo, gc_hi = max(c_lo, 0), min(c_hi, self.grid_width)
         if gr_lo < gr_hi and gc_lo < gc_hi:
-            shared[gr_lo - r_lo : gr_hi - r_lo, gc_lo - c_lo : gc_hi - c_lo] = arr[
-                gr_lo:gr_hi, gc_lo:gc_hi
-            ]
+            shared[
+                ..., gr_lo - r_lo : gr_hi - r_lo, gc_lo - c_lo : gc_hi - c_lo
+            ] = arr[..., gr_lo:gr_hi, gc_lo:gc_hi]
         return shared
 
 

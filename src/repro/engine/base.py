@@ -160,6 +160,29 @@ class BaseEngine(abc.ABC):
             for g in (Group.TOP, Group.BOTTOM)
         }
 
+        # Fused-group caches: the whole-array engines run scan/select as
+        # ONE launch over the concatenated TOP-then-BOTTOM rows instead of
+        # one pass per group. ``_fused_gslot`` maps each row to its
+        # pheromone-stack slot (see models.pheromone.group_slot); the
+        # ``(2, 8, 2)`` offset stack and ``(2, H, 8)`` distance stack make
+        # every per-group table gather a single ``[gslot, ...]`` fancy
+        # index. Row order within the concatenation is irrelevant: the
+        # model kernels are row-independent and the RNG keys each row by
+        # its agent index, so the fused pass is bit-identical to the
+        # per-group passes (tests/test_backend_parity.py pins this).
+        m_top, m_bot = self._members[Group.TOP], self._members[Group.BOTTOM]
+        self._fused_idx = self.xp.concatenate([m_top, m_bot])
+        self._fused_gslot = self.xp.concatenate(
+            [
+                self.xp.zeros(int(m_top.size), dtype=np.int64),
+                self.xp.ones(int(m_bot.size), dtype=np.int64),
+            ]
+        )
+        self._offsets_stack = self.xp.stack(
+            [self._offsets[Group.TOP], self._offsets[Group.BOTTOM]]
+        )
+        self._dist_stack = self._build_dist_stack()
+
         # Heterogeneous-velocity extension (paper Section VII future work):
         # a keyed draw per agent marks the slow class; slow agents are
         # movement-eligible only every ``slow_period``-th step (staggered by
@@ -230,7 +253,14 @@ class BaseEngine(abc.ABC):
             self.dist = build_distance_tables(
                 self.config.height, new_range, backend=self.backend
             )
+            self._dist_stack = self._build_dist_stack()
         self._on_model_swapped()
+
+    def _build_dist_stack(self) -> np.ndarray:
+        """Both groups' distance tables as one ``(2, H, 8)`` device stack."""
+        return self.xp.stack(
+            [self.dist[Group.TOP].table, self.dist[Group.BOTTOM].table]
+        )
 
     def _on_model_swapped(self) -> None:
         """Hook for engines that cache model-derived lookups."""
@@ -251,7 +281,15 @@ class BaseEngine(abc.ABC):
         )
         self._stage_support(t)
         self.t += 1
-        return StepReport(step=t, decided=decided, moved=moved, new_crossings=new_crossings)
+        # ``decided``/``moved`` may arrive as 0-d device scalars (the
+        # whole-array stages accumulate on-device); the report build is the
+        # per-step recording boundary, so the host sync happens here, once.
+        return StepReport(
+            step=t,
+            decided=int(decided),
+            moved=int(moved),
+            new_crossings=int(new_crossings),
+        )
 
     def run(
         self,

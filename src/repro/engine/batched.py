@@ -39,13 +39,14 @@ import numpy as np
 
 from ..agents.population import NO_FUTURE, Population
 from ..backend import resolve_backend
+from ..backend.profiling import ProfilingBackend
 from ..config import SimulationConfig
 from ..errors import EngineError
 from ..grid import build_distance_tables, offsets_array, place_groups
 from ..grid.environment import Environment
 from ..grid.neighborhood import ABSOLUTE_OFFSETS
 from ..models import build_model
-from ..models.pheromone import deposit_at, evaporate_field
+from ..models.pheromone import deposit_at, evaporate_field, group_slot
 from ..rng import BatchedPhiloxRNG, PhiloxKeyedRNG, RaggedLaneRNG, Stream
 from ..types import CellState, Group
 from .base import ABS_STEP_COSTS, RunResult, require_float64
@@ -99,7 +100,14 @@ class BatchedTimedResult:
 
 
 class _BatchedPheromone:
-    """Per-group pheromone stacks ``(B, H, W)`` (eq. 3 / eq. 5, batched)."""
+    """Both groups' batched pheromone fields as one ``(2, B, H, W)`` stack.
+
+    The leading axis is the group slot (TOP=0, BOTTOM=1, per
+    :func:`~repro.models.pheromone.group_slot`), so whole-field
+    maintenance — evaporation, lane-block clamps — is a single launch over
+    both groups, and mixed-group deposits scatter once through a
+    ``(gslot, lane, row, col)`` fancy index.
+    """
 
     def __init__(
         self, n_lanes: int, height: int, width: int, params, backend=None
@@ -107,58 +115,49 @@ class _BatchedPheromone:
         self.params = params
         self.backend = resolve_backend(backend)
         xp = self.backend.xp
-        self.fields: Dict[Group, np.ndarray] = {
-            g: xp.full((n_lanes, height, width), params.tau0, dtype=np.float64)
-            for g in (Group.TOP, Group.BOTTOM)
-        }
+        self.stack: np.ndarray = xp.full(
+            (2, n_lanes, height, width), params.tau0, dtype=np.float64
+        )
+
+    def field(self, group: Group) -> np.ndarray:
+        """One group's ``(B, H, W)`` fields (live stack view)."""
+        return self.stack[group_slot(group)]
 
     def evaporate(self) -> None:
-        for f in self.fields.values():
-            evaporate_field(f, self.params, xp=self.backend.xp)
+        evaporate_field(self.stack, self.params, xp=self.backend.xp)
 
     def evaporate_lanes(self, lanes, params) -> None:
-        """Eq. 3 on one parameter group's lane block only.
+        """Eq. 3 on one parameter group's lane block only (both groups).
 
         Element-wise, so running it on a fancy-indexed copy and writing
         back is bit-identical to evaporating those lanes in place.
         """
-        xp = self.backend.xp
-        for f in self.fields.values():
-            sub = f[lanes]
-            evaporate_field(sub, params, xp=xp)
-            f[lanes] = sub
+        sub = self.stack[:, lanes]
+        evaporate_field(sub, params, xp=self.backend.xp)
+        self.stack[:, lanes] = sub
 
-    def deposit(self, group: Group, lanes, rows, cols, amounts) -> None:
-        xp = self.backend.xp
+    def deposit_stacked(self, gslots, lanes, rows, cols, amounts) -> None:
+        """Eq. 5 for a mixed-group winner batch: one scatter, one clamp."""
         deposit_at(
-            self.fields[Group(group)],
-            (xp.asarray(lanes), xp.asarray(rows), xp.asarray(cols)),
-            amounts,
-            self.params,
+            self.stack, (gslots, lanes, rows, cols), amounts, self.params,
             backend=self.backend,
         )
 
-    def deposit_raw(self, group: Group, lanes, rows, cols, amounts) -> None:
+    def deposit_raw_stacked(self, gslots, lanes, rows, cols, amounts) -> None:
         """Eq. 5 scatter without the tau_max clamp (heterogeneous path).
 
         Lanes own disjoint ``(lane, row, col)`` cells, so one scatter over
         the full stack is exact; the caller clamps each parameter group's
         lane block afterwards with its own ``tau_max``.
         """
-        xp = self.backend.xp
-        self.backend.scatter_add(
-            self.fields[Group(group)],
-            (xp.asarray(lanes), xp.asarray(rows), xp.asarray(cols)),
-            amounts,
-        )
+        self.backend.scatter_add(self.stack, (gslots, lanes, rows, cols), amounts)
 
     def clamp_max(self, lanes, tau_max: float) -> None:
-        """Apply one group's upper clamp to its lane block (both fields)."""
+        """Apply one parameter group's upper clamp to its lane block."""
         xp = self.backend.xp
-        for f in self.fields.values():
-            sub = f[lanes]
-            xp.minimum(sub, tau_max, out=sub)
-            f[lanes] = sub
+        sub = self.stack[:, lanes]
+        xp.minimum(sub, tau_max, out=sub)
+        self.stack[:, lanes] = sub
 
 
 class BatchedEngine:
@@ -335,21 +334,48 @@ class BatchedEngine:
             for g in (Group.TOP, Group.BOTTOM)
         }
 
-        # Per-lane distance tables stacked to (B, Hmax, 8); rows beyond a
-        # lane's height carry inf (never candidates). Tables are pure
-        # functions of (height, scan_range), so duplicate heights share one
-        # host build; the stack uploads once.
+        # Fused-group vectors (TOP rows then BOTTOM rows): scan/select run
+        # as ONE whole-batch launch over the concatenation — the model
+        # kernels are row-independent and the ragged RNG keys row i by
+        # (seeds[rep[i]], agent[i]), so the fused pass draws exactly the
+        # per-group passes' variates (golden-parity pinned).
+        xp_ = self.backend.xp
+        self._rep_all = xp_.concatenate(
+            [self._rep[Group.TOP], self._rep[Group.BOTTOM]]
+        )
+        self._agent_all = xp_.concatenate(
+            [self._agent[Group.TOP], self._agent[Group.BOTTOM]]
+        )
+        self._gslot_all = xp_.concatenate(
+            [
+                xp_.zeros(int(self._rep[Group.TOP].size), dtype=np.int64),
+                xp_.ones(int(self._rep[Group.BOTTOM].size), dtype=np.int64),
+            ]
+        )
+        self._ragged_rng_all: Optional[RaggedLaneRNG] = (
+            self.rng.ragged(self._rep_all) if self._rep_all.size else None
+        )
+        self._offsets_stack = xp_.stack(
+            [self._offsets[Group.TOP], self._offsets[Group.BOTTOM]]
+        )
+
+        # Per-lane distance tables stacked to (2, B, Hmax, 8) — group slot
+        # leading, matching the pheromone stack; rows beyond a lane's
+        # height carry inf (never candidates). Tables are pure functions of
+        # (height, scan_range), so duplicate heights share one host build;
+        # the stack uploads once.
         scan_range = getattr(rep_cfg.params, "scan_range", 1)
         by_height = {
             int(h): build_distance_tables(int(h), scan_range)
             for h in np.unique(heights_host)
         }
-        self._dist_stack: Dict[Group, np.ndarray] = {}
+        dist_host = np.full(
+            (2, self.n_lanes, self.h_max, 8), np.inf, dtype=np.float64
+        )
         for g in (Group.TOP, Group.BOTTOM):
-            stack = np.full((self.n_lanes, self.h_max, 8), np.inf, dtype=np.float64)
             for b, h in enumerate(heights_host):
-                stack[b, : int(h)] = by_height[int(h)][g].table
-            self._dist_stack[g] = self.backend.from_host(stack)
+                dist_host[group_slot(g), b, : int(h)] = by_height[int(h)][g].table
+        self._dist_stack = self.backend.from_host(dist_host)
 
         self.pher: Optional[_BatchedPheromone] = (
             _BatchedPheromone(
@@ -505,93 +531,92 @@ class BatchedEngine:
     # Stage 1: initial calculation (per-agent scan, all lanes)
     # ------------------------------------------------------------------
     def _stage_scan(self, t: int) -> None:
+        # One fused launch over every lane's TOP+BOTTOM rows: per-group
+        # tables are gathered through the group-slot stacks, so the whole
+        # batch scans in a single dispatch sequence.
         xp = self.xp
-        for group in (Group.TOP, Group.BOTTOM):
-            rep = self._rep[group]
-            agent = self._agent[group]
-            if rep.size == 0:
-                continue
-            rows = self.rows[rep, agent]  # (N,)
-            cols = self.cols[rep, agent]
-            off = self._offsets[group]  # (8, 2)
-            nr = rows[:, None] + off[:, 0]  # (N, 8)
-            nc = cols[:, None] + off[:, 1]
-            h = self._heights[rep][:, None]
-            w = self._widths[rep][:, None]
-            inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
-            nrc = xp.clip(nr, 0, self.h_max - 1)
-            ncc = xp.clip(nc, 0, self.w_max - 1)
-            rcol = rep[:, None]
-            candidates = inb & (self.mats[rcol, nrc, ncc] == 0)
-            dist = self._dist_stack[group][rep, rows]  # (N, 8)
-            tau = None
-            if self.pher is not None:
-                tau = self.pher.fields[group][rcol, nrc, ncc]
-            if self._homogeneous:
-                values = self.model.scan_values(dist, candidates, tau)
-            else:
-                # Partition the concatenated rows by parameter group;
-                # scan_values is row-independent, so per-group calls over
-                # row subsets are bit-identical to one shared call.
-                values = xp.empty(dist.shape, dtype=np.float64)
-                pg = self._lane_pg[rep]
-                for gid, (_params, model, _lanes) in enumerate(self._param_groups):
-                    sel = pg == gid
-                    if not bool(xp.any(sel)):
-                        continue
-                    values[sel] = model.scan_values(
-                        dist[sel],
-                        candidates[sel],
-                        tau[sel] if tau is not None else None,
-                    )
-            self.scan[rep, agent, :] = values
-            self.front_empty[rep, agent] = candidates[:, 0]
+        rep = self._rep_all
+        agent = self._agent_all
+        if rep.size == 0:
+            return
+        gslot = self._gslot_all
+        rows = self.rows[rep, agent]  # (N,)
+        cols = self.cols[rep, agent]
+        off = self._offsets_stack[gslot]  # (N, 8, 2)
+        nr = rows[:, None] + off[:, :, 0]  # (N, 8)
+        nc = cols[:, None] + off[:, :, 1]
+        h = self._heights[rep][:, None]
+        w = self._widths[rep][:, None]
+        inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
+        nrc = xp.clip(nr, 0, self.h_max - 1)
+        ncc = xp.clip(nc, 0, self.w_max - 1)
+        rcol = rep[:, None]
+        candidates = inb & (self.mats[rcol, nrc, ncc] == 0)
+        dist = self._dist_stack[gslot, rep, rows]  # (N, 8)
+        tau = None
+        if self.pher is not None:
+            tau = self.pher.stack[gslot[:, None], rcol, nrc, ncc]
+        if self._homogeneous:
+            values = self.model.scan_values(dist, candidates, tau)
+        else:
+            # Partition the concatenated rows by parameter group;
+            # scan_values is row-independent, so per-group calls over
+            # row subsets are bit-identical to one shared call.
+            values = xp.empty(dist.shape, dtype=np.float64)
+            pg = self._lane_pg[rep]
+            for gid, (_params, model, _lanes) in enumerate(self._param_groups):
+                sel = pg == gid
+                if not bool(xp.any(sel)):
+                    continue
+                values[sel] = model.scan_values(
+                    dist[sel],
+                    candidates[sel],
+                    tau[sel] if tau is not None else None,
+                )
+        self.scan[rep, agent, :] = values
+        self.front_empty[rep, agent] = candidates[:, 0]
 
     # ------------------------------------------------------------------
     # Stage 2: tour construction (per-agent decision, all lanes)
     # ------------------------------------------------------------------
     def _stage_select(self, t: int) -> np.ndarray:
+        # Fused tour construction over the whole batch: one model.select
+        # (the fused ragged RNG keys row i with replication rep[i], so
+        # each lane's rows see exactly the solo engine's draws), one
+        # future-coordinate write, one per-lane bincount.
         xp = self.xp
+        rep = self._rep_all
+        agent = self._agent_all
+        if rep.size == 0:
+            return xp.zeros(self.n_lanes, dtype=np.int64)
         eligible = self.eligible_mask(t)
-        decided = xp.zeros(self.n_lanes, dtype=np.int64)
-        for group in (Group.TOP, Group.BOTTOM):
-            rep = self._rep[group]
-            agent = self._agent[group]
-            if rep.size == 0:
-                continue
-            scan_rows = self.scan[rep, agent]  # (N, 8)
-            # The model's vector select runs unmodified: the ragged RNG view
-            # keys element i with replication rep[i], so each lane's rows
-            # see exactly the solo engine's draws.
-            if self._homogeneous:
-                slots = self.model.select(
-                    scan_rows, self._ragged_rng[group], t, agent
+        scan_rows = self.scan[rep, agent]  # (N, 8)
+        if self._homogeneous:
+            slots = self.model.select(scan_rows, self._ragged_rng_all, t, agent)
+        else:
+            # Per-group select over row subsets: the subset ragged RNG
+            # still keys row i by rep[i], so every agent draws the
+            # same variates as in the shared call (and the solo run).
+            slots = xp.full(rep.size, -1, dtype=np.int64)
+            pg = self._lane_pg[rep]
+            for gid, (_params, model, _lanes) in enumerate(self._param_groups):
+                sel = pg == gid
+                if not bool(xp.any(sel)):
+                    continue
+                slots[sel] = model.select(
+                    scan_rows[sel], self.rng.ragged(rep[sel]), t, agent[sel]
                 )
-            else:
-                # Per-group select over row subsets: the subset ragged RNG
-                # still keys row i by rep[i], so every agent draws the
-                # same variates as in the shared call (and the solo run).
-                slots = xp.full(rep.size, -1, dtype=np.int64)
-                pg = self._lane_pg[rep]
-                for gid, (_params, model, _lanes) in enumerate(self._param_groups):
-                    sel = pg == gid
-                    if not bool(xp.any(sel)):
-                        continue
-                    slots[sel] = model.select(
-                        scan_rows[sel], self.rng.ragged(rep[sel]), t, agent[sel]
-                    )
-            if self._any_forward_priority:
-                fwd = self.front_empty[rep, agent] & self._forward_priority[rep]
-                slots = xp.where(fwd, 0, slots)
-            valid = (slots >= 0) & eligible[rep, agent]
-            safe = xp.where(valid, slots, 0)
-            off = self._offsets[group]
-            fr = self.rows[rep, agent] + off[safe, 0]
-            fc = self.cols[rep, agent] + off[safe, 1]
-            self.future_rows[rep, agent] = xp.where(valid, fr, NO_FUTURE)
-            self.future_cols[rep, agent] = xp.where(valid, fc, NO_FUTURE)
-            decided += xp.bincount(rep[valid], minlength=self.n_lanes)
-        return decided
+        if self._any_forward_priority:
+            fwd = self.front_empty[rep, agent] & self._forward_priority[rep]
+            slots = xp.where(fwd, 0, slots)
+        valid = (slots >= 0) & eligible[rep, agent]
+        safe = xp.where(valid, slots, 0)
+        off = self._offsets_stack[self._gslot_all, safe]  # (N, 2)
+        fr = self.rows[rep, agent] + off[:, 0]
+        fc = self.cols[rep, agent] + off[:, 1]
+        self.future_rows[rep, agent] = xp.where(valid, fr, NO_FUTURE)
+        self.future_cols[rep, agent] = xp.where(valid, fc, NO_FUTURE)
+        return xp.bincount(rep[valid], minlength=self.n_lanes)
 
     # ------------------------------------------------------------------
     # Stage 3: movement (per-cell scatter-to-gather, all lanes)
@@ -670,16 +695,13 @@ class BatchedEngine:
         self.tour[bs, winners] += move_cost
 
         if self.pher is not None:
-            winner_ids = self.ids[bs, winners]
+            # Fused deposit: one scatter into the (2, B, H, W) stack covers
+            # both groups (winner cells are disjoint per lane, the tau_max
+            # clamp is idempotent) — no per-group any() host syncs.
+            gslot = (self.ids[bs, winners] == int(Group.BOTTOM)).astype(np.int64)
             if self._homogeneous:
                 amounts = self.pher.params.deposit_q / self.tour[bs, winners]
-                for group in (Group.TOP, Group.BOTTOM):
-                    gmask = winner_ids == int(group)
-                    if bool(xp.any(gmask)):
-                        self.pher.deposit(
-                            group, bs[gmask], dst_r[gmask], dst_c[gmask],
-                            amounts[gmask],
-                        )
+                self.pher.deposit_stacked(gslot, bs, dst_r, dst_c, amounts)
             else:
                 # Per-lane deposit scale, raw scatter (lanes own disjoint
                 # cells), then each parameter group's own tau_max clamp on
@@ -687,13 +709,7 @@ class BatchedEngine:
                 # deposits, so clamping after the scatter matches the
                 # homogeneous (and solo) clamp-per-deposit behaviour.
                 amounts = self._deposit_q[bs] / self.tour[bs, winners]
-                for group in (Group.TOP, Group.BOTTOM):
-                    gmask = winner_ids == int(group)
-                    if bool(xp.any(gmask)):
-                        self.pher.deposit_raw(
-                            group, bs[gmask], dst_r[gmask], dst_c[gmask],
-                            amounts[gmask],
-                        )
+                self.pher.deposit_raw_stacked(gslot, bs, dst_r, dst_c, amounts)
                 for _params, _model, lanes in self._param_groups:
                     self.pher.clamp_max(lanes, _params.tau_max)
         self.backend.scatter_add(moved, bs, 1)
@@ -777,8 +793,14 @@ class BatchedEngine:
             if callback is not None:
                 callback(self, report)
         if moved_buf is not None:
-            moved_mat = self.backend.to_host(moved_buf).T  # (B, steps)
-            cross_mat = self.backend.to_host(cross_buf).T
+            # One batched transfer at the recording boundary; on backends
+            # with stream support (CuPy) both copies overlap on a side
+            # stream into pinned staging buffers behind a single fence.
+            moved_host, cross_host = self.backend.to_host_many(
+                (moved_buf, cross_buf)
+            )
+            moved_mat = moved_host.T  # (B, steps)
+            cross_mat = cross_host.T
         else:
             moved_mat = np.zeros((self.n_lanes, 0), dtype=np.int64)
             cross_mat = np.zeros((self.n_lanes, 0), dtype=np.int64)
@@ -855,7 +877,7 @@ class BatchedEngine:
             return None
         cfg = self.configs[lane]
         return self.backend.to_host(
-            self.pher.fields[Group(group)][lane, : cfg.height, : cfg.width]
+            self.pher.field(group)[lane, : cfg.height, : cfg.width]
         ).copy()
 
     def validate_state(self) -> None:
@@ -892,14 +914,33 @@ def run_batched(
     steps: Optional[int] = None,
     record_timeline: bool = True,
     callback=None,
+    engine: str = "batched",
 ) -> BatchedTimedResult:
-    """Build a :class:`BatchedEngine`, run it, and time the whole batch.
+    """Build a batched engine, run it, and time the whole batch.
 
     ``config`` may be one shared config or a per-lane sequence aligned with
     ``seeds`` (padded heterogeneous batching). ``callback`` is forwarded
-    to :meth:`BatchedEngine.run` (per-step metrics hooks).
+    to :meth:`BatchedEngine.run` (per-step metrics hooks). ``engine``
+    picks the execution strategy: ``"batched"`` (whole-array, the default)
+    or ``"tiled"`` (the shared-memory-faithful
+    :class:`~repro.cuda.batched_tiled.BatchedTiledEngine`); both produce
+    bit-identical per-lane trajectories.
     """
-    eng = BatchedEngine(config, seeds)
+    if engine == "batched":
+        eng = BatchedEngine(config, seeds)
+    elif engine == "tiled":
+        # Deferred import: repro.cuda.batched_tiled subclasses this module.
+        from ..cuda.batched_tiled import BatchedTiledEngine  # noqa: PLC0415
+
+        eng = BatchedTiledEngine(config, seeds)
+    else:
+        raise EngineError(
+            f"unknown batched engine {engine!r}; choose 'batched' or 'tiled'"
+        )
+    if isinstance(eng.backend, ProfilingBackend):
+        # Counting backend: start the measured region at the run loop so
+        # the metric sink's per-step dispatch deltas are exact from step 0.
+        eng.backend.reset()
     start = time.perf_counter()
     results = eng.run(
         steps=steps, record_timeline=record_timeline, callback=callback

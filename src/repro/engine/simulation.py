@@ -15,6 +15,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Type
 
 
+from ..backend import resolve_backend
+from ..backend.profiling import (
+    PROFILE_PREFIX,
+    DispatchProfile,
+    ProfilingBackend,
+)
 from ..config import SimulationConfig
 from ..errors import EngineError
 from .base import BaseEngine, RunResult, StepReport
@@ -85,11 +91,17 @@ def build_engine(
 
 @dataclass
 class TimedRunResult:
-    """A :class:`RunResult` plus wall-clock timing (paper Fig. 5 inputs)."""
+    """A :class:`RunResult` plus wall-clock timing (paper Fig. 5 inputs).
+
+    ``profile`` carries the run's dispatch profile when the run executed
+    on a counting backend (``run_simulation(profile=True)`` or an
+    explicit ``"profile[:inner]"`` backend name); ``None`` otherwise.
+    """
 
     result: RunResult
     wall_seconds: float
     config: SimulationConfig = field(repr=False, default=None)
+    profile: Optional[DispatchProfile] = field(repr=False, default=None)
 
     @property
     def seconds_per_step(self) -> float:
@@ -110,13 +122,48 @@ def run_simulation(
     callback: Optional[Callable[[BaseEngine, StepReport], None]] = None,
     record_timeline: bool = True,
     backend: Optional[str] = None,
+    profile: bool = False,
 ) -> TimedRunResult:
-    """Build an engine, run it, and return the result with wall timing."""
+    """Build an engine, run it, and return the result with wall timing.
+
+    ``profile=True`` wraps the configured backend in the dispatch-counting
+    :class:`~repro.backend.ProfilingBackend` (``"profile:<inner>"``) and
+    returns the run's :class:`~repro.backend.DispatchProfile` on
+    ``TimedRunResult.profile`` — construction-time dispatches land in the
+    profile's ``setup``, the run loop in ``counts``. Counting does not
+    perturb the trajectory: a profiled run is bit-identical to an
+    unprofiled one.
+    """
+    if profile:
+        base = str(backend if backend is not None else config.backend)
+        if base != PROFILE_PREFIX and not base.startswith(PROFILE_PREFIX + ":"):
+            base = f"{PROFILE_PREFIX}:{base}"
+        backend = base
+        # Zero stale counters (the instance is cached per name) so the
+        # setup snapshot below covers only this engine's construction.
+        resolve_backend(base).reset()
     eng = build_engine(config, engine=engine, seed=seed, backend=backend)
+    setup = None
+    if isinstance(eng.backend, ProfilingBackend):
+        # Counting backend (whether via profile=True or an explicit
+        # "profile[:inner]" config): the measured region is the run loop,
+        # so per-step figures — and the metric sink's per-step deltas —
+        # exclude one-off construction uploads.
+        setup = eng.backend.snapshot()
+        eng.backend.reset()
     start = time.perf_counter()
     result = eng.run(steps=steps, callback=callback, record_timeline=record_timeline)
     # Fence queued device work so the wall time covers execution, not just
     # kernel launches (no-op on the CPU backend).
     eng.backend.synchronize()
     elapsed = time.perf_counter() - start
-    return TimedRunResult(result=result, wall_seconds=elapsed, config=config)
+    run_profile = None
+    if isinstance(eng.backend, ProfilingBackend):
+        run_profile = DispatchProfile(
+            counts=eng.backend.snapshot(),
+            steps=result.steps_run,
+            setup=setup,
+        )
+    return TimedRunResult(
+        result=result, wall_seconds=elapsed, config=config, profile=run_profile
+    )

@@ -41,56 +41,61 @@ class VectorizedEngine(BaseEngine):
     # Stage 1: initial calculation (per-agent scan)
     # ------------------------------------------------------------------
     def _stage_scan(self, t: int) -> None:
+        # One fused launch over the concatenated TOP+BOTTOM rows: the
+        # per-group offset/distance/pheromone tables are gathered through
+        # the ``[gslot, ...]`` stacks, and the model kernel (row-independent
+        # by construction) sees both groups in one call.
         xp = self.xp
         env, pop = self.env, self.pop
         h, w = env.shape
         mat = env.mat
-        for group in (Group.TOP, Group.BOTTOM):
-            idx = self._members[group]
-            if idx.size == 0:
-                continue
-            rows = pop.rows[idx]
-            cols = pop.cols[idx]
-            off = self._offsets[group]
-            nr = rows[:, None] + off[:, 0][None, :]
-            nc = cols[:, None] + off[:, 1][None, :]
-            inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
-            nrc = xp.clip(nr, 0, h - 1)
-            ncc = xp.clip(nc, 0, w - 1)
-            candidates = inb & (mat[nrc, ncc] == 0)
-            dist = self.dist[group].distances(rows)
-            tau = None
-            if self.pher is not None:
-                tau = self.pher.field(group)[nrc, ncc]
-            self.scan[idx] = self.model.scan_values(dist, candidates, tau)
-            pop.front_empty[idx] = candidates[:, 0]
+        idx = self._fused_idx
+        if idx.size == 0:
+            return
+        gslot = self._fused_gslot
+        rows = pop.rows[idx]
+        cols = pop.cols[idx]
+        off = self._offsets_stack[gslot]  # (N, 8, 2)
+        nr = rows[:, None] + off[:, :, 0]
+        nc = cols[:, None] + off[:, :, 1]
+        inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
+        nrc = xp.clip(nr, 0, h - 1)
+        ncc = xp.clip(nc, 0, w - 1)
+        candidates = inb & (mat[nrc, ncc] == 0)
+        dist = self._dist_stack[gslot, rows]  # (N, 8)
+        tau = None
+        if self.pher is not None:
+            tau = self.pher.stack[gslot[:, None], nrc, ncc]
+        self.scan[idx] = self.model.scan_values(dist, candidates, tau)
+        pop.front_empty[idx] = candidates[:, 0]
 
     # ------------------------------------------------------------------
     # Stage 2: tour construction (per-agent decision)
     # ------------------------------------------------------------------
     def _stage_select(self, t: int) -> int:
+        # Fused tour construction: one model.select over both groups (the
+        # RNG keys each row by its agent index, so the draws match the
+        # per-group passes exactly). The decided count stays on-device —
+        # the base step() syncs it once at the recording boundary.
         xp = self.xp
         pop = self.pop
-        decided = 0
+        idx = self._fused_idx
+        if idx.size == 0:
+            return 0
         eligible = self.eligible_mask(t)
-        for group in (Group.TOP, Group.BOTTOM):
-            idx = self._members[group]
-            if idx.size == 0:
-                continue
-            slots = self.model.select(self.scan[idx], self.rng, t, idx)
-            if self.config.forward_priority:
-                # Paper modification: the forward cell, when empty, wins
-                # outright (slot 0 in 0-based numbering).
-                slots = xp.where(pop.front_empty[idx], 0, slots)
-            valid = (slots >= 0) & eligible[idx]
-            safe = xp.where(valid, slots, 0)
-            off = self._offsets[group]
-            fr = pop.rows[idx] + off[safe, 0]
-            fc = pop.cols[idx] + off[safe, 1]
-            pop.future_rows[idx] = xp.where(valid, fr, NO_FUTURE)
-            pop.future_cols[idx] = xp.where(valid, fc, NO_FUTURE)
-            decided += int(xp.count_nonzero(valid))
-        return decided
+        slots = self.model.select(self.scan[idx], self.rng, t, idx)
+        if self.config.forward_priority:
+            # Paper modification: the forward cell, when empty, wins
+            # outright (slot 0 in 0-based numbering).
+            slots = xp.where(pop.front_empty[idx], 0, slots)
+        valid = (slots >= 0) & eligible[idx]
+        safe = xp.where(valid, slots, 0)
+        off = self._offsets_stack[self._fused_gslot, safe]  # (N, 2)
+        fr = pop.rows[idx] + off[:, 0]
+        fc = pop.cols[idx] + off[:, 1]
+        pop.future_rows[idx] = xp.where(valid, fr, NO_FUTURE)
+        pop.future_cols[idx] = xp.where(valid, fc, NO_FUTURE)
+        return xp.count_nonzero(valid)
 
     # ------------------------------------------------------------------
     # Stage 3: movement (per-cell scatter-to-gather)
@@ -159,13 +164,12 @@ class VectorizedEngine(BaseEngine):
         pop.tour[winners] += move_cost
 
         if self.pher is not None:
+            # Fused deposit: one scatter into the (2, H, W) stack covers
+            # both groups (winners hold disjoint cells; the tau_max clamp
+            # is idempotent) — and drops the per-group any() host syncs.
             amounts = self.params_deposit(winners)
-            for group in (Group.TOP, Group.BOTTOM):
-                gmask = pop.ids[winners] == int(group)
-                if bool(xp.any(gmask)):
-                    self.pher.deposit(
-                        group, dst_r[gmask], dst_c[gmask], amounts[gmask]
-                    )
+            gslot = (pop.ids[winners] == int(Group.BOTTOM)).astype(np.int64)
+            self.pher.deposit_stacked(gslot, dst_r, dst_c, amounts)
         return int(winners.size)
 
     def params_deposit(self, winners: np.ndarray) -> np.ndarray:

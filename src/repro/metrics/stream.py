@@ -60,6 +60,9 @@ class StepMetrics:
     gridlock_fraction: float
     #: Lane-formation order parameter in [0, 1] (None = not sampled).
     lane_index: Optional[float] = None
+    #: Array-namespace dispatches this step (None unless the run executes
+    #: on a counting backend — see ``repro.backend.profiling``).
+    dispatch_ops: Optional[int] = None
 
     def to_row(self) -> tuple:
         """The analytics store's column order (see ``RunStore``)."""
@@ -71,6 +74,7 @@ class StepMetrics:
             self.crossed_total,
             self.gridlock_fraction,
             self.lane_index,
+            self.dispatch_ops,
         )
 
     def to_dict(self) -> dict:
@@ -83,6 +87,7 @@ class StepMetrics:
             "crossed_total": self.crossed_total,
             "gridlock_fraction": self.gridlock_fraction,
             "lane_index": self.lane_index,
+            "dispatch_ops": self.dispatch_ops,
         }
 
 
@@ -94,12 +99,14 @@ def step_metrics(
     crossed_total: int,
     total_agents: int,
     mat=None,
+    dispatch_ops: Optional[int] = None,
 ) -> StepMetrics:
     """Assemble one record from raw per-step counters.
 
     ``mat`` is an optional *host* grid matrix; when given, the
     lane-formation index is computed from it (the only metric that
-    needs grid state rather than counters).
+    needs grid state rather than counters). ``dispatch_ops`` is the
+    step's namespace-dispatch count when a counting backend is attached.
     """
     return StepMetrics(
         run_id=run_id,
@@ -109,4 +116,5 @@ def step_metrics(
         crossed_total=int(crossed_total),
         gridlock_fraction=gridlock_fraction(int(moved), int(total_agents)),
         lane_index=None if mat is None else lane_order_parameter(mat),
+        dispatch_ops=None if dispatch_ops is None else int(dispatch_ops),
     )

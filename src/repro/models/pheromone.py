@@ -5,6 +5,13 @@ The paper keeps *two* pheromone matrices, one per group, each the size of
 what lets same-direction flows organise into lanes. Evaporation (eq. 3) is
 applied uniformly every step; deposition (eq. 5) adds ``q / L_k`` on the
 cell an agent moves into, where ``L_k`` is that agent's tour length so far.
+
+Both matrices live in one ``(2, H, W)`` device stack (slot 0 = TOP,
+slot 1 = BOTTOM) so whole-field maintenance — evaporation, clamping — is a
+single array launch over both groups, and the fused engines can gather
+``stack[gslot, rows, cols]`` for a mixed-group agent batch in one op.
+``field(group)`` hands out live views into the stack, so per-group access
+is unchanged and free.
 """
 
 from __future__ import annotations
@@ -17,15 +24,26 @@ from ..backend import resolve_backend
 from ..types import Group
 from .params import ACOParams
 
-__all__ = ["PheromoneField", "evaporate_field", "deposit_at"]
+__all__ = ["PheromoneField", "evaporate_field", "deposit_at", "group_slot"]
+
+
+def group_slot(group: Group) -> int:
+    """Stack slot of ``group``: TOP -> 0, BOTTOM -> 1.
+
+    The single source of the group-axis ordering shared by
+    :class:`PheromoneField`, the batched pheromone stack and every fused
+    engine's ``gslot`` vectors.
+    """
+    return 0 if Group(group) is Group.TOP else 1
 
 
 def evaporate_field(field: np.ndarray, params: ACOParams, xp=np) -> None:
     """Eq. 3 in place: ``tau <- max((1 - rho) * tau, tau_min)``.
 
-    Element-wise, so it applies unchanged to a single ``(H, W)`` field or a
-    batched ``(B, H, W)`` stack — the single source of the decay-then-clamp
-    semantics shared by :class:`PheromoneField` and the batched engine.
+    Element-wise, so it applies unchanged to a single ``(H, W)`` field, the
+    ``(2, H, W)`` group stack, or a batched ``(2, B, H, W)`` stack — the
+    single source of the decay-then-clamp semantics shared by
+    :class:`PheromoneField` and the batched engine.
     """
     field *= 1.0 - params.rho
     xp.maximum(field, params.tau_min, out=field)
@@ -35,10 +53,13 @@ def deposit_at(field: np.ndarray, index, amounts, params: ACOParams, backend=Non
     """Eq. 5 in place: scatter-add ``amounts`` at ``index``, clamp at tau_max.
 
     ``index`` is any fancy-index tuple into ``field`` (``(rows, cols)`` for
-    a solo field, ``(lanes, rows, cols)`` for a batched stack). The scatter
+    a solo field, ``(gslot, rows, cols)`` for the group stack). The scatter
     routes through :meth:`~repro.backend.ArrayBackend.scatter_add` because
     the unbuffered-add spelling differs per namespace (``np.add.at`` vs
-    ``cupyx.scatter_add``).
+    ``cupyx.scatter_add``). The clamp runs once over the whole array after
+    the scatter; ``min(x, tau_max)`` is idempotent and cells only exceed
+    ``tau_max`` through deposits, so clamp-after-all equals the seed
+    engines' clamp-after-each bit for bit.
     """
     backend = resolve_backend(backend)
     backend.scatter_add(field, index, amounts)
@@ -46,7 +67,7 @@ def deposit_at(field: np.ndarray, index, amounts, params: ACOParams, backend=Non
 
 
 class PheromoneField:
-    """Two per-group pheromone matrices with evaporation and deposit."""
+    """Two per-group pheromone matrices in one ``(2, H, W)`` stack."""
 
     def __init__(self, height: int, width: int, params: ACOParams, backend=None) -> None:
         self.height = int(height)
@@ -54,29 +75,28 @@ class PheromoneField:
         self.params = params
         self.backend = resolve_backend(backend)
         xp = self.backend.xp
-        self._fields: Dict[Group, np.ndarray] = {
-            g: xp.full((height, width), params.tau0, dtype=np.float64)
-            for g in (Group.TOP, Group.BOTTOM)
-        }
+        #: ``(2, H, W)`` device stack; slot order per :func:`group_slot`.
+        self.stack: np.ndarray = xp.full(
+            (2, height, width), params.tau0, dtype=np.float64
+        )
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def field(self, group: Group) -> np.ndarray:
-        """The ``(H, W)`` pheromone matrix of ``group`` (live view)."""
-        return self._fields[Group(group)]
+        """The ``(H, W)`` pheromone matrix of ``group`` (live stack view)."""
+        return self.stack[group_slot(group)]
 
     def value(self, group: Group, row: int, col: int) -> float:
         """Scalar lookup used by the sequential engine."""
-        return float(self._fields[Group(group)][row, col])
+        return float(self.stack[group_slot(group), row, col])
 
     # ------------------------------------------------------------------
     # Updates (eq. 3 / eq. 5)
     # ------------------------------------------------------------------
     def evaporate(self) -> None:
-        """Apply ``tau <- (1 - rho) * tau`` to both fields, then clamp below."""
-        for field in self._fields.values():
-            evaporate_field(field, self.params, xp=self.backend.xp)
+        """Apply ``tau <- (1 - rho) * tau`` to both fields in one launch."""
+        evaporate_field(self.stack, self.params, xp=self.backend.xp)
 
     def deposit(self, group: Group, rows, cols, amounts) -> None:
         """Add ``amounts`` on cells ``(rows, cols)`` of ``group``'s field.
@@ -87,16 +107,28 @@ class PheromoneField:
         """
         xp = self.backend.xp
         deposit_at(
-            self._fields[Group(group)],
+            self.field(group),
             (xp.asarray(rows), xp.asarray(cols)),
             amounts,
             self.params,
             backend=self.backend,
         )
 
+    def deposit_stacked(self, gslots, rows, cols, amounts) -> None:
+        """Mixed-group deposit: one scatter into the full stack.
+
+        ``gslots`` selects each deposit's group per :func:`group_slot`;
+        the fused move stages use this to retire both per-group deposit
+        launches (and their host-synced ``any`` guards) in one call.
+        """
+        deposit_at(
+            self.stack, (gslots, rows, cols), amounts, self.params,
+            backend=self.backend,
+        )
+
     def deposit_scalar(self, group: Group, row: int, col: int, amount: float) -> None:
         """Single-cell deposit used by the sequential engine."""
-        field = self._fields[Group(group)]
+        field = self.field(group)
         field[row, col] = min(field[row, col] + amount, self.params.tau_max)
 
     # ------------------------------------------------------------------
@@ -105,18 +137,17 @@ class PheromoneField:
     def copy(self) -> "PheromoneField":
         """Deep copy of both fields."""
         other = PheromoneField(self.height, self.width, self.params, self.backend)
-        for g in self._fields:
-            other._fields[g][...] = self._fields[g]
+        other.stack[...] = self.stack
         return other
 
     def equals(self, other: "PheromoneField") -> bool:
         """Exact equality of both fields."""
         xp = self.backend.xp
-        return all(
-            bool(xp.array_equal(self._fields[g], other._fields[g]))
-            for g in self._fields
-        )
+        return bool(xp.array_equal(self.stack, other.stack))
 
     def totals(self) -> Dict[Group, float]:
         """Total pheromone mass per group (diagnostics/tests)."""
-        return {g: float(f.sum()) for g, f in self._fields.items()}
+        return {
+            g: float(self.stack[group_slot(g)].sum())
+            for g in (Group.TOP, Group.BOTTOM)
+        }

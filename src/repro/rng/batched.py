@@ -33,7 +33,12 @@ from typing import Sequence
 import numpy as np
 
 from ..backend import resolve_backend
-from .philox import _u32_to_unit_open, irwin_hall_normal12, philox4x32
+from .philox import (
+    PHILOX_ROUNDS,
+    _philox_rounds,
+    _u32_to_unit_open,
+    irwin_hall_normal12,
+)
 
 __all__ = ["BatchedPhiloxRNG", "FlatLaneRNG", "RaggedLaneRNG"]
 
@@ -75,7 +80,9 @@ class BatchedPhiloxRNG:
         agent indexing is seed-independent).
         """
         xp = self.xp
-        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64))
+        lanes = xp.asarray(lane, dtype=np.uint64)
+        if lanes.ndim == 0:
+            lanes = lanes.reshape(1)
         if lanes.ndim == 1:
             lanes = xp.broadcast_to(lanes, (self.n_reps, lanes.shape[0]))
         if lanes.ndim != 2 or lanes.shape[0] != self.n_reps:
@@ -155,10 +162,17 @@ class BatchedPhiloxRNG:
         counter[2] = (lanes & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         counter[3] = np.uint32(int(slot) & 0xFFFFFFFF)
         stream_word = np.uint32(int(stream) & 0xFFFFFFFF)
-        key = xp.empty((2, n), dtype=np.uint32)
-        key[0] = self._key_lo[rep]
-        key[1] = self._key_hi_base[rep] ^ stream_word
-        return philox4x32(counter, key, xp=xp)
+        # Gather the per-element key words through operator indexing — no
+        # namespace dispatch — and feed the round loop directly; one call
+        # costs two counted launches (``empty``, ``stack``).
+        k0 = self._key_lo[rep]
+        k1 = self._key_hi_base[rep] ^ stream_word
+        return xp.stack(
+            _philox_rounds(
+                counter[0], counter[1], counter[2], counter[3],
+                k0, k1, PHILOX_ROUNDS,
+            )
+        )
 
 
 class FlatLaneRNG:
@@ -177,9 +191,14 @@ class FlatLaneRNG:
             raise ValueError(f"lanes_per_rep must be >= 1, got {lanes_per_rep}")
         self._batched = batched
         self._m = int(lanes_per_rep)
+        # The replication-of-element map is static for a fixed lane count —
+        # build it once instead of re-dispatching repeat/arange per draw.
+        xp = batched.xp
+        self._rep = xp.repeat(
+            xp.arange(batched.n_reps, dtype=np.intp), self._m
+        )
 
     def _rep_of(self, lanes: np.ndarray) -> np.ndarray:
-        xp = self._batched.xp
         n = lanes.shape[0]
         expected = self._batched.n_reps * self._m
         if n != expected:
@@ -187,12 +206,16 @@ class FlatLaneRNG:
                 f"expected {expected} flattened lanes "
                 f"({self._batched.n_reps} reps x {self._m}), got {n}"
             )
-        return xp.repeat(xp.arange(self._batched.n_reps, dtype=np.intp), self._m)
+        return self._rep
 
     def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         xp = self._batched.xp
-        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64)).ravel()
-        return self._batched.words_at(stream, step, self._rep_of(lanes), lanes, slot)
+        lanes = xp.asarray(lane, dtype=np.uint64).reshape(-1)
+        # _words_flat directly: the rep map is pre-validated against the
+        # lane count, so the words_at re-asarray round trip is dead weight.
+        return self._batched._words_flat(
+            stream, step, self._rep_of(lanes), lanes, slot
+        )
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])
@@ -236,8 +259,12 @@ class RaggedLaneRNG:
 
     def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         xp = self._batched.xp
-        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64)).ravel()
-        return self._batched.words_at(stream, step, self._check(lanes), lanes, slot)
+        lanes = xp.asarray(lane, dtype=np.uint64).reshape(-1)
+        # _words_flat directly: _check pins the rep/lane alignment, so the
+        # words_at re-asarray round trip is dead weight on the hot path.
+        return self._batched._words_flat(
+            stream, step, self._check(lanes), lanes, slot
+        )
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])

@@ -54,6 +54,31 @@ def _mulhilo(m: np.uint64, b: np.ndarray) -> tuple:
     return hi, lo
 
 
+def _philox_rounds(c0, c1, c2, c3, k0, k1, rounds: int) -> tuple:
+    """The Philox round loop on pre-extracted words.
+
+    The key words may be arrays *or* ``np.uint32`` scalars — the round
+    arithmetic broadcasts either way and the wrapped-add key schedule is
+    bit-identical in both representations, which lets hot call sites skip
+    the per-call ``broadcast_to`` materialisation entirely. Every operation
+    here is an array *operator* (no namespace dispatch), so the round loop
+    itself contributes zero counted launches under the profiling backend.
+    """
+    with _wrap():
+        for _ in range(rounds):
+            hi0, lo0 = _mulhilo(_M0, c0)
+            hi1, lo1 = _mulhilo(_M1, c2)
+            # One Philox round: note the crossed wiring of the four words.
+            new0 = hi1 ^ c1 ^ k0
+            new1 = lo1
+            new2 = hi0 ^ c3 ^ k1
+            new3 = lo0
+            c0, c1, c2, c3 = new0, new1, new2, new3
+            k0 = k0 + _W0
+            k1 = k1 + _W1
+    return c0, c1, c2, c3
+
+
 def philox4x32(
     counter: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS, xp=np
 ) -> np.ndarray:
@@ -86,28 +111,11 @@ def philox4x32(
         raise ValueError(f"key must have shape (2, n), got {key.shape}")
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
-
-    c0 = counter[0].copy()
-    c1 = counter[1].copy()
-    c2 = counter[2].copy()
-    c3 = counter[3].copy()
-    n = c0.shape[0]
-    k0 = xp.broadcast_to(key[0], (n,)).copy()
-    k1 = xp.broadcast_to(key[1], (n,)).copy()
-
-    with _wrap():
-        for _ in range(rounds):
-            hi0, lo0 = _mulhilo(_M0, c0)
-            hi1, lo1 = _mulhilo(_M1, c2)
-            # One Philox round: note the crossed wiring of the four words.
-            new0 = hi1 ^ c1 ^ k0
-            new1 = lo1
-            new2 = hi0 ^ c3 ^ k1
-            new3 = lo0
-            c0, c1, c2, c3 = new0, new1, new2, new3
-            k0 = k0 + _W0
-            k1 = k1 + _W1
-    return xp.stack([c0, c1, c2, c3])
+    return xp.stack(
+        _philox_rounds(
+            counter[0], counter[1], counter[2], counter[3], key[0], key[1], rounds
+        )
+    )
 
 
 def philox4x32_scalar(counter, key, rounds: int = PHILOX_ROUNDS) -> tuple:
@@ -160,9 +168,14 @@ class PhiloxKeyedRNG:
 
         ``lane`` may be a scalar or any integer array; it is flattened to
         one dimension of lanes.
+
+        This is the hot path of every step: the key words stay ``np.uint32``
+        scalars (broadcast inside the round loop) and the counter is filled
+        in place, so one call costs three namespace dispatches (``asarray``,
+        ``empty``, ``stack``) regardless of backend.
         """
         xp = self.xp
-        lanes = xp.atleast_1d(xp.asarray(lane, dtype=np.uint64)).ravel()
+        lanes = xp.asarray(lane, dtype=np.uint64).reshape(-1)
         n = lanes.shape[0]
         step = int(step)
         counter = xp.empty((4, n), dtype=np.uint32)
@@ -172,8 +185,12 @@ class PhiloxKeyedRNG:
         counter[3] = np.uint32(int(slot) & 0xFFFFFFFF)
         with _wrap():
             key_hi = self._key_hi_base ^ np.uint32(int(stream) & 0xFFFFFFFF)
-        key = xp.asarray(np.array([[self._key_lo], [key_hi]], dtype=np.uint32))
-        return philox4x32(counter, key, xp=xp)
+        return xp.stack(
+            _philox_rounds(
+                counter[0], counter[1], counter[2], counter[3],
+                self._key_lo, key_hi, PHILOX_ROUNDS,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Distribution helpers (all order-independent and engine-agnostic)

@@ -103,6 +103,57 @@ class TestSchema:
         finally:
             store.close()
 
+    def test_v2_to_v3_migration(self, db_path, tiny_config):
+        # A hand-built v2 database: metrics before the dispatch_ops column.
+        conn = sqlite3.connect(db_path)
+        conn.execute(
+            """CREATE TABLE runs (
+                run_id TEXT PRIMARY KEY, digest TEXT NOT NULL,
+                scenario TEXT NOT NULL, model TEXT NOT NULL,
+                engine TEXT NOT NULL, backend TEXT NOT NULL,
+                height INTEGER NOT NULL, width INTEGER NOT NULL,
+                agents INTEGER NOT NULL, steps INTEGER NOT NULL,
+                seed INTEGER NOT NULL,
+                status TEXT NOT NULL DEFAULT 'running',
+                throughput_total INTEGER, wall_seconds REAL,
+                density REAL NOT NULL, flow REAL, created_s REAL NOT NULL
+            )"""
+        )
+        conn.execute(
+            """CREATE TABLE metrics (
+                run_id TEXT NOT NULL, step INTEGER NOT NULL,
+                moved INTEGER NOT NULL, new_crossings INTEGER NOT NULL,
+                crossed_total INTEGER NOT NULL,
+                gridlock_fraction REAL NOT NULL, lane_index REAL,
+                PRIMARY KEY (run_id, step)
+            )"""
+        )
+        conn.execute(
+            "INSERT INTO metrics (run_id, step, moved, new_crossings, "
+            "crossed_total, gridlock_fraction, lane_index) "
+            "VALUES ('old-run', 0, 7, 1, 1, 0.3, NULL)"
+        )
+        conn.execute("PRAGMA user_version=2")
+        conn.commit()
+        conn.close()
+
+        store = RunStore(db_path)
+        try:
+            assert store.schema_version == SCHEMA_VERSION
+            # Pre-migration rows read back with a NULL dispatch count.
+            old = store.metrics("old-run")
+            assert old[0]["moved"] == 7
+            assert old[0]["dispatch_ops"] is None
+            # New writes carry the column through.
+            record = step_metrics(
+                "old-run", 1, 6, 0, 1, 40, dispatch_ops=68
+            )
+            store.append_metrics([record])
+            rows = store.metrics("old-run")
+            assert rows[-1]["dispatch_ops"] == 68
+        finally:
+            store.close()
+
 
 class TestLifecycle:
     def test_begin_append_finish(self, store, tiny_config):

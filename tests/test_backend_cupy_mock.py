@@ -141,3 +141,99 @@ class TestMockBackendEngines:
         records = SweepRunner(max_lanes=4, backend="cupy").run(points)
         reference = SweepRunner(max_lanes=4, backend="numpy").run(points)
         assert [r.throughput for r in records] == [r.throughput for r in reference]
+
+
+# ---------------------------------------------------------------------------
+# Pinned-memory / stream-overlapped transfer path (to_host_many)
+# ---------------------------------------------------------------------------
+
+
+class _FakeStream:
+    """Mock ``cupy.cuda.Stream``: records construction and the final fence."""
+
+    created: list = []
+
+    def __init__(self, non_blocking=False):
+        self.non_blocking = non_blocking
+        self.sync_count = 0
+        _FakeStream.created.append(self)
+
+    def synchronize(self):
+        self.sync_count += 1
+
+
+class _FakeDeviceArray:
+    """Minimal device-array stand-in exposing CuPy's ``get`` surface."""
+
+    def __init__(self, arr):
+        self._arr = np.asarray(arr)
+        self.shape = self._arr.shape
+        self.dtype = self._arr.dtype
+        self.got_on_stream = None
+
+    def get(self, stream=None, out=None):
+        self.got_on_stream = stream
+        out[...] = self._arr
+        return out
+
+
+class _FakeCuda:
+    Stream = _FakeStream
+
+
+class _FakeCupyStreams(_FakeCupy):
+    """Mock ``cupy`` whose runtime exposes the CUDA stream surface."""
+
+    cuda = _FakeCuda()
+
+
+class _FakeCupyxPinned(_FakeCupyx):
+    """Mock ``cupyx`` with pinned host allocation."""
+
+    empty_pinned = staticmethod(np.empty)
+
+
+class TestPinnedStreamTransfers:
+    @pytest.fixture()
+    def stream_backend(self):
+        _FakeStream.created.clear()
+        return CupyBackend(
+            cupy_module=_FakeCupyStreams(), cupyx_module=_FakeCupyxPinned()
+        )
+
+    def test_capabilities_reflect_probed_support(self, stream_backend):
+        caps = stream_backend.capabilities
+        assert caps.pinned_memory
+        assert caps.supports_streams
+        # The plain mock (no cuda submodule, no empty_pinned) degrades.
+        plain = CupyBackend(cupy_module=_FakeCupy(), cupyx_module=_FakeCupyx())
+        assert not plain.capabilities.pinned_memory
+        assert not plain.capabilities.supports_streams
+
+    def test_to_host_many_overlaps_on_one_stream(self, stream_backend):
+        arrs = [
+            _FakeDeviceArray(np.arange(6).reshape(2, 3)),
+            _FakeDeviceArray(np.ones(4, dtype=np.int64)),
+        ]
+        outs = stream_backend.to_host_many(arrs)
+        np.testing.assert_array_equal(outs[0], np.arange(6).reshape(2, 3))
+        np.testing.assert_array_equal(outs[1], np.ones(4, dtype=np.int64))
+        assert outs[0].dtype == arrs[0].dtype
+        # Exactly one non-blocking side stream, every copy queued on it,
+        # one fence at the end covering the whole batch.
+        assert len(_FakeStream.created) == 1
+        stream = _FakeStream.created[0]
+        assert stream.non_blocking
+        assert stream.sync_count == 1
+        assert all(a.got_on_stream is stream for a in arrs)
+
+    def test_to_host_many_falls_back_without_stream_support(self):
+        plain = CupyBackend(cupy_module=_FakeCupy(), cupyx_module=_FakeCupyx())
+        arrs = [np.arange(3), np.arange(5)]
+        outs = plain.to_host_many(arrs)
+        for got, want in zip(outs, arrs):
+            np.testing.assert_array_equal(got, want)
+
+    def test_empty_batch(self, stream_backend):
+        assert stream_backend.to_host_many([]) == []
+        assert len(_FakeStream.created) == 0

@@ -82,6 +82,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "error:" in out and "registered" in out
 
+    def test_run_profile_dispatch(self, capsys):
+        code = main(
+            ["run", "--height", "16", "--width", "16", "--agents", "10",
+             "--steps", "5", "--profile-dispatch"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossed" in out
+        assert "dispatch profile over 5 steps" in out
+        assert "ops/step" in out and "hottest ops:" in out
+
     def test_sweep_named_scenarios_smoke(self, capsys):
         code = main(["sweep", "--scenario", "crossing:*", "--smoke"])
         assert code == 0

@@ -31,12 +31,16 @@ class TestStepMetrics:
 
     def test_row_and_dict_shapes_agree(self):
         rec = StepMetrics("r", 1, 2, 3, 4, 0.5, 0.25)
-        assert rec.to_row() == ("r", 1, 2, 3, 4, 0.5, 0.25)
+        assert rec.to_row() == ("r", 1, 2, 3, 4, 0.5, 0.25, None)
         assert rec.to_dict()["crossed_total"] == 4
         assert set(rec.to_dict()) == {
             "run_id", "step", "moved", "new_crossings", "crossed_total",
-            "gridlock_fraction", "lane_index",
+            "gridlock_fraction", "lane_index", "dispatch_ops",
         }
+
+    def test_dispatch_ops_passthrough(self):
+        assert step_metrics("r", 0, 1, 0, 0, 4).dispatch_ops is None
+        assert step_metrics("r", 0, 1, 0, 0, 4, dispatch_ops=68).dispatch_ops == 68
 
 
 class TestSpecValidation:
@@ -176,6 +180,64 @@ class TestExecuteLaunchStreaming:
             )
         )
         assert all(r["lane_index"] is None for r in store.metrics("off"))
+        store.close()
+
+    def test_dispatch_ops_null_on_ordinary_backends(self, db_path, tiny_config):
+        ids = ("plain",)
+        store = _begin(db_path, (tiny_config,), ids)
+        execute_launch(
+            LaunchWork(
+                configs=(tiny_config,),
+                metrics=MetricStreamSpec(db_path=db_path, run_ids=ids),
+            )
+        )
+        rows = store.metrics("plain")
+        assert rows and all(r["dispatch_ops"] is None for r in rows)
+        store.close()
+
+    def test_dispatch_ops_streamed_per_step_on_counting_backend(
+        self, db_path, tiny_config
+    ):
+        cfg = tiny_config.replace(backend="profile:numpy")
+        ids = ("prof",)
+        store = _begin(db_path, (cfg,), ids)
+        execute_launch(
+            LaunchWork(
+                configs=(cfg,),
+                metrics=MetricStreamSpec(db_path=db_path, run_ids=ids),
+            )
+        )
+        rows = store.metrics("prof")
+        assert len(rows) == cfg.steps
+        # run_simulation resets the counters at the run-loop boundary, so
+        # every delta — including step 0 — covers exactly one step and
+        # excludes construction-time dispatches.
+        assert all(isinstance(r["dispatch_ops"], int) for r in rows)
+        assert all(r["dispatch_ops"] > 0 for r in rows)
+        first, rest = rows[0]["dispatch_ops"], rows[1:]
+        assert first <= 3 * max(r["dispatch_ops"] for r in rest)
+        store.close()
+
+    def test_dispatch_ops_shared_across_batched_lanes(self, db_path, tiny_config):
+        # Lanes of a batch share one fused dispatch sequence; every
+        # lane's record carries the batch's per-step count.
+        cfg = tiny_config.replace(backend="profile:numpy")
+        configs = (cfg, cfg.replace(seed=9))
+        ids = ("bl-a", "bl-b")
+        store = _begin(db_path, configs, ids)
+        execute_launch(
+            LaunchWork(
+                configs=configs,
+                batched=True,
+                metrics=MetricStreamSpec(db_path=db_path, run_ids=ids),
+            )
+        )
+        rows_a = store.metrics("bl-a")
+        rows_b = store.metrics("bl-b")
+        assert [r["dispatch_ops"] for r in rows_a] == [
+            r["dispatch_ops"] for r in rows_b
+        ]
+        assert all(r["dispatch_ops"] > 0 for r in rows_a)
         store.close()
 
     def test_small_flush_batches_equal_large(self, db_path, tiny_config):
