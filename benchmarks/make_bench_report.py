@@ -10,11 +10,15 @@ two quantities later PRs diff against:
 * **wall** — micro-benchmark wall-clock for the batched / padded /
   batched-tiled paths against their solo-loop equivalents, next to the
   speedups recorded in earlier PR notes (PR 1: batched ~2x over a solo
-  loop; PR 2: padded ~1.7x over solo loops of a mixed-scenario grid).
+  loop; PR 2: padded ~1.7x over solo loops of a mixed-scenario grid);
+* **latency_phases** (PR 9) — per-phase p50 latencies from a small
+  in-process service burst, computed from the tracing spans the jobs
+  persist (see ``docs/OBSERVABILITY.md``), so dispatch/commit overhead
+  has a trajectory too, not just the engine inner loop.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/make_bench_report.py --out BENCH_pr8.json
+    PYTHONPATH=src python benchmarks/make_bench_report.py --out BENCH_pr9.json
     PYTHONPATH=src python benchmarks/make_bench_report.py --check  # gate
 
 ``--check`` exits 1 unless every acceptance criterion holds (the
@@ -38,7 +42,7 @@ from repro.cuda import BatchedTiledEngine
 from repro.cuda.tiled_engine import TiledEngine
 from repro.engine import BatchedEngine
 
-LABEL = "pr8"
+LABEL = "pr9"
 
 #: Steady-state ops/step on the PR-7 tree (pre-fusion), measured with the
 #: same scenario and counting backend as the live numbers below.
@@ -183,11 +187,57 @@ def measure_wall(repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Phase latency (tracing spans through the serving stack)
+# ---------------------------------------------------------------------------
+
+
+def measure_latency_phases(burst: int = 6) -> dict:
+    """Per-phase p50 latency from a small in-process service burst.
+
+    Runs ``burst`` seed-varied jobs through a throwaway
+    ``SimulationService`` (serial tick path — no pool, so the numbers
+    are the stack's own overhead, not scheduling noise) and summarises
+    the span durations every job records.
+    """
+    import shutil
+    import tempfile
+
+    from repro.obs import ROOT_SPAN, percentile
+    from repro.service import SimulationService
+
+    state = tempfile.mkdtemp(prefix="bench-obs-")
+    try:
+        svc = SimulationService(state)
+        cfg = _config(steps=60)
+        jobs = [svc.submit(cfg.replace(seed=s)) for s in range(burst)]
+        svc.run_until_idle()
+        durations: dict = {}
+        for job in jobs:
+            payload = svc.trace_payload(job.job_id) or {}
+            for span in payload.get("spans", ()):
+                durations.setdefault(span["name"], []).append(
+                    span["duration_s"]
+                )
+        svc.close()
+    finally:
+        shutil.rmtree(state, ignore_errors=True)
+
+    out = {}
+    for name, values in durations.items():
+        key = "end_to_end" if name == ROOT_SPAN else name
+        out[key] = {
+            "p50_ms": round(percentile(values, 0.5) * 1e3, 3),
+            "samples": len(values),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Criteria + report assembly
 # ---------------------------------------------------------------------------
 
 
-def evaluate(dispatch: dict, wall: dict) -> dict:
+def evaluate(dispatch: dict, wall: dict, latency: dict) -> dict:
     return {
         "batched_dispatch_cut_ge_40pct": (
             dispatch["batched4"]["reduction_pct"] >= 40.0
@@ -206,12 +256,30 @@ def evaluate(dispatch: dict, wall: dict) -> dict:
         "batched_tiled_beats_solo_loop": (
             wall["batched_tiled_4rep"]["speedup"] > 1.0
         ),
+        # The span tree must cover the whole pipeline: every canonical
+        # phase sampled, and engine.run dominating the end-to-end p50
+        # (tracing overhead stays in the noise). Deterministic in
+        # structure, so gated with the dispatch criteria.
+        "latency_phases_cover_pipeline": all(
+            phase in latency
+            for phase in (
+                "end_to_end", "queue_wait", "plan", "dispatch",
+                "warm_backend", "engine.run", "to_host", "commit",
+            )
+        ),
+        "engine_run_dominates_latency": (
+            "engine.run" in latency
+            and "end_to_end" in latency
+            and latency["engine.run"]["p50_ms"]
+            >= 0.5 * latency["end_to_end"]["p50_ms"]
+        ),
     }
 
 
 def build_report(repeats: int) -> dict:
     dispatch = measure_dispatch()
     wall = measure_wall(repeats)
+    latency = measure_latency_phases()
     return {
         "label": LABEL,
         "generated_unix_s": round(time.time(), 1),
@@ -220,7 +288,8 @@ def build_report(repeats: int) -> dict:
         "scenario": "lem 32x32 (48-high lanes in padded/mixed), 24/side",
         "dispatch": dispatch,
         "wall": wall,
-        "criteria": evaluate(dispatch, wall),
+        "latency_phases": latency,
+        "criteria": evaluate(dispatch, wall, latency),
     }
 
 
@@ -257,6 +326,7 @@ def main(argv=None) -> int:
     dispatch_keys = (
         "batched_dispatch_cut_ge_40pct",
         "no_engine_dispatches_more_than_pre_fusion",
+        "latency_phases_cover_pipeline",
     )
     if args.check and not all(criteria.values()):
         return 1

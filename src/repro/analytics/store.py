@@ -4,13 +4,16 @@ The serving layer's result cache answers "give me this exact run again";
 the run store answers the *analytical* questions the paper's figures
 ask — how does flow vary with density, when does a scenario gridlock,
 how fast do lanes form — across every run the service has ever
-executed. One SQLite file holds two tables:
+executed. One SQLite file holds three tables:
 
 * ``runs`` — one row per executed run: config summary (geometry,
   population, model, engine, backend, seed), lifecycle status, and the
   completion summary (throughput, wall seconds, density, mean flow);
 * ``metrics`` — the per-step stream: one row per
-  :class:`~repro.metrics.stream.StepMetrics` record.
+  :class:`~repro.metrics.stream.StepMetrics` record;
+* ``spans`` — one row per tracing span (schema v4): each job's
+  ``queue_wait → … → commit`` phase tree, queryable offline via
+  :meth:`RunStore.spans` / :meth:`RunStore.phase_latency`.
 
 The store follows the initialize → execute-with-incremental-persistence
 → report lifecycle: :meth:`begin_run` registers a run before its first
@@ -42,7 +45,7 @@ from ..metrics.stream import StepMetrics
 __all__ = ["RunStore", "SCHEMA_VERSION"]
 
 #: Current schema version (``PRAGMA user_version`` of a fresh store).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _RUNS_DDL = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -91,6 +94,27 @@ _METRIC_COLUMNS = (
     "gridlock_fraction", "lane_index", "dispatch_ops",
 )
 
+_SPANS_DDL = """
+CREATE TABLE IF NOT EXISTS spans (
+    run_id      TEXT NOT NULL,
+    span_id     TEXT NOT NULL,
+    trace_id    TEXT NOT NULL,
+    parent_id   TEXT,
+    name        TEXT NOT NULL,
+    start_unix  REAL NOT NULL,
+    duration_s  REAL,
+    status      TEXT NOT NULL DEFAULT 'ok',
+    error       TEXT,
+    attrs       TEXT,
+    PRIMARY KEY (run_id, span_id)
+)
+"""
+
+_SPAN_COLUMNS = (
+    "run_id", "span_id", "trace_id", "parent_id", "name",
+    "start_unix", "duration_s", "status", "error", "attrs",
+)
+
 
 def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     """v1 predates the array-backend column on runs; default it."""
@@ -109,8 +133,21 @@ def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
     conn.execute("ALTER TABLE metrics ADD COLUMN dispatch_ops INTEGER")
 
 
+def _migrate_3_to_4(conn: sqlite3.Connection) -> None:
+    """v3 predates tracing; add the per-job span tree table.
+
+    One row per span, keyed like metrics by the owning run (= job) id,
+    so a trace is fetched with one indexed lookup and cleared alongside
+    the run's metric rows on re-execution.
+    """
+    conn.execute(_SPANS_DDL)
+    conn.execute(
+        "CREATE INDEX IF NOT EXISTS idx_spans_name ON spans(name)"
+    )
+
+
 #: from-version -> migration; applied in sequence up to SCHEMA_VERSION.
-_MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3}
+_MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3, 3: _migrate_3_to_4}
 
 
 def scenario_key(height: int, width: int) -> str:
@@ -165,9 +202,13 @@ class RunStore:
                 # Fresh file (or pre-versioning empty db): create at head.
                 self._conn.execute(_RUNS_DDL)
                 self._conn.execute(_METRICS_DDL)
+                self._conn.execute(_SPANS_DDL)
                 self._conn.execute(
                     "CREATE INDEX IF NOT EXISTS idx_runs_scenario "
                     "ON runs(scenario)"
+                )
+                self._conn.execute(
+                    "CREATE INDEX IF NOT EXISTS idx_spans_name ON spans(name)"
                 )
                 self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
                 return
@@ -239,6 +280,7 @@ class RunStore:
             return
         with self._lock, self._conn:
             self._conn.executemany("DELETE FROM metrics WHERE run_id=?", ids)
+            self._conn.executemany("DELETE FROM spans WHERE run_id=?", ids)
             self._conn.executemany(
                 "INSERT OR REPLACE INTO runs "
                 f"({', '.join(_RUN_COLUMNS)}) VALUES "
@@ -263,6 +305,41 @@ class RunStore:
                 f"({', '.join('?' * len(_METRIC_COLUMNS))})",
                 rows,
             )
+        return len(rows)
+
+    def append_spans(self, run_id: str, spans: Iterable[dict]) -> int:
+        """Persist one job's span tree (wire dicts) in one transaction.
+
+        Replaces any spans the run id already had (a re-executed job
+        records a fresh trace). ``attrs`` is stored as JSON text.
+        """
+        run_id = str(run_id)
+        rows = []
+        for span in spans:
+            attrs = span.get("attrs") or {}
+            rows.append(
+                (
+                    run_id,
+                    str(span.get("span_id", "")),
+                    str(span.get("trace_id", "")),
+                    span.get("parent_id"),
+                    str(span.get("name", "unknown")),
+                    float(span.get("start_unix") or 0.0),
+                    span.get("duration_s"),
+                    str(span.get("status", "ok")),
+                    span.get("error"),
+                    json.dumps(attrs, sort_keys=True) if attrs else None,
+                )
+            )
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM spans WHERE run_id=?", (run_id,))
+            if rows:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO spans "
+                    f"({', '.join(_SPAN_COLUMNS)}) VALUES "
+                    f"({', '.join('?' * len(_SPAN_COLUMNS))})",
+                    rows,
+                )
         return len(rows)
 
     def finish_run(
@@ -336,6 +413,58 @@ class RunStore:
             ).fetchall()
         return [dict(r) for r in rows]
 
+    def spans(self, run_id: str) -> List[dict]:
+        """One job's persisted span tree, in start order (wire dicts)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM spans WHERE run_id=? "
+                "ORDER BY start_unix, span_id",
+                (str(run_id),),
+            ).fetchall()
+        out = []
+        for row in rows:
+            span = dict(row)
+            span.pop("run_id", None)
+            span["attrs"] = json.loads(span["attrs"]) if span["attrs"] else {}
+            out.append(span)
+        return out
+
+    def phase_latency(self, scenario: Optional[str] = None) -> Dict[str, List[float]]:
+        """Raw span durations grouped by phase name (``repro analytics --latency``).
+
+        The ``job`` root spans are the end-to-end samples; everything
+        else is a phase. Percentiles are the caller's job — the exact
+        samples are small (a handful of spans per run) and keeping them
+        raw lets the CLI pick its own quantiles.
+        """
+        sql = (
+            "SELECT s.name AS name, s.duration_s AS duration_s "
+            "FROM spans s"
+        )
+        args: list = []
+        if scenario is not None:
+            sql += (
+                " JOIN runs r ON r.run_id = s.run_id WHERE r.scenario=?"
+                " AND s.duration_s IS NOT NULL"
+            )
+            args.append(str(scenario))
+        else:
+            sql += " WHERE s.duration_s IS NOT NULL"
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        out: Dict[str, List[float]] = {}
+        for row in rows:
+            out.setdefault(row["name"], []).append(float(row["duration_s"]))
+        return out
+
+    def dispatch_ops_total(self) -> int:
+        """Sum of recorded per-step dispatch counts (profiled runs only)."""
+        with self._lock:
+            value = self._conn.execute(
+                "SELECT COALESCE(SUM(dispatch_ops), 0) FROM metrics"
+            ).fetchone()[0]
+        return int(value or 0)
+
     def fundamental_diagram(
         self, scenario: Optional[str] = None
     ) -> List[dict]:
@@ -379,6 +508,9 @@ class RunStore:
                 out[f"runs_{row['status']}"] = int(row["n"])
             out["metric_rows"] = int(
                 self._conn.execute("SELECT COUNT(*) FROM metrics").fetchone()[0]
+            )
+            out["span_rows"] = int(
+                self._conn.execute("SELECT COUNT(*) FROM spans").fetchone()[0]
             )
         return out
 

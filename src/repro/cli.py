@@ -9,8 +9,11 @@ Commands:
 * ``serve`` — long-running simulation service (HTTP, micro-batching,
   result cache, optional ``--analytics-db`` run persistence);
 * ``submit`` / ``status`` — clients for a running ``repro serve``;
+* ``trace`` — render a finished job's span tree (phase timings) from a
+  live service or straight from an analytics SQLite file;
 * ``analytics`` — query a run store (live service or SQLite file):
-  run listings and ASCII fundamental diagrams;
+  run listings, ASCII fundamental diagrams, and ``--latency`` phase
+  percentiles;
 * ``figures`` — regenerate the paper's tables/figures into a directory;
 * ``occupancy`` — the CC 2.0 occupancy calculator;
 * ``speedup`` — the modelled Fig 5c curve.
@@ -110,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--render", action="store_true", help="print the final grid")
     run_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="time the run's phases (warm_backend, engine.run) as tracing "
+        "spans and print the span tree; the trajectory is unchanged",
+    )
+    run_p.add_argument(
         "--profile-dispatch",
         action="store_true",
         help="count array-namespace dispatches (kernel-launch analogue) "
@@ -173,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="CI fast path: tiny grid, 2 scenarios x 2 models x 2 seeds",
+    )
+    swp_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the sweep (plan + per-launch phase spans) and print "
+        "the span tree after the summary; results are unchanged",
     )
 
     srv_p = sub.add_parser(
@@ -309,6 +324,22 @@ def build_parser() -> argparse.ArgumentParser:
     sts_p.add_argument("--json", action="store_true",
                        help="print raw JSON (for scripts)")
 
+    trc_p = sub.add_parser(
+        "trace", help="render a finished job's span tree (phase timings)"
+    )
+    trc_p.add_argument("job_id", metavar="JOB_ID")
+    trc_p.add_argument("--host", default="127.0.0.1")
+    trc_p.add_argument("--port", type=int, default=8177)
+    trc_p.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="read spans from an analytics SQLite file instead of a live "
+        "service (offline)",
+    )
+    trc_p.add_argument("--json", action="store_true",
+                       help="print the raw span payload (for scripts)")
+
     ana_p = sub.add_parser(
         "analytics", help="query persisted runs and fundamental diagrams"
     )
@@ -336,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the fundamental diagram (density vs mean flow) as "
         "an ASCII plot instead of listing runs",
+    )
+    ana_p.add_argument(
+        "--latency",
+        action="store_true",
+        help="summarize per-phase latency percentiles (p50/p90/p99) "
+        "instead of listing runs: from persisted spans with --db, from "
+        "the live histogram summary with --host",
     )
     ana_p.add_argument("--json", action="store_true",
                        help="print raw JSON (for scripts)")
@@ -401,6 +439,12 @@ def _cmd_sweep(args) -> int:
     # the cost model's dispatch-overhead estimate.
     pad_waste = args.pad_waste
     executor = None
+    tracer = sweep_span = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
+        sweep_span = tracer.start("sweep")
     try:
         if args.smoke:
             if args.scenario:
@@ -416,6 +460,7 @@ def _cmd_sweep(args) -> int:
                 pad_lanes=args.pad_lanes,
                 max_pad_waste=pad_waste,
                 backend=args.backend,
+                tracer=tracer,
             )
         else:
             seeds = tuple(range(args.seeds))
@@ -451,6 +496,7 @@ def _cmd_sweep(args) -> int:
                 pad_lanes=args.pad_lanes,
                 max_pad_waste=pad_waste,
                 backend=args.backend,
+                tracer=tracer,
             )
             if args.processes > 1:
                 # One persistent pool shared across every chunk of the
@@ -472,6 +518,10 @@ def _cmd_sweep(args) -> int:
         if executor is not None:
             executor.close()
 
+    if sweep_span is not None:
+        sweep_span.attrs["runs"] = report.n_points
+        tracer.finish(sweep_span)
+
     packing = ", padded lanes" if report.pad_lanes else ""
     print(
         f"sweep: {report.n_points} runs in {report.wall_seconds:.2f}s "
@@ -491,6 +541,12 @@ def _cmd_sweep(args) -> int:
         )
     if report.n_points and report.total_throughput == 0:
         print("warning: no agent crossed in any run (grid too short?)")
+
+    if tracer is not None:
+        from .obs import render_trace
+
+        print()
+        print(render_trace(tracer.wire(), title=f"trace {tracer.trace_id}"))
 
     if args.smoke and not args.scenario and report.total_throughput == 0:
         # The smoke grid is sized so agents always cross; zero means the
@@ -699,6 +755,11 @@ def _cmd_status(args) -> int:
         print(f"{payload['job_id']}: {payload['state']}")
         if payload.get("error"):
             print(f"  error: {payload['error']}")
+        if payload.get("deadline_missed"):
+            print(
+                f"  deadline missed after "
+                f"{payload.get('queue_wait_s', 0.0):.3f}s in queue"
+            )
         result = payload.get("result")
         if result:
             via = (
@@ -731,6 +792,163 @@ def _cmd_status(args) -> int:
         f"({payload.get('cache_bytes', 0)} bytes, "
         f"{payload.get('cache_evictions', 0)} evicted) on disk"
     )
+    e2e = (payload.get("latency") or {}).get("end_to_end")
+    if e2e:
+        print(
+            f"latency: p50 {e2e['p50'] * 1e3:.1f} ms, "
+            f"p90 {e2e['p90'] * 1e3:.1f} ms, "
+            f"p99 {e2e['p99'] * 1e3:.1f} ms end-to-end "
+            f"over {e2e['count']} traced job(s)"
+        )
+    if payload.get("deadline_missed"):
+        print(
+            f"deadlines: {payload['deadline_missed']} job(s) exceeded "
+            f"their deadline waiting in queue"
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """The ``repro trace`` subcommand body."""
+    import json
+
+    from .errors import ReproError
+    from .obs import render_trace
+
+    try:
+        if args.db is not None:
+            import os
+
+            if not os.path.exists(args.db):
+                print(f"error: no analytics store at {args.db!r}")
+                return 2
+            from .analytics import RunStore
+
+            store = RunStore(args.db)
+            try:
+                spans = store.spans(args.job_id)
+            finally:
+                store.close()
+            if not spans:
+                print(
+                    f"error: no spans for job {args.job_id!r} in {args.db} "
+                    "(was the service run with --analytics-db and tracing?)"
+                )
+                return 2
+            trace_id = next(
+                (s["trace_id"] for s in spans if s.get("trace_id")), ""
+            )
+            payload = {
+                "job_id": args.job_id,
+                "trace_id": trace_id,
+                "spans": spans,
+            }
+        else:
+            from .service.client import get_job_trace
+
+            payload = get_job_trace(args.job_id, host=args.host, port=args.port)
+            spans = payload.get("spans", [])
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    state = payload.get("state")
+    title = f"job {args.job_id}" + (f" [{state}]" if state else "")
+    trace_id = payload.get("trace_id") or ""
+    if trace_id:
+        title += f"  trace {trace_id[:16]}"
+    print(render_trace(spans, title=title))
+    return 0
+
+
+def _phase_sort_key(name: str):
+    """Order latency rows pipeline-first: job root, then PHASES, then rest."""
+    from .obs import PHASES, ROOT_SPAN
+
+    if name == ROOT_SPAN:
+        return (0, 0, name)
+    if name in PHASES:
+        return (1, PHASES.index(name), name)
+    return (2, 0, name)
+
+
+def _latency_report(args) -> int:
+    """``repro analytics --latency``: per-phase percentile table."""
+    import json
+
+    from .errors import ReproError
+    from .obs import ROOT_SPAN, percentile
+
+    try:
+        if args.host is not None:
+            from .service.client import get_stats
+
+            latency = get_stats(
+                host=args.host, port=args.port
+            ).get("latency") or {}
+            rows = []
+            e2e = latency.get("end_to_end")
+            if e2e:
+                rows.append(("end-to-end", e2e))
+            phases = latency.get("phases") or {}
+            for name in sorted(phases, key=_phase_sort_key):
+                rows.append((name, phases[name]))
+            source = f"http://{args.host}:{args.port} (histogram estimate)"
+            if args.json:
+                print(json.dumps(latency, indent=2, sort_keys=True))
+                return 0
+        else:
+            db = args.db or ".repro-service/analytics.sqlite"
+            import os
+
+            if not os.path.exists(db):
+                print(f"error: no analytics store at {db!r} (see --db)")
+                return 2
+            from .analytics import RunStore
+
+            store = RunStore(db)
+            try:
+                durations = store.phase_latency(scenario=args.scenario)
+            finally:
+                store.close()
+            rows = []
+            for name in sorted(durations, key=_phase_sort_key):
+                values = durations[name]
+                rows.append(
+                    (
+                        "end-to-end" if name == ROOT_SPAN else name,
+                        {
+                            "count": len(values),
+                            "p50": percentile(values, 0.50),
+                            "p90": percentile(values, 0.90),
+                            "p99": percentile(values, 0.99),
+                            "mean": sum(values) / len(values),
+                        },
+                    )
+                )
+            source = f"{db} (persisted spans)"
+            if args.json:
+                print(json.dumps(dict(rows), indent=2, sort_keys=True))
+                return 0
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    if not rows:
+        print("no latency samples yet (run traced jobs first)")
+        return 1
+    print(f"phase latency from {source}:")
+    print(f"  {'phase':<14s} {'count':>6s} {'p50':>10s} {'p90':>10s} {'p99':>10s}")
+    for name, stats in rows:
+        print(
+            f"  {name:<14s} {stats['count']:>6d}"
+            f" {stats['p50'] * 1e3:>8.1f}ms"
+            f" {stats['p90'] * 1e3:>8.1f}ms"
+            f" {stats['p99'] * 1e3:>8.1f}ms"
+        )
     return 0
 
 
@@ -763,6 +981,9 @@ def _cmd_analytics(args) -> int:
     import json
 
     from .errors import ReproError
+
+    if args.latency:
+        return _latency_report(args)
 
     try:
         if args.host is not None:
@@ -888,14 +1109,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                 # The instance is cached per name; zero stale counters so
                 # the setup snapshot covers only this engine's construction.
                 resolve_backend(backend_name).reset()
-            eng = build_engine(cfg, engine=args.engine)
+            tracer = root_span = None
+            if args.trace:
+                from .obs import Tracer
+
+                tracer = Tracer()
+                root_span = tracer.start(
+                    "run", model=args.model, engine=args.engine
+                )
+            if tracer is not None:
+                with tracer.span("warm_backend"):
+                    eng = build_engine(cfg, engine=args.engine)
+            else:
+                eng = build_engine(cfg, engine=args.engine)
             setup = None
             if isinstance(eng.backend, ProfilingBackend):
                 setup = eng.backend.snapshot()
                 eng.backend.reset()
+            run_span = None
+            if tracer is not None:
+                run_span = tracer.start(
+                    "engine.run", engine=args.engine, agents=cfg.total_agents
+                )
             start = time.perf_counter()
             res = eng.run(record_timeline=False)
             wall = time.perf_counter() - start
+            if run_span is not None:
+                run_span.attrs["steps"] = res.steps_run
+                tracer.finish(run_span)
+                tracer.finish(root_span)
             profile = None
             if isinstance(eng.backend, ProfilingBackend):
                 profile = DispatchProfile(
@@ -919,6 +1161,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if profile is not None:
             print()
             print(profile.describe())
+        if tracer is not None:
+            from .obs import render_trace
+
+            print()
+            print(render_trace(tracer.wire(), title=f"trace {tracer.trace_id}"))
         if args.render:
             print(render_engine(eng))
         return 0
@@ -934,6 +1181,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "status":
         return _cmd_status(args)
+
+    if args.command == "trace":
+        return _cmd_trace(args)
 
     if args.command == "analytics":
         return _cmd_analytics(args)

@@ -123,6 +123,7 @@ def run_simulation(
     record_timeline: bool = True,
     backend: Optional[str] = None,
     profile: bool = False,
+    tracer=None,
 ) -> TimedRunResult:
     """Build an engine, run it, and return the result with wall timing.
 
@@ -133,6 +134,13 @@ def run_simulation(
     profile's ``setup``, the run loop in ``counts``. Counting does not
     perturb the trajectory: a profiled run is bit-identical to an
     unprofiled one.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records two spans around
+    the same boundaries the wall clock already measures: ``warm_backend``
+    over backend resolution + engine construction, and ``engine.run``
+    over the run loop + device fence, with step/agent counts as attrs.
+    Like profiling, tracing only *reads* timing — trajectories are
+    bit-identical with or without it.
     """
     if profile:
         base = str(backend if backend is not None else config.backend)
@@ -142,7 +150,10 @@ def run_simulation(
         # Zero stale counters (the instance is cached per name) so the
         # setup snapshot below covers only this engine's construction.
         resolve_backend(base).reset()
+    warm_span = tracer.start("warm_backend") if tracer is not None else None
     eng = build_engine(config, engine=engine, seed=seed, backend=backend)
+    if warm_span is not None:
+        tracer.finish(warm_span)
     setup = None
     if isinstance(eng.backend, ProfilingBackend):
         # Counting backend (whether via profile=True or an explicit
@@ -151,12 +162,20 @@ def run_simulation(
         # exclude one-off construction uploads.
         setup = eng.backend.snapshot()
         eng.backend.reset()
+    run_span = (
+        tracer.start("engine.run", engine=engine, agents=config.total_agents)
+        if tracer is not None
+        else None
+    )
     start = time.perf_counter()
     result = eng.run(steps=steps, callback=callback, record_timeline=record_timeline)
     # Fence queued device work so the wall time covers execution, not just
     # kernel launches (no-op on the CPU backend).
     eng.backend.synchronize()
     elapsed = time.perf_counter() - start
+    if run_span is not None:
+        run_span.attrs["steps"] = result.steps_run
+        tracer.finish(run_span)
     run_profile = None
     if isinstance(eng.backend, ProfilingBackend):
         run_profile = DispatchProfile(

@@ -102,6 +102,7 @@ class _Task:
     args: Tuple
     cost: float
     priority: int
+    owner: Optional[str] = None
     future: Future = field(default_factory=Future)
 
 
@@ -162,6 +163,11 @@ class ExecutorPool:
         #: High-water mark of simultaneously assigned workers — the
         #: pool-lifetime evidence that launches actually overlapped.
         self.peak_busy = 0
+        #: Per-owner concurrency accounting (see :meth:`peak_busy_for`):
+        #: a shared pool serves several dispatchers, and each one's
+        #: ``peak_concurrent_launches`` must reflect only its own tasks.
+        self._owner_inflight: Dict[str, int] = {}
+        self._owner_peak: Dict[str, int] = {}
         #: Workers respawned after dying mid-task (crash isolation count).
         self.respawns = 0
         #: Circuit breaker: consecutive worker deaths with no completed
@@ -215,6 +221,7 @@ class ExecutorPool:
         *args,
         cost: float = 0.0,
         priority: int = 0,
+        owner: Optional[str] = None,
     ) -> Future:
         """Queue ``fn(*args)`` on the pool; returns its future.
 
@@ -222,6 +229,9 @@ class ExecutorPool:
         ``cost`` is the LPT scheduling weight — for simulation launches,
         real agent-steps (:func:`repro.exec.work.launch_cost`) — and
         ``priority`` overrides cost ordering entirely (higher first).
+        ``owner`` is an opaque tag scoping concurrency accounting: a
+        borrowed (shared) pool tracks each dispatcher's high-water mark
+        separately, readable via :meth:`peak_busy_for`.
         """
         with self._lock:
             if self._closing or self._closed:
@@ -239,6 +249,7 @@ class ExecutorPool:
                 args=args,
                 cost=float(cost),
                 priority=int(priority),
+                owner=owner,
             )
             self._tasks[task.task_id] = task
             heapq.heappush(
@@ -256,6 +267,12 @@ class ExecutorPool:
             worker_id = self._idle.pop()
             self._inflight[worker_id] = task_id
             self.peak_busy = max(self.peak_busy, len(self._inflight))
+            if task.owner is not None:
+                busy = self._owner_inflight.get(task.owner, 0) + 1
+                self._owner_inflight[task.owner] = busy
+                self._owner_peak[task.owner] = max(
+                    self._owner_peak.get(task.owner, 0), busy
+                )
             self._workers[worker_id].task_q.put((task_id, task.fn, task.args))
 
     # ------------------------------------------------------------------
@@ -291,6 +308,7 @@ class ExecutorPool:
                     if running == task_id:
                         del self._inflight[worker_id]
                         self._idle.append(worker_id)
+                        self._release_owner_locked(task)
                         break
                 self._pump_locked()
                 self._drained.notify_all()
@@ -302,6 +320,26 @@ class ExecutorPool:
                 task.future.set_exception(payload)
             else:  # pragma: no cover - workers always send exceptions
                 task.future.set_exception(ExperimentError(str(payload)))
+
+    def _release_owner_locked(self, task: Optional[_Task]) -> None:
+        """Drop one unit of an owner's in-flight count (task left a worker)."""
+        if task is None or task.owner is None:
+            return
+        busy = self._owner_inflight.get(task.owner, 0) - 1
+        if busy > 0:
+            self._owner_inflight[task.owner] = busy
+        else:
+            self._owner_inflight.pop(task.owner, None)
+
+    def peak_busy_for(self, owner: str) -> int:
+        """High-water mark of simultaneously running tasks for ``owner``.
+
+        Unlike :attr:`peak_busy` (pool-lifetime, all owners), this never
+        counts another dispatcher's overlap — the number a borrowed
+        pool's stats should report.
+        """
+        with self._lock:
+            return self._owner_peak.get(owner, 0)
 
     def _reap_dead_locked(self) -> List[Tuple[_Task, str]]:
         """Collect tasks of dead workers; replace the workers.
@@ -321,6 +359,7 @@ class ExecutorPool:
             if worker_id in self._idle:
                 self._idle.remove(worker_id)
             task = None if task_id is None else self._tasks.pop(task_id, None)
+            self._release_owner_locked(task)
             if task is not None:
                 failed.append(
                     (

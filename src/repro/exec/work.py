@@ -17,7 +17,8 @@ a pool worker, or is split differently across workers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..analytics import MetricStream, MetricStreamSpec
@@ -25,6 +26,7 @@ from ..backend import resolve_backend
 from ..config import SimulationConfig
 from ..engine import run_batched, run_simulation
 from ..engine.base import RunResult
+from ..obs import TraceSpec, Tracer
 
 __all__ = ["LaunchWork", "LaunchOutcome", "execute_launch", "launch_cost", "warm_backend"]
 
@@ -50,6 +52,14 @@ class LaunchWork:
     wherever the launch runs, pool worker included. Metric emission is
     read-only over engine state, so results stay bit-identical to an
     unstreamed launch.
+
+    ``trace`` optionally requests tracing spans (a picklable
+    :class:`~repro.obs.TraceSpec` stamped when the launch was handed to
+    the executor). The executing side records
+    ``dispatch → warm_backend → engine.run → to_host`` spans and ships
+    them back as wire dicts on :attr:`LaunchOutcome.spans`; the
+    dispatching side grafts them onto each job's trace. Like metrics,
+    tracing only reads clocks — results stay bit-identical.
     """
 
     configs: Tuple[SimulationConfig, ...]
@@ -58,6 +68,7 @@ class LaunchWork:
     mixed: bool = False
     record_timeline: bool = False
     metrics: Optional[MetricStreamSpec] = None
+    trace: Optional[TraceSpec] = None
 
 
 @dataclass(frozen=True)
@@ -67,11 +78,17 @@ class LaunchOutcome:
     ``wall_seconds`` aligns with ``results``: for a batched launch every
     lane reports the amortised batch wall (total / lanes); for solo runs
     each lane reports its own isolated wall.
+
+    ``spans`` is the launch-level span tree as wire dicts (empty when
+    the work carried no :class:`~repro.obs.TraceSpec`). Span ``trace_id``
+    / ``parent_id`` are placeholders here — the committing side rewrites
+    them into each job's own trace.
     """
 
     results: Tuple[RunResult, ...]
     lanes: int
     wall_seconds: Tuple[float, ...]
+    spans: Tuple[dict, ...] = ()
 
 
 def launch_cost(work: LaunchWork) -> int:
@@ -110,21 +127,49 @@ def execute_launch(work: LaunchWork) -> LaunchOutcome:
     stream = (
         MetricStream(work.metrics, configs) if work.metrics is not None else None
     )
+    tracer = None
+    if work.trace is not None:
+        tracer = Tracer()
+        # The gap between the dispatcher's stamp and this process picking
+        # the work up: queue-for-worker + pickling + transit (≈0 inline).
+        now = time.time()
+        tracer.add(
+            "dispatch",
+            start_unix=work.trace.dispatched_unix,
+            duration_s=now - work.trace.dispatched_unix,
+        )
     try:
         if work.batched and len(configs) > 1:
             seeds = [c.seed for c in configs]
+            if tracer is not None:
+                # Memoised per process — a warm worker's span is ~0,
+                # a cold one shows the real backend construction cost.
+                with tracer.span("warm_backend"):
+                    resolve_backend(configs[0].backend)
+            run_span = (
+                tracer.start(
+                    "engine.run", engine="batched", lanes=len(configs)
+                )
+                if tracer is not None
+                else None
+            )
             out = run_batched(
                 configs if work.mixed else configs[0],
                 seeds,
                 record_timeline=work.record_timeline,
                 callback=stream.batched_callback if stream is not None else None,
             )
+            if run_span is not None:
+                run_span.attrs["steps"] = out.results[0].steps_run
+                tracer.finish(run_span)
             per_lane_wall = out.wall_seconds_per_lane
-            return LaunchOutcome(
-                results=tuple(out.results),
-                lanes=len(configs),
-                wall_seconds=(per_lane_wall,) * len(configs),
-            )
+            with _maybe_span(tracer, "to_host"):
+                outcome = LaunchOutcome(
+                    results=tuple(out.results),
+                    lanes=len(configs),
+                    wall_seconds=(per_lane_wall,) * len(configs),
+                )
+            return _with_spans(outcome, tracer)
         results = []
         walls = []
         for i, cfg in enumerate(configs):
@@ -133,12 +178,36 @@ def execute_launch(work: LaunchWork) -> LaunchOutcome:
                 engine=work.engine,
                 record_timeline=work.record_timeline,
                 callback=stream.solo_callback(i) if stream is not None else None,
+                tracer=tracer,
             )
             results.append(timed.result)
             walls.append(timed.wall_seconds)
-        return LaunchOutcome(
-            results=tuple(results), lanes=1, wall_seconds=tuple(walls)
-        )
+        with _maybe_span(tracer, "to_host"):
+            outcome = LaunchOutcome(
+                results=tuple(results), lanes=1, wall_seconds=tuple(walls)
+            )
+        return _with_spans(outcome, tracer)
     finally:
         if stream is not None:
             stream.close()
+
+
+class _NullContext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+def _maybe_span(tracer: Optional[Tracer], name: str):
+    return tracer.span(name) if tracer is not None else _NULL_CONTEXT
+
+
+def _with_spans(outcome: LaunchOutcome, tracer: Optional[Tracer]) -> LaunchOutcome:
+    if tracer is None:
+        return outcome
+    return replace(outcome, spans=tracer.wire())

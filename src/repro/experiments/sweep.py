@@ -37,7 +37,7 @@ Timing studies that need isolated per-run walls (Figure 5) should use
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backend import resolve_backend
@@ -50,6 +50,7 @@ from ..exec import (
     launch_cost,
     warm_backend,
 )
+from ..obs import TraceSpec, Tracer
 from ..planner import (
     BATCHABLE_ENGINES,
     MAX_PAD_WASTE_CEILING,
@@ -329,6 +330,12 @@ class SweepRunner:
         several :meth:`run` calls (grid chunks) or to share one pool
         with the serving layer. The caller keeps ownership: the runner
         never closes a pool it was handed.
+    tracer:
+        Optional :class:`repro.obs.Tracer`. When set, planning is timed
+        as a ``plan`` span, every launch rides out with a
+        :class:`~repro.obs.TraceSpec`, and the worker-recorded phase
+        spans are adopted back into the trace on return (the machinery
+        behind ``repro sweep --trace``). Trajectories are unchanged.
     record_timeline:
         Forwarded to the engines; sweeps usually only need totals.
     pad_lanes:
@@ -358,6 +365,7 @@ class SweepRunner:
         max_pad_waste: Optional[float] = None,
         backend: Optional[str] = None,
         executor: Optional[ExecutorPool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         validate_plan_parameters(max_lanes, max_pad_waste)
         if processes < 1:
@@ -369,6 +377,7 @@ class SweepRunner:
         self.max_pad_waste = None if max_pad_waste is None else float(max_pad_waste)
         self.backend = None if backend is None else str(backend)
         self.executor = executor
+        self.tracer = tracer
         if self.backend is not None:
             resolve_backend(self.backend)
 
@@ -446,11 +455,21 @@ class SweepRunner:
     def run(self, points: Sequence[SweepPoint]) -> List[RunRecord]:
         """Execute every point; records return in the requested order."""
         points = list(points)
+        plan_span = None
+        if self.tracer is not None:
+            plan_span = self.tracer.start("plan", points=len(points))
         units = self.plan(points)
         lanes = [_unit_lanes(u) for u in units]
         works = [
             _unit_work(u, configs) for u, (_, configs) in zip(units, lanes)
         ]
+        if plan_span is not None:
+            plan_span.attrs["launches"] = len(units)
+            self.tracer.finish(plan_span)
+            works = [
+                replace(w, trace=TraceSpec(dispatched_unix=time.time()))
+                for w in works
+            ]
 
         pool = self.executor
         transient: Optional[ExecutorPool] = None
@@ -484,6 +503,27 @@ class SweepRunner:
         finally:
             if transient is not None:
                 transient.close()
+
+        if self.tracer is not None:
+            # One container span per launch so the phase spans of
+            # different launches stay distinguishable in the tree. Its
+            # bounds come from the launch's own spans (unix clock).
+            for unit, outcome in zip(units, outcomes):
+                spans = outcome.spans
+                if not spans:
+                    continue
+                start = min(s["start_unix"] for s in spans)
+                end = max(
+                    s["start_unix"] + (s["duration_s"] or 0.0) for s in spans
+                )
+                launch = self.tracer.add(
+                    "launch",
+                    start_unix=start,
+                    duration_s=end - start,
+                    lanes=len(unit.seeds),
+                    batched=unit.batched,
+                )
+                self.tracer.adopt(spans, parent_id=launch.span_id)
 
         # Key by request position, not by (batch_key, seed): duplicated
         # points each keep their own record and wall time.

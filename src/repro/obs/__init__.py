@@ -1,0 +1,51 @@
+"""Observability: tracing spans + in-process metrics.
+
+``repro.obs`` is the instrumentation layer threaded through the
+service → executor → engine stack. Spans (`span.py`) time each phase of
+a job's life and survive the forkserver boundary as plain dicts riding
+``LaunchWork``/``LaunchOutcome``; the metrics registry (`metrics.py`)
+turns them — plus the executor/cache counters — into Prometheus text on
+``GET /metrics`` and p50/p90/p99 summaries in ``/stats``. See
+``docs/OBSERVABILITY.md`` for the span model and metric names.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from .recorder import ROOT_SPAN, SpanRecorder
+from .span import (
+    PHASES,
+    Span,
+    TraceSpec,
+    Tracer,
+    mint_span_id,
+    mint_trace_id,
+    render_trace,
+    sort_spans,
+    span_dict,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASES",
+    "ROOT_SPAN",
+    "Span",
+    "SpanRecorder",
+    "TraceSpec",
+    "Tracer",
+    "mint_span_id",
+    "mint_trace_id",
+    "percentile",
+    "render_trace",
+    "sort_spans",
+    "span_dict",
+]

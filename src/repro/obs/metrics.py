@@ -1,0 +1,314 @@
+"""In-process metrics: counters, gauges, fixed-bucket histograms.
+
+The registry backs ``GET /metrics`` (Prometheus text exposition) and the
+latency percentiles merged into ``/stats``. Everything is stdlib: each
+instrument carries one ``threading.Lock`` held only for the few
+arithmetic ops of an update, so recording from the service tick loop,
+HTTP handler threads, and the pool collector thread is safe and cheap.
+
+Instruments are identified by ``(name, sorted label items)``; the first
+``counter()`` / ``gauge()`` / ``histogram()`` call creates the series,
+later calls return the same object. Histograms use fixed upper bounds
+(cumulative, Prometheus-style) and estimate percentiles by linear
+interpolation inside the winning bucket — coarse, but stable and cheap,
+and the exact samples are still in the spans table for offline work.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+]
+
+#: Upper bounds (seconds) sized for this repo's job latencies: sub-ms
+#: cache hits through multi-minute padded batches.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Mirror an externally tracked monotonic total (never lowers)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Value that can go up or down."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        self.bounds = bounds
+        # One count per finite bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """Per-bucket (non-cumulative) counts, sum, and total count."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (0..1) by in-bucket interpolation."""
+        counts, _, total = self.snapshot()
+        if total == 0:
+            return None
+        q = min(1.0, max(0.0, q))
+        rank = q * total
+        cumulative = 0
+        for i, n in enumerate(counts):
+            if n == 0:
+                continue
+            lo = 0.0 if i == 0 else self.bounds[i - 1]
+            hi = self.bounds[i] if i < len(self.bounds) else None
+            if cumulative + n >= rank:
+                if hi is None:
+                    # Overflow bucket: no upper bound to interpolate to.
+                    return lo
+                frac = (rank - cumulative) / n
+                return lo + (hi - lo) * frac
+            cumulative += n
+        return self.bounds[-1]
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Exact linear-interpolation percentile of raw samples (q in 0..1)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    q = min(1.0, max(0.0, q))
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] + (ordered[hi] - ordered[lo]) * frac)
+
+
+class _Family:
+    """All series of one metric name (same type and help text)."""
+
+    def __init__(self, kind: str, help_text: str):
+        self.kind = kind
+        self.help = help_text
+        self.series: Dict[_LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Named, labeled instruments plus the Prometheus text renderer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Mapping[str, str],
+        factory,
+    ):
+        key: _LabelKey = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind, help_text)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            series = family.series.get(key)
+            if series is None:
+                series = factory()
+                family.series[key] = series
+            return series
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        return self._get("counter", name, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        return self._get("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets)
+        )
+
+    def families(self) -> Dict[str, Tuple[str, str]]:
+        with self._lock:
+            return {
+                name: (fam.kind, fam.help)
+                for name, fam in self._families.items()
+            }
+
+    def series(self, name: str) -> List[Tuple[Dict[str, str], object]]:
+        """All series of one metric as ``(labels, instrument)`` pairs."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            return [(dict(key), obj) for key, obj in family.series.items()]
+
+    def render(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            families = {
+                name: (fam.kind, fam.help, dict(fam.series))
+                for name, fam in sorted(self._families.items())
+            }
+        lines: List[str] = []
+        for name, (kind, help_text, series) in families.items():
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key, instrument in sorted(series.items()):
+                if kind == "histogram":
+                    lines.extend(_render_histogram(name, key, instrument))
+                else:
+                    lines.append(
+                        f"{name}{_labels(key)} {_num(instrument.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _labels(key: _LabelKey, extra: Iterable[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _num(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_histogram(
+    name: str, key: _LabelKey, hist: Histogram
+) -> List[str]:
+    counts, total_sum, total_count = hist.snapshot()
+    lines: List[str] = []
+    cumulative = 0
+    for bound, n in zip(hist.bounds, counts):
+        cumulative += n
+        lines.append(
+            f"{name}_bucket{_labels(key, [('le', _num(bound))])} {cumulative}"
+        )
+    lines.append(
+        f"{name}_bucket{_labels(key, [('le', '+Inf')])} {total_count}"
+    )
+    lines.append(f"{name}_sum{_labels(key)} {_num(round(total_sum, 9))}")
+    lines.append(f"{name}_count{_labels(key)} {total_count}")
+    return lines

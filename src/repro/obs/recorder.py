@@ -1,0 +1,78 @@
+"""Bridge from finished span trees to the metrics registry.
+
+The service hands every completed job's span list to
+:meth:`SpanRecorder.observe_trace`; the recorder turns root spans into
+the end-to-end latency histogram and every phase span into the
+``phase``-labeled one, counting error spans separately. ``summary()``
+is the p50/p90/p99 view merged into ``/stats`` and ``repro status``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+__all__ = ["ROOT_SPAN", "SpanRecorder"]
+
+#: Name of the per-job root span (covers submit → commit).
+ROOT_SPAN = "job"
+
+_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+class SpanRecorder:
+    """Feed job/phase latency histograms from span wire dicts."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._e2e = registry.histogram(
+            "repro_job_latency_seconds",
+            "End-to-end job latency (submit to commit).",
+            DEFAULT_LATENCY_BUCKETS,
+        )
+
+    def observe_trace(self, spans: Sequence[dict]) -> None:
+        for span in spans:
+            duration = span.get("duration_s")
+            if duration is None:
+                continue
+            name = span.get("name") or "unknown"
+            if name == ROOT_SPAN:
+                self._e2e.observe(duration)
+            else:
+                self.registry.histogram(
+                    "repro_phase_latency_seconds",
+                    "Per-phase latency within a job's span tree.",
+                    DEFAULT_LATENCY_BUCKETS,
+                    phase=name,
+                ).observe(duration)
+            if span.get("status") == "error":
+                self.registry.counter(
+                    "repro_span_errors_total",
+                    "Spans closed with error status.",
+                    phase=name,
+                ).inc()
+
+    def _quantiles(self, hist) -> Optional[Dict[str, float]]:
+        if hist.count == 0:
+            return None
+        out: Dict[str, float] = {"count": hist.count}
+        for label, q in _QUANTILES:
+            value = hist.quantile(q)
+            if value is not None:
+                out[label] = round(value, 6)
+        out["mean"] = round(hist.sum / hist.count, 6)
+        return out
+
+    def summary(self) -> dict:
+        """Percentile summary for ``/stats``: end-to-end plus per-phase."""
+        phases: Dict[str, dict] = {}
+        for labels, hist in self.registry.series("repro_phase_latency_seconds"):
+            stats = self._quantiles(hist)
+            if stats is not None:
+                phases[labels.get("phase", "unknown")] = stats
+        return {
+            "end_to_end": self._quantiles(self._e2e),
+            "phases": dict(sorted(phases.items())),
+        }

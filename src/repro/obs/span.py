@@ -1,0 +1,383 @@
+"""Tracing spans: the wire-form timing tree behind ``repro trace``.
+
+A :class:`Span` is one timed phase of a job's life (``queue_wait``,
+``dispatch``, ``engine.run``, ...). Spans carry two clocks on purpose:
+
+* ``start_unix`` — ``time.time()``, comparable across processes, used to
+  order and nest spans that were recorded on different sides of the
+  forkserver boundary;
+* ``duration_s`` — a ``time.perf_counter()`` delta, monotonic and
+  immune to wall-clock steps, used for every latency number we report.
+
+:class:`Tracer` is the recording surface: a context-manager API that
+maintains a parent stack, closes spans with ``error`` status when the
+body raises, and can retroactively add spans whose bounds were measured
+elsewhere (``queue_wait`` is computed at drain time from the job's
+submission stamp). The wire form is a plain dict so spans survive
+pickling through :class:`~repro.exec.work.LaunchWork` /
+``LaunchOutcome`` untouched.
+
+:class:`TraceSpec` is the picklable request that rides ``LaunchWork``
+into pool workers — mirroring ``MetricStreamSpec``: the spec crosses the
+process boundary, the recording object is built wherever the launch
+actually executes.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "PHASES",
+    "Span",
+    "TraceSpec",
+    "Tracer",
+    "mint_span_id",
+    "mint_trace_id",
+    "render_trace",
+    "sort_spans",
+    "span_dict",
+]
+
+#: Canonical phase names, in pipeline order. Render order follows the
+#: recorded timestamps, but docs and tests key off this tuple.
+PHASES = (
+    "queue_wait",
+    "plan",
+    "dispatch",
+    "warm_backend",
+    "engine.run",
+    "to_host",
+    "commit",
+)
+
+
+def mint_trace_id() -> str:
+    """Return a 32-hex-char trace id (128 random bits)."""
+    return binascii.hexlify(os.urandom(16)).decode("ascii")
+
+
+def mint_span_id() -> str:
+    """Return a 16-hex-char span id (64 random bits)."""
+    return binascii.hexlify(os.urandom(8)).decode("ascii")
+
+
+@dataclass
+class Span:
+    """One timed phase. ``duration_s`` is ``None`` while still open."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    start_unix: float = 0.0
+    duration_s: Optional[float] = None
+    status: str = "ok"
+    error: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    #: perf_counter at open; internal, never serialized.
+    _t0: Optional[float] = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            trace_id=data.get("trace_id", ""),
+            span_id=data.get("span_id", ""),
+            parent_id=data.get("parent_id"),
+            start_unix=float(data.get("start_unix", 0.0)),
+            duration_s=data.get("duration_s"),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            attrs=dict(data.get("attrs") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Picklable tracing request riding :class:`~repro.exec.work.LaunchWork`.
+
+    ``dispatched_unix`` is stamped when the launch is handed to the
+    executor; the worker turns the gap to its own start into the
+    ``dispatch`` span (queue-for-worker + pickle + transit).
+    """
+
+    dispatched_unix: float
+
+    def to_dict(self) -> dict:
+        return {"dispatched_unix": self.dispatched_unix}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceSpec":
+        return cls(dispatched_unix=float(data["dispatched_unix"]))
+
+
+class Tracer:
+    """Record spans for one trace. Not thread-safe; one per execution."""
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id or mint_trace_id()
+        self._finished: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- recording ---------------------------------------------------
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Open a span; it becomes the parent of spans opened inside it."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=mint_span_id(),
+            parent_id=parent,
+            start_unix=time.time(),
+            attrs=dict(attrs),
+            _t0=time.perf_counter(),
+        )
+        self._stack.append(span)
+        return span
+
+    def finish(
+        self,
+        span: Span,
+        status: str = "ok",
+        error: Optional[str] = None,
+    ) -> Span:
+        if span._t0 is not None and span.duration_s is None:
+            span.duration_s = time.perf_counter() - span._t0
+        span.status = status
+        span.error = error
+        if span in self._stack:
+            # Closing an outer span force-closes anything still open
+            # inside it (torn spans inherit the outer status).
+            while self._stack:
+                top = self._stack.pop()
+                if top is span:
+                    break
+                if top.duration_s is None and top._t0 is not None:
+                    top.duration_s = time.perf_counter() - top._t0
+                top.status = status
+                top.error = top.error or error
+                self._finished.append(top)
+        self._finished.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        span = self.start(name, **attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            self.finish(span, status="error", error=_describe(exc))
+            raise
+        else:
+            self.finish(span)
+
+    def add(
+        self,
+        name: str,
+        start_unix: float,
+        duration_s: float,
+        parent_id: Optional[str] = None,
+        status: str = "ok",
+        error: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a span whose bounds were measured elsewhere.
+
+        Parents under the currently open span unless ``parent_id`` says
+        otherwise (root-level when nothing is open).
+        """
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        span = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=mint_span_id(),
+            parent_id=parent_id,
+            start_unix=start_unix,
+            duration_s=max(0.0, float(duration_s)),
+            status=status,
+            error=error,
+            attrs=dict(attrs),
+        )
+        self._finished.append(span)
+        return span
+
+    def adopt(
+        self,
+        spans: Sequence[dict],
+        parent_id: Optional[str] = None,
+    ) -> None:
+        """Graft foreign wire spans (a worker's launch spans) into this trace.
+
+        Ids are rewritten onto this trace; spans whose parent is not
+        within the adopted set hang off ``parent_id`` (default: the
+        currently open span, so adopting inside a ``with tracer.span``
+        block nests the launch under it).
+        """
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        ids = {s.get("span_id") for s in spans if s.get("span_id")}
+        for s in spans:
+            copy = dict(s)
+            copy["trace_id"] = self.trace_id
+            if copy.get("parent_id") not in ids:
+                copy["parent_id"] = parent_id
+            self._finished.append(Span.from_dict(copy))
+
+    def close_open(self, error: Optional[str] = None) -> None:
+        """Close every still-open span with ``error`` status (torn trace)."""
+        while self._stack:
+            top = self._stack.pop()
+            if top.duration_s is None and top._t0 is not None:
+                top.duration_s = time.perf_counter() - top._t0
+            top.status = "error"
+            top.error = top.error or error
+            self._finished.append(top)
+
+    # -- export ------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._finished)
+
+    def wire(self) -> Tuple[dict, ...]:
+        """Finished spans as picklable dicts, in recording order."""
+        return tuple(span.to_dict() for span in self._finished)
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def span_dict(
+    name: str,
+    start_unix: float,
+    duration_s: float,
+    status: str = "ok",
+    error: Optional[str] = None,
+    **attrs: Any,
+) -> dict:
+    """Build one wire-form span directly (no tracer).
+
+    For spans synthesized outside a :class:`Tracer` — the scheduler's
+    per-tick ``plan`` span shared by every launch of the tick, or the
+    error span standing in for a launch that never reported back
+    (crashed worker). ``trace_id``/``parent_id`` are left blank for the
+    committing side to fill in.
+    """
+    return {
+        "name": name,
+        "trace_id": "",
+        "span_id": mint_span_id(),
+        "parent_id": None,
+        "start_unix": float(start_unix),
+        "duration_s": max(0.0, float(duration_s)),
+        "status": status,
+        "error": error,
+        "attrs": dict(attrs),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def sort_spans(spans: Sequence[dict]) -> List[dict]:
+    """Spans ordered for display: by start time, roots first."""
+    return sorted(
+        spans,
+        key=lambda s: (s.get("start_unix") or 0.0, s.get("name") or ""),
+    )
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "   open "
+    ms = seconds * 1000.0
+    if ms >= 1000.0:
+        return f"{ms / 1000.0:7.2f}s"
+    return f"{ms:6.1f}ms"
+
+
+def _fmt_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    return "  " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+
+
+def render_trace(spans: Sequence[dict], title: str = "") -> str:
+    """ASCII span tree with durations and percent-of-total.
+
+    ``spans`` are wire dicts (see :meth:`Span.to_dict`). Orphans whose
+    parent is missing are promoted to roots so partial traces render.
+    """
+    spans = [dict(s) for s in spans]
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {s["span_id"]: s for s in spans if s.get("span_id")}
+    children: Dict[Optional[str], List[dict]] = {}
+    roots: List[dict] = []
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    roots = sort_spans(roots)
+    total = max(
+        (s.get("duration_s") or 0.0 for s in roots),
+        default=0.0,
+    )
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+
+    def pct(s: dict) -> str:
+        dur = s.get("duration_s")
+        if dur is None or total <= 0.0:
+            return "     "
+        return f"{100.0 * dur / total:5.1f}%"
+
+    def emit(span: dict, prefix: str, branch: str, child_prefix: str) -> None:
+        mark = "" if span.get("status", "ok") == "ok" else "  [ERROR]"
+        err = span.get("error")
+        detail = f" {err}" if mark and err else ""
+        lines.append(
+            f"{prefix}{branch}{span['name']:<14} {_fmt_ms(span.get('duration_s'))}"
+            f"  {pct(span)}{_fmt_attrs(span.get('attrs') or {})}{mark}{detail}"
+        )
+        kids = sort_spans(children.get(span.get("span_id"), []))
+        for i, kid in enumerate(kids):
+            last = i == len(kids) - 1
+            emit(
+                kid,
+                prefix + child_prefix,
+                "└─ " if last else "├─ ",
+                "   " if last else "│  ",
+            )
+
+    for root in roots:
+        emit(root, "", "", "")
+    return "\n".join(lines)

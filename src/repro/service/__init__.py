@@ -27,6 +27,8 @@ from .client import (
     get_analytics_runs,
     get_fundamental_diagram,
     get_job,
+    get_job_trace,
+    get_metrics_text,
     get_stats,
     iter_job_stream,
     list_jobs,
@@ -62,4 +64,6 @@ __all__ = [
     "iter_job_stream",
     "get_analytics_runs",
     "get_fundamental_diagram",
+    "get_job_trace",
+    "get_metrics_text",
 ]

@@ -26,6 +26,8 @@ __all__ = [
     "iter_job_stream",
     "get_analytics_runs",
     "get_fundamental_diagram",
+    "get_job_trace",
+    "get_metrics_text",
 ]
 
 
@@ -91,6 +93,37 @@ def get_stats(
     host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
 ) -> dict:
     return _request("GET", host, port, "/stats", timeout=timeout)
+
+
+def get_job_trace(
+    job_id: str,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    timeout: float = 10.0,
+) -> dict:
+    """``GET /jobs/<id>/trace`` — the job's span tree payload.
+
+    409 (job exists, no trace yet) surfaces as :class:`ServiceError`
+    like any other HTTP failure; callers that want to poll should wait
+    on the job first (:func:`wait_for_jobs`).
+    """
+    return _request("GET", host, port, f"/jobs/{job_id}/trace", timeout=timeout)
+
+
+def get_metrics_text(
+    host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
+) -> str:
+    """``GET /metrics`` — raw Prometheus text exposition."""
+    url = f"http://{host}:{port}/metrics"
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(url, method="GET"), timeout=timeout
+        ) as resp:
+            return resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        raise ServiceError(f"GET {url} failed: HTTP {exc.code}") from None
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceError(f"GET {url} failed: {exc}") from None
 
 
 def iter_job_stream(

@@ -6,9 +6,12 @@ documented endpoint-by-endpoint there. In short: ``POST /jobs``
 submits (single spec or atomic burst), ``GET /jobs[/<id>]`` inspects,
 ``GET /jobs/<id>/stream`` serves a live Server-Sent-Events feed of
 per-step metrics while a job runs (requires ``--analytics-db``),
+``GET /jobs/<id>/trace`` returns a finished job's tracing span tree,
 ``GET /analytics/runs`` and ``GET /analytics/fundamental-diagram``
-query the persistent run store, and ``GET /stats`` / ``GET /healthz``
-report counters and liveness. JSON in, JSON out (SSE for the stream) —
+query the persistent run store, ``GET /stats`` / ``GET /healthz``
+report counters and liveness, and ``GET /metrics`` exposes the
+latency histograms and serving counters in Prometheus text format.
+JSON in, JSON out (SSE for the stream, plain text for the scrape) —
 no dependencies beyond ``http.server``.
 
 Request handling runs on :class:`~http.server.ThreadingHTTPServer`
@@ -54,7 +57,13 @@ ROUTES: Tuple[Tuple[str, str, str], ...] = (
         "/jobs/<id>/stream",
         "live SSE feed of per-step metrics (needs analytics)",
     ),
+    (
+        "GET",
+        "/jobs/<id>/trace",
+        "one finished job's span tree (phase timings)",
+    ),
     ("GET", "/stats", "serving counters, queue depth, analytics counts"),
+    ("GET", "/metrics", "Prometheus text-format metrics scrape"),
     ("GET", "/healthz", "liveness probe"),
     ("GET", "/analytics/runs", "persisted run records, newest first"),
     (
@@ -116,6 +125,19 @@ def _make_handler(service: SimulationService):
             self.end_headers()
             self.wfile.write(blob)
 
+        def _reply_text(
+            self,
+            code: int,
+            text: str,
+            content_type: str = "text/plain; charset=utf-8",
+        ) -> None:
+            blob = text.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+
         def _error(self, code: int, message: str) -> None:
             self._reply(code, {"error": message})
 
@@ -156,6 +178,14 @@ def _make_handler(service: SimulationService):
                 self._reply(200, {"ok": True})
             elif path == "/stats":
                 self._reply(200, service.stats_dict())
+            elif path == "/metrics":
+                # Prometheus text exposition format 0.0.4 (the version
+                # tag is part of the scrape contract, not decoration).
+                self._reply_text(
+                    200,
+                    service.metrics_text(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
             elif path == "/jobs":
                 self._reply(200, {"jobs": service.jobs_payload()})
             elif path == "/analytics/runs":
@@ -164,6 +194,8 @@ def _make_handler(service: SimulationService):
                 self._analytics_diagram(params)
             elif path.startswith("/jobs/") and path.endswith("/stream"):
                 self._stream_job(path[len("/jobs/") : -len("/stream")])
+            elif path.startswith("/jobs/") and path.endswith("/trace"):
+                self._job_trace(path[len("/jobs/") : -len("/trace")])
             elif path.startswith("/jobs/"):
                 job_id = path[len("/jobs/") :]
                 try:
@@ -174,6 +206,27 @@ def _make_handler(service: SimulationService):
                 self._reply(200, payload)
             else:
                 self._error(404, f"no such endpoint: GET {path}")
+
+        def _job_trace(self, job_id: str) -> None:
+            """``GET /jobs/<id>/trace``: the job's recorded span tree.
+
+            404 for unknown jobs; 409 while the job has no trace yet
+            (still queued/running, or the service runs with tracing
+            disabled) — the job exists, the representation doesn't.
+            """
+            try:
+                payload = service.trace_payload(job_id)
+            except ServiceError as exc:
+                self._error(404, str(exc))
+                return
+            if payload is None:
+                self._error(
+                    409,
+                    f"no trace recorded for {job_id!r} yet (job not "
+                    "finished, or tracing disabled)",
+                )
+                return
+            self._reply(200, payload)
 
         # -- analytics ---------------------------------------------------
         def _need_analytics(self) -> bool:

@@ -17,12 +17,14 @@ replays to the last recorded state).
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..config import SimulationConfig
 from ..errors import ServiceError
 from ..io import config_digest
+from ..obs import mint_trace_id
 
 __all__ = ["JobState", "Job", "job_to_dict", "job_from_dict"]
 
@@ -66,6 +68,19 @@ class Job:
     lanes: int = 0
     #: Amortised wall seconds attributed to this job's lane.
     wall_seconds: float = 0.0
+    #: Tracing identity, minted at submission; every span of this job's
+    #: tree carries it (``GET /jobs/<id>/trace``, the analytics spans
+    #: table). Empty for records from logs written before tracing.
+    trace_id: str = ""
+    #: Wall-clock submission stamp — the anchor for ``queue_wait``.
+    submitted_unix: float = 0.0
+    #: Seconds spent queued before the scheduler drained the job
+    #: (set when it leaves the queue; 0 until then).
+    queue_wait_s: float = 0.0
+    #: True when the job had a ``deadline_s`` and was still queued past
+    #: it. Reporting only — the job still runs (shedding is a separate
+    #: roadmap item).
+    deadline_missed: bool = False
 
     @classmethod
     def create(
@@ -84,6 +99,8 @@ class Job:
             digest=config_digest(config),
             priority=int(priority),
             deadline_s=None if deadline_s is None else float(deadline_s),
+            trace_id=mint_trace_id(),
+            submitted_unix=time.time(),
         )
 
     @property
@@ -105,6 +122,10 @@ def job_to_dict(job: Job, with_config: bool = True) -> dict:
         "cache_hit": job.cache_hit,
         "lanes": job.lanes,
         "wall_seconds": job.wall_seconds,
+        "trace_id": job.trace_id,
+        "submitted_unix": job.submitted_unix,
+        "queue_wait_s": job.queue_wait_s,
+        "deadline_missed": job.deadline_missed,
         "scenario": job.config.scenario,
     }
     if with_config:
@@ -131,6 +152,11 @@ def job_from_dict(data: dict) -> Job:
             cache_hit=bool(data.get("cache_hit", False)),
             lanes=int(data.get("lanes", 0)),
             wall_seconds=float(data.get("wall_seconds", 0.0)),
+            # Defaulted for logs written before tracing/deadline fields.
+            trace_id=str(data.get("trace_id", "")),
+            submitted_unix=float(data.get("submitted_unix", 0.0)),
+            queue_wait_s=float(data.get("queue_wait_s", 0.0)),
+            deadline_missed=bool(data.get("deadline_missed", False)),
         )
     except (KeyError, ValueError) as exc:
         raise ServiceError(f"malformed job record: {exc}") from None

@@ -33,6 +33,7 @@ invisible to the requester except in latency.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
@@ -40,6 +41,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 from ..engine.base import RunResult
 from ..errors import ReproError
 from ..exec import ExecutorPool, LaunchWork, execute_launch, launch_cost
+from ..obs import TraceSpec, mint_span_id, span_dict
 from ..planner import (
     LaneRequest,
     PlannedBatch,
@@ -108,6 +110,10 @@ class ExecutionOutcome:
     lanes: int = 1
     #: Amortised wall seconds attributed to this job's lane.
     wall_seconds: float = 0.0
+    #: Launch-level span tree (wire dicts): the tick's ``plan`` span plus
+    #: whatever the executing side recorded. Shared by every lane of the
+    #: launch — the committing side copies before rewriting ids.
+    spans: Tuple[dict, ...] = ()
 
 
 class BatchScheduler:
@@ -131,6 +137,12 @@ class BatchScheduler:
         spec, so launches stream per-step metrics into the analytics
         store as they execute. The service supplies this when started
         with an analytics database.
+    trace:
+        When true (the serving default), every launch carries a
+        :class:`~repro.obs.TraceSpec` stamped at submit-to-executor time
+        and each :class:`ExecutionOutcome` returns the launch's span
+        tree (plus the tick's ``plan`` span) for the service to graft
+        onto its jobs' traces.
     """
 
     def __init__(
@@ -141,6 +153,7 @@ class BatchScheduler:
         record_timeline: bool = False,
         executor: Optional[ExecutorPool] = None,
         metrics_for: Optional[Callable[[Sequence], Optional[object]]] = None,
+        trace: bool = False,
     ) -> None:
         validate_plan_parameters(max_lanes, max_pad_waste)
         self.max_lanes = int(max_lanes)
@@ -149,6 +162,11 @@ class BatchScheduler:
         self.record_timeline = bool(record_timeline)
         self.executor = executor
         self.metrics_for = metrics_for
+        self.trace = bool(trace)
+        #: Concurrency-accounting tag on a (possibly borrowed) pool: this
+        #: scheduler's ``peak_concurrent_launches`` must count only its
+        #: own overlap, not other owners sharing the executor.
+        self._owner = f"sched-{mint_span_id()}"
 
     # ------------------------------------------------------------------
     def plan(self, jobs: Sequence) -> List[PlannedBatch]:
@@ -194,6 +212,7 @@ class BatchScheduler:
             mixed=batch.batched,
             record_timeline=self.record_timeline,
             metrics=self.metrics_for(lane_jobs) if self.metrics_for else None,
+            trace=TraceSpec(dispatched_unix=time.time()) if self.trace else None,
         )
 
     def _score(self, batch: PlannedBatch, stats: SchedulerStats) -> None:
@@ -207,16 +226,49 @@ class BatchScheduler:
         else:
             stats.solo_runs += 1
 
-    def _resolve(self, batch: PlannedBatch, outcome) -> List[ExecutionOutcome]:
+    def _resolve(
+        self,
+        batch: PlannedBatch,
+        outcome,
+        extra_spans: Tuple[dict, ...] = (),
+    ) -> List[ExecutionOutcome]:
         n = batch.n_lanes
+        spans = extra_spans + tuple(getattr(outcome, "spans", ()))
         return [
-            ExecutionOutcome(result=result, lanes=n, wall_seconds=wall)
+            ExecutionOutcome(
+                result=result, lanes=n, wall_seconds=wall, spans=spans
+            )
             for result, wall in zip(outcome.results, outcome.wall_seconds)
         ]
 
-    def _fail(self, batch: PlannedBatch, exc: BaseException) -> List[ExecutionOutcome]:
+    def _fail(
+        self,
+        batch: PlannedBatch,
+        exc: BaseException,
+        work: Optional[LaunchWork] = None,
+        extra_spans: Tuple[dict, ...] = (),
+    ) -> List[ExecutionOutcome]:
+        spans = extra_spans
+        if self.trace:
+            # The launch never reported back (crashed worker, engine
+            # error): stand in for its torn spans with one error span
+            # covering dispatch → failure detection.
+            started = (
+                work.trace.dispatched_unix
+                if work is not None and work.trace is not None
+                else time.time()
+            )
+            spans = extra_spans + (
+                span_dict(
+                    "engine.run",
+                    start_unix=started,
+                    duration_s=time.time() - started,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+            )
         return [
-            ExecutionOutcome(error=str(exc), lanes=batch.n_lanes)
+            ExecutionOutcome(error=str(exc), lanes=batch.n_lanes, spans=spans)
             for _ in batch.indices
         ]
 
@@ -238,6 +290,8 @@ class BatchScheduler:
         agent-steps — and yield in *completion* order, so the caller can
         resolve finished jobs while siblings are still running.
         """
+        plan_started = time.time()
+        plan_t0 = time.perf_counter()
         plan = self.plan(jobs)
         entries = []
         for batch in plan:
@@ -245,6 +299,19 @@ class BatchScheduler:
             work = self._work_for(batch, lane_jobs)
             priority = max(getattr(j, "priority", 0) for j in lane_jobs)
             entries.append((batch, work, priority))
+        # One plan span per tick, shared (by copy) across every launch:
+        # planning + lowering happen once for the whole drained queue.
+        extra: Tuple[dict, ...] = ()
+        if self.trace:
+            extra = (
+                span_dict(
+                    "plan",
+                    start_unix=plan_started,
+                    duration_s=time.perf_counter() - plan_t0,
+                    jobs=len(jobs),
+                    launches=len(entries),
+                ),
+            )
 
         pool = self.executor
         if pool is not None and len(entries) > 1:
@@ -260,22 +327,24 @@ class BatchScheduler:
                     work,
                     cost=launch_cost(work),
                     priority=priority,
+                    owner=self._owner,
                 )
-                futures[future] = batch
+                futures[future] = (batch, work)
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    batch = futures[future]
+                    batch, work = futures[future]
                     exc = future.exception()
                     if exc is not None:
                         stats.failed_launches += 1
-                        outcomes = self._fail(batch, exc)
+                        outcomes = self._fail(batch, exc, work, extra)
                     else:
                         self._score(batch, stats)
-                        outcomes = self._resolve(batch, future.result())
+                        outcomes = self._resolve(batch, future.result(), extra)
                     stats.peak_concurrent_launches = max(
-                        stats.peak_concurrent_launches, pool.peak_busy
+                        stats.peak_concurrent_launches,
+                        pool.peak_busy_for(self._owner),
                     )
                     yield batch, outcomes
             return
@@ -288,13 +357,13 @@ class BatchScheduler:
                 # numpy shape/memory errors, bugs) becomes a per-job
                 # failure the service can report, not a lost tick.
                 stats.failed_launches += 1
-                yield batch, self._fail(batch, exc)
+                yield batch, self._fail(batch, exc, work, extra)
                 continue
             self._score(batch, stats)
             stats.peak_concurrent_launches = max(
                 stats.peak_concurrent_launches, 1
             )
-            yield batch, self._resolve(batch, outcome)
+            yield batch, self._resolve(batch, outcome, extra)
 
     # ------------------------------------------------------------------
     def execute(self, jobs: Sequence) -> Tuple[List[ExecutionOutcome], SchedulerStats]:

@@ -25,14 +25,17 @@ from __future__ import annotations
 
 import os
 import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..analytics import MetricStreamSpec, RunStore
 from ..config import SimulationConfig
 from ..errors import ServiceError
 from ..exec import ExecutorPool
 from ..io import run_result_to_dict
+from ..obs import MetricsRegistry, SpanRecorder, span_dict
 from .cache import ResultCache
 from .jobs import Job, JobState, job_to_dict
 from .scheduler import BatchScheduler, SchedulerStats
@@ -54,6 +57,9 @@ class ServiceStats:
     coalesced: int = 0
     #: Jobs requeued from the store at startup (previous process died).
     resumed: int = 0
+    #: Jobs that were still queued past their ``deadline_s`` when the
+    #: scheduler drained them (reported, never shed).
+    deadline_missed: int = 0
     ticks: int = 0
     launches: SchedulerStats = field(default_factory=SchedulerStats)
 
@@ -65,6 +71,7 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
             "resumed": self.resumed,
+            "deadline_missed": self.deadline_missed,
             "ticks": self.ticks,
         }
         out.update(self.launches.to_dict())
@@ -112,6 +119,17 @@ class SimulationService:
         in-process :class:`~repro.experiments.SweepRunner` — and
         :meth:`close` leaves it running (the caller owns its lifecycle).
         Mutually exclusive with ``workers > 1``.
+    trace:
+        Tracing on/off (default *on*). Every job gets a span tree —
+        ``queue_wait → plan → dispatch → warm_backend → engine.run →
+        to_host → commit`` — served on ``GET /jobs/<id>/trace``,
+        persisted to the analytics spans table when analytics is
+        enabled, and fed into the latency histograms behind
+        ``GET /metrics`` and the ``latency`` section of ``/stats``.
+        Tracing reads clocks only; results are bit-identical either way.
+    trace_history:
+        In-memory trace retention (most recent N jobs); older traces
+        stay reachable through the analytics store when configured.
     """
 
     def __init__(
@@ -126,6 +144,8 @@ class SimulationService:
         cache_bytes: Optional[int] = None,
         analytics_db: Optional[str] = None,
         executor: Optional[ExecutorPool] = None,
+        trace: bool = True,
+        trace_history: int = 1024,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -145,6 +165,7 @@ class SimulationService:
         self.analytics: Optional[RunStore] = (
             RunStore(analytics_db) if analytics_db else None
         )
+        self.trace = bool(trace)
         self.scheduler = BatchScheduler(
             max_lanes=max_lanes,
             pad_lanes=pad_lanes,
@@ -157,7 +178,13 @@ class SimulationService:
             metrics_for=(
                 self._metrics_spec if self.analytics is not None else None
             ),
+            trace=self.trace,
         )
+        self.registry = MetricsRegistry()
+        self.recorder = SpanRecorder(self.registry)
+        #: job_id -> trace payload, most recent ``trace_history`` jobs.
+        self._traces: "OrderedDict[str, dict]" = OrderedDict()
+        self._trace_history = max(1, int(trace_history))
         self.store = JobStore(os.path.join(self.state_dir, "jobs.jsonl"))
         self.cache = ResultCache(
             os.path.join(self.state_dir, "cache"),
@@ -281,6 +308,8 @@ class SimulationService:
             out["cache_entries"] = len(self.cache)
             out["cache_bytes"] = self.cache.total_bytes
             out["cache_evictions"] = self.cache.evictions
+            out["trace"] = self.trace
+            out["latency"] = self.recorder.summary()
             if self.analytics is not None:
                 out["analytics_db"] = self.analytics.path
                 out.update(self.analytics.counts())
@@ -334,10 +363,33 @@ class SimulationService:
                 by_key: Dict[tuple, Job] = {}
                 dirty: List[Job] = []
                 done = 0
+                drained_at = time.time()
                 for job in self._drain_order(queued):
+                    # Deadline visibility: stamp the queue wait the moment
+                    # the job leaves the queue; a deadline it already blew
+                    # is reported (wire form + /stats), never enforced.
+                    if job.submitted_unix:
+                        job.queue_wait_s = max(
+                            0.0, drained_at - job.submitted_unix
+                        )
+                    if (
+                        job.deadline_s is not None
+                        and job.queue_wait_s > job.deadline_s
+                        and not job.deadline_missed
+                    ):
+                        job.deadline_missed = True
+                        self.stats.deadline_missed += 1
                     cached = self.cache.get(job.digest)
                     if cached is not None:
+                        hit_t0 = time.perf_counter()
                         self._finish_from_payload(job, cached, disk_hit=True)
+                        self._record_trace(
+                            job,
+                            (),
+                            commit_started=drained_at,
+                            commit_duration=time.perf_counter() - hit_t0,
+                            cache_hit=True,
+                        )
                         dirty.append(job)
                         done += 1
                         continue
@@ -396,6 +448,9 @@ class SimulationService:
         """
         dirty: List[Job] = []
         done = 0
+        commit_started = time.time()
+        commit_t0 = time.perf_counter()
+        traced: List[Tuple[Job, Tuple[dict, ...], dict]] = []
         for job, outcome in zip(jobs, outcomes):
             if outcome.error is not None:
                 self._fail(job, outcome.error)
@@ -403,10 +458,12 @@ class SimulationService:
                     self.analytics.finish_run(job.job_id, "failed")
                 dirty.append(job)
                 done += 1
+                traced.append((job, tuple(outcome.spans), {}))
                 for follower in followers.get(job.job_id, ()):
                     self._fail(follower, outcome.error, coalesced=True)
                     dirty.append(follower)
                     done += 1
+                    traced.append((follower, (), {"coalesced": True}))
                 continue
             payload = {
                 "digest": job.digest,
@@ -437,10 +494,24 @@ class SimulationService:
             dirty.append(job)
             self.stats.completed += 1
             done += 1
+            traced.append((job, tuple(outcome.spans), {"lanes": outcome.lanes}))
             for follower in followers.get(job.job_id, ()):
                 self._finish_from_payload(follower, payload, disk_hit=False)
                 dirty.append(follower)
                 done += 1
+                traced.append((follower, (), {"coalesced": True}))
+        # Traces close once the commit work above is done, so the commit
+        # span covers cache writes + state flips + run sealing; only the
+        # durable append below falls outside it (≈ sub-ms of the total).
+        commit_duration = time.perf_counter() - commit_t0
+        for job, launch_spans, attrs in traced:
+            self._record_trace(
+                job,
+                launch_spans,
+                commit_started=commit_started,
+                commit_duration=commit_duration,
+                **attrs,
+            )
         self.store.update_all(dirty)
         return done
 
@@ -483,3 +554,177 @@ class SimulationService:
         job.cache_hit = coalesced
         job.state = JobState.FAILED
         self.stats.failed += 1
+
+    # ------------------------------------------------------------------
+    # Tracing + metrics surface
+    # ------------------------------------------------------------------
+    def _record_trace(
+        self,
+        job: Job,
+        launch_spans: Tuple[dict, ...],
+        commit_started: float,
+        commit_duration: float,
+        **attrs,
+    ) -> None:
+        """Assemble and record one finished job's span tree.
+
+        Caller holds the service lock. The launch-level spans (shared by
+        every lane of a batch) are copied and grafted under this job's
+        own root — each job's trace reports the *full* launch phases, not
+        an amortised share, because the job really did wait for them.
+        """
+        if not self.trace or not job.trace_id:
+            return
+        failed = job.state is JobState.FAILED
+        end = commit_started + commit_duration
+        start = job.submitted_unix or commit_started
+        root = span_dict(
+            "job",
+            start_unix=start,
+            duration_s=max(commit_duration, end - start),
+            status="error" if failed else "ok",
+            error=job.error if failed else None,
+            job_id=job.job_id,
+            engine=job.engine,
+            **attrs,
+        )
+        root["trace_id"] = job.trace_id
+        spans: List[dict] = [root]
+        if job.submitted_unix:
+            wait = span_dict(
+                "queue_wait",
+                start_unix=job.submitted_unix,
+                duration_s=job.queue_wait_s,
+                **(
+                    {"deadline_missed": True} if job.deadline_missed else {}
+                ),
+            )
+            wait["trace_id"] = job.trace_id
+            wait["parent_id"] = root["span_id"]
+            spans.append(wait)
+        launch_ids = {
+            s.get("span_id") for s in launch_spans if s.get("span_id")
+        }
+        for span in launch_spans:
+            copy = dict(span)
+            copy["attrs"] = dict(span.get("attrs") or {})
+            copy["trace_id"] = job.trace_id
+            if copy.get("parent_id") not in launch_ids:
+                copy["parent_id"] = root["span_id"]
+            spans.append(copy)
+        commit = span_dict("commit", commit_started, commit_duration)
+        commit["trace_id"] = job.trace_id
+        commit["parent_id"] = root["span_id"]
+        spans.append(commit)
+
+        payload = {
+            "job_id": job.job_id,
+            "trace_id": job.trace_id,
+            "state": job.state.value,
+            "spans": spans,
+        }
+        self._traces[job.job_id] = payload
+        self._traces.move_to_end(job.job_id)
+        while len(self._traces) > self._trace_history:
+            self._traces.popitem(last=False)
+        self.recorder.observe_trace(spans)
+        if self.analytics is not None:
+            self.analytics.append_spans(job.job_id, spans)
+
+    def trace_payload(self, job_id: str) -> Optional[dict]:
+        """One job's span tree for ``GET /jobs/<id>/trace``.
+
+        Raises :class:`ServiceError` for an unknown job; returns ``None``
+        when the job exists but has no recorded trace yet (still queued /
+        running, or tracing disabled). Evicted in-memory traces fall back
+        to the analytics spans table when available.
+        """
+        with self._lock:
+            job = self.job(job_id)
+            entry = self._traces.get(job_id)
+            if entry is not None:
+                return {
+                    "job_id": entry["job_id"],
+                    "trace_id": entry["trace_id"],
+                    "state": entry["state"],
+                    "spans": [dict(s) for s in entry["spans"]],
+                }
+            state = job.state.value
+            trace_id = job.trace_id
+        if self.analytics is not None:
+            spans = self.analytics.spans(job_id)
+            if spans:
+                return {
+                    "job_id": job_id,
+                    "trace_id": trace_id or spans[0].get("trace_id", ""),
+                    "state": state,
+                    "spans": spans,
+                }
+        return None
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``.
+
+        Histograms accumulate as traces close; counter/gauge mirrors of
+        the service, cache, pool, and analytics counters are synced at
+        scrape time (cheap: a few dozen reads under the lock).
+        """
+        self._sync_metrics()
+        return self.registry.render()
+
+    def _sync_metrics(self) -> None:
+        reg = self.registry
+        with self._lock:
+            stats = self.stats
+            for name, value, help_text in (
+                ("repro_jobs_submitted_total", stats.submitted, "Jobs accepted."),
+                ("repro_jobs_completed_total", stats.completed, "Jobs finished successfully."),
+                ("repro_jobs_failed_total", stats.failed, "Jobs that ended in failure."),
+                ("repro_cache_hits_total", stats.cache_hits, "Jobs answered from the result cache."),
+                ("repro_jobs_coalesced_total", stats.coalesced, "Jobs coalesced onto an identical execution."),
+                ("repro_jobs_resumed_total", stats.resumed, "Jobs requeued at startup."),
+                ("repro_deadline_missed_total", stats.deadline_missed, "Jobs drained after their deadline_s."),
+                ("repro_ticks_total", stats.ticks, "Scheduler micro-batch ticks."),
+                ("repro_engine_launches_total", stats.launches.engine_launches, "Engine launches (batched or solo)."),
+                ("repro_failed_launches_total", stats.launches.failed_launches, "Launches that raised."),
+                ("repro_cache_evictions_total", self.cache.evictions, "Result-cache LRU evictions."),
+            ):
+                reg.counter(name, help_text).set_total(value)
+            states: Dict[str, int] = {}
+            for job in self.store.jobs():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+            for state in ("queued", "running", "done", "failed"):
+                reg.gauge(
+                    "repro_jobs", "Jobs currently in each state.", state=state
+                ).set(states.get(state, 0))
+            reg.gauge("repro_queue_depth", "Queued jobs.").set(
+                states.get("queued", 0)
+            )
+            reg.gauge("repro_workers", "Configured engine workers.").set(
+                self.workers
+            )
+            reg.gauge("repro_cache_entries", "Result-cache entries.").set(
+                len(self.cache)
+            )
+            reg.gauge("repro_cache_bytes", "Result-cache bytes.").set(
+                self.cache.total_bytes
+            )
+            reg.gauge(
+                "repro_peak_concurrent_launches",
+                "High-water mark of this service's concurrent launches.",
+            ).set(stats.launches.peak_concurrent_launches)
+            pool = self._pool
+            if pool is not None:
+                reg.counter(
+                    "repro_worker_respawns_total",
+                    "Pool workers respawned after dying mid-task.",
+                ).set_total(pool.respawns)
+                reg.gauge(
+                    "repro_pool_peak_busy",
+                    "Pool-lifetime peak of busy workers (all owners).",
+                ).set(pool.peak_busy)
+        if self.analytics is not None:
+            reg.counter(
+                "repro_dispatch_ops_total",
+                "Backend dispatches recorded by profiled runs.",
+            ).set_total(self.analytics.dispatch_ops_total())

@@ -1,0 +1,395 @@
+"""Unit tests for the observability layer (`repro.obs`).
+
+Spans and tracer semantics (nesting, torn-span closing, wire form),
+the metrics primitives (counter/gauge/histogram, registry, Prometheus
+rendering, thread safety) and the span→histogram recorder.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    PHASES,
+    ROOT_SPAN,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    SpanRecorder,
+    Tracer,
+    TraceSpec,
+    mint_span_id,
+    mint_trace_id,
+    percentile,
+    render_trace,
+    sort_spans,
+    span_dict,
+)
+
+
+class TestIds:
+    def test_trace_id_is_32_hex(self):
+        tid = mint_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)
+
+    def test_span_id_is_16_hex(self):
+        sid = mint_span_id()
+        assert len(sid) == 16
+        int(sid, 16)
+
+    def test_ids_are_unique(self):
+        assert len({mint_trace_id() for _ in range(64)}) == 64
+
+
+class TestSpan:
+    def test_wire_roundtrip(self):
+        span = Span(
+            name="engine.run",
+            trace_id="t" * 32,
+            span_id="s" * 16,
+            parent_id="p" * 16,
+            start_unix=12.5,
+            duration_s=0.25,
+            attrs={"steps": 40},
+        )
+        back = Span.from_dict(span.to_dict())
+        assert back == span
+
+    def test_wire_form_excludes_internal_clock(self):
+        span = Span(name="x", trace_id="t", span_id="s", _t0=123.0)
+        assert "_t0" not in span.to_dict()
+
+    def test_wire_form_pickles(self):
+        # Spans ride LaunchOutcome across the forkserver boundary as
+        # plain dicts; they must pickle without custom machinery.
+        wire = span_dict("dispatch", start_unix=1.0, duration_s=0.1)
+        assert pickle.loads(pickle.dumps(wire)) == wire
+
+
+class TestTraceSpec:
+    def test_roundtrip_and_pickle(self):
+        spec = TraceSpec(dispatched_unix=42.0)
+        assert TraceSpec.from_dict(spec.to_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestTracer:
+    def test_nesting_follows_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.trace_id == outer.trace_id == tracer.trace_id
+
+    def test_context_manager_marks_errors(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("kapow")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert "kapow" in span.error
+        assert span.duration_s is not None
+
+    def test_finishing_outer_closes_torn_children(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("torn")  # never finished explicitly
+        tracer.finish(outer, status="error", error="boom")
+        torn = next(s for s in tracer.spans if s.name == "torn")
+        assert torn.status == "error"
+        assert torn.duration_s is not None
+
+    def test_close_open_seals_a_torn_trace(self):
+        tracer = Tracer()
+        tracer.start("a")
+        tracer.start("b")
+        tracer.close_open(error="worker died")
+        assert {s.name for s in tracer.spans} == {"a", "b"}
+        assert all(s.status == "error" for s in tracer.spans)
+        assert all(s.duration_s is not None for s in tracer.spans)
+
+    def test_add_records_retroactive_bounds(self):
+        tracer = Tracer()
+        span = tracer.add("queue_wait", start_unix=5.0, duration_s=0.75, n=3)
+        assert span.duration_s == 0.75
+        assert span.attrs == {"n": 3}
+
+    def test_add_clamps_negative_durations(self):
+        tracer = Tracer()
+        assert tracer.add("x", start_unix=0.0, duration_s=-1.0).duration_s == 0.0
+
+    def test_add_parents_under_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            added = tracer.add("dispatch", start_unix=0.0, duration_s=0.1)
+        assert added.parent_id == root.span_id
+
+    def test_adopt_rewrites_trace_and_grafts_parents(self):
+        worker = Tracer()
+        with worker.span("engine.run"):
+            with worker.span("kernel"):
+                pass
+        local = Tracer()
+        with local.span("root") as root:
+            local.adopt(worker.wire())
+        spans = {s.name: s for s in local.spans}
+        # External root re-parented onto ours; internal nesting kept.
+        assert spans["engine.run"].parent_id == root.span_id
+        assert spans["kernel"].parent_id == spans["engine.run"].span_id
+        assert all(s.trace_id == local.trace_id for s in local.spans)
+
+    def test_wire_returns_plain_dicts(self):
+        tracer = Tracer()
+        with tracer.span("a", k=1):
+            pass
+        (wire,) = tracer.wire()
+        assert wire["name"] == "a"
+        assert wire["attrs"] == {"k": 1}
+        assert wire["status"] == "ok"
+
+
+class TestSpanDict:
+    def test_blank_trace_for_later_grafting(self):
+        wire = span_dict("plan", start_unix=1.0, duration_s=0.2, jobs=4)
+        assert wire["trace_id"] == ""
+        assert wire["parent_id"] is None
+        assert wire["attrs"] == {"jobs": 4}
+        assert len(wire["span_id"]) == 16
+
+
+class TestRenderTrace:
+    def _spans(self):
+        root = span_dict("job", start_unix=0.0, duration_s=1.0)
+        child_a = span_dict("queue_wait", start_unix=0.0, duration_s=0.25)
+        child_b = span_dict("engine.run", start_unix=0.3, duration_s=0.5)
+        child_a["parent_id"] = root["span_id"]
+        child_b["parent_id"] = root["span_id"]
+        return [root, child_a, child_b]
+
+    def test_tree_shape_and_percentages(self):
+        text = render_trace(self._spans(), title="job job-1")
+        lines = text.splitlines()
+        assert lines[0] == "job job-1"
+        assert "├─ queue_wait" in text
+        assert "└─ engine.run" in text
+        assert "100.0%" in text and " 25.0%" in text and " 50.0%" in text
+
+    def test_error_marker_carries_message(self):
+        spans = self._spans()
+        spans[2]["status"] = "error"
+        spans[2]["error"] = "ValueError: kapow"
+        text = render_trace(spans)
+        assert "[ERROR]" in text
+        assert "kapow" in text
+
+    def test_orphans_promote_to_roots(self):
+        orphan = span_dict("dispatch", start_unix=0.0, duration_s=0.1)
+        orphan["parent_id"] = "f" * 16  # parent not in the set
+        assert "dispatch" in render_trace([orphan])
+
+    def test_empty_trace(self):
+        assert render_trace([]) == "(no spans recorded)"
+
+    def test_sort_spans_orders_by_start(self):
+        a = span_dict("late", start_unix=2.0, duration_s=0.1)
+        b = span_dict("early", start_unix=1.0, duration_s=0.1)
+        assert [s["name"] for s in sort_spans([a, b])] == ["early", "late"]
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_set_total_never_lowers(self):
+        # Mirrored externally-tracked totals must stay monotonic even
+        # if the mirror is refreshed from a stale snapshot.
+        c = Counter()
+        c.set_total(10)
+        c.set_total(7)
+        assert c.value == 10
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge()
+        g.set(3.0)
+        g.inc(-1.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_counts_land_in_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 99.0):
+            h.observe(v)
+        counts, total, n = h.snapshot()
+        assert tuple(counts) == (1, 1, 1)  # <=1, <=2, overflow
+        assert n == 3
+        assert total == pytest.approx(101.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 2.0
+
+    def test_quantile_empty_is_none(self):
+        assert Histogram(buckets=(1.0,)).quantile(0.5) is None
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestPercentile:
+    def test_exact_percentiles(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_x_total", "X.") is reg.counter(
+            "repro_x_total", "X."
+        )
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_y_total", "Y.", phase="a")
+        b = reg.counter("repro_y_total", "Y.", phase="b")
+        assert a is not b
+        a.inc(2)
+        series = dict(
+            (labels.get("phase"), c.value)
+            for labels, c in reg.series("repro_y_total")
+        )
+        assert series == {"a": 2, "b": 0}
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_z_total", "Z.")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_z_total", "Z.")
+
+    def test_render_is_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs.").inc(3)
+        reg.gauge("repro_depth", "Depth.").set(2)
+        h = reg.histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = reg.render()
+        assert "# HELP repro_jobs_total Jobs." in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 3" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+        # Buckets are cumulative and end at +Inf == _count.
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_seconds_count 2" in text
+        assert "repro_lat_seconds_sum 5.05" in text
+
+    def test_help_and_type_emitted_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_multi_total", "M.", phase="a").inc()
+        reg.counter("repro_multi_total", "M.", phase="b").inc()
+        text = reg.render()
+        assert text.count("# HELP repro_multi_total") == 1
+        assert text.count("# TYPE repro_multi_total") == 1
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_esc_total", "E.", where='we"ird\\x\n').inc()
+        text = reg.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_thread_safety_exact_totals(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_threads_total", "T.")
+        h = reg.histogram("repro_threads_seconds", "T.", buckets=(0.5,))
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+        assert h.count == n_threads * per_thread
+
+
+class TestSpanRecorder:
+    def _trace(self, e2e=0.5, run=0.4, status="ok"):
+        root = span_dict(ROOT_SPAN, start_unix=0.0, duration_s=e2e)
+        child = span_dict(
+            "engine.run", start_unix=0.0, duration_s=run, status=status
+        )
+        child["parent_id"] = root["span_id"]
+        return (root, child)
+
+    def test_roots_feed_end_to_end_histogram(self):
+        reg = MetricsRegistry()
+        rec = SpanRecorder(reg)
+        rec.observe_trace(self._trace())
+        rec.observe_trace(self._trace(e2e=1.5))
+        summary = rec.summary()
+        assert summary["end_to_end"]["count"] == 2
+        assert summary["end_to_end"]["p50"] > 0
+        assert summary["phases"]["engine.run"]["count"] == 2
+
+    def test_empty_summary_has_no_end_to_end(self):
+        rec = SpanRecorder(MetricsRegistry())
+        assert rec.summary()["end_to_end"] is None
+        assert rec.summary()["phases"] == {}
+
+    def test_error_spans_counted(self):
+        reg = MetricsRegistry()
+        rec = SpanRecorder(reg)
+        rec.observe_trace(self._trace(status="error"))
+        series = dict(
+            (labels.get("phase"), c.value)
+            for labels, c in reg.series("repro_span_errors_total")
+        )
+        assert series.get("engine.run") == 1
+
+    def test_phase_names_match_canonical_tuple(self):
+        # Docs and the bench report key off PHASES; pin the contract.
+        assert PHASES == (
+            "queue_wait",
+            "plan",
+            "dispatch",
+            "warm_backend",
+            "engine.run",
+            "to_host",
+            "commit",
+        )
