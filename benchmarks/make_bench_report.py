@@ -1,37 +1,45 @@
 """Emit a ``BENCH_<label>.json`` performance trajectory for this tree.
 
-The repo's first published perf baseline (PR 8). The report bundles the
-two quantities later PRs diff against:
+The report bundles the quantities later PRs diff against:
 
 * **dispatch** — steady-state namespace dispatches per step for every
   engine under the counting backend (``repro.backend.ProfilingBackend``),
   next to the pre-fusion (PR 7) constants, so the fused-kernel win stays
-  a number rather than a commit-message claim;
+  a number rather than a commit-message claim. Since PR 10 each entry
+  also carries **allocs** — allocating dispatches per step (no ``out=``,
+  not view/in-place) — next to the pre-arena (PR 9) constants;
 * **wall** — micro-benchmark wall-clock for the batched / padded /
   batched-tiled paths against their solo-loop equivalents, next to the
   speedups recorded in earlier PR notes (PR 1: batched ~2x over a solo
   loop; PR 2: padded ~1.7x over solo loops of a mixed-scenario grid);
-* **latency_phases** (PR 9) — per-phase p50 latencies from a small
+* **warm_state** (PR 10) — an 8-launch same-geometry burst, warm
+  (process caches primed) vs cold (caches reset per launch), plus the
+  per-launch setup amortization the warm-state cache buys;
+* **transport** (PR 10) — bytes the executor pipe actually carries per
+  launch under the zero-copy shared-memory transport, at two timeline
+  sizes, next to the legacy whole-pickle size: the pipe head must be a
+  small constant while the payload scales;
+* **latency_phases** (PR 9) — per-phase p50 latencies from an
   in-process service burst, computed from the tracing spans the jobs
-  persist (see ``docs/OBSERVABILITY.md``), so dispatch/commit overhead
-  has a trajectory too, not just the engine inner loop.
+  persist (see ``docs/OBSERVABILITY.md``).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/make_bench_report.py --out BENCH_pr9.json
-    PYTHONPATH=src python benchmarks/make_bench_report.py --check  # gate
+    PYTHONPATH=src python benchmarks/make_bench_report.py --out BENCH_pr10.json
+    PYTHONPATH=src python benchmarks/make_bench_report.py --check  # full gate
 
-``--check`` exits 1 unless every acceptance criterion holds (the
-dispatch criteria are deterministic; the wall-clock ones can wobble on
-loaded shared runners, so CI treats the emitted file as an artifact and
-gates only on ``--check-dispatch``). Read the report with
-``docs/PERFORMANCE.md``.
+``--check`` exits 1 unless every acceptance criterion holds. The
+dispatch/alloc/transport criteria are deterministic; the wall-clock ones
+can wobble on loaded shared runners, so CI treats the emitted file as an
+artifact and gates only on ``--check-allocs`` (which includes the old
+``--check-dispatch`` set). Read the report with ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import platform
 import sys
 import time
@@ -40,9 +48,9 @@ from repro import SimulationConfig, run_batched, run_simulation
 from repro.backend import resolve_backend
 from repro.cuda import BatchedTiledEngine
 from repro.cuda.tiled_engine import TiledEngine
-from repro.engine import BatchedEngine
+from repro.engine import BatchedEngine, reset_warmstate
 
-LABEL = "pr9"
+LABEL = "pr10"
 
 #: Steady-state ops/step on the PR-7 tree (pre-fusion), measured with the
 #: same scenario and counting backend as the live numbers below.
@@ -54,6 +62,16 @@ PRE_FUSION_OPS = {
     "padded4": 171.6,
 }
 
+#: Steady-state allocs/step on the PR-9 tree (before the scratch arena
+#: and the ``out=``-capable ops), same scenario and counting backend.
+PRE_ARENA_ALLOCS = {
+    "sequential": 12.0,
+    "vectorized": 58.0,
+    "tiled": 157.0,
+    "batched4": 60.0,
+    "padded4": 60.0,
+}
+
 #: Speedups recorded in earlier PR notes (CHANGES.md) — the "no slower
 #: than PR 2" reference line. Wall-clock, batched/padded vs solo loops.
 RECORDED_SPEEDUPS = {"pr1_batched": 2.0, "pr2_padded": 1.7}
@@ -61,6 +79,11 @@ RECORDED_SPEEDUPS = {"pr1_batched": 2.0, "pr2_padded": 1.7}
 PROFILE_NAME = "profile:numpy"
 WARMUP_STEPS = 3
 MEASURED_STEPS = 5
+
+#: Traced service jobs behind the latency_phases section. 6 samples (the
+#: PR-9 value) made the p50s wobble run to run; 24 keeps the section
+#: stable enough to gate on while staying a sub-second burst.
+LATENCY_BURST = 24
 
 
 def _config(seed=0, height=32, n_per_side=24, steps=40, model="lem"):
@@ -70,18 +93,20 @@ def _config(seed=0, height=32, n_per_side=24, steps=40, model="lem"):
 
 
 # ---------------------------------------------------------------------------
-# Dispatch counts
+# Dispatch + allocation counts
 # ---------------------------------------------------------------------------
 
 
-def _steady_ops_per_step(engine) -> float:
+def _steady_counts_per_step(engine) -> tuple:
+    """(ops, allocs) per step over MEASURED_STEPS after warm-up."""
     backend = engine.backend
     for _ in range(WARMUP_STEPS):
         engine.step()
     backend.reset()
     for _ in range(MEASURED_STEPS):
         engine.step()
-    return backend.snapshot().ops / MEASURED_STEPS
+    counts = backend.snapshot()
+    return counts.ops / MEASURED_STEPS, counts.allocs / MEASURED_STEPS
 
 
 def _build_profiled(kind: str):
@@ -105,11 +130,17 @@ def measure_dispatch() -> dict:
     out = {}
     for kind, pre in PRE_FUSION_OPS.items():
         resolve_backend(PROFILE_NAME).reset()
-        ops = _steady_ops_per_step(_build_profiled(kind))
+        ops, allocs = _steady_counts_per_step(_build_profiled(kind))
+        pre_allocs = PRE_ARENA_ALLOCS[kind]
         out[kind] = {
             "ops_per_step": round(ops, 1),
             "pre_fusion_ops_per_step": pre,
             "reduction_pct": round(100.0 * (1.0 - ops / pre), 1),
+            "allocs_per_step": round(allocs, 1),
+            "pre_arena_allocs_per_step": pre_allocs,
+            "alloc_reduction_pct": round(
+                100.0 * (1.0 - allocs / pre_allocs), 1
+            ),
         }
     return out
 
@@ -187,17 +218,110 @@ def measure_wall(repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Warm-state burst (setup amortization)
+# ---------------------------------------------------------------------------
+
+
+def measure_warm_state(repeats: int) -> dict:
+    """8 same-geometry launches, warm caches vs cold-per-launch setup.
+
+    The burst models a service serving repeated short requests of one
+    scenario — exactly where per-launch setup (placement, distance
+    stacks, batch assembly) dominates. ``cold`` resets the process-level
+    warm-state caches before every launch (the pre-PR-10 behaviour);
+    ``warm`` primes them once. Also reports the setup-only amortization:
+    best-of construction time for the 8-lane batched engine, cold vs
+    warm.
+    """
+    cfgs = [_config(seed=s, steps=2) for s in range(8)]
+    seeds = tuple(c.seed for c in cfgs)
+
+    def _burst(cold: bool) -> None:
+        for _ in range(8):
+            if cold:
+                reset_warmstate()
+            run_batched(cfgs, seeds, record_timeline=False)
+
+    run_batched(cfgs, seeds, record_timeline=False)  # prime everything
+    warm = _best_of(lambda: _burst(False), repeats)
+    cold = _best_of(lambda: _burst(True), repeats)
+
+    def _setup(do_reset: bool) -> None:
+        if do_reset:
+            reset_warmstate()
+        BatchedEngine(cfgs, seeds=seeds)
+
+    BatchedEngine(cfgs, seeds=seeds)
+    setup_warm = _best_of(lambda: _setup(False), repeats)
+    setup_cold = _best_of(lambda: _setup(True), repeats)
+    return {
+        "burst_launches": 8,
+        "steps_per_launch": 2,
+        "cold_burst_seconds": round(cold, 4),
+        "warm_burst_seconds": round(warm, 4),
+        "burst_speedup": round(cold / warm, 2),
+        "cold_setup_seconds": round(setup_cold, 5),
+        "warm_setup_seconds": round(setup_warm, 5),
+        "setup_amortization": round(setup_cold / setup_warm, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Result transport (zero-copy shared memory)
+# ---------------------------------------------------------------------------
+
+
+def measure_transport() -> dict:
+    """Pipe bytes per launch under the shm transport, at two timeline sizes.
+
+    The zero-copy claim is structural: whatever the timeline length, the
+    queue carries only the pickle head (object structure, dtypes,
+    shapes) while the array payload rides a shared-memory segment. Two
+    launches whose recorded timelines differ 8x in length must therefore
+    show ~constant head bytes and scaling payload bytes; the legacy
+    whole-pickle size is reported for contrast.
+    """
+    from repro.exec import ExecutorPool, LaunchWork, execute_launch
+
+    out = {}
+    pool = ExecutorPool(1, shm_threshold=64)
+    try:
+        for tag, steps in (("steps_60", 60), ("steps_480", 480)):
+            work = LaunchWork(
+                configs=(_config(steps=steps),), record_timeline=True
+            )
+            before = pool.transport_stats()
+            result = pool.submit(execute_launch, work).result(timeout=300)
+            after = pool.transport_stats()
+            legacy_bytes = len(pickle.dumps(result))
+            del result
+            out[tag] = {
+                "pipe_head_bytes": after["shm_head_bytes"]
+                - before["shm_head_bytes"],
+                "shm_payload_bytes": after["shm_payload_bytes"]
+                - before["shm_payload_bytes"],
+                "legacy_pickle_bytes": legacy_bytes,
+                "shm_results": after["shm_results"] - before["shm_results"],
+            }
+    finally:
+        pool.close()
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Phase latency (tracing spans through the serving stack)
 # ---------------------------------------------------------------------------
 
 
-def measure_latency_phases(burst: int = 6) -> dict:
+def measure_latency_phases(burst: int = LATENCY_BURST) -> dict:
     """Per-phase p50 latency from a small in-process service burst.
 
     Runs ``burst`` seed-varied jobs through a throwaway
-    ``SimulationService`` (serial tick path — no pool, so the numbers
-    are the stack's own overhead, not scheduling noise) and summarises
-    the span durations every job records.
+    ``SimulationService`` (serial tick path — no pool) and summarises
+    the span durations every job records. The overhead phases (plan,
+    warm_backend, to_host, commit) are per-job stack cost; queue_wait
+    and dispatch measure time spent waiting behind the rest of the
+    burst, so they scale with ``burst`` by construction.
     """
     import shutil
     import tempfile
@@ -237,7 +361,10 @@ def measure_latency_phases(burst: int = 6) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def evaluate(dispatch: dict, wall: dict, latency: dict) -> dict:
+def evaluate(
+    dispatch: dict, wall: dict, latency: dict, warm: dict, transport: dict
+) -> dict:
+    small, big = transport["steps_60"], transport["steps_480"]
     return {
         "batched_dispatch_cut_ge_40pct": (
             dispatch["batched4"]["reduction_pct"] >= 40.0
@@ -246,6 +373,28 @@ def evaluate(dispatch: dict, wall: dict, latency: dict) -> dict:
             d["ops_per_step"] < d["pre_fusion_ops_per_step"]
             for d in dispatch.values()
         ),
+        # PR-10 acceptance: batched allocs/step at least halved vs the
+        # recorded pre-arena count, and no engine regressed past its own.
+        "batched_allocs_cut_ge_50pct": (
+            dispatch["batched4"]["alloc_reduction_pct"] >= 50.0
+        ),
+        "no_engine_allocates_more_than_pre_arena": all(
+            d["allocs_per_step"] < d["pre_arena_allocs_per_step"]
+            for d in dispatch.values()
+        ),
+        # PR-10 acceptance: the pipe head is a near-constant independent
+        # of timeline size (8x more timeline, ≤1.5x head bytes) while
+        # the payload actually scales and rides shared memory.
+        "transport_head_constant_across_timeline_sizes": (
+            small["shm_results"] == 1
+            and big["shm_results"] == 1
+            and big["pipe_head_bytes"] <= 1.5 * small["pipe_head_bytes"]
+            and big["shm_payload_bytes"] >= 2.0 * small["shm_payload_bytes"]
+            and small["pipe_head_bytes"] < small["legacy_pickle_bytes"]
+        ),
+        # PR-10 acceptance: warm 8-launch same-geometry burst >= 1.5x
+        # over per-launch cold setup.
+        "warm_burst_speedup_ge_1_5x": warm["burst_speedup"] >= 1.5,
         "batched_no_slower_than_recorded": (
             wall["batched_8rep"]["speedup"]
             >= RECORDED_SPEEDUPS["pr1_batched"]
@@ -257,9 +406,8 @@ def evaluate(dispatch: dict, wall: dict, latency: dict) -> dict:
             wall["batched_tiled_4rep"]["speedup"] > 1.0
         ),
         # The span tree must cover the whole pipeline: every canonical
-        # phase sampled, and engine.run dominating the end-to-end p50
-        # (tracing overhead stays in the noise). Deterministic in
-        # structure, so gated with the dispatch criteria.
+        # phase sampled. Deterministic in structure, so gated with the
+        # dispatch criteria.
         "latency_phases_cover_pipeline": all(
             phase in latency
             for phase in (
@@ -267,11 +415,18 @@ def evaluate(dispatch: dict, wall: dict, latency: dict) -> dict:
                 "warm_backend", "engine.run", "to_host", "commit",
             )
         ),
-        "engine_run_dominates_latency": (
-            "engine.run" in latency
-            and "end_to_end" in latency
-            and latency["engine.run"]["p50_ms"]
-            >= 0.5 * latency["end_to_end"]["p50_ms"]
+        # The stack's own per-job overhead (planning, backend warm-up,
+        # host copy-out, commit) must stay in the noise next to the
+        # engine inner loop. queue_wait/dispatch are deliberately
+        # excluded: they measure time spent *waiting behind other jobs*,
+        # which scales with burst size, not with stack efficiency.
+        "stack_overhead_under_10pct_of_engine_run": (
+            sum(
+                latency[p]["p50_ms"]
+                for p in ("plan", "warm_backend", "to_host", "commit")
+                if p in latency
+            )
+            <= 0.1 * latency.get("engine.run", {}).get("p50_ms", 0.0)
         ),
     }
 
@@ -279,6 +434,8 @@ def evaluate(dispatch: dict, wall: dict, latency: dict) -> dict:
 def build_report(repeats: int) -> dict:
     dispatch = measure_dispatch()
     wall = measure_wall(repeats)
+    warm = measure_warm_state(repeats)
+    transport = measure_transport()
     latency = measure_latency_phases()
     return {
         "label": LABEL,
@@ -288,9 +445,29 @@ def build_report(repeats: int) -> dict:
         "scenario": "lem 32x32 (48-high lanes in padded/mixed), 24/side",
         "dispatch": dispatch,
         "wall": wall,
+        "warm_state": warm,
+        "transport": transport,
         "latency_phases": latency,
-        "criteria": evaluate(dispatch, wall, latency),
+        "criteria": evaluate(dispatch, wall, latency, warm, transport),
     }
+
+
+#: Deterministic criteria safe to gate CI on (no wall-clock wobble).
+DETERMINISTIC_KEYS = (
+    "batched_dispatch_cut_ge_40pct",
+    "no_engine_dispatches_more_than_pre_fusion",
+    "batched_allocs_cut_ge_50pct",
+    "no_engine_allocates_more_than_pre_arena",
+    "transport_head_constant_across_timeline_sizes",
+    "latency_phases_cover_pipeline",
+)
+
+#: The PR-9 gate, kept for ``--check-dispatch`` backward compatibility.
+DISPATCH_KEYS = (
+    "batched_dispatch_cut_ge_40pct",
+    "no_engine_dispatches_more_than_pre_fusion",
+    "latency_phases_cover_pipeline",
+)
 
 
 def main(argv=None) -> int:
@@ -302,12 +479,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 unless every criterion holds (dispatch + wall-clock)",
+        help="exit 1 unless every criterion holds (incl. wall-clock)",
     )
     parser.add_argument(
         "--check-dispatch",
         action="store_true",
-        help="exit 1 unless the deterministic dispatch criteria hold",
+        help="exit 1 unless the PR-9 deterministic dispatch criteria hold",
+    )
+    parser.add_argument(
+        "--check-allocs",
+        action="store_true",
+        help="exit 1 unless every deterministic criterion holds "
+        "(dispatch + allocs + transport structure)",
     )
     args = parser.parse_args(argv)
 
@@ -323,14 +506,13 @@ def main(argv=None) -> int:
     criteria = report["criteria"]
     for name, ok in criteria.items():
         print(f"  {'PASS' if ok else 'FAIL'}  {name}")
-    dispatch_keys = (
-        "batched_dispatch_cut_ge_40pct",
-        "no_engine_dispatches_more_than_pre_fusion",
-        "latency_phases_cover_pipeline",
-    )
     if args.check and not all(criteria.values()):
         return 1
-    if args.check_dispatch and not all(criteria[k] for k in dispatch_keys):
+    if args.check_dispatch and not all(criteria[k] for k in DISPATCH_KEYS):
+        return 1
+    if args.check_allocs and not all(
+        criteria[k] for k in DETERMINISTIC_KEYS
+    ):
         return 1
     return 0
 

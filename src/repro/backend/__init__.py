@@ -17,6 +17,7 @@ from .core import (
     DEFAULT_BACKEND,
     ArrayBackend,
     BackendCapabilities,
+    ScratchArena,
     available_backends,
     register_backend,
     registered_backends,
@@ -25,6 +26,7 @@ from .core import (
 from .cupy_backend import CupyBackend, make_cupy_backend
 from .numpy_backend import NumpyBackend
 from .profiling import (
+    NON_ALLOC_OPS,
     PROFILE_PREFIX,
     DispatchCounts,
     DispatchProfile,
@@ -40,6 +42,8 @@ register_backend("cupy", make_cupy_backend, replace=True)
 __all__ = [
     "ArrayBackend",
     "BackendCapabilities",
+    "ScratchArena",
+    "NON_ALLOC_OPS",
     "NumpyBackend",
     "CupyBackend",
     "make_cupy_backend",

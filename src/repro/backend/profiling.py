@@ -39,6 +39,23 @@ What is (and is not) counted
   counted number tracks the real dispatch count closely enough to
   regression-guard it.
 
+Allocation accounting (PR 10)
+-----------------------------
+
+Alongside raw dispatches, the tally classifies each counted call as an
+**allocation** unless it demonstrably reuses memory: a call that passes
+a non-``None`` ``out=`` writes into an existing buffer, and the names in
+:data:`NON_ALLOC_OPS` (``asarray`` — identity for on-device arrays of
+matching dtype — ``broadcast_to``, a view, and the in-place
+``scatter_add``) never produce a fresh hot-path buffer. Everything else
+(``where``, ``nonzero``, ``empty``, ``full_like``, ...) allocates a new
+array per call, which on small grids is a large slice of per-step cost
+and on GPU backends is allocator traffic on the critical path. The
+``allocs`` counter makes "the step loop does not allocate" a measured,
+budget-guarded quantity exactly like ``ops`` (see
+``tests/test_scratch_allocs.py`` and the per-engine ``allocs_per_step``
+entries in ``BENCH_pr10.json``).
+
 Counting happens on the caller's thread with plain ``int`` increments;
 the wrapper adds no per-op allocation beyond one dict update, so a
 profiled run's *trajectory* is untouched (the inner backend executes
@@ -55,12 +72,18 @@ from .core import ArrayBackend, BackendCapabilities
 __all__ = [
     "DispatchCounts",
     "DispatchProfile",
+    "NON_ALLOC_OPS",
     "ProfilingBackend",
     "PROFILE_PREFIX",
 ]
 
 #: Backend-name prefix that resolves to a counting wrapper.
 PROFILE_PREFIX = "profile"
+
+#: Counted namespace ops that never allocate a fresh hot-path buffer:
+#: ``asarray`` is identity for an on-device array of matching dtype,
+#: ``broadcast_to`` returns a view, ``scatter_add`` mutates in place.
+NON_ALLOC_OPS = frozenset({"asarray", "broadcast_to", "scatter_add"})
 
 
 @dataclass(frozen=True)
@@ -78,6 +101,9 @@ class DispatchCounts:
     scatter_adds: int = 0
     #: Device-fence calls (``synchronize``).
     syncs: int = 0
+    #: Counted dispatches that allocated a fresh array (no ``out=``,
+    #: name not in :data:`NON_ALLOC_OPS`); subset of ``ops``.
+    allocs: int = 0
     #: Dispatches per namespace function name ("where", "add.at", ...).
     by_op: Dict[str, int] = field(default_factory=dict)
 
@@ -94,6 +120,7 @@ class DispatchCounts:
             d2h_transfers=self.d2h_transfers - other.d2h_transfers,
             scatter_adds=self.scatter_adds - other.scatter_adds,
             syncs=self.syncs - other.syncs,
+            allocs=self.allocs - other.allocs,
             by_op=by_op,
         )
 
@@ -110,6 +137,7 @@ class DispatchCounts:
             "d2h_transfers": self.d2h_transfers,
             "scatter_adds": self.scatter_adds,
             "syncs": self.syncs,
+            "allocs": self.allocs,
             "by_op": dict(sorted(self.by_op.items())),
         }
 
@@ -144,11 +172,17 @@ class DispatchProfile:
         """Mean host↔device transfers per simulation step."""
         return self.counts.transfers / max(1, self.steps)
 
+    @property
+    def allocs_per_step(self) -> float:
+        """Mean allocating dispatches per simulation step."""
+        return self.counts.allocs / max(1, self.steps)
+
     def to_dict(self) -> dict:
         out = {
             "steps": self.steps,
             "ops_per_step": self.ops_per_step,
             "transfers_per_step": self.transfers_per_step,
+            "allocs_per_step": self.allocs_per_step,
             "counts": self.counts.to_dict(),
         }
         if self.setup is not None:
@@ -160,8 +194,10 @@ class DispatchProfile:
         lines = [
             f"dispatch profile over {self.steps} steps: "
             f"{self.ops_per_step:.1f} ops/step, "
+            f"{self.allocs_per_step:.1f} allocs/step, "
             f"{self.transfers_per_step:.2f} transfers/step "
-            f"({self.counts.ops} ops, {self.counts.transfers} transfers, "
+            f"({self.counts.ops} ops, {self.counts.allocs} allocs, "
+            f"{self.counts.transfers} transfers, "
             f"{self.counts.scatter_adds} scatter-adds, "
             f"{self.counts.syncs} syncs total)",
         ]
@@ -190,7 +226,15 @@ class _CountingCallable:
         self._name = name
 
     def __call__(self, *args, **kwargs):
-        self._tally.count(self._name)
+        # ``out=`` reuses the caller's buffer; ufunc ``.at`` methods are
+        # in-place by definition; the NON_ALLOC_OPS names are views or
+        # identity. Everything else hands back a fresh array.
+        alloc = (
+            kwargs.get("out") is None
+            and self._name not in NON_ALLOC_OPS
+            and not self._name.endswith(".at")
+        )
+        self._tally.count(self._name, alloc)
         return self._func(*args, **kwargs)
 
     def __getattr__(self, name: str):
@@ -234,7 +278,7 @@ class _CountingNamespace:
 class _Tally:
     """The mutable counter bundle one profiling backend owns."""
 
-    __slots__ = ("ops", "h2d", "d2h", "scatter_adds", "syncs", "by_op")
+    __slots__ = ("ops", "h2d", "d2h", "scatter_adds", "syncs", "allocs", "by_op")
 
     def __init__(self) -> None:
         self.reset()
@@ -245,10 +289,13 @@ class _Tally:
         self.d2h = 0
         self.scatter_adds = 0
         self.syncs = 0
+        self.allocs = 0
         self.by_op: Dict[str, int] = {}
 
-    def count(self, name: str) -> None:
+    def count(self, name: str, alloc: bool = True) -> None:
         self.ops += 1
+        if alloc:
+            self.allocs += 1
         self.by_op[name] = self.by_op.get(name, 0) + 1
 
     def snapshot(self) -> DispatchCounts:
@@ -258,6 +305,7 @@ class _Tally:
             d2h_transfers=self.d2h,
             scatter_adds=self.scatter_adds,
             syncs=self.syncs,
+            allocs=self.allocs,
             by_op=dict(self.by_op),
         )
 
@@ -323,7 +371,7 @@ class ProfilingBackend(ArrayBackend):
 
     def scatter_add(self, arr, index, values) -> None:
         self._tally.scatter_adds += 1
-        self._tally.count("scatter_add")
+        self._tally.count("scatter_add", alloc=False)
         self.inner.scatter_add(arr, index, values)
 
     def synchronize(self) -> None:

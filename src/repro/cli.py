@@ -249,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
         "per-step metrics (GET /jobs/<id>/stream) and serve the "
         "/analytics endpoints; default: disabled",
     )
+    srv_p.add_argument(
+        "--record-timeline",
+        action="store_true",
+        help="record per-step timelines into every job result "
+        "(moved/crossings per step); large results travel from pool "
+        "workers via the zero-copy shared-memory transport",
+    )
 
     sbm_p = sub.add_parser("submit", help="submit a job to a running service")
     sbm_p.add_argument("--host", default="127.0.0.1")
@@ -600,6 +607,7 @@ def _cmd_serve(args) -> int:
             max_lanes=args.lanes,
             pad_lanes=not args.no_pad_lanes,
             max_pad_waste=args.pad_waste,
+            record_timeline=args.record_timeline,
             workers=args.workers,
             cache_entries=cache_entries,
             cache_bytes=cache_bytes,
@@ -792,6 +800,17 @@ def _cmd_status(args) -> int:
         f"({payload.get('cache_bytes', 0)} bytes, "
         f"{payload.get('cache_evictions', 0)} evicted) on disk"
     )
+    transport = payload.get("transport")
+    if transport:
+        print(
+            f"transport: {transport['shm_results']} shm / "
+            f"{transport['inline_results']} inline results "
+            f"({transport['shm_payload_bytes']} bytes zero-copy, "
+            f"{transport['segments_in_flight']} segment(s) in flight of "
+            f"{transport['segments_created']} created, "
+            f"{transport['segment_reclaims']} reclaimed, "
+            f"{transport['oversize_spills']} spilled)"
+        )
     e2e = (payload.get("latency") or {}).get("end_to_end")
     if e2e:
         print(

@@ -29,10 +29,11 @@ from ..agents import Population
 from ..backend import resolve_backend
 from ..config import SimulationConfig
 from ..errors import EngineError
-from ..grid import build_distance_tables, offsets_array, place_groups
+from ..grid import offsets_array
 from ..models import PheromoneField, build_model
 from ..rng import PhiloxKeyedRNG, Stream
 from ..types import Group
+from .warmstate import cached_dist_tables, cached_placement
 
 __all__ = ["BaseEngine", "StepReport", "RunResult", "require_float64"]
 
@@ -110,6 +111,9 @@ class BaseEngine(abc.ABC):
         self.backend = resolve_backend(config.backend)
         require_float64(self.backend)
         self.xp = self.backend.xp
+        #: Per-engine scratch arena: reusable step-loop buffers keyed by
+        #: stage-local names (see ScratchArena's overwrite contract).
+        self.scratch = self.backend.scratch_arena()
         self.rng = PhiloxKeyedRNG(self.seed, backend=self.backend)
         self.model = build_model(config.params, backend=self.backend)
 
@@ -121,25 +125,16 @@ class BaseEngine(abc.ABC):
         # any backend bit for bit); the finished grid is then moved onto
         # the backend device — the data-upload step of the paper's
         # pipeline, and the last host round-trip before recording.
-        obstacle_mask = (
-            config.obstacles.build(config.height, config.width)
-            if config.obstacles is not None
-            else None
-        )
-        host_env = place_groups(
-            config.height,
-            config.width,
-            config.n_per_side,
-            config.band_rows,
-            PhiloxKeyedRNG(self.seed),
-            obstacles=obstacle_mask,
-        )
+        # Warm-state reuse (launch bursts): the cached placement is a pure
+        # function of (geometry, seed) — ``copy=True`` hands back a private
+        # deep copy because the engine mutates its environment in place.
+        host_env, _ = cached_placement(config, self.seed, copy=True)
         self.env = host_env.to_backend(self.backend)
         self.pop = Population.from_environment(self.env)
-        self.dist = build_distance_tables(
+        self.dist = cached_dist_tables(
             config.height,
             getattr(config.params, "scan_range", 1),
-            backend=self.backend,
+            self.backend,
         )
         self.pher: Optional[PheromoneField] = (
             PheromoneField(config.height, config.width, config.params, self.backend)
@@ -250,8 +245,8 @@ class BaseEngine(abc.ABC):
         self.model = model
         new_range = getattr(params, "scan_range", 1)
         if new_range != self.dist[Group.TOP].scan_range:
-            self.dist = build_distance_tables(
-                self.config.height, new_range, backend=self.backend
+            self.dist = cached_dist_tables(
+                self.config.height, new_range, self.backend
             )
             self._dist_stack = self._build_dist_stack()
         self._on_model_swapped()

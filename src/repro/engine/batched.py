@@ -42,15 +42,16 @@ from ..backend import resolve_backend
 from ..backend.profiling import ProfilingBackend
 from ..config import SimulationConfig
 from ..errors import EngineError
-from ..grid import build_distance_tables, offsets_array, place_groups
+from ..grid import offsets_array
 from ..grid.environment import Environment
 from ..grid.neighborhood import ABSOLUTE_OFFSETS
 from ..models import build_model
 from ..models.pheromone import deposit_at, evaporate_field, group_slot
-from ..rng import BatchedPhiloxRNG, PhiloxKeyedRNG, RaggedLaneRNG, Stream
+from ..rng import BatchedPhiloxRNG, RaggedLaneRNG, Stream
 from ..types import CellState, Group
 from .base import ABS_STEP_COSTS, RunResult, require_float64
 from .conflict import shift, winner_rank
+from .warmstate import cached_dist_stack, cached_placement
 
 __all__ = [
     "BatchedEngine",
@@ -231,6 +232,9 @@ class BatchedEngine:
         self.backend = resolve_backend(rep_cfg.backend)
         require_float64(self.backend)
         xp = self.xp = self.backend.xp
+        #: Per-engine scratch arena for the fixed-shape step temporaries
+        #: (see ScratchArena's overwrite contract).
+        self.scratch = self.backend.scratch_arena()
         self.rng = BatchedPhiloxRNG(seeds, backend=self.backend)
         self.model = build_model(rep_cfg.params, backend=self.backend)
         self.t = 0
@@ -258,22 +262,14 @@ class BatchedEngine:
         index_host = np.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int32)
         pops: List[Population] = []
         for b, (cfg, seed) in enumerate(zip(configs, seeds)):
-            obstacle_mask = (
-                cfg.obstacles.build(cfg.height, cfg.width)
-                if cfg.obstacles is not None
-                else None
-            )
-            env = place_groups(
-                cfg.height,
-                cfg.width,
-                cfg.n_per_side,
-                cfg.band_rows,
-                PhiloxKeyedRNG(seed),
-                obstacles=obstacle_mask,
-            )
+            # Warm-state reuse: placement is a pure function of
+            # (geometry, seed), and the cached pair is only *read* here
+            # (copied into the padded device buffers), so a repeat launch
+            # skips the host placement entirely — bit-identically.
+            env, pop = cached_placement(cfg, seed)
             mats_host[b, : cfg.height, : cfg.width] = env.mat
             index_host[b, : cfg.height, : cfg.width] = env.index
-            pops.append(Population.from_environment(env))
+            pops.append(pop)
         self.mats = self.backend.from_host(mats_host)
         self.index = self.backend.from_host(index_host)
 
@@ -365,17 +361,9 @@ class BatchedEngine:
         # (height, scan_range), so duplicate heights share one host build;
         # the stack uploads once.
         scan_range = getattr(rep_cfg.params, "scan_range", 1)
-        by_height = {
-            int(h): build_distance_tables(int(h), scan_range)
-            for h in np.unique(heights_host)
-        }
-        dist_host = np.full(
-            (2, self.n_lanes, self.h_max, 8), np.inf, dtype=np.float64
+        self._dist_stack = cached_dist_stack(
+            tuple(int(h) for h in heights_host), scan_range, self.backend
         )
-        for g in (Group.TOP, Group.BOTTOM):
-            for b, h in enumerate(heights_host):
-                dist_host[group_slot(g), b, : int(h)] = by_height[int(h)][g].table
-        self._dist_stack = self.backend.from_host(dist_host)
 
         self.pher: Optional[_BatchedPheromone] = (
             _BatchedPheromone(
@@ -548,8 +536,10 @@ class BatchedEngine:
         h = self._heights[rep][:, None]
         w = self._widths[rep][:, None]
         inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
-        nrc = xp.clip(nr, 0, self.h_max - 1)
-        ncc = xp.clip(nc, 0, self.w_max - 1)
+        # nr/nc are fresh operator results and unneeded unclipped once the
+        # bounds mask exists, so the clips run in place (no allocation).
+        nrc = xp.clip(nr, 0, self.h_max - 1, out=nr)
+        ncc = xp.clip(nc, 0, self.w_max - 1, out=nc)
         rcol = rep[:, None]
         candidates = inb & (self.mats[rcol, nrc, ncc] == 0)
         dist = self._dist_stack[gslot, rep, rows]  # (N, 8)
@@ -589,7 +579,6 @@ class BatchedEngine:
         agent = self._agent_all
         if rep.size == 0:
             return xp.zeros(self.n_lanes, dtype=np.int64)
-        eligible = self.eligible_mask(t)
         scan_rows = self.scan[rep, agent]  # (N, 8)
         if self._homogeneous:
             slots = self.model.select(scan_rows, self._ragged_rng_all, t, agent)
@@ -607,15 +596,26 @@ class BatchedEngine:
                     scan_rows[sel], self.rng.ragged(rep[sel]), t, agent[sel]
                 )
         if self._any_forward_priority:
-            fwd = self.front_empty[rep, agent] & self._forward_priority[rep]
-            slots = xp.where(fwd, 0, slots)
-        valid = (slots >= 0) & eligible[rep, agent]
-        safe = xp.where(valid, slots, 0)
-        off = self._offsets_stack[self._gslot_all, safe]  # (N, 2)
+            # ``slots`` is fresh (model kernel output or the hetero fill
+            # buffer), so the forward override writes in place.
+            slots[self.front_empty[rep, agent] & self._forward_priority[rep]] = 0
+        if self._any_slow:
+            valid = (slots >= 0) & self.eligible_mask(t)[rep, agent]
+        else:
+            # Homogeneous velocities (the default): everyone is eligible,
+            # so the all-true mask and its gather are dead dispatches.
+            valid = slots >= 0
+        invalid = ~valid
+        # In-place masked writes on the fresh intermediates replace three
+        # xp.where calls; the resulting values are identical element-wise.
+        slots[invalid] = 0
+        off = self._offsets_stack[self._gslot_all, slots]  # (N, 2)
         fr = self.rows[rep, agent] + off[:, 0]
         fc = self.cols[rep, agent] + off[:, 1]
-        self.future_rows[rep, agent] = xp.where(valid, fr, NO_FUTURE)
-        self.future_cols[rep, agent] = xp.where(valid, fc, NO_FUTURE)
+        fr[invalid] = NO_FUTURE
+        fc[invalid] = NO_FUTURE
+        self.future_rows[rep, agent] = fr
+        self.future_cols[rep, agent] = fc
         return xp.bincount(rep[valid], minlength=self.n_lanes)
 
     # ------------------------------------------------------------------
@@ -636,10 +636,16 @@ class BatchedEngine:
         # destination set nor the candidate gathers can leave a lane's real
         # grid region.
         empty = self.mats == 0
-        counts = xp.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
+        # Fixed-shape per-step temporaries come from the engine's scratch
+        # arena: zero allocating dispatches once warm, identical contents
+        # (every buffer is fully overwritten before it is read).
+        counts = self.scratch.take_filled(
+            "mv.counts", (self.n_lanes, self.h_max, self.w_max), np.int16, 0
+        )
+        nbuf = self.scratch.take("mv.shift", self.index.shape, self.index.dtype)
         matches: List[np.ndarray] = []
         for dr, dc in ABSOLUTE_OFFSETS:
-            nidx = shift(self.index, dr, dc, fill=0, xp=xp)
+            nidx = shift(self.index, dr, dc, fill=0, xp=xp, out=nbuf)
             fr = self.future_rows[self._bidx, nidx]
             fc = self.future_cols[self._bidx, nidx]
             match = empty & (nidx > 0) & (fr == self._rowgrid) & (fc == self._colgrid)
@@ -656,15 +662,19 @@ class BatchedEngine:
         )
         u = self.rng.uniform_at(Stream.MOVE_WINNER, t, con_b, cell_lanes)
         pick = winner_rank(u, counts[con_b, con_r, con_c], xp=xp)
-        pickmap = xp.full((self.n_lanes, self.h_max, self.w_max), -1, dtype=np.int64)
+        pickmap = self.scratch.take_filled(
+            "mv.pickmap", (self.n_lanes, self.h_max, self.w_max), np.int64, -1
+        )
         pickmap[con_b, con_r, con_c] = pick
 
-        cum = xp.zeros((self.n_lanes, self.h_max, self.w_max), dtype=np.int16)
+        cum = self.scratch.take_filled(
+            "mv.cum", (self.n_lanes, self.h_max, self.w_max), np.int16, 0
+        )
         lane_parts: List[np.ndarray] = []
         dst_rows: List[np.ndarray] = []
         dst_cols: List[np.ndarray] = []
         agents: List[np.ndarray] = []
-        costs: List[np.ndarray] = []
+        cost_runs: List[Tuple[float, int]] = []
         for d, (dr, dc) in enumerate(ABSOLUTE_OFFSETS):
             match = matches[d]
             sel = match & (cum == pickmap)
@@ -675,12 +685,18 @@ class BatchedEngine:
                 dst_rows.append(rr)
                 dst_cols.append(cc)
                 agents.append(self.index[bb, rr + dr, cc + dc].astype(np.int64))
-                costs.append(xp.full(bb.size, ABS_STEP_COSTS[d]))
+                cost_runs.append((ABS_STEP_COSTS[d], int(bb.size)))
         bs = xp.concatenate(lane_parts)
         dst_r = xp.concatenate(dst_rows)
         dst_c = xp.concatenate(dst_cols)
         winners = xp.concatenate(agents)
-        move_cost = xp.concatenate(costs)
+        # Per-direction costs are constants, so the cost vector is built by
+        # slice fills into one scratch run instead of 8 fulls + concatenate.
+        move_cost = self.scratch.take("mv.cost", (int(winners.size),), np.float64)
+        o = 0
+        for cost, size in cost_runs:
+            move_cost[o : o + size] = cost
+            o += size
         src_r = self.rows[bs, winners]
         src_c = self.cols[bs, winners]
 

@@ -24,7 +24,7 @@ DIRECTION_INDEX: Dict[Tuple[int, int], int] = {
 }
 
 
-def shift(arr: np.ndarray, dr: int, dc: int, fill=0, xp=np) -> np.ndarray:
+def shift(arr: np.ndarray, dr: int, dc: int, fill=0, xp=np, out=None) -> np.ndarray:
     """Return ``out`` with ``out[..., i, j] = arr[..., i + dr, j + dc]``.
 
     Cells whose source falls outside the array get ``fill``. This is the
@@ -33,9 +33,17 @@ def shift(arr: np.ndarray, dr: int, dc: int, fill=0, xp=np) -> np.ndarray:
     ``cell + offset[d]``. The grid occupies the last two axes; any leading
     axes (e.g. the batch axis of :class:`repro.engine.batched.BatchedEngine`)
     shift lane-wise. ``xp`` is the array namespace of ``arr``.
+
+    ``out`` (same shape/dtype as ``arr``, may not alias it) reuses a
+    scratch buffer instead of allocating; the engines pass one arena
+    buffer for all eight gather directions, turning the hottest per-step
+    allocation site into zero allocating dispatches.
     """
     h, w = arr.shape[-2:]
-    out = xp.full_like(arr, fill)
+    if out is None:
+        out = xp.full_like(arr, fill)
+    else:
+        out.fill(fill)
     r0, r1 = max(0, -dr), min(h, h - dr)
     c0, c1 = max(0, -dc), min(w, w - dc)
     if r0 < r1 and c0 < c1:
@@ -48,8 +56,18 @@ def winner_rank(u: np.ndarray, counts: np.ndarray, xp=np) -> np.ndarray:
 
     ``floor(u * k)`` clamped to ``k - 1`` (the clamp only matters in the
     measure-zero limit ``u -> 1``); identical arithmetic on scalar and
-    vector paths (and across array backends).
+    vector paths (and across array backends). The clamp runs in place on
+    the intermediate ``k - 1`` array (fresh by construction), so the call
+    performs no allocating namespace dispatch beyond the gather itself.
     """
     k = xp.asarray(counts, dtype=np.int64)
     pick = (xp.asarray(u, dtype=np.float64) * k).astype(np.int64)
-    return xp.minimum(pick, xp.maximum(k - 1, 0))
+    hi = k - 1
+    if getattr(hi, "ndim", 0) == 0:
+        # 0-d inputs: numpy arithmetic on 0-d arrays returns scalars,
+        # which cannot be ``out=`` targets. The engines always pass
+        # vectors, so this path only serves scalar callers.
+        return xp.minimum(pick, xp.maximum(hi, 0))
+    xp.maximum(hi, 0, out=hi)
+    xp.minimum(pick, hi, out=hi)
+    return hi

@@ -59,8 +59,10 @@ class VectorizedEngine(BaseEngine):
         nr = rows[:, None] + off[:, :, 0]
         nc = cols[:, None] + off[:, :, 1]
         inb = (nr >= 0) & (nr < h) & (nc >= 0) & (nc < w)
-        nrc = xp.clip(nr, 0, h - 1)
-        ncc = xp.clip(nc, 0, w - 1)
+        # nr/nc are fresh operator results and unneeded unclipped once the
+        # bounds mask exists, so the clips run in place (no allocation).
+        nrc = xp.clip(nr, 0, h - 1, out=nr)
+        ncc = xp.clip(nc, 0, w - 1, out=nc)
         candidates = inb & (mat[nrc, ncc] == 0)
         dist = self._dist_stack[gslot, rows]  # (N, 8)
         tau = None
@@ -82,19 +84,29 @@ class VectorizedEngine(BaseEngine):
         idx = self._fused_idx
         if idx.size == 0:
             return 0
-        eligible = self.eligible_mask(t)
         slots = self.model.select(self.scan[idx], self.rng, t, idx)
         if self.config.forward_priority:
             # Paper modification: the forward cell, when empty, wins
-            # outright (slot 0 in 0-based numbering).
-            slots = xp.where(pop.front_empty[idx], 0, slots)
-        valid = (slots >= 0) & eligible[idx]
-        safe = xp.where(valid, slots, 0)
-        off = self._offsets_stack[self._fused_gslot, safe]  # (N, 2)
+            # outright (slot 0 in 0-based numbering). ``slots`` is fresh
+            # from the model kernel, so the override writes in place.
+            slots[pop.front_empty[idx]] = 0
+        if self._any_slow:
+            valid = (slots >= 0) & self.eligible_mask(t)[idx]
+        else:
+            # Homogeneous velocities (the default): everyone is eligible,
+            # so the all-true mask and its gather are dead dispatches.
+            valid = slots >= 0
+        invalid = ~valid
+        # In-place masked writes on the fresh intermediates replace three
+        # xp.where calls; the resulting values are identical element-wise.
+        slots[invalid] = 0
+        off = self._offsets_stack[self._fused_gslot, slots]  # (N, 2)
         fr = pop.rows[idx] + off[:, 0]
         fc = pop.cols[idx] + off[:, 1]
-        pop.future_rows[idx] = xp.where(valid, fr, NO_FUTURE)
-        pop.future_cols[idx] = xp.where(valid, fc, NO_FUTURE)
+        fr[invalid] = NO_FUTURE
+        fc[invalid] = NO_FUTURE
+        pop.future_rows[idx] = fr
+        pop.future_cols[idx] = fc
         return xp.count_nonzero(valid)
 
     # ------------------------------------------------------------------
@@ -110,10 +122,14 @@ class VectorizedEngine(BaseEngine):
             self.pher.evaporate()
 
         empty = mat == 0
-        counts = xp.zeros((h, w), dtype=np.int16)
+        # Fixed-shape per-step temporaries come from the engine's scratch
+        # arena: zero allocating dispatches once warm, identical contents
+        # (every buffer is fully overwritten before it is read).
+        counts = self.scratch.take_filled("mv.counts", (h, w), np.int16, 0)
+        nbuf = self.scratch.take("mv.shift", index.shape, index.dtype)
         matches: List[np.ndarray] = []
         for dr, dc in ABSOLUTE_OFFSETS:
-            nidx = shift(index, dr, dc, fill=0, xp=xp)
+            nidx = shift(index, dr, dc, fill=0, xp=xp, out=nbuf)
             fr = pop.future_rows[nidx]  # sentinel row 0 carries NO_FUTURE
             fc = pop.future_cols[nidx]
             match = empty & (nidx > 0) & (fr == self._rowgrid) & (fc == self._colgrid)
@@ -126,16 +142,16 @@ class VectorizedEngine(BaseEngine):
         lanes = env.cell_lane(contested_r, contested_c)
         u = self.rng.uniform(Stream.MOVE_WINNER, t, lanes)
         pick = winner_rank(u, counts[contested_r, contested_c], xp=xp)
-        pickmap = xp.full((h, w), -1, dtype=np.int64)
+        pickmap = self.scratch.take_filled("mv.pickmap", (h, w), np.int64, -1)
         pickmap[contested_r, contested_c] = pick
 
         # Second pass over the gather directions: the candidate whose
         # cumulative rank equals the cell's pick wins.
-        cum = xp.zeros((h, w), dtype=np.int16)
+        cum = self.scratch.take_filled("mv.cum", (h, w), np.int16, 0)
         dst_rows = []
         dst_cols = []
         agents = []
-        costs = []
+        cost_runs = []
         for d, (dr, dc) in enumerate(ABSOLUTE_OFFSETS):
             match = matches[d]
             sel = match & (cum == pickmap)
@@ -145,11 +161,17 @@ class VectorizedEngine(BaseEngine):
                 dst_rows.append(rr)
                 dst_cols.append(cc)
                 agents.append(index[rr + dr, cc + dc].astype(np.int64))
-                costs.append(xp.full(rr.size, ABS_STEP_COSTS[d]))
+                cost_runs.append((ABS_STEP_COSTS[d], int(rr.size)))
         dst_r = xp.concatenate(dst_rows)
         dst_c = xp.concatenate(dst_cols)
         winners = xp.concatenate(agents)
-        move_cost = xp.concatenate(costs)
+        # Per-direction costs are constants, so the cost vector is built by
+        # slice fills into one scratch run instead of 8 fulls + concatenate.
+        move_cost = self.scratch.take("mv.cost", (int(winners.size),), np.float64)
+        o = 0
+        for cost, size in cost_runs:
+            move_cost[o : o + size] = cost
+            o += size
         src_r = pop.rows[winners]
         src_c = pop.cols[winners]
 

@@ -1,0 +1,251 @@
+"""Zero-copy launch-result transport over POSIX shared memory.
+
+The executor pool's legacy transport pickles every result into one byte
+blob and pushes it through a multiprocessing queue: the worker serialises
+the full timeline arrays, the pipe carries every byte, and the parent
+deserialises into fresh heap copies — three traversals of the payload per
+launch. This module replaces the array bytes with a shared-memory hop:
+
+* the **worker** pickles the payload with protocol 5 and a
+  ``buffer_callback``, so NumPy hands the array *buffers* out of band;
+  the buffers are copied once into a pooled :class:`SharedMemory`
+  segment and the queue carries only the pickle *head* (object structure
+  + dtypes + shapes — a few hundred bytes, independent of array length)
+  plus the segment name and span table;
+* the **parent** attaches the segment and rebuilds the payload with
+  ``pickle.loads(head, buffers=...)`` over memoryview slices — the
+  reconstructed arrays are *views into the segment*, no copy;
+* segments are **recycled**: when every reconstructed array has been
+  garbage-collected, the pool sends a release message down the owning
+  worker's task pipe and the worker parks the segment for its next
+  result. A crashed worker's segments are unlinked by the pool's reaper
+  (:class:`~repro.errors.WorkerCrashError` path), so SIGKILL leaks
+  nothing.
+
+Results below :data:`SHM_THRESHOLD_BYTES` (header-dominated anyway) and
+above :data:`SHM_MAX_BYTES` (see the oversize-spill regression test), as
+well as payloads whose buffers are not contiguous, fall back to the
+legacy in-band pickle — bit-for-bit the behaviour the pool always had.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+import pickle
+from multiprocessing import shared_memory
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHM_THRESHOLD_BYTES",
+    "SHM_MAX_BYTES",
+    "SEGMENT_PREFIX",
+    "SegmentWriter",
+    "attach_segment",
+    "decode_payload",
+    "iter_payload_arrays",
+]
+
+#: Results whose out-of-band buffers total fewer bytes than this ship
+#: in-band: the pickle head dominates and a segment round-trip would be
+#: pure overhead.
+SHM_THRESHOLD_BYTES = 32 * 1024
+
+#: Hard per-result segment cap. Larger results spill to the legacy
+#: in-band pickle path instead of growing unbounded shared mappings.
+SHM_MAX_BYTES = 256 * 1024 * 1024
+
+#: Buffer alignment inside a segment (cache line; keeps reconstructed
+#: array views aligned for vectorised consumers).
+_ALIGN = 64
+
+#: Segment name prefix — greppable in /dev/shm, used by the leak tests.
+SEGMENT_PREFIX = "repro-shm"
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class _AttachedSegment(shared_memory.SharedMemory):
+    """Parent-side attachment whose destructor tolerates live views.
+
+    ``SharedMemory.__del__`` closes the mapping; with reconstructed
+    arrays still exporting buffers that raises BufferError. GC order
+    between the pool (which holds the wrapper) and the result arrays
+    (which hold only the mapping's buffer) is arbitrary, so the wrapper
+    can legitimately die first — and then *leaving the mapping open* is
+    the correct outcome: the views need it until process exit. Explicit
+    ``close()`` calls (the pool's drain path) still propagate
+    BufferError and are retried there.
+    """
+
+    def __del__(self):  # noqa: D105
+        try:
+            super().__del__()
+        except BufferError:
+            pass
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment by name.
+
+    On CPython < 3.13 attaching re-registers the segment with the
+    resource tracker. Because pool workers are spawned by the pool's own
+    process, parent and workers share ONE tracker process, so the
+    re-registration is an idempotent no-op (the cache is a set) and
+    every ``unlink`` unregisters the single entry exactly once. Keeping
+    the registration is deliberate: if the whole process tree dies
+    before the pool's own reclamation runs, the tracker unlinks whatever
+    is left, so ``/dev/shm`` cannot leak.
+    """
+    return _AttachedSegment(name=name)
+
+
+class SegmentWriter:
+    """Worker-side segment pool: encode results, recycle released segments.
+
+    One writer lives in each worker process. ``encode`` returns the
+    message tuple to put on the result queue; ``release`` parks a segment
+    the parent has finished with for reuse; ``close`` unlinks everything
+    still owned (worker shutdown).
+    """
+
+    #: Released segments kept for reuse before excess ones are unlinked.
+    MAX_FREE = 4
+
+    def __init__(
+        self,
+        threshold: int = SHM_THRESHOLD_BYTES,
+        max_bytes: int = SHM_MAX_BYTES,
+    ) -> None:
+        self.threshold = int(threshold)
+        self.max_bytes = int(max_bytes)
+        self._counter = itertools.count()
+        #: name -> SharedMemory for every segment this worker owns.
+        self._owned: Dict[str, shared_memory.SharedMemory] = {}
+        #: Subset of owned segments currently free for reuse.
+        self._free: List[str] = []
+        self.spills = 0  # oversize results sent through the legacy path
+        self.created = 0
+
+    # -- segment management -------------------------------------------
+    def _take(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A free segment of at least ``nbytes``, else a fresh one."""
+        for i, name in enumerate(self._free):
+            seg = self._owned[name]
+            if seg.size >= nbytes:
+                self._free.pop(i)
+                return seg
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(self._counter)}"
+        seg = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+        self._owned[seg.name] = seg
+        self.created += 1
+        return seg
+
+    def release(self, name: str) -> None:
+        """Parent is done with ``name``: park it for the next result."""
+        if name not in self._owned:
+            return
+        self._free.append(name)
+        while len(self._free) > self.MAX_FREE:
+            drop = self._free.pop(0)
+            seg = self._owned.pop(drop)
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - parent raced us
+                pass
+
+    def close(self) -> None:
+        """Unlink every owned segment (worker shutdown path)."""
+        for seg in self._owned.values():
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+        self._owned.clear()
+        self._free.clear()
+
+    # -- encoding ------------------------------------------------------
+    def encode(self, task_id: int, ok: bool, payload: Any) -> Tuple:
+        """Build the result-queue message for ``payload``.
+
+        Returns ``("shm", task_id, ok, head, name, spans, total)`` when
+        the payload's array buffers ride a segment, or
+        ``("inline", task_id, ok, payload)`` on the legacy path (small
+        result, oversize spill, non-contiguous buffers, failures) — the
+        worker loop pickles the whole message exactly as before.
+        """
+        if not ok:
+            # Exceptions are tiny and must never depend on segment
+            # plumbing to surface.
+            return ("inline", task_id, False, payload)
+        buffers: List[pickle.PickleBuffer] = []
+        try:
+            head = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
+            views = [b.raw() for b in buffers]
+        except Exception:
+            # Non-contiguous buffer or a pickling quirk: legacy path.
+            return ("inline", task_id, ok, payload)
+        total = sum(_align(v.nbytes) for v in views)
+        if not views or total < self.threshold:
+            return ("inline", task_id, ok, payload)
+        if total > self.max_bytes:
+            self.spills += 1
+            return ("inline", task_id, ok, payload)
+        seg = self._take(total)
+        spans: List[Tuple[int, int]] = []
+        offset = 0
+        for view in views:
+            n = view.nbytes
+            seg.buf[offset : offset + n] = view.cast("B")
+            spans.append((offset, n))
+            offset = _align(offset + n)
+        return ("shm", task_id, ok, head, seg.name, spans, total)
+
+
+def decode_payload(
+    head: bytes, seg: shared_memory.SharedMemory, spans
+) -> Any:
+    """Rebuild a payload whose array buffers live in ``seg`` (zero-copy).
+
+    The reconstructed NumPy arrays are views over the segment's mapping;
+    the caller owns keeping ``seg`` alive until they are collected (the
+    pool does this with per-array finalizers).
+    """
+    buffers = [memoryview(seg.buf)[off : off + n] for off, n in spans]
+    return pickle.loads(head, buffers=buffers)
+
+
+def iter_payload_arrays(obj: Any, _seen: Optional[set] = None) -> Iterator[np.ndarray]:
+    """Yield every ndarray reachable from a result payload.
+
+    Walks the containers launch results are actually made of —
+    dataclasses, dicts, lists/tuples/sets — which is exactly the shape of
+    :class:`~repro.exec.work.LaunchOutcome` and of ad-hoc test payloads.
+    The pool attaches its segment-release finalizers to these arrays.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return
+    _seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        yield obj
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            yield from iter_payload_arrays(getattr(obj, f.name), _seen)
+        return
+    if isinstance(obj, dict):
+        for v in obj.values():
+            yield from iter_payload_arrays(v, _seen)
+        return
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for v in obj:
+            yield from iter_payload_arrays(v, _seen)

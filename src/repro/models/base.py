@@ -129,7 +129,7 @@ def tiebreak_slot_keys(
     bit of the slot *number*, so flipping ``b`` uniformly de-biases the
     left/right preference while staying deterministic for a given seed.
     """
-    bits = rng.words(Stream.TIEBREAK, step, lanes)[0] & np.uint32(1)
+    bits = rng.words(Stream.TIEBREAK, step, lanes, scratch=True)[0] & np.uint32(1)
     slots = xp.arange(1, n_slots + 1, dtype=np.int64)
     return slots[None, :] ^ bits.astype(np.int64)[:, None]
 

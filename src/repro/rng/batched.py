@@ -36,6 +36,7 @@ from ..backend import resolve_backend
 from .philox import (
     PHILOX_ROUNDS,
     _philox_rounds,
+    _take_u32,
     _u32_to_unit_open,
     irwin_hall_normal12,
 )
@@ -68,16 +69,24 @@ class BatchedPhiloxRNG:
         self._key_hi_base = self.xp.asarray(
             np.array([(s >> 32) & 0xFFFFFFFF for s in seeds], dtype=np.uint32)
         )
+        # Reusable counter/output word buffers (see philox._take_u32);
+        # shared by the flat/ragged views, whose draws are sequential.
+        self._scratch: dict = {}
 
     # ------------------------------------------------------------------
     # Replication-major grids: lane shape (B, m) -> words (4, B, m)
     # ------------------------------------------------------------------
-    def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+    def words(
+        self, stream: int, step: int, lane, slot: int = 0, scratch: bool = False
+    ) -> np.ndarray:
         """Raw output words, shape ``(4, B, m)``.
 
         ``lane`` is ``(B, m)`` (one lane vector per replication) or ``(m,)``
         (the same lane vector for every replication — the common case, since
-        agent indexing is seed-independent).
+        agent indexing is seed-independent). ``scratch=True`` lands the
+        counter and output words in per-instance reusable buffers (the
+        result is overwritten by the next scratch draw) — only for callers
+        that consume the words immediately; the values are identical.
         """
         xp = self.xp
         lanes = xp.asarray(lane, dtype=np.uint64)
@@ -91,16 +100,16 @@ class BatchedPhiloxRNG:
             )
         m = lanes.shape[1]
         rep = xp.repeat(xp.arange(self.n_reps, dtype=np.intp), m)
-        out = self._words_flat(stream, step, rep, lanes.ravel(), slot)
+        out = self._words_flat(stream, step, rep, lanes.ravel(), slot, scratch)
         return out.reshape(4, self.n_reps, m)
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         """Uniforms in (0, 1), shape ``(B, m)`` (word 0)."""
-        return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])
+        return _u32_to_unit_open(self.words(stream, step, lane, slot, scratch=True)[0])
 
     def uniform4(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         """Four uniforms in (0, 1) per draw; shape ``(4, B, m)``."""
-        return _u32_to_unit_open(self.words(stream, step, lane, slot))
+        return _u32_to_unit_open(self.words(stream, step, lane, slot, scratch=True))
 
     def normal12(self, stream: int, step: int, lane, slot_base: int = 0) -> np.ndarray:
         """Irwin-Hall standard normal, shape ``(B, m)``.
@@ -115,7 +124,7 @@ class BatchedPhiloxRNG:
     # Scattered draws: parallel (rep, lane) index vectors
     # ------------------------------------------------------------------
     def words_at(
-        self, stream: int, step: int, rep, lane, slot: int = 0
+        self, stream: int, step: int, rep, lane, slot: int = 0, scratch: bool = False
     ) -> np.ndarray:
         """Raw words for scattered ``(rep, lane)`` pairs; shape ``(4, n)``."""
         rep = self.xp.asarray(rep, dtype=np.intp).ravel()
@@ -124,11 +133,13 @@ class BatchedPhiloxRNG:
             raise ValueError(
                 f"rep and lane must align, got {rep.shape} vs {lanes.shape}"
             )
-        return self._words_flat(stream, step, rep, lanes, slot)
+        return self._words_flat(stream, step, rep, lanes, slot, scratch)
 
     def uniform_at(self, stream: int, step: int, rep, lane, slot: int = 0) -> np.ndarray:
         """Scattered uniforms in (0, 1); shape ``(n,)``."""
-        return _u32_to_unit_open(self.words_at(stream, step, rep, lane, slot)[0])
+        return _u32_to_unit_open(
+            self.words_at(stream, step, rep, lane, slot, scratch=True)[0]
+        )
 
     # ------------------------------------------------------------------
     # Adapters / internals
@@ -146,17 +157,30 @@ class BatchedPhiloxRNG:
         return RaggedLaneRNG(self, rep)
 
     def _words_flat(
-        self, stream: int, step: int, rep: np.ndarray, lanes: np.ndarray, slot: int
+        self,
+        stream: int,
+        step: int,
+        rep: np.ndarray,
+        lanes: np.ndarray,
+        slot: int,
+        scratch: bool = False,
     ) -> np.ndarray:
         """Philox words for flattened per-replication lanes; shape ``(4, n)``.
 
         Counter layout matches :meth:`PhiloxKeyedRNG.words` exactly; the key
-        words are gathered per element from the replication seeds.
+        words are gathered per element from the replication seeds. With
+        ``scratch=True`` the counter and output reuse per-instance buffers
+        (see :func:`~repro.rng.philox._take_u32`); the returned array is
+        overwritten by the next scratch draw.
         """
         xp = self.xp
         n = lanes.shape[0]
         step = int(step)
-        counter = xp.empty((4, n), dtype=np.uint32)
+        counter = (
+            _take_u32(xp, self._scratch, "ctr", n)
+            if scratch
+            else xp.empty((4, n), dtype=np.uint32)
+        )
         counter[0] = np.uint32(step & 0xFFFFFFFF)
         counter[1] = np.uint32((step >> 32) & 0xFFFFFFFF)
         counter[2] = (lanes & np.uint64(0xFFFFFFFF)).astype(np.uint32)
@@ -167,12 +191,13 @@ class BatchedPhiloxRNG:
         # costs two counted launches (``empty``, ``stack``).
         k0 = self._key_lo[rep]
         k1 = self._key_hi_base[rep] ^ stream_word
-        return xp.stack(
-            _philox_rounds(
-                counter[0], counter[1], counter[2], counter[3],
-                k0, k1, PHILOX_ROUNDS,
-            )
+        out = _philox_rounds(
+            counter[0], counter[1], counter[2], counter[3],
+            k0, k1, PHILOX_ROUNDS,
         )
+        if scratch:
+            return xp.stack(out, out=_take_u32(xp, self._scratch, "out", n))
+        return xp.stack(out)
 
 
 class FlatLaneRNG:
@@ -208,20 +233,22 @@ class FlatLaneRNG:
             )
         return self._rep
 
-    def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+    def words(
+        self, stream: int, step: int, lane, slot: int = 0, scratch: bool = False
+    ) -> np.ndarray:
         xp = self._batched.xp
         lanes = xp.asarray(lane, dtype=np.uint64).reshape(-1)
         # _words_flat directly: the rep map is pre-validated against the
         # lane count, so the words_at re-asarray round trip is dead weight.
         return self._batched._words_flat(
-            stream, step, self._rep_of(lanes), lanes, slot
+            stream, step, self._rep_of(lanes), lanes, slot, scratch
         )
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
-        return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])
+        return _u32_to_unit_open(self.words(stream, step, lane, slot, scratch=True)[0])
 
     def uniform4(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
-        return _u32_to_unit_open(self.words(stream, step, lane, slot))
+        return _u32_to_unit_open(self.words(stream, step, lane, slot, scratch=True))
 
     def normal12(self, stream: int, step: int, lane, slot_base: int = 0) -> np.ndarray:
         return irwin_hall_normal12(self.uniform4, stream, step, lane, slot_base)
@@ -257,20 +284,22 @@ class RaggedLaneRNG:
             )
         return self._rep
 
-    def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+    def words(
+        self, stream: int, step: int, lane, slot: int = 0, scratch: bool = False
+    ) -> np.ndarray:
         xp = self._batched.xp
         lanes = xp.asarray(lane, dtype=np.uint64).reshape(-1)
         # _words_flat directly: _check pins the rep/lane alignment, so the
         # words_at re-asarray round trip is dead weight on the hot path.
         return self._batched._words_flat(
-            stream, step, self._check(lanes), lanes, slot
+            stream, step, self._check(lanes), lanes, slot, scratch
         )
 
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
-        return _u32_to_unit_open(self.words(stream, step, lane, slot)[0])
+        return _u32_to_unit_open(self.words(stream, step, lane, slot, scratch=True)[0])
 
     def uniform4(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
-        return _u32_to_unit_open(self.words(stream, step, lane, slot))
+        return _u32_to_unit_open(self.words(stream, step, lane, slot, scratch=True))
 
     def normal12(self, stream: int, step: int, lane, slot_base: int = 0) -> np.ndarray:
         return irwin_hall_normal12(self.uniform4, stream, step, lane, slot_base)

@@ -38,8 +38,10 @@ def clip_lem_draw(z, mu: float, sigma: float, c_max, xp=np) -> np.ndarray:
     ``c_max`` may be a scalar or per-lane array. ``xp`` is the array
     namespace (host NumPy by default).
     """
+    # x is freshly built by the operator arithmetic above, so the clip can
+    # land in place — one less allocating dispatch on the LEM hot path.
     x = mu + sigma * xp.asarray(z, dtype=np.float64)
-    return xp.clip(x, 0.0, c_max)
+    return xp.clip(x, 0.0, c_max, out=x)
 
 
 def categorical_from_cumsum(cumsum: np.ndarray, u: np.ndarray, xp=np) -> np.ndarray:

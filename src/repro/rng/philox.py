@@ -46,6 +46,22 @@ def _wrap():
     return np.errstate(over="ignore")
 
 
+def _take_u32(xp, slots: dict, key: str, n: int) -> np.ndarray:
+    """A reusable ``(4, n)`` uint32 buffer (capacity-grown, sliced down).
+
+    The counter and output-word buffers of a hot-path draw are fully
+    overwritten on every call and consumed before the next draw, so each
+    RNG instance parks one buffer per role and hands back leading-slice
+    views — after the high-water mark, a draw performs zero allocating
+    namespace dispatches for them.
+    """
+    buf = slots.get(key)
+    if buf is None or buf.shape[1] < n:
+        buf = xp.empty((4, n), dtype=np.uint32)
+        slots[key] = buf
+    return buf if buf.shape[1] == n else buf[:, :n]
+
+
 def _mulhilo(m: np.uint64, b: np.ndarray) -> tuple:
     """Return the high and low 32-bit halves of ``m * b`` (64-bit product)."""
     prod = m * b.astype(np.uint64)
@@ -159,11 +175,14 @@ class PhiloxKeyedRNG:
         self.xp = self.backend.xp
         self._key_lo = np.uint32(seed & 0xFFFFFFFF)
         self._key_hi_base = np.uint32((seed >> 32) & 0xFFFFFFFF)
+        self._scratch: dict = {}
 
     # ------------------------------------------------------------------
     # Core word generator
     # ------------------------------------------------------------------
-    def words(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
+    def words(
+        self, stream: int, step: int, lane, slot: int = 0, scratch: bool = False
+    ) -> np.ndarray:
         """Return the four raw ``uint32`` output words, shape ``(4, n)``.
 
         ``lane`` may be a scalar or any integer array; it is flattened to
@@ -172,37 +191,47 @@ class PhiloxKeyedRNG:
         This is the hot path of every step: the key words stay ``np.uint32``
         scalars (broadcast inside the round loop) and the counter is filled
         in place, so one call costs three namespace dispatches (``asarray``,
-        ``empty``, ``stack``) regardless of backend.
+        ``empty``, ``stack``) regardless of backend. With ``scratch=True``
+        the counter and output land in per-instance reusable buffers —
+        the returned array is *overwritten by the next scratch draw*, so
+        only callers that consume the words immediately (the distribution
+        helpers, the tie-break bit) may opt in; the values are identical
+        either way.
         """
         xp = self.xp
         lanes = xp.asarray(lane, dtype=np.uint64).reshape(-1)
         n = lanes.shape[0]
         step = int(step)
-        counter = xp.empty((4, n), dtype=np.uint32)
+        counter = (
+            _take_u32(xp, self._scratch, "ctr", n)
+            if scratch
+            else xp.empty((4, n), dtype=np.uint32)
+        )
         counter[0] = np.uint32(step & 0xFFFFFFFF)
         counter[1] = np.uint32((step >> 32) & 0xFFFFFFFF)
         counter[2] = (lanes & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         counter[3] = np.uint32(int(slot) & 0xFFFFFFFF)
         with _wrap():
             key_hi = self._key_hi_base ^ np.uint32(int(stream) & 0xFFFFFFFF)
-        return xp.stack(
-            _philox_rounds(
-                counter[0], counter[1], counter[2], counter[3],
-                self._key_lo, key_hi, PHILOX_ROUNDS,
-            )
+        out = _philox_rounds(
+            counter[0], counter[1], counter[2], counter[3],
+            self._key_lo, key_hi, PHILOX_ROUNDS,
         )
+        if scratch:
+            return xp.stack(out, out=_take_u32(xp, self._scratch, "out", n))
+        return xp.stack(out)
 
     # ------------------------------------------------------------------
     # Distribution helpers (all order-independent and engine-agnostic)
     # ------------------------------------------------------------------
     def uniform(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         """Uniforms in the open interval (0, 1), one per lane (word 0)."""
-        w = self.words(stream, step, lane, slot)
+        w = self.words(stream, step, lane, slot, scratch=True)
         return _u32_to_unit_open(w[0])
 
     def uniform4(self, stream: int, step: int, lane, slot: int = 0) -> np.ndarray:
         """Four uniforms in (0, 1) per lane; shape ``(4, n)``."""
-        w = self.words(stream, step, lane, slot)
+        w = self.words(stream, step, lane, slot, scratch=True)
         return _u32_to_unit_open(w)
 
     def normal12(self, stream: int, step: int, lane, slot_base: int = 0) -> np.ndarray:

@@ -154,15 +154,20 @@ class TestProfiledRunIdentity:
         assert profile.setup is not None
         assert profile.setup.h2d_transfers > 0
         assert profile.ops_per_step == profile.counts.ops / profile.steps
+        assert profile.allocs_per_step == profile.counts.allocs / profile.steps
+        # Scratch-arena reuse keeps allocations a strict subset of dispatches.
+        assert 0 < profile.counts.allocs < profile.counts.ops
         d = profile.to_dict()
         assert set(d) == {
             "steps",
             "ops_per_step",
+            "allocs_per_step",
             "transfers_per_step",
             "counts",
             "setup",
         }
         assert "ops/step" in profile.describe()
+        assert "allocs/step" in profile.describe()
 
     def test_unprofiled_run_has_no_profile(self, tiny_config):
         assert run_simulation(tiny_config, engine="vectorized").profile is None

@@ -1,0 +1,124 @@
+"""Warm-state reuse: cached placement/distance state must be invisible.
+
+A warm launch (process-level caches primed by an earlier same-geometry
+launch) must be bit-identical to a cold one — the cache returns exactly
+what a fresh build would have computed, and nothing an engine mutates
+during a run may leak back into the cache. These tests pin both
+directions: results equality cold-vs-warm, and cache-hit accounting
+proving the reuse actually happened.
+"""
+
+import numpy as np
+
+from repro import SimulationConfig, run_batched, run_simulation
+from repro.engine import reset_warmstate, warmstate_stats
+from repro.engine.warmstate import cached_dist_tables, cached_placement
+
+
+def _cfg(seed=0, **kw):
+    kw.setdefault("height", 24)
+    kw.setdefault("width", 24)
+    kw.setdefault("n_per_side", 16)
+    kw.setdefault("steps", 30)
+    return SimulationConfig(seed=seed, **kw)
+
+
+def _run_fingerprint(cfg, engine="vectorized"):
+    out = run_simulation(cfg, engine=engine)
+    r = out.result
+    return (
+        r.throughput_total,
+        r.throughput_top,
+        r.throughput_bottom,
+        None if r.crossings_per_step is None else r.crossings_per_step.tobytes(),
+        None if r.moved_per_step is None else r.moved_per_step.tobytes(),
+    )
+
+
+class TestBitIdentity:
+    def test_warm_solo_run_identical_to_cold(self):
+        reset_warmstate()
+        cfg = _cfg(seed=11)
+        cold = _run_fingerprint(cfg)
+        stats = warmstate_stats()
+        assert stats["placement_misses"] >= 1
+        # Second run of the same geometry+seed hits every cache …
+        warm = _run_fingerprint(cfg)
+        after = warmstate_stats()
+        assert after["placement_hits"] > stats["placement_hits"]
+        assert after["dist_tables_hits"] > stats["dist_tables_hits"]
+        # … and computes exactly the same trajectories.
+        assert warm == cold
+
+    def test_warm_run_unaffected_by_prior_runs_mutations(self):
+        # A solo engine mutates its environment in place while running;
+        # three back-to-back runs must all match (the cache hands out
+        # pristine state every time).
+        reset_warmstate()
+        cfg = _cfg(seed=3)
+        prints = [_run_fingerprint(cfg, engine="sequential") for _ in range(3)]
+        assert prints[0] == prints[1] == prints[2]
+
+    def test_warm_batched_run_identical_to_cold(self):
+        reset_warmstate()
+        cfgs = [_cfg(seed=s) for s in range(3)]
+        seeds = [c.seed for c in cfgs]
+        cold = run_batched(cfgs, seeds, record_timeline=True)
+        before = warmstate_stats()
+        warm = run_batched(cfgs, seeds, record_timeline=True)
+        after = warmstate_stats()
+        assert after["placement_hits"] > before["placement_hits"]
+        assert after["dist_stacks_hits"] > before["dist_stacks_hits"]
+        for c, w in zip(cold.results, warm.results):
+            assert c.throughput_total == w.throughput_total
+            np.testing.assert_array_equal(
+                c.crossings_per_step, w.crossings_per_step
+            )
+
+    def test_different_seeds_do_not_share_placement(self):
+        reset_warmstate()
+        env_a, pop_a = cached_placement(_cfg(seed=1), 1)
+        env_b, pop_b = cached_placement(_cfg(seed=2), 2)
+        assert not np.array_equal(pop_a.rows, pop_b.rows) or not np.array_equal(
+            pop_a.cols, pop_b.cols
+        )
+
+
+class TestCacheMechanics:
+    def test_cached_placement_returns_same_objects_on_hit(self):
+        reset_warmstate()
+        cfg = _cfg(seed=5)
+        a = cached_placement(cfg, 5)
+        b = cached_placement(cfg, 5)
+        assert a[0] is b[0] and a[1] is b[1]
+
+    def test_copy_requests_are_independent(self):
+        reset_warmstate()
+        cfg = _cfg(seed=5)
+        shared_env, shared_pop = cached_placement(cfg, 5)
+        env, pop = cached_placement(cfg, 5, copy=True)
+        assert env is not shared_env and pop is not shared_pop
+        env.mat[0, 0] = 99
+        pop.rows[0] = -1
+        # The cached copies stay pristine.
+        env2, pop2 = cached_placement(cfg, 5)
+        assert env2.mat[0, 0] != 99
+        assert pop2.rows[0] != -1
+
+    def test_dist_tables_cached_per_geometry(self):
+        from repro.backend import resolve_backend
+
+        reset_warmstate()
+        backend = resolve_backend("numpy")
+        a = cached_dist_tables(24, 1, backend)
+        b = cached_dist_tables(24, 1, backend)
+        c = cached_dist_tables(48, 1, backend)
+        assert a is b and a is not c
+
+    def test_stats_shape_and_reset(self):
+        reset_warmstate()
+        stats = warmstate_stats()
+        for name in ("placement", "dist_tables", "dist_stacks"):
+            for field in ("hits", "misses", "evictions", "entries"):
+                assert f"{name}_{field}" in stats
+        assert all(v == 0 for v in stats.values())
